@@ -1,0 +1,224 @@
+package bless
+
+// Benchmark harness: one testing.B benchmark per table and figure of the
+// paper's evaluation (§6). Each benchmark executes the corresponding
+// experiment from internal/harness in reduced-scale (Quick) mode per
+// iteration; run `go run ./cmd/blessbench -exp <id>` for the full-scale
+// tables with the paper-reference notes.
+//
+// The simulations are deterministic, so op times measure the harness's
+// wall-clock cost; the reproduced metrics themselves are printed by
+// blessbench and recorded in EXPERIMENTS.md.
+
+import (
+	"testing"
+
+	"bless/internal/core"
+	"bless/internal/harness"
+	"bless/internal/model"
+	"bless/internal/profiler"
+	"bless/internal/sharing"
+	"bless/internal/sim"
+)
+
+// benchExperiment runs one registered experiment per iteration.
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, err := harness.Lookup(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Run(harness.Options{Quick: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig1MotivationSchemes reproduces Fig 1 / Fig 4(b): one overlapped
+// VGG11+ResNet50 request pair under STATIC, UNBOUND, REEF+ and BLESS.
+func BenchmarkFig1MotivationSchemes(b *testing.B) { benchExperiment(b, "fig1") }
+
+// BenchmarkTable1Profiling reproduces Table 1: application properties and
+// offline profiling cost.
+func BenchmarkTable1Profiling(b *testing.B) { benchExperiment(b, "table1") }
+
+// BenchmarkFig9Interference reproduces Fig 9: kernel- and application-level
+// interference.
+func BenchmarkFig9Interference(b *testing.B) { benchExperiment(b, "fig9") }
+
+// BenchmarkFig10Estimators reproduces Fig 10: estimator predictions across
+// the execution-configuration space.
+func BenchmarkFig10Estimators(b *testing.B) { benchExperiment(b, "fig10") }
+
+// BenchmarkEstimatorAccuracy reproduces the §4.4.2 aggregate accuracy and
+// optimal-configuration match-rate statistics.
+func BenchmarkEstimatorAccuracy(b *testing.B) { benchExperiment(b, "estacc") }
+
+// BenchmarkFig12LatencyCharts reproduces Fig 12: pair-wise latency charts
+// across quota assignments.
+func BenchmarkFig12LatencyCharts(b *testing.B) { benchExperiment(b, "fig12") }
+
+// BenchmarkFig13Overall reproduces Fig 13: average latency of symmetric
+// pairs under workloads A/B/C for all systems, plus the training comparison.
+func BenchmarkFig13Overall(b *testing.B) { benchExperiment(b, "fig13") }
+
+// BenchmarkFig14Deviation reproduces Fig 14: average latency deviation
+// across uneven quota assignments.
+func BenchmarkFig14Deviation(b *testing.B) { benchExperiment(b, "fig14") }
+
+// BenchmarkTraces reproduces the §6.3 real-world-trace comparison
+// (synthetic Twitter- and Azure-shaped loads).
+func BenchmarkTraces(b *testing.B) { benchExperiment(b, "traces") }
+
+// BenchmarkFig15MultiApp reproduces Fig 15: 4- and 8-application
+// co-location.
+func BenchmarkFig15MultiApp(b *testing.B) { benchExperiment(b, "fig15") }
+
+// BenchmarkFig16Biased reproduces Fig 16: the extremely biased workload E.
+func BenchmarkFig16Biased(b *testing.B) { benchExperiment(b, "fig16") }
+
+// BenchmarkSLO reproduces §6.5: QoS violation rates under tight and loose
+// targets.
+func BenchmarkSLO(b *testing.B) { benchExperiment(b, "slo") }
+
+// BenchmarkFig17SquadPolicies reproduces Fig 17: squad duration under
+// SEQ/NSP/SP/Semi-SP.
+func BenchmarkFig17SquadPolicies(b *testing.B) { benchExperiment(b, "fig17") }
+
+// BenchmarkFig18FineGrained reproduces Fig 18: the squad timeline and the
+// coordinated-training comparison.
+func BenchmarkFig18FineGrained(b *testing.B) { benchExperiment(b, "fig18") }
+
+// BenchmarkFig19SquadSize reproduces Fig 19(a): the squad-size sweep.
+func BenchmarkFig19SquadSize(b *testing.B) { benchExperiment(b, "fig19a") }
+
+// BenchmarkFig19SplitRatio reproduces Fig 19(b): the Semi-SP split-ratio
+// sweep.
+func BenchmarkFig19SplitRatio(b *testing.B) { benchExperiment(b, "fig19b") }
+
+// BenchmarkFig19SMCount reproduces Fig 19(c): the SM-count sweep.
+func BenchmarkFig19SMCount(b *testing.B) { benchExperiment(b, "fig19c") }
+
+// BenchmarkFig20Ablation reproduces Fig 20: the component ablation.
+func BenchmarkFig20Ablation(b *testing.B) { benchExperiment(b, "fig20") }
+
+// BenchmarkOverheadAccounting reproduces §6.9: overhead accounting.
+func BenchmarkOverheadAccounting(b *testing.B) { benchExperiment(b, "overhead") }
+
+// BenchmarkFig3Timelines renders the Fig 3 scheduling-scheme timelines.
+func BenchmarkFig3Timelines(b *testing.B) { benchExperiment(b, "fig3") }
+
+// BenchmarkLLMColocation runs the §6.10 autoregressive-application
+// extension.
+func BenchmarkLLMColocation(b *testing.B) { benchExperiment(b, "llm") }
+
+// BenchmarkClusterDeployment runs the §4.2.2 multi-GPU extension.
+func BenchmarkClusterDeployment(b *testing.B) { benchExperiment(b, "cluster") }
+
+// BenchmarkDesignAblation ablates this implementation's own scheduling
+// choices (see DESIGN.md).
+func BenchmarkDesignAblation(b *testing.B) { benchExperiment(b, "design") }
+
+// --- Scheduler micro-benchmarks (§6.9's host-side costs, measured as real
+// Go wall time rather than the simulator's charged constants). ---
+
+func benchClients(b *testing.B) []*sharing.Client {
+	b.Helper()
+	names := []string{"nasnet", "resnet50"}
+	clients := make([]*sharing.Client, len(names))
+	for i, n := range names {
+		app := model.MustGet(n)
+		prof, err := profiler.ProfileApp(app, profiler.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		clients[i] = &sharing.Client{ID: i, App: app, Profile: prof, Quota: 0.5}
+	}
+	return clients
+}
+
+// BenchmarkSchedulerOverhead measures one full BLESS scheduling round
+// (squad generation + configuration search) in host wall time; the paper
+// charges 6.7us per kernel for the same work.
+func BenchmarkSchedulerOverhead(b *testing.B) {
+	clients := benchClients(b)
+	s := &core.Squad{Entries: []core.SquadEntry{
+		{Client: clients[0], Request: &sharing.Request{Client: clients[0]}, Kernels: seq(0, 25)},
+		{Client: clients[1], Request: &sharing.Request{Client: clients[1]}, Kernels: seq(0, 25)},
+	}}
+	quotas := []float64{0.5, 0.5}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.Determine(s, 108, quotas, core.DetermineOptions{Partitions: 18})
+	}
+}
+
+// BenchmarkEstimateSpatial measures one interference-free prediction.
+func BenchmarkEstimateSpatial(b *testing.B) {
+	clients := benchClients(b)
+	s := &core.Squad{Entries: []core.SquadEntry{
+		{Client: clients[0], Request: &sharing.Request{Client: clients[0]}, Kernels: seq(0, 25)},
+		{Client: clients[1], Request: &sharing.Request{Client: clients[1]}, Kernels: seq(0, 25)},
+	}}
+	sms := []int{54, 54}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.EstimateSpatial(s, sms)
+	}
+}
+
+// BenchmarkEstimateUnrestricted measures one workload-equivalence
+// prediction.
+func BenchmarkEstimateUnrestricted(b *testing.B) {
+	clients := benchClients(b)
+	s := &core.Squad{Entries: []core.SquadEntry{
+		{Client: clients[0], Request: &sharing.Request{Client: clients[0]}, Kernels: seq(0, 25)},
+		{Client: clients[1], Request: &sharing.Request{Client: clients[1]}, Kernels: seq(0, 25)},
+	}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.EstimateUnrestricted(s, 108, 0.16)
+	}
+}
+
+// BenchmarkSimulatorThroughput measures raw simulator event throughput: a
+// closed-loop ResNet50 pair for 100ms of virtual time per iteration.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	prof, err := profiler.ProfileApp(model.MustGet("resnet50"), profiler.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	solo := prof.Iso[prof.Partitions-1]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := NewSession(SessionConfig{
+			Clients: []ClientConfig{
+				{App: "resnet50", Quota: 0.5},
+				{App: "resnet50", Quota: 0.5},
+			},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for c := 0; c < 2; c++ {
+			s.SubmitClosedLoop(c, 0, 0, 100*1000*1000) // 100ms virtual
+		}
+		s.Run()
+	}
+	_ = solo
+	_ = sim.DefaultConfig()
+}
+
+func seq(from, n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = from + i
+	}
+	return out
+}

@@ -1,0 +1,255 @@
+package bless
+
+import (
+	"testing"
+	"time"
+)
+
+func TestModelsCatalog(t *testing.T) {
+	names := Models()
+	if len(names) != 11 {
+		t.Fatalf("catalog has %d models, want 11", len(names))
+	}
+	want := map[string]bool{"vgg11": true, "resnet50": true, "bert-train": true, "llm": true}
+	for _, n := range names {
+		delete(want, n)
+	}
+	for n := range want {
+		t.Errorf("catalog missing %q", n)
+	}
+}
+
+func TestSessionQuickstart(t *testing.T) {
+	s, err := NewSession(SessionConfig{
+		Clients: []ClientConfig{
+			{App: "vgg11", Quota: 1.0 / 3},
+			{App: "resnet50", Quota: 2.0 / 3},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SubmitAt(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SubmitAt(1, 0); err != nil {
+		t.Fatal(err)
+	}
+	res := s.Run()
+	if len(res.Requests) != 2 {
+		t.Fatalf("%d requests completed, want 2", len(res.Requests))
+	}
+	for i, cs := range res.PerClient {
+		if cs.Completed != 1 {
+			t.Errorf("client %d completed %d, want 1", i, cs.Completed)
+		}
+		if cs.MeanLatency <= 0 {
+			t.Errorf("client %d mean latency %v", i, cs.MeanLatency)
+		}
+	}
+	// The pair's average latency must beat the average ISO baseline — the
+	// headline bubble-squeezing claim.
+	avg := (res.PerClient[0].MeanLatency + res.PerClient[1].MeanLatency) / 2
+	iso := (res.PerClient[0].ISOLatency + res.PerClient[1].ISOLatency) / 2
+	if avg >= iso {
+		t.Errorf("BLESS average %v not below ISO average %v", avg, iso)
+	}
+}
+
+func TestSessionClosedLoop(t *testing.T) {
+	s, err := NewSession(SessionConfig{
+		Clients: []ClientConfig{
+			{App: "resnet50", Quota: 0.5},
+			{App: "resnet50", Quota: 0.5},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := 0; c < 2; c++ {
+		if err := s.SubmitClosedLoop(c, 9*time.Millisecond, 0, 200*time.Millisecond); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res := s.Run()
+	if res.PerClient[0].Completed < 5 || res.PerClient[1].Completed < 5 {
+		t.Fatalf("closed loops completed %d/%d requests, want >= 5 each",
+			res.PerClient[0].Completed, res.PerClient[1].Completed)
+	}
+	if res.Utilization <= 0 || res.Utilization > 1 {
+		t.Errorf("utilization %g out of range", res.Utilization)
+	}
+}
+
+func TestSessionBaselines(t *testing.T) {
+	for _, sys := range []string{SystemStatic, SystemTemporal, SystemGSlice, SystemUnbound, SystemREEF} {
+		s, err := NewSession(SessionConfig{
+			System: sys,
+			Clients: []ClientConfig{
+				{App: "vgg11", Quota: 0.5},
+				{App: "resnet50", Quota: 0.5},
+			},
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", sys, err)
+		}
+		s.SubmitAt(0, 0)
+		s.SubmitAt(1, 0)
+		res := s.Run()
+		if len(res.Requests) != 2 {
+			t.Errorf("%s: %d requests completed, want 2", sys, len(res.Requests))
+		}
+	}
+}
+
+func TestSessionValidation(t *testing.T) {
+	if _, err := NewSession(SessionConfig{}); err == nil {
+		t.Error("empty config accepted")
+	}
+	if _, err := NewSession(SessionConfig{Clients: []ClientConfig{{App: "nope", Quota: 0.5}}}); err == nil {
+		t.Error("unknown app accepted")
+	}
+	if _, err := NewSession(SessionConfig{System: "WAT", Clients: []ClientConfig{{App: "vgg11", Quota: 0.5}}}); err == nil {
+		t.Error("unknown system accepted")
+	}
+	s, err := NewSession(SessionConfig{Clients: []ClientConfig{{App: "vgg11", Quota: 0.5}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SubmitAt(3, 0); err == nil {
+		t.Error("out-of-range client accepted")
+	}
+	s.SubmitAt(0, 0)
+	s.Run()
+	if err := s.SubmitAt(0, 0); err == nil {
+		t.Error("submit after Run accepted")
+	}
+}
+
+func TestSessionSLOTarget(t *testing.T) {
+	iso, err := ISOLatency("resnet50", 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSession(SessionConfig{
+		Clients: []ClientConfig{
+			{App: "resnet50", Quota: 0.5, SLOTarget: 2 * iso},
+			{App: "vgg11", Quota: 0.5},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SubmitAt(0, 0)
+	s.SubmitAt(1, 0)
+	res := s.Run()
+	if res.PerClient[0].MeanLatency > 2*iso {
+		t.Errorf("SLO-targeted client latency %v exceeds its loose 2x target %v",
+			res.PerClient[0].MeanLatency, 2*iso)
+	}
+}
+
+func TestSessionCustomGPU(t *testing.T) {
+	s, err := NewSession(SessionConfig{
+		GPU: GPUConfig{SMs: 56},
+		Clients: []ClientConfig{
+			{App: "resnet50", Quota: 0.5},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SubmitAt(0, 0)
+	res := s.Run()
+	full, _ := SoloLatency("resnet50")
+	if res.PerClient[0].MeanLatency <= full {
+		t.Errorf("latency on a 56-SM device (%v) not above the 108-SM solo (%v)",
+			res.PerClient[0].MeanLatency, full)
+	}
+}
+
+func TestSessionZicoTraining(t *testing.T) {
+	s, err := NewSession(SessionConfig{
+		System: SystemZico,
+		Clients: []ClientConfig{
+			{App: "vgg11-train", Quota: 0.5},
+			{App: "resnet50-train", Quota: 0.5},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SubmitAt(0, 0)
+	s.SubmitAt(1, 0)
+	res := s.Run()
+	if len(res.Requests) != 2 {
+		t.Errorf("%d iterations completed, want 2", len(res.Requests))
+	}
+}
+
+func TestISOAndSoloLatency(t *testing.T) {
+	solo, err := SoloLatency("resnet50")
+	if err != nil {
+		t.Fatal(err)
+	}
+	iso, err := ISOLatency("resnet50", 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if iso <= solo {
+		t.Errorf("ISO at half quota (%v) not above full-GPU solo (%v)", iso, solo)
+	}
+	if _, err := ISOLatency("nope", 0.5); err == nil {
+		t.Error("unknown app accepted")
+	}
+	// Table 1: resnet50 solo is 8.7ms.
+	if solo < 8500*time.Microsecond || solo > 8900*time.Microsecond {
+		t.Errorf("resnet50 solo %v, want ~8.7ms (Table 1)", solo)
+	}
+}
+
+func TestSessionTuning(t *testing.T) {
+	s, err := NewSession(SessionConfig{
+		Tuning: Tuning{MaxSquadKernels: 10, SplitRatio: 0.75},
+		Clients: []ClientConfig{
+			{App: "vgg11", Quota: 0.5},
+			{App: "resnet50", Quota: 0.5},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SubmitAt(0, 0)
+	s.SubmitAt(1, 0)
+	if res := s.Run(); len(res.Requests) != 2 {
+		t.Errorf("tuned session completed %d requests, want 2", len(res.Requests))
+	}
+}
+
+func TestPlaceApps(t *testing.T) {
+	pl, err := PlaceApps([]ClientConfig{
+		{App: "vgg11", Quota: 0.6},
+		{App: "resnet50", Quota: 0.6},
+		{App: "bert", Quota: 0.4},
+	}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pl) != 3 {
+		t.Fatalf("placed %d apps, want 3", len(pl))
+	}
+	if pl[0] == pl[1] {
+		t.Error("two 0.6-quota apps on one GPU")
+	}
+	if _, err := PlaceApps(nil, 0); err == nil {
+		t.Error("zero GPUs accepted")
+	}
+	if _, err := PlaceApps([]ClientConfig{{App: "nope", Quota: 0.5}}, 1); err == nil {
+		t.Error("unknown app accepted")
+	}
+	if _, err := PlaceApps([]ClientConfig{
+		{App: "vgg11", Quota: 0.9}, {App: "resnet50", Quota: 0.9},
+	}, 1); err == nil {
+		t.Error("infeasible placement accepted")
+	}
+}

@@ -1,0 +1,55 @@
+// Command blessbench regenerates the paper's tables and figures on the
+// simulated testbed. Run with -list to enumerate experiment ids, -exp <id>
+// to run one (or "all"), and -quick for reduced-scale smoke runs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"bless/internal/harness"
+)
+
+func main() {
+	exp := flag.String("exp", "", "experiment id to run, or 'all'")
+	list := flag.Bool("list", false, "list experiment ids")
+	quick := flag.Bool("quick", false, "reduced-scale smoke run")
+	flag.Parse()
+
+	if *list || *exp == "" {
+		fmt.Println("available experiments:")
+		for _, e := range harness.Experiments() {
+			fmt.Printf("  %-10s %s\n", e.ID, e.Title)
+		}
+		if *exp == "" && !*list {
+			os.Exit(2)
+		}
+		return
+	}
+
+	opt := harness.Options{Quick: *quick}
+	run := func(e harness.Experiment) {
+		start := time.Now()
+		table, err := e.Run(opt)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		fmt.Println(table.Render())
+		fmt.Printf("(%s completed in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+	if *exp == "all" {
+		for _, e := range harness.Experiments() {
+			run(e)
+		}
+		return
+	}
+	e, err := harness.Lookup(*exp)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	run(e)
+}

@@ -1,0 +1,130 @@
+// Package planner implements blessd's RPC surface: simulate a multi-tenant
+// GPU deployment and report the projected outcome.
+package planner
+
+import (
+	"fmt"
+	"time"
+
+	"bless"
+)
+
+// ClientPlan describes one tenant in a planning request.
+type ClientPlan struct {
+	// App is a built-in application name (bless.Models).
+	App string
+	// Quota is the provisioned GPU fraction in (0, 1].
+	Quota float64
+	// SLOTargetMS optionally replaces the ISO pace target.
+	SLOTargetMS float64
+	// Workload selects the arrival process: "closed" (closed loop with
+	// ThinkMS think time, the default) or "burst" (Requests simultaneous
+	// arrivals at t=0).
+	Workload string
+	// ThinkMS is the closed-loop think time in milliseconds.
+	ThinkMS float64
+	// Requests bounds the number of requests (0 = until the horizon).
+	Requests int
+}
+
+// PlanRequest describes a deployment to evaluate.
+type PlanRequest struct {
+	// System selects the scheduler ("BLESS" default; see bless.System*).
+	System string
+	// Clients are the tenants.
+	Clients []ClientPlan
+	// HorizonMS bounds the simulated workload in milliseconds (default
+	// 1000).
+	HorizonMS float64
+	// GPUSMs overrides the device SM count (default 108).
+	GPUSMs int
+}
+
+// ClientOutcome is one tenant's projection.
+type ClientOutcome struct {
+	App            string
+	Quota          float64
+	Completed      int
+	MeanLatencyMS  float64
+	P99LatencyMS   float64
+	ISOLatencyMS   float64
+	MeetsISOTarget bool
+}
+
+// PlanReply is the projected outcome of a deployment.
+type PlanReply struct {
+	System      string
+	PerClient   []ClientOutcome
+	Utilization float64
+	ElapsedMS   float64
+}
+
+// Planner is the RPC receiver.
+type Planner struct{}
+
+// New returns a Planner.
+func New() *Planner { return &Planner{} }
+
+// Plan simulates the requested deployment and fills the reply.
+func (p *Planner) Plan(req PlanRequest, reply *PlanReply) error {
+	if len(req.Clients) == 0 {
+		return fmt.Errorf("planner: no clients in request")
+	}
+	horizon := time.Duration(req.HorizonMS * float64(time.Millisecond))
+	if horizon <= 0 {
+		horizon = time.Second
+	}
+
+	cfg := bless.SessionConfig{System: req.System, GPU: bless.GPUConfig{SMs: req.GPUSMs}}
+	for _, c := range req.Clients {
+		cfg.Clients = append(cfg.Clients, bless.ClientConfig{
+			App:       c.App,
+			Quota:     c.Quota,
+			SLOTarget: time.Duration(c.SLOTargetMS * float64(time.Millisecond)),
+		})
+	}
+	session, err := bless.NewSession(cfg)
+	if err != nil {
+		return err
+	}
+	for i, c := range req.Clients {
+		switch c.Workload {
+		case "", "closed":
+			think := time.Duration(c.ThinkMS * float64(time.Millisecond))
+			if err := session.SubmitClosedLoop(i, think, c.Requests, horizon); err != nil {
+				return err
+			}
+		case "burst":
+			n := c.Requests
+			if n <= 0 {
+				n = 1
+			}
+			for r := 0; r < n; r++ {
+				if err := session.SubmitAt(i, 0); err != nil {
+					return err
+				}
+			}
+		default:
+			return fmt.Errorf("planner: unknown workload %q", c.Workload)
+		}
+	}
+	res := session.Run()
+	reply.System = req.System
+	if reply.System == "" {
+		reply.System = bless.SystemBLESS
+	}
+	reply.Utilization = res.Utilization
+	reply.ElapsedMS = float64(res.Elapsed) / float64(time.Millisecond)
+	for _, cs := range res.PerClient {
+		reply.PerClient = append(reply.PerClient, ClientOutcome{
+			App:            cs.App,
+			Quota:          cs.Quota,
+			Completed:      cs.Completed,
+			MeanLatencyMS:  float64(cs.MeanLatency) / float64(time.Millisecond),
+			P99LatencyMS:   float64(cs.P99Latency) / float64(time.Millisecond),
+			ISOLatencyMS:   float64(cs.ISOLatency) / float64(time.Millisecond),
+			MeetsISOTarget: cs.MeanLatency <= cs.ISOLatency,
+		})
+	}
+	return nil
+}

@@ -1,0 +1,110 @@
+package planner
+
+import (
+	"net"
+	"net/rpc"
+	"testing"
+)
+
+func TestPlanBLESSvsStatic(t *testing.T) {
+	p := New()
+	req := PlanRequest{
+		Clients: []ClientPlan{
+			{App: "vgg11", Quota: 1.0 / 3, Workload: "burst", Requests: 1},
+			{App: "resnet50", Quota: 2.0 / 3, Workload: "burst", Requests: 1},
+		},
+		HorizonMS: 200,
+	}
+	var blessReply PlanReply
+	if err := p.Plan(req, &blessReply); err != nil {
+		t.Fatal(err)
+	}
+	req.System = "STATIC"
+	var staticReply PlanReply
+	if err := p.Plan(req, &staticReply); err != nil {
+		t.Fatal(err)
+	}
+	bAvg := (blessReply.PerClient[0].MeanLatencyMS + blessReply.PerClient[1].MeanLatencyMS) / 2
+	sAvg := (staticReply.PerClient[0].MeanLatencyMS + staticReply.PerClient[1].MeanLatencyMS) / 2
+	if bAvg >= sAvg {
+		t.Errorf("BLESS plan %.2fms not below STATIC plan %.2fms", bAvg, sAvg)
+	}
+	for _, c := range blessReply.PerClient {
+		if c.Completed != 1 {
+			t.Errorf("%s completed %d, want 1", c.App, c.Completed)
+		}
+		if c.ISOLatencyMS <= 0 {
+			t.Errorf("%s missing ISO baseline", c.App)
+		}
+	}
+}
+
+func TestPlanClosedLoop(t *testing.T) {
+	var reply PlanReply
+	err := New().Plan(PlanRequest{
+		Clients: []ClientPlan{
+			{App: "resnet50", Quota: 0.5, ThinkMS: 8.7},
+			{App: "resnet50", Quota: 0.5, ThinkMS: 8.7},
+		},
+		HorizonMS: 300,
+	}, &reply)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply.PerClient[0].Completed < 5 {
+		t.Errorf("closed loop completed only %d requests", reply.PerClient[0].Completed)
+	}
+	if reply.Utilization <= 0 {
+		t.Error("no utilization reported")
+	}
+}
+
+func TestPlanValidation(t *testing.T) {
+	var reply PlanReply
+	if err := New().Plan(PlanRequest{}, &reply); err == nil {
+		t.Error("empty request accepted")
+	}
+	err := New().Plan(PlanRequest{
+		Clients: []ClientPlan{{App: "vgg11", Quota: 0.5, Workload: "wat"}},
+	}, &reply)
+	if err == nil {
+		t.Error("unknown workload accepted")
+	}
+}
+
+func TestPlanOverRPC(t *testing.T) {
+	srv := rpc.NewServer()
+	if err := srv.RegisterName("Planner", New()); err != nil {
+		t.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go srv.Accept(l)
+
+	client, err := rpc.Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	var reply PlanReply
+	err = client.Call("Planner.Plan", PlanRequest{
+		Clients: []ClientPlan{
+			{App: "vgg11", Quota: 0.5, Workload: "burst", Requests: 2},
+			{App: "bert", Quota: 0.5, Workload: "burst", Requests: 2},
+		},
+		HorizonMS: 300,
+	}, &reply)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reply.PerClient) != 2 {
+		t.Fatalf("%d clients in reply, want 2", len(reply.PerClient))
+	}
+	if reply.PerClient[0].Completed != 2 || reply.PerClient[1].Completed != 2 {
+		t.Errorf("completions %d/%d, want 2/2", reply.PerClient[0].Completed, reply.PerClient[1].Completed)
+	}
+}

@@ -1,0 +1,45 @@
+// Command blessd serves BLESS deployment planning over net/rpc (the paper's
+// gRPC front-end substituted with the standard library): clients describe a
+// multi-tenant deployment — applications, quotas, workload — and blessd
+// simulates it under BLESS (or a baseline system) and returns the projected
+// per-client latencies, utilization, and isolated-quota baselines.
+//
+// Because the execution substrate is a virtual-time simulator, blessd is a
+// what-if planning service: a 2-second GPU workload is evaluated in
+// milliseconds, deterministically.
+//
+// Start the daemon:
+//
+//	blessd -listen :7600
+//
+// Call it (see PlanRequest/PlanReply in this package):
+//
+//	client, _ := rpc.Dial("tcp", "localhost:7600")
+//	var reply blessd.PlanReply
+//	client.Call("Planner.Plan", req, &reply)
+package main
+
+import (
+	"flag"
+	"log"
+	"net"
+	"net/rpc"
+
+	"bless/cmd/blessd/internal/planner"
+)
+
+func main() {
+	listen := flag.String("listen", ":7600", "TCP address to serve RPC on")
+	flag.Parse()
+
+	srv := rpc.NewServer()
+	if err := srv.RegisterName("Planner", planner.New()); err != nil {
+		log.Fatal(err)
+	}
+	l, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("blessd: planning service on %s", l.Addr())
+	srv.Accept(l)
+}

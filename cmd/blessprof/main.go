@@ -1,0 +1,107 @@
+// Command blessprof runs BLESS's offline profiling stage (§4.2) for one or
+// all built-in applications and prints the measured data: the isolated
+// latency T[n%] at every SM partition, per-kernel statistics, and the
+// profiling cost. With -csv, the full t[n%][k] grid is emitted as CSV for
+// external analysis.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"bless/internal/model"
+	"bless/internal/profiler"
+	"bless/internal/sim"
+)
+
+func main() {
+	app := flag.String("app", "", "application to profile (default: all)")
+	partitions := flag.Int("partitions", profiler.DefaultPartitions, "number of SM partitions N")
+	csv := flag.Bool("csv", false, "emit the per-kernel duration grid as CSV")
+	saveDir := flag.String("save", "", "directory to write <app>.profile.json files into")
+	verify := flag.String("verify", "", "load and validate a saved profile file, then exit")
+	flag.Parse()
+
+	if *verify != "" {
+		f, err := os.Open(*verify)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		p, err := profiler.Load(f)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s: valid profile, %d kernels, %d partitions\n", p.AppName, p.NumKernels(), p.Partitions)
+		return
+	}
+
+	names := model.Names()
+	if *app != "" {
+		names = []string{*app}
+	}
+	cfg := sim.DefaultConfig()
+	for _, name := range names {
+		a, err := model.Get(name)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		prof, err := profiler.ProfileApp(a, profiler.Options{Partitions: *partitions, Config: cfg})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if *saveDir != "" {
+			path := filepath.Join(*saveDir, name+".profile.json")
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			if err := prof.Save(f); err != nil {
+				f.Close()
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			f.Close()
+			fmt.Printf("wrote %s\n", path)
+			continue
+		}
+		if *csv {
+			emitCSV(prof)
+			continue
+		}
+		fmt.Printf("%s (%s): %d kernels, %.1f MB, profiling cost %.2fs\n",
+			name, a.Kind, prof.NumKernels(), float64(prof.MemoryBytes)/(1<<20),
+			float64(prof.Cost)/float64(sim.Second))
+		fmt.Printf("  isolated latency by partition:\n")
+		for p := 0; p < prof.Partitions; p++ {
+			fmt.Printf("    %3d SMs (%3.0f%%): %8.2fms\n",
+				prof.PartitionSMs[p], float64(p+1)/float64(prof.Partitions)*100,
+				prof.Iso[p].Milliseconds())
+		}
+		fmt.Println()
+	}
+}
+
+// emitCSV prints one row per kernel with durations at every partition.
+func emitCSV(p *profiler.Profile) {
+	fmt.Printf("app,kernel,compute,max_sms")
+	for _, sms := range p.PartitionSMs {
+		fmt.Printf(",t_us@%dsm", sms)
+	}
+	fmt.Println()
+	for k := range p.Kernels {
+		kp := &p.Kernels[k]
+		fmt.Printf("%s,%d,%t,%d", p.AppName, k, kp.IsCompute, kp.MaxSMs)
+		for pt := 0; pt < p.Partitions; pt++ {
+			fmt.Printf(",%.1f", kp.Dur[pt].Microseconds())
+		}
+		fmt.Println()
+	}
+}

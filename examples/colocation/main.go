@@ -1,0 +1,70 @@
+// Colocation sweeps the seven quota assignments of the paper's Table 2 over
+// a VGG11 + ResNet50 pair under medium load and prints the latency chart of
+// Fig 12: each quota split's (lat1, lat2) next to the ISO bound, under BLESS
+// and under static MPS partitioning.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"bless"
+)
+
+var quotaSplits = [][2]float64{
+	{1.0 / 3, 2.0 / 3},
+	{7.0 / 18, 11.0 / 18},
+	{4.0 / 9, 5.0 / 9},
+	{0.5, 0.5},
+	{5.0 / 9, 4.0 / 9},
+	{11.0 / 18, 7.0 / 18},
+	{2.0 / 3, 1.0 / 3},
+}
+
+func main() {
+	apps := [2]string{"vgg11", "resnet50"}
+	// Medium load: think time = 2/3 of each model's solo latency.
+	var think [2]time.Duration
+	for i, a := range apps {
+		solo, err := bless.SoloLatency(a)
+		if err != nil {
+			log.Fatal(err)
+		}
+		think[i] = solo * 2 / 3
+	}
+
+	fmt.Printf("%-12s %-8s %22s %22s\n", "quota split", "system", apps[0], apps[1])
+	for _, q := range quotaSplits {
+		for _, sys := range []string{bless.SystemStatic, bless.SystemBLESS} {
+			session, err := bless.NewSession(bless.SessionConfig{
+				System: sys,
+				Clients: []bless.ClientConfig{
+					{App: apps[0], Quota: q[0]},
+					{App: apps[1], Quota: q[1]},
+				},
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			horizon := time.Second
+			for c := 0; c < 2; c++ {
+				if err := session.SubmitClosedLoop(c, think[c], 0, horizon); err != nil {
+					log.Fatal(err)
+				}
+			}
+			res := session.Run()
+			fmt.Printf("%.2f/%.2f    %-8s", q[0], q[1], sys)
+			for _, cs := range res.PerClient {
+				mark := " "
+				if cs.MeanLatency <= cs.ISOLatency {
+					mark = "*" // inside the ISO region
+				}
+				fmt.Printf("   %8.2fms (iso %6.2f)%s",
+					float64(cs.MeanLatency)/1e6, float64(cs.ISOLatency)/1e6, mark)
+			}
+			fmt.Println()
+		}
+	}
+	fmt.Println("\n'*' marks latencies at or below the isolated-quota baseline (inside the ISO region of Fig 12)")
+}

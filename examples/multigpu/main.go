@@ -1,0 +1,80 @@
+// Multigpu demonstrates the §4.2.2 extension: a central controller places
+// eight applications across a pool of GPUs using the offline profiles'
+// memory requirements, quota sums and kernel-compatibility checks, then runs
+// each GPU's deployment under BLESS.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"bless"
+)
+
+func main() {
+	apps := []bless.ClientConfig{
+		{App: "vgg11", Quota: 0.5},
+		{App: "resnet50", Quota: 0.5},
+		{App: "resnet101", Quota: 0.4},
+		{App: "bert", Quota: 0.6},
+		{App: "nasnet", Quota: 0.5},
+		{App: "vgg11", Quota: 0.5},
+		{App: "resnet50", Quota: 0.4},
+		{App: "bert", Quota: 0.6},
+	}
+
+	const gpuCount = 4
+	placement, err := bless.PlaceApps(apps, gpuCount)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	perGPU := make([][]int, gpuCount)
+	for ai, gi := range placement {
+		perGPU[gi] = append(perGPU[gi], ai)
+	}
+	fmt.Println("placement:")
+	for gi, ais := range perGPU {
+		fmt.Printf("  gpu%d:", gi)
+		for _, ai := range ais {
+			fmt.Printf(" %s(%.0f%%)", apps[ai].App, apps[ai].Quota*100)
+		}
+		fmt.Println()
+	}
+
+	// Run each GPU's deployment under BLESS with a medium closed-loop load.
+	fmt.Println("\nper-GPU outcome under BLESS (1s of load):")
+	for gi, ais := range perGPU {
+		if len(ais) == 0 {
+			continue
+		}
+		var clients []bless.ClientConfig
+		for _, ai := range ais {
+			clients = append(clients, apps[ai])
+		}
+		session, err := bless.NewSession(bless.SessionConfig{Clients: clients})
+		if err != nil {
+			log.Fatalf("gpu%d: %v", gi, err)
+		}
+		for c, ai := range ais {
+			solo, err := bless.SoloLatency(apps[ai].App)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := session.SubmitClosedLoop(c, solo*2/3, 0, time.Second); err != nil {
+				log.Fatal(err)
+			}
+		}
+		res := session.Run()
+		fmt.Printf("  gpu%d (utilization %.0f%%):\n", gi, res.Utilization*100)
+		for _, cs := range res.PerClient {
+			mark := ""
+			if cs.MeanLatency <= cs.ISOLatency {
+				mark = "  <- beats its isolated-quota baseline"
+			}
+			fmt.Printf("    %-10s quota %.0f%%  mean %8v  iso %8v%s\n",
+				cs.App, cs.Quota*100, cs.MeanLatency.Round(10_000), cs.ISOLatency.Round(10_000), mark)
+		}
+	}
+}

@@ -1,0 +1,3 @@
+module bless
+
+go 1.22

@@ -1,0 +1,355 @@
+package baselines
+
+import (
+	"strings"
+	"testing"
+
+	"bless/internal/model"
+	"bless/internal/profiler"
+	"bless/internal/sharing"
+	"bless/internal/sim"
+)
+
+// testClients builds profiled clients from catalog names with given quotas.
+func testClients(t testing.TB, quotas []float64, names ...string) []*sharing.Client {
+	t.Helper()
+	out := make([]*sharing.Client, len(names))
+	for i, n := range names {
+		app := model.MustGet(n)
+		p, err := profiler.ProfileApp(app, profiler.Options{})
+		if err != nil {
+			t.Fatalf("profile %s: %v", n, err)
+		}
+		out[i] = &sharing.Client{ID: i, App: app, Profile: p, Quota: quotas[i]}
+	}
+	return out
+}
+
+func newEnv(clients []*sharing.Client) *sharing.Env {
+	eng := sim.NewEngine()
+	return &sharing.Env{Eng: eng, GPU: sim.NewGPU(eng, sim.DefaultConfig()), Clients: clients}
+}
+
+// runPair deploys the scheduler with two clients, submits one request per
+// client at t=0, runs to quiescence and returns the latencies.
+func runPair(t *testing.T, s sharing.Scheduler, clients []*sharing.Client) [2]sim.Time {
+	t.Helper()
+	env := newEnv(clients)
+	if err := s.Deploy(env); err != nil {
+		t.Fatalf("%s Deploy: %v", s.Name(), err)
+	}
+	var reqs [2]*sharing.Request
+	for i, c := range clients {
+		r := &sharing.Request{Client: c, Arrival: 0}
+		reqs[i] = r
+		env.Eng.Schedule(0, func() { s.Submit(r) })
+	}
+	env.Eng.Run()
+	var lats [2]sim.Time
+	for i, r := range reqs {
+		if r.Done == 0 {
+			t.Fatalf("%s: request %d never completed", s.Name(), i)
+		}
+		lats[i] = r.Latency()
+	}
+	return lats
+}
+
+func TestAllSchedulersCompleteRequests(t *testing.T) {
+	mk := []func() sharing.Scheduler{
+		func() sharing.Scheduler { return NewStatic() },
+		func() sharing.Scheduler { return NewUnbound() },
+		func() sharing.Scheduler { return NewTemporal() },
+		func() sharing.Scheduler { return NewGSlice() },
+		func() sharing.Scheduler { return NewREEFPlus() },
+	}
+	for _, f := range mk {
+		s := f()
+		clients := testClients(t, []float64{0.5, 0.5}, "vgg11", "resnet50")
+		lats := runPair(t, s, clients)
+		for i, l := range lats {
+			if l <= 0 {
+				t.Errorf("%s: request %d latency %v", s.Name(), i, l)
+			}
+		}
+	}
+}
+
+func TestStaticMatchesISOWhenAlone(t *testing.T) {
+	// STATIC with a single client IS the ISO baseline: quota-restricted,
+	// isolated execution. Latency must match the profiled T[n%] closely.
+	clients := testClients(t, []float64{0.5}, "resnet50")
+	env := newEnv(clients)
+	s := NewStatic()
+	if err := s.Deploy(env); err != nil {
+		t.Fatal(err)
+	}
+	r := &sharing.Request{Client: clients[0], Arrival: 0}
+	env.Eng.Schedule(0, func() { s.Submit(r) })
+	env.Eng.Run()
+	iso := clients[0].Profile.IsoAtQuota(0.5)
+	if diff := r.Latency() - iso; diff < -iso/50 || diff > iso/50 {
+		t.Errorf("single-client STATIC latency %v, want ISO %v +-2%%", r.Latency(), iso)
+	}
+}
+
+func TestStaticWastesBubbles(t *testing.T) {
+	// Under STATIC, a lone request cannot exceed its quota even though the
+	// rest of the GPU is idle — the defining bubble (Fig 3a).
+	clients := testClients(t, []float64{1.0 / 3, 2.0 / 3}, "vgg11", "resnet50")
+	env := newEnv(clients)
+	s := NewStatic()
+	if err := s.Deploy(env); err != nil {
+		t.Fatal(err)
+	}
+	r := &sharing.Request{Client: clients[0], Arrival: 0}
+	env.Eng.Schedule(0, func() { s.Submit(r) })
+	env.Eng.Run()
+	fullGPU := clients[0].Profile.Iso[clients[0].Profile.Partitions-1]
+	if r.Latency() < fullGPU*3/2 {
+		t.Errorf("STATIC lone request latency %v suspiciously close to full-GPU %v: quota not enforced",
+			r.Latency(), fullGPU)
+	}
+}
+
+func TestUnboundLoneRequestUsesWholeGPU(t *testing.T) {
+	clients := testClients(t, []float64{0.5, 0.5}, "resnet50", "vgg11")
+	env := newEnv(clients)
+	u := NewUnbound()
+	if err := u.Deploy(env); err != nil {
+		t.Fatal(err)
+	}
+	r := &sharing.Request{Client: clients[0], Arrival: 0}
+	env.Eng.Schedule(0, func() { u.Submit(r) })
+	env.Eng.Run()
+	fullGPU := clients[0].Profile.Iso[clients[0].Profile.Partitions-1]
+	if r.Latency() > fullGPU+fullGPU/10 {
+		t.Errorf("UNBOUND lone request latency %v, want near full-GPU %v", r.Latency(), fullGPU)
+	}
+}
+
+func TestUnboundIgnoresQuotas(t *testing.T) {
+	// Identical apps with very different quotas finish together under
+	// UNBOUND — it cannot express quotas (Fig 14's deviation).
+	clients := testClients(t, []float64{0.2, 0.8}, "resnet50", "resnet50")
+	lats := runPair(t, NewUnbound(), clients)
+	hi, lo := lats[0], lats[1]
+	if hi < lo {
+		hi, lo = lo, hi
+	}
+	if float64(hi)/float64(lo) > 1.1 {
+		t.Errorf("UNBOUND latencies %v vs %v differ by >10%% despite identical apps", lats[0], lats[1])
+	}
+}
+
+func TestTemporalSlowerThanSpatial(t *testing.T) {
+	// Serializing two always-busy clients through time slices must be slower
+	// on average than letting them share spatially.
+	ct := testClients(t, []float64{0.5, 0.5}, "vgg11", "resnet50")
+	tLats := runPair(t, NewTemporal(), ct)
+	cs := testClients(t, []float64{0.5, 0.5}, "vgg11", "resnet50")
+	sLats := runPair(t, NewStatic(), cs)
+	tAvg := (tLats[0] + tLats[1]) / 2
+	sAvg := (sLats[0] + sLats[1]) / 2
+	if tAvg <= sAvg {
+		t.Errorf("TEMPORAL avg %v not slower than STATIC avg %v", tAvg, sAvg)
+	}
+}
+
+func TestTemporalQuotaProportionalSlices(t *testing.T) {
+	// With a higher quota, the same app completes sooner under TEMPORAL.
+	clients := testClients(t, []float64{0.25, 0.75}, "resnet50", "resnet50")
+	lats := runPair(t, NewTemporal(), clients)
+	if lats[1] >= lats[0] {
+		t.Errorf("TEMPORAL: 75%%-quota client (%v) not faster than 25%%-quota client (%v)", lats[1], lats[0])
+	}
+}
+
+func TestMIGRejectsInexpressibleQuota(t *testing.T) {
+	clients := testClients(t, []float64{0.05, 0.5}, "vgg11", "resnet50")
+	env := newEnv(clients)
+	err := NewMIG().Deploy(env)
+	if err == nil || !strings.Contains(err.Error(), "cannot express") {
+		t.Errorf("MIG accepted a 5%% quota: err=%v", err)
+	}
+}
+
+func TestMIGSupportedAndSlicing(t *testing.T) {
+	if MIGSupported(0.1) {
+		t.Error("quota 0.1 reported MIG-expressible")
+	}
+	if !MIGSupported(0.5) {
+		t.Error("quota 0.5 reported inexpressible")
+	}
+	// 0.5 floors to 3 slices of 7.
+	if got := MIGQuotaSMs(0.5, 108); got != 108*3/7 {
+		t.Errorf("MIGQuotaSMs(0.5) = %d, want %d", got, 108*3/7)
+	}
+	if got := MIGQuotaSMs(1.0, 108); got != 108 {
+		t.Errorf("MIGQuotaSMs(1.0) = %d, want 108", got)
+	}
+}
+
+func TestMIGIsolationCoarseness(t *testing.T) {
+	// MIG rounds 50% down to 3/7: slower than a true 50% MPS partition.
+	cm := testClients(t, []float64{0.5, 0.5}, "resnet50", "resnet50")
+	mLats := runPair(t, NewMIG(), cm)
+	cs := testClients(t, []float64{0.5, 0.5}, "resnet50", "resnet50")
+	sLats := runPair(t, NewStatic(), cs)
+	if (mLats[0]+mLats[1])/2 <= (sLats[0]+sLats[1])/2 {
+		t.Errorf("MIG avg %v not slower than STATIC avg %v despite coarser slices",
+			(mLats[0]+mLats[1])/2, (sLats[0]+sLats[1])/2)
+	}
+}
+
+func TestGSliceAdaptationLendsIdleSMs(t *testing.T) {
+	// Client 1 stays idle; after an adaptation period, client 0's repeated
+	// requests should run faster than its bare quota would allow.
+	clients := testClients(t, []float64{0.5, 0.5}, "resnet50", "vgg11")
+	env := newEnv(clients)
+	g := NewGSlice()
+	if err := g.Deploy(env); err != nil {
+		t.Fatal(err)
+	}
+	// Burst of 12 requests at t=0: the backlog keeps client 0 busy well past
+	// the idle-grace period of the always-idle client 1, whose SMs are then
+	// lent out.
+	var last *sharing.Request
+	for i := 0; i < 12; i++ {
+		r := &sharing.Request{Client: clients[0], Seq: i, Arrival: 0}
+		env.Eng.Schedule(0, func() { g.Submit(r) })
+		last = r
+	}
+	env.Eng.Run()
+	// At the bare 50% quota the burst would take 12 x 13.9ms = 167ms;
+	// lending begins after the ~60ms grace and must finish it clearly
+	// sooner.
+	iso := clients[0].Profile.IsoAtQuota(0.5)
+	bare := 12 * iso
+	if last.Done >= bare-bare/8 {
+		t.Errorf("GSLICE burst makespan %v not meaningfully below bare-quota %v: adaptation not lending SMs",
+			last.Done, bare)
+	}
+}
+
+func TestGSliceWithoutAdaptationMatchesStatic(t *testing.T) {
+	c1 := testClients(t, []float64{0.5, 0.5}, "vgg11", "resnet50")
+	g := NewGSlice()
+	g.DisableAdaptation = true
+	gl := runPair(t, g, c1)
+	c2 := testClients(t, []float64{0.5, 0.5}, "vgg11", "resnet50")
+	sl := runPair(t, NewStatic(), c2)
+	for i := range gl {
+		if gl[i] != sl[i] {
+			t.Errorf("frozen GSLICE latency %v != STATIC %v for client %d", gl[i], sl[i], i)
+		}
+	}
+}
+
+func TestREEFIgnoresQuotasEvenPartitioning(t *testing.T) {
+	// REEF+ partitions the GPU evenly regardless of quota (the paper's MPS
+	// replacement for kernel padding), with dispatch priority for the RT
+	// client. Two identical apps with very different quotas therefore land
+	// close together — the quota inflexibility behind its Fig 14 deviation.
+	clients := testClients(t, []float64{0.7, 0.3}, "resnet50", "resnet50")
+	rp := NewREEFPlus()
+	lats := runPair(t, rp, clients)
+	if rp.RTClient() != 0 {
+		t.Fatalf("RT client = %d, want 0 (highest quota)", rp.RTClient())
+	}
+	if lats[0] > lats[1] {
+		t.Errorf("REEF+ RT latency %v above BE latency %v", lats[0], lats[1])
+	}
+	// Both run on even 54-SM partitions: near the 50%-quota ISO, far from
+	// what a 70/30 split would produce.
+	isoHalf := clients[0].Profile.IsoAtQuota(0.5)
+	for i, l := range lats {
+		if l > isoHalf+isoHalf/4 {
+			t.Errorf("REEF+ client %d latency %v far above even-partition ISO %v", i, l, isoHalf)
+		}
+	}
+}
+
+func TestZicoCoordinatesIterations(t *testing.T) {
+	clients := testClients(t, []float64{0.5, 0.5}, "resnet50-train", "vgg11-train")
+	env := newEnv(clients)
+	z := NewZico()
+	if err := z.Deploy(env); err != nil {
+		t.Fatal(err)
+	}
+	var reqs []*sharing.Request
+	for seq := 0; seq < 3; seq++ {
+		for _, c := range clients {
+			r := &sharing.Request{Client: c, Seq: seq, Arrival: 0}
+			reqs = append(reqs, r)
+			env.Eng.Schedule(0, func() { z.Submit(r) })
+		}
+	}
+	env.Eng.Run()
+	for _, r := range reqs {
+		if r.Done == 0 {
+			t.Fatalf("ZICO: %s iteration %d never completed", r.Client.App.Name, r.Seq)
+		}
+	}
+	if !env.GPU.Quiescent() {
+		t.Error("device not quiescent after ZICO drain")
+	}
+}
+
+func TestZicoRequiresTwoClients(t *testing.T) {
+	clients := testClients(t, []float64{0.4, 0.3, 0.3}, "vgg11-train", "resnet50-train", "vgg11-train")
+	env := newEnv(clients)
+	if err := NewZico().Deploy(env); err == nil {
+		t.Error("ZICO accepted 3 clients")
+	}
+}
+
+func TestDeployRejectsOversubscribedMemory(t *testing.T) {
+	clients := testClients(t, []float64{0.5, 0.5}, "vgg11", "resnet50")
+	eng := sim.NewEngine()
+	cfg := sim.DefaultConfig()
+	cfg.MemoryBytes = 1 << 30
+	env := &sharing.Env{Eng: eng, GPU: sim.NewGPU(eng, cfg), Clients: clients}
+	for _, s := range []sharing.Scheduler{NewStatic(), NewUnbound(), NewTemporal(), NewGSlice()} {
+		if err := s.Deploy(env); err == nil {
+			t.Errorf("%s accepted an over-memory deployment", s.Name())
+		}
+		// Fresh env per scheduler: partial allocations may have landed.
+		eng = sim.NewEngine()
+		env = &sharing.Env{Eng: eng, GPU: sim.NewGPU(eng, cfg), Clients: clients}
+	}
+}
+
+func TestDeployFailureReleasesMemory(t *testing.T) {
+	clients := testClients(t, []float64{0.5, 0.5}, "vgg11", "resnet50")
+	eng := sim.NewEngine()
+	cfg := sim.DefaultConfig()
+	// Room for the first app + context but not the second app.
+	cfg.MemoryBytes = clients[0].App.MemoryBytes + cfg.ContextMemBytes + 100<<20
+	env := &sharing.Env{Eng: eng, GPU: sim.NewGPU(eng, cfg), Clients: clients}
+	if err := NewStatic().Deploy(env); err == nil {
+		t.Fatal("over-memory deployment accepted")
+	}
+	if used := env.GPU.MemUsed(); used != 0 {
+		t.Errorf("failed deployment left %d bytes reserved", used)
+	}
+}
+
+func TestSchedulerNames(t *testing.T) {
+	for _, c := range []struct {
+		s    sharing.Scheduler
+		want string
+	}{
+		{NewStatic(), "STATIC"},
+		{NewUnbound(), "UNBOUND"},
+		{NewTemporal(), "TEMPORAL"},
+		{NewMIG(), "MIG"},
+		{NewGSlice(), "GSLICE"},
+		{NewREEFPlus(), "REEF+"},
+		{NewZico(), "ZICO"},
+	} {
+		if got := c.s.Name(); got != c.want {
+			t.Errorf("Name() = %q, want %q", got, c.want)
+		}
+	}
+}

@@ -1,0 +1,82 @@
+// Package baselines implements the GPU-sharing systems BLESS is evaluated
+// against (§6.1): STATIC quota isolation, TEMPORAL round-robin time slicing,
+// MIG hardware partitioning, GSLICE adaptive MPS spatial sharing, UNBOUND
+// hardware-scheduler sharing, REEF+ biased sharing with even spatial
+// partitioning, and ZICO coordinated training sharing. All implement
+// sharing.Scheduler and run on the same simulated device as BLESS, so every
+// experiment compares scheduling policy like for like.
+package baselines
+
+import (
+	"fmt"
+
+	"bless/internal/sharing"
+	"bless/internal/sim"
+)
+
+// clientQueues is the common per-client device state for wholesale-launching
+// baselines: one context, one queue, a FIFO of requests.
+type clientQueues struct {
+	c   *sharing.Client
+	ctx *sim.Context
+	q   *sim.Queue
+}
+
+// deployPerClient reserves application memory and creates one context+queue
+// per client with the SM limit chosen by limitFor. On failure, memory
+// reserved for earlier clients is released so a rejected deployment leaves
+// the device clean.
+func deployPerClient(env *sharing.Env, sys string, limitFor func(c *sharing.Client) int, isolated bool, prioFor func(c *sharing.Client) int) ([]*clientQueues, error) {
+	out := make([]*clientQueues, len(env.Clients))
+	var reserved int64
+	fail := func(c *sharing.Client, err error) ([]*clientQueues, error) {
+		env.GPU.FreeMemory(reserved)
+		return nil, fmt.Errorf("baselines: %s deploying %q: %w", sys, c.App.Name, err)
+	}
+	for i, c := range env.Clients {
+		if err := env.GPU.AllocMemory(c.App.MemoryBytes); err != nil {
+			return fail(c, err)
+		}
+		reserved += c.App.MemoryBytes
+		prio := 0
+		if prioFor != nil {
+			prio = prioFor(c)
+		}
+		ctx, err := env.GPU.NewContext(sim.ContextOptions{
+			SMLimit:  limitFor(c),
+			Isolated: isolated,
+			Priority: prio,
+			Label:    fmt.Sprintf("%s/%s", sys, c.App.Name),
+		})
+		if err != nil {
+			return fail(c, err)
+		}
+		reserved += env.GPU.Config().ContextMemBytes
+		out[i] = &clientQueues{c: c, ctx: ctx, q: ctx.NewQueue(c.App.Name)}
+	}
+	return out, nil
+}
+
+// launchWholesale submits every kernel of the request asynchronously into the
+// client's queue — the request-granularity launching of static, unbounded and
+// MIG sharing (§3.2): once a request arrives, all its kernels enter the
+// device queue and the host loses control of them. env.Complete fires when
+// the last kernel retires; then, if non-nil, runs after it (schedulers use it
+// for their own bookkeeping).
+func launchWholesale(env *sharing.Env, host *sim.Host, cq *clientQueues, r *sharing.Request, then func()) {
+	app := r.Client.App
+	last := app.NumKernels() - 1
+	for i := range app.Kernels {
+		i := i
+		var onDone func(sim.Time)
+		if i == last {
+			onDone = func(sim.Time) {
+				env.Complete(r)
+				if then != nil {
+					then()
+				}
+			}
+		}
+		host.Launch(cq.q, &app.Kernels[i], onDone)
+	}
+}

@@ -1,0 +1,166 @@
+package baselines
+
+import (
+	"bless/internal/sharing"
+	"bless/internal/sim"
+)
+
+// DefaultAdaptInterval is GSLICE's reallocation period.
+const DefaultAdaptInterval = 20 * sim.Millisecond
+
+// GSlice models GSLICE (Dhakal et al., SoCC '20; §6.1): inference clients
+// spatially share the GPU through MPS contexts sized by quota, and an
+// adaptive controller periodically rebalances SM allocations when workload
+// changes — idle clients' SMs are lent to backlogged ones, proportional to
+// quota, and returned when they become active again. Re-restricting a
+// client's context costs the MPS context-switch vacuum. Between adaptation
+// points the allocation is static, so sub-interval bubbles (and the
+// interference of co-located kernels on shared bandwidth) remain — the gap
+// BLESS closes (Fig 13).
+type GSlice struct {
+	// AdaptInterval overrides the reallocation period (default 20ms).
+	AdaptInterval sim.Time
+	// DisableAdaptation freezes allocations at quota (for ablations).
+	DisableAdaptation bool
+
+	env       *sharing.Env
+	host      *sim.Host
+	clients   []*clientQueues
+	limits    []int
+	idleSince []sim.Time
+	armed     bool
+}
+
+// idleGrace is how long a client must stay idle before its SMs are lent out;
+// real GSLICE reacts to sustained workload changes, not per-request gaps.
+const idleGrace = 3 * DefaultAdaptInterval
+
+// NewGSlice returns a GSLICE scheduler.
+func NewGSlice() *GSlice { return &GSlice{} }
+
+// Name implements sharing.Scheduler.
+func (g *GSlice) Name() string { return "GSLICE" }
+
+// Deploy implements sharing.Scheduler.
+func (g *GSlice) Deploy(env *sharing.Env) error {
+	if err := sharing.ValidateDeployment(env, false); err != nil {
+		return err
+	}
+	cqs, err := deployPerClient(env, "gslice", func(c *sharing.Client) int {
+		return c.QuotaSMs(env.GPU.Config().SMs)
+	}, false, nil)
+	if err != nil {
+		return err
+	}
+	if g.AdaptInterval <= 0 {
+		g.AdaptInterval = DefaultAdaptInterval
+	}
+	g.env, g.host, g.clients = env, sim.NewHost(env.GPU), cqs
+	g.limits = make([]int, len(cqs))
+	g.idleSince = make([]sim.Time, len(cqs))
+	for i, cq := range cqs {
+		g.limits[i] = cq.ctx.SMLimit
+		g.idleSince[i] = -1
+	}
+	return nil
+}
+
+// Submit implements sharing.Scheduler.
+func (g *GSlice) Submit(r *sharing.Request) {
+	id := r.Client.ID
+	g.idleSince[id] = -1
+	// A client whose SMs were lent out gets its quota back immediately on
+	// new work (one context-switch vacuum), so lending penalizes it by at
+	// most that vacuum plus shared-bandwidth interference.
+	if quota := g.clients[id].c.QuotaSMs(g.env.GPU.Config().SMs); g.limits[id] < quota {
+		g.setLimit(id, quota)
+	}
+	launchWholesale(g.env, g.host, g.clients[id], r, nil)
+	g.arm()
+}
+
+// setLimit re-restricts a client's context, charging the vacuum.
+func (g *GSlice) setLimit(id, want int) {
+	if g.limits[id] == want {
+		return
+	}
+	g.limits[id] = want
+	cq := g.clients[id]
+	cq.q.Pause()
+	if err := cq.ctx.SetSMLimit(want); err != nil {
+		panic(err) // wants are clamped by callers; unreachable
+	}
+	g.env.Eng.After(g.env.GPU.Config().ContextSwitch, cq.q.Resume)
+}
+
+// arm starts the adaptation timer if it is not already running. The timer
+// disarms itself once all clients are idle and allocations are back at their
+// quotas, so a drained simulation terminates.
+func (g *GSlice) arm() {
+	if g.armed || g.DisableAdaptation {
+		return
+	}
+	g.armed = true
+	g.env.Eng.After(g.AdaptInterval, func() {
+		g.armed = false
+		g.adapt()
+		for i, cq := range g.clients {
+			if !cq.q.Idle() || g.limits[i] != cq.c.QuotaSMs(g.env.GPU.Config().SMs) {
+				g.arm()
+				return
+			}
+		}
+	})
+}
+
+// adapt rebalances SM limits: clients idle past the grace period shrink to a
+// minimal placeholder partition; their SMs are redistributed to backlogged
+// clients proportional to quota. Changing a client's restriction pauses its
+// queue for the context-switch vacuum.
+func (g *GSlice) adapt() {
+	deviceSMs := g.env.GPU.Config().SMs
+	now := g.env.Eng.Now()
+	lendable := make([]bool, len(g.clients))
+	busyQuota := 0.0
+	nLend := 0
+	for i, cq := range g.clients {
+		if cq.q.Idle() {
+			if g.idleSince[i] < 0 {
+				g.idleSince[i] = now
+			}
+			if now-g.idleSince[i] >= idleGrace {
+				lendable[i] = true
+				nLend++
+				continue
+			}
+		} else {
+			g.idleSince[i] = -1
+		}
+		busyQuota += cq.c.Quota
+	}
+	minSMs := deviceSMs / 18 // one partition placeholder for lenders
+	if minSMs < 1 {
+		minSMs = 1
+	}
+	spare := deviceSMs - nLend*minSMs
+	for i, cq := range g.clients {
+		var want int
+		switch {
+		case busyQuota == 0:
+			// Nobody has work: everyone returns to quota (and the timer can
+			// disarm).
+			want = cq.c.QuotaSMs(deviceSMs)
+		case lendable[i]:
+			want = minSMs
+		default:
+			want = int(cq.c.Quota / busyQuota * float64(spare))
+			if q := cq.c.QuotaSMs(deviceSMs); want < q {
+				want = q // never below the provisioned quota
+			}
+			if want > deviceSMs {
+				want = deviceSMs
+			}
+		}
+		g.setLimit(i, want)
+	}
+}

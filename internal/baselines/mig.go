@@ -1,0 +1,79 @@
+package baselines
+
+import (
+	"fmt"
+	"math"
+
+	"bless/internal/sharing"
+	"bless/internal/sim"
+)
+
+// MIGSlices is the number of hardware slices an A100 exposes (7 GPU slices:
+// 1g/2g/3g/4g/7g profiles compose from them).
+const MIGSlices = 7
+
+// MIG models Nvidia Multi-Instance GPU (§3.2): quotas are rounded DOWN to
+// whole hardware slices (sevenths of the device) and each client's instance
+// is fully isolated — private SMs and a private memory-bandwidth slice, so
+// co-located clients never interfere. The cost is coarse granularity: a 7/18
+// quota becomes 2/7 of the GPU, and quotas below one slice are undeployable —
+// the paper's "MIG fails to provide such diverse quota configurations"
+// (Fig 14).
+type MIG struct {
+	env     *sharing.Env
+	host    *sim.Host
+	clients []*clientQueues
+}
+
+// NewMIG returns a MIG scheduler.
+func NewMIG() *MIG { return &MIG{} }
+
+// Name implements sharing.Scheduler.
+func (m *MIG) Name() string { return "MIG" }
+
+// MIGSupported reports whether a quota is expressible as a non-zero number
+// of hardware slices.
+func MIGSupported(quota float64) bool {
+	return int(math.Floor(quota*MIGSlices+1e-9)) >= 1
+}
+
+// MIGQuotaSMs returns the SM count of the instance a quota maps to.
+func MIGQuotaSMs(quota float64, deviceSMs int) int {
+	slices := int(math.Floor(quota*MIGSlices + 1e-9))
+	if slices > MIGSlices {
+		slices = MIGSlices
+	}
+	return deviceSMs * slices / MIGSlices
+}
+
+// Deploy implements sharing.Scheduler. It fails for quota sets MIG cannot
+// express (any quota below one slice, or slice demand exceeding the device).
+func (m *MIG) Deploy(env *sharing.Env) error {
+	if err := sharing.ValidateDeployment(env, false); err != nil {
+		return err
+	}
+	total := 0
+	for _, c := range env.Clients {
+		if !MIGSupported(c.Quota) {
+			return fmt.Errorf("baselines: MIG cannot express quota %.3f for %q (below one of %d slices)",
+				c.Quota, c.App.Name, MIGSlices)
+		}
+		total += int(math.Floor(c.Quota*MIGSlices + 1e-9))
+	}
+	if total > MIGSlices {
+		return fmt.Errorf("baselines: MIG slice demand %d exceeds %d", total, MIGSlices)
+	}
+	cqs, err := deployPerClient(env, "mig", func(c *sharing.Client) int {
+		return MIGQuotaSMs(c.Quota, env.GPU.Config().SMs)
+	}, true /* isolated bandwidth */, nil)
+	if err != nil {
+		return err
+	}
+	m.env, m.host, m.clients = env, sim.NewHost(env.GPU), cqs
+	return nil
+}
+
+// Submit implements sharing.Scheduler.
+func (m *MIG) Submit(r *sharing.Request) {
+	launchWholesale(m.env, m.host, m.clients[r.Client.ID], r, nil)
+}

@@ -1,0 +1,71 @@
+package baselines
+
+import (
+	"bless/internal/sharing"
+	"bless/internal/sim"
+)
+
+// REEFPlus models REEF+ (§6.1): the paper's strengthened variant of REEF
+// (Han et al., OSDI '22) where dynamic kernel padding is replaced by MPS even
+// spatial partitioning. One client is the real-time (RT) task — here the
+// highest-quota client, ties broken by lowest ID — and launches its kernels
+// into a high-priority unrestricted context that the hardware serves first
+// (REEF's microsecond-scale preemption). Best-effort (BE) clients fill the
+// GPU through even MPS partitions. The RT task's latency is excellent; BE
+// tasks pay for it — biased sharing (Fig 3c), with large deviation under
+// uneven quota assignments (Fig 14).
+type REEFPlus struct {
+	env     *sharing.Env
+	host    *sim.Host
+	clients []*clientQueues
+	rt      int
+}
+
+// NewREEFPlus returns a REEF+ scheduler.
+func NewREEFPlus() *REEFPlus { return &REEFPlus{} }
+
+// Name implements sharing.Scheduler.
+func (rp *REEFPlus) Name() string { return "REEF+" }
+
+// RTClient returns the client ID designated real-time; valid after Deploy.
+func (rp *REEFPlus) RTClient() int { return rp.rt }
+
+// Deploy implements sharing.Scheduler.
+func (rp *REEFPlus) Deploy(env *sharing.Env) error {
+	if err := sharing.ValidateDeployment(env, false); err != nil {
+		return err
+	}
+	rp.rt = 0
+	for i, c := range env.Clients {
+		if c.Quota > env.Clients[rp.rt].Quota {
+			rp.rt = i
+		}
+	}
+	// Even spatial partitioning for every client (the MPS replacement for
+	// REEF's dynamic kernel padding); the RT client's context additionally
+	// dispatches with priority, so its kernels never wait on BE occupancy —
+	// REEF's microsecond-scale preemption at launch granularity.
+	evenShare := env.GPU.Config().SMs / len(env.Clients)
+	if evenShare < 1 {
+		evenShare = 1
+	}
+	cqs, err := deployPerClient(env, "reef",
+		func(*sharing.Client) int { return evenShare },
+		false,
+		func(c *sharing.Client) int {
+			if c.ID == rp.rt {
+				return 1 // RT preempts
+			}
+			return 0
+		})
+	if err != nil {
+		return err
+	}
+	rp.env, rp.host, rp.clients = env, sim.NewHost(env.GPU), cqs
+	return nil
+}
+
+// Submit implements sharing.Scheduler.
+func (rp *REEFPlus) Submit(r *sharing.Request) {
+	launchWholesale(rp.env, rp.host, rp.clients[r.Client.ID], r, nil)
+}

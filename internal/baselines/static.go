@@ -1,0 +1,47 @@
+package baselines
+
+import (
+	"bless/internal/sharing"
+	"bless/internal/sim"
+)
+
+// Static is the STATIC/ISO sharing scheme (§3.2): each client receives a
+// fixed MPS context restricted to its quota's SM count for its whole
+// lifetime, and requests are launched wholesale. Unused SMs of one client are
+// never lent to another — the scheme that produces the GPU bubbles of
+// Fig 3(a).
+//
+// Run with a single deployed client, Static is exactly the paper's ISO
+// baseline: the application provisioned its SM quota, running isolatedly
+// under MPS.
+type Static struct {
+	env     *sharing.Env
+	host    *sim.Host
+	clients []*clientQueues
+}
+
+// NewStatic returns a STATIC scheduler.
+func NewStatic() *Static { return &Static{} }
+
+// Name implements sharing.Scheduler.
+func (s *Static) Name() string { return "STATIC" }
+
+// Deploy implements sharing.Scheduler.
+func (s *Static) Deploy(env *sharing.Env) error {
+	if err := sharing.ValidateDeployment(env, false); err != nil {
+		return err
+	}
+	cqs, err := deployPerClient(env, "static", func(c *sharing.Client) int {
+		return c.QuotaSMs(env.GPU.Config().SMs)
+	}, false, nil)
+	if err != nil {
+		return err
+	}
+	s.env, s.host, s.clients = env, sim.NewHost(env.GPU), cqs
+	return nil
+}
+
+// Submit implements sharing.Scheduler.
+func (s *Static) Submit(r *sharing.Request) {
+	launchWholesale(s.env, s.host, s.clients[r.Client.ID], r, nil)
+}

@@ -1,0 +1,112 @@
+package baselines
+
+import (
+	"bless/internal/sharing"
+	"bless/internal/sim"
+)
+
+// DefaultRoundLen is the TEMPORAL scheduler's rotation period: each client
+// receives RoundLen x quota of exclusive GPU time per round, the ms-scale
+// slicing of cGPU-style temporal sharing systems.
+const DefaultRoundLen = 10 * sim.Millisecond
+
+// Temporal is the TEMPORAL scheme (§6.1): clients take round-robin time
+// slices proportional to their quotas, each using the whole GPU during its
+// slice, with a full context switch between slices. Kernels are
+// un-preemptable, so a slice can overrun by one kernel. Bubbles appear
+// whenever the active client cannot fill its slice while others wait —
+// the worst utilization of the compared schemes (Fig 13/14).
+type Temporal struct {
+	// RoundLen overrides the rotation period (default DefaultRoundLen).
+	RoundLen sim.Time
+
+	env     *sharing.Env
+	host    *sim.Host
+	clients []*clientQueues
+
+	// outstanding counts unfinished requests per client; queue emptiness is
+	// not enough because launched kernels arrive a launch-latency later.
+	outstanding []int
+	cur         int
+	rotating    bool
+	sliceEnd    *sim.Event
+}
+
+// NewTemporal returns a TEMPORAL scheduler.
+func NewTemporal() *Temporal { return &Temporal{} }
+
+// Name implements sharing.Scheduler.
+func (t *Temporal) Name() string { return "TEMPORAL" }
+
+// Deploy implements sharing.Scheduler.
+func (t *Temporal) Deploy(env *sharing.Env) error {
+	if err := sharing.ValidateDeployment(env, false); err != nil {
+		return err
+	}
+	// Every client runs unrestricted during its own slice.
+	cqs, err := deployPerClient(env, "temporal", func(*sharing.Client) int { return 0 }, false, nil)
+	if err != nil {
+		return err
+	}
+	for _, cq := range cqs {
+		cq.q.Pause() // nobody owns the GPU yet
+	}
+	if t.RoundLen <= 0 {
+		t.RoundLen = DefaultRoundLen
+	}
+	t.env, t.host, t.clients = env, sim.NewHost(env.GPU), cqs
+	t.outstanding = make([]int, len(cqs))
+	t.cur = -1
+	return nil
+}
+
+// Submit implements sharing.Scheduler.
+func (t *Temporal) Submit(r *sharing.Request) {
+	id := r.Client.ID
+	t.outstanding[id]++
+	launchWholesale(t.env, t.host, t.clients[id], r, func() {
+		t.outstanding[id]--
+	})
+	if !t.rotating {
+		t.rotating = true
+		t.advance(0)
+	}
+}
+
+// advance hands the GPU to the next client in strict rotation, after the
+// context-switch delay. The rotation is NOT work-conserving: an idle
+// client's slice burns unused, exactly the temporal-sharing bubbles of
+// Fig 1(a) — cGPU-style schedulers cannot reassign reserved time slices.
+// Rotation stops only when no client has outstanding work at all.
+func (t *Temporal) advance(delay sim.Time) {
+	if t.sliceEnd != nil {
+		t.sliceEnd.Cancel()
+		t.sliceEnd = nil
+	}
+	any := false
+	for i := range t.clients {
+		if t.outstanding[i] > 0 {
+			any = true
+			break
+		}
+	}
+	if !any {
+		t.rotating = false
+		t.cur = -1
+		return
+	}
+	next := (t.cur + 1) % len(t.clients)
+	t.env.Eng.After(delay, func() {
+		t.cur = next
+		cq := t.clients[next]
+		cq.q.Resume()
+		slice := sim.Time(float64(t.RoundLen) * cq.c.Quota)
+		if slice < sim.Millisecond {
+			slice = sim.Millisecond
+		}
+		t.sliceEnd = t.env.Eng.After(slice, func() {
+			cq.q.Pause()
+			t.advance(t.env.GPU.Config().ContextSwitch)
+		})
+	})
+}

@@ -1,0 +1,42 @@
+package baselines
+
+import (
+	"bless/internal/sharing"
+	"bless/internal/sim"
+)
+
+// Unbound is the UNBOUND scheme (§3.2, §6.1): every client gets an
+// unrestricted MPS context (or CUDA stream) and the hardware scheduler
+// multiplexes the whole GPU. Utilization is high but kernel execution is
+// interfered and uncontrolled: latencies are neither predictable nor aligned
+// with quotas (UNBOUND cannot express uneven quota assignments at all — the
+// large deviations of Fig 14).
+type Unbound struct {
+	env     *sharing.Env
+	host    *sim.Host
+	clients []*clientQueues
+}
+
+// NewUnbound returns an UNBOUND scheduler.
+func NewUnbound() *Unbound { return &Unbound{} }
+
+// Name implements sharing.Scheduler.
+func (u *Unbound) Name() string { return "UNBOUND" }
+
+// Deploy implements sharing.Scheduler.
+func (u *Unbound) Deploy(env *sharing.Env) error {
+	if err := sharing.ValidateDeployment(env, false); err != nil {
+		return err
+	}
+	cqs, err := deployPerClient(env, "unbound", func(*sharing.Client) int { return 0 }, false, nil)
+	if err != nil {
+		return err
+	}
+	u.env, u.host, u.clients = env, sim.NewHost(env.GPU), cqs
+	return nil
+}
+
+// Submit implements sharing.Scheduler.
+func (u *Unbound) Submit(r *sharing.Request) {
+	launchWholesale(u.env, u.host, u.clients[r.Client.ID], r, nil)
+}

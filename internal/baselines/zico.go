@@ -1,0 +1,103 @@
+package baselines
+
+import (
+	"fmt"
+
+	"bless/internal/sharing"
+	"bless/internal/sim"
+)
+
+// Zico models ZICO (Lim et al., ATC '21; §6.1): two training jobs share the
+// GPU unboundedly, but iteration starts are coordinated tick-tock so the
+// forward pass of one job overlaps the backward pass of the other, bounding
+// the combined memory footprint. A job's next iteration may begin only once
+// its peer's in-flight iteration has passed its midpoint (the
+// forward/backward boundary). The coordination leaves bubbles whenever the
+// phases drift (Fig 18b) — which BLESS's squad scheduling can reclaim.
+type Zico struct {
+	env     *sharing.Env
+	host    *sim.Host
+	clients []*clientQueues
+
+	pending  [][]*sharing.Request
+	inflight []bool
+	progress []int
+}
+
+// NewZico returns a ZICO scheduler.
+func NewZico() *Zico { return &Zico{} }
+
+// Name implements sharing.Scheduler.
+func (z *Zico) Name() string { return "ZICO" }
+
+// Deploy implements sharing.Scheduler; ZICO coordinates exactly two training
+// jobs.
+func (z *Zico) Deploy(env *sharing.Env) error {
+	if err := sharing.ValidateDeployment(env, false); err != nil {
+		return err
+	}
+	if len(env.Clients) != 2 {
+		return fmt.Errorf("baselines: ZICO coordinates exactly 2 training jobs, got %d", len(env.Clients))
+	}
+	cqs, err := deployPerClient(env, "zico", func(*sharing.Client) int { return 0 }, false, nil)
+	if err != nil {
+		return err
+	}
+	z.env, z.host, z.clients = env, sim.NewHost(env.GPU), cqs
+	z.pending = make([][]*sharing.Request, 2)
+	z.inflight = make([]bool, 2)
+	z.progress = make([]int, 2)
+	return nil
+}
+
+// Submit implements sharing.Scheduler.
+func (z *Zico) Submit(r *sharing.Request) {
+	id := r.Client.ID
+	z.pending[id] = append(z.pending[id], r)
+	z.tryStart(id)
+}
+
+// canStart reports whether client id's next iteration may begin: its peer is
+// either idle or past the midpoint of its own iteration.
+func (z *Zico) canStart(id int) bool {
+	if z.inflight[id] || len(z.pending[id]) == 0 {
+		return false
+	}
+	peer := 1 - id
+	if !z.inflight[peer] {
+		return true
+	}
+	half := z.clients[peer].c.App.NumKernels() / 2
+	return z.progress[peer] >= half
+}
+
+// tryStart launches client id's next iteration if coordination allows.
+func (z *Zico) tryStart(id int) {
+	if !z.canStart(id) {
+		return
+	}
+	r := z.pending[id][0]
+	z.pending[id] = z.pending[id][1:]
+	z.inflight[id] = true
+	z.progress[id] = 0
+
+	app := r.Client.App
+	half := app.NumKernels() / 2
+	last := app.NumKernels() - 1
+	for i := range app.Kernels {
+		i := i
+		z.host.Launch(z.clients[id].q, &app.Kernels[i], func(sim.Time) {
+			z.progress[id]++
+			if z.progress[id] == half {
+				// Peer's forward pass may now overlap our backward pass.
+				z.tryStart(1 - id)
+			}
+			if i == last {
+				z.inflight[id] = false
+				z.env.Complete(r)
+				z.tryStart(id)
+				z.tryStart(1 - id)
+			}
+		})
+	}
+}

@@ -1,0 +1,164 @@
+// Package cluster extends BLESS across a pool of GPUs (§4.2.2): the runtime
+// components (scheduler, determiner, kernel manager) are replicated per
+// device, and a central controller places applications onto devices using
+// the offline profiles' memory requirements and kernel statistics, then
+// routes each request to its application's host GPU.
+//
+// All devices share one simulation engine, so a cluster run remains a single
+// deterministic virtual-time simulation.
+package cluster
+
+import (
+	"fmt"
+
+	"bless/internal/core"
+	"bless/internal/sharing"
+	"bless/internal/sim"
+)
+
+// Config assembles a cluster.
+type Config struct {
+	// GPUs is the device count (identical devices).
+	GPUs int
+	// GPU is the per-device configuration (zero = DefaultConfig).
+	GPU sim.Config
+	// Runtime tunes the per-device BLESS runtimes.
+	Runtime core.Options
+}
+
+// Cluster is a deployed multi-GPU BLESS installation.
+type Cluster struct {
+	eng      *sim.Engine
+	devices  []*device
+	appHost  []int // app index -> device index
+	appLocal []int // app index -> client ID on its device
+}
+
+type device struct {
+	gpu   *sim.GPU
+	env   *sharing.Env
+	rt    *core.Runtime
+	appOf []int // device-local client ID -> cluster app index
+}
+
+// Deploy places the applications across the pool with the §4.2.2 controller
+// and deploys a BLESS runtime per device. The returned cluster shares the
+// given engine; pass a fresh one per simulation.
+func Deploy(eng *sim.Engine, clients []*sharing.Client, cfg Config) (*Cluster, error) {
+	if eng == nil {
+		return nil, fmt.Errorf("cluster: nil engine")
+	}
+	if cfg.GPUs < 1 {
+		return nil, fmt.Errorf("cluster: need at least one GPU")
+	}
+	gpuCfg := cfg.GPU
+	if gpuCfg.SMs == 0 {
+		gpuCfg = sim.DefaultConfig()
+	}
+
+	// Central placement.
+	pas := make([]core.PlacementApp, len(clients))
+	for i, c := range clients {
+		if c.Profile == nil {
+			return nil, fmt.Errorf("cluster: client %d has no profile", i)
+		}
+		pas[i] = core.PlacementApp{Name: c.App.Name, Profile: c.Profile, Quota: c.Quota}
+	}
+	gpus := make([]core.PlacementGPU, cfg.GPUs)
+	for i := range gpus {
+		gpus[i] = core.PlacementGPU{ID: fmt.Sprintf("gpu%d", i), Config: gpuCfg}
+	}
+	placement, err := core.Place(pas, gpus, core.PlacementOptions{})
+	if err != nil {
+		return nil, err
+	}
+
+	cl := &Cluster{
+		eng:      eng,
+		devices:  make([]*device, cfg.GPUs),
+		appHost:  make([]int, len(clients)),
+		appLocal: make([]int, len(clients)),
+	}
+
+	// Group clients per device, re-numbering IDs locally (sharing requires
+	// dense per-deployment IDs).
+	perGPU := make([][]int, cfg.GPUs)
+	for ai, gi := range placement {
+		cl.appHost[ai] = gi
+		cl.appLocal[ai] = len(perGPU[gi])
+		perGPU[gi] = append(perGPU[gi], ai)
+	}
+
+	for gi := 0; gi < cfg.GPUs; gi++ {
+		gpu := sim.NewGPU(eng, gpuCfg)
+		locals := make([]*sharing.Client, len(perGPU[gi]))
+		for li, ai := range perGPU[gi] {
+			src := clients[ai]
+			locals[li] = &sharing.Client{
+				ID:        li,
+				App:       src.App,
+				Profile:   src.Profile,
+				Quota:     src.Quota,
+				SLOTarget: src.SLOTarget,
+			}
+		}
+		env := &sharing.Env{Eng: eng, GPU: gpu, Clients: locals}
+		rt := core.New(cfg.Runtime)
+		if len(locals) > 0 {
+			if err := rt.Deploy(env); err != nil {
+				return nil, fmt.Errorf("cluster: gpu%d: %w", gi, err)
+			}
+		}
+		cl.devices[gi] = &device{gpu: gpu, env: env, rt: rt, appOf: perGPU[gi]}
+	}
+	return cl, nil
+}
+
+// Host returns the device index hosting the application.
+func (cl *Cluster) Host(app int) int { return cl.appHost[app] }
+
+// Devices returns the device count.
+func (cl *Cluster) Devices() int { return len(cl.devices) }
+
+// OnComplete registers the completion observer for every device; app is the
+// cluster-level application index.
+func (cl *Cluster) OnComplete(fn func(app int, r *sharing.Request)) {
+	for _, d := range cl.devices {
+		d := d
+		d.env.OnComplete = func(r *sharing.Request) {
+			fn(d.appOf[r.Client.ID], r)
+		}
+	}
+}
+
+// Submit routes one request for the application to its host device at the
+// current virtual time, returning the request handle.
+func (cl *Cluster) Submit(app, seq int) (*sharing.Request, error) {
+	if app < 0 || app >= len(cl.appHost) {
+		return nil, fmt.Errorf("cluster: app index %d out of range", app)
+	}
+	d := cl.devices[cl.appHost[app]]
+	local := d.env.Clients[cl.appLocal[app]]
+	r := &sharing.Request{Client: local, Seq: seq, Arrival: cl.eng.Now()}
+	d.rt.Submit(r)
+	return r, nil
+}
+
+// Utilization returns each device's average SM utilization.
+func (cl *Cluster) Utilization() []float64 {
+	out := make([]float64, len(cl.devices))
+	for i, d := range cl.devices {
+		out[i] = d.gpu.Utilization()
+	}
+	return out
+}
+
+// Quiescent reports whether every device has drained.
+func (cl *Cluster) Quiescent() bool {
+	for _, d := range cl.devices {
+		if !d.gpu.Quiescent() {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,171 @@
+package cluster
+
+import (
+	"testing"
+
+	"bless/internal/model"
+	"bless/internal/profiler"
+	"bless/internal/sharing"
+	"bless/internal/sim"
+)
+
+func clusterClients(t *testing.T, specs ...struct {
+	name  string
+	quota float64
+}) []*sharing.Client {
+	t.Helper()
+	out := make([]*sharing.Client, len(specs))
+	for i, s := range specs {
+		app := model.MustGet(s.name)
+		p, err := profiler.ProfileApp(app, profiler.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[i] = &sharing.Client{ID: i, App: app, Profile: p, Quota: s.quota}
+	}
+	return out
+}
+
+func spec(name string, quota float64) struct {
+	name  string
+	quota float64
+} {
+	return struct {
+		name  string
+		quota float64
+	}{name, quota}
+}
+
+func TestClusterDeployAndRun(t *testing.T) {
+	eng := sim.NewEngine()
+	clients := clusterClients(t,
+		spec("vgg11", 0.6), spec("resnet50", 0.6),
+		spec("bert", 0.4), spec("resnet101", 0.4),
+	)
+	cl, err := Deploy(eng, clients, Config{GPUs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cl.Devices() != 2 {
+		t.Fatalf("Devices = %d, want 2", cl.Devices())
+	}
+	// Quota sums per device must hold.
+	sums := map[int]float64{}
+	for ai := range clients {
+		sums[cl.Host(ai)] += clients[ai].Quota
+	}
+	for gi, s := range sums {
+		if s > 1.0001 {
+			t.Errorf("gpu %d oversubscribed: %.2f", gi, s)
+		}
+	}
+
+	done := map[int]int{}
+	cl.OnComplete(func(app int, r *sharing.Request) { done[app]++ })
+	for ai := range clients {
+		ai := ai
+		eng.Schedule(0, func() {
+			if _, err := cl.Submit(ai, 0); err != nil {
+				t.Errorf("submit %d: %v", ai, err)
+			}
+		})
+	}
+	eng.Run()
+	for ai := range clients {
+		if done[ai] != 1 {
+			t.Errorf("app %d completed %d requests, want 1", ai, done[ai])
+		}
+	}
+	if !cl.Quiescent() {
+		t.Error("cluster not quiescent after drain")
+	}
+	for gi, u := range cl.Utilization() {
+		if u <= 0 || u > 1 {
+			t.Errorf("gpu %d utilization %g out of range", gi, u)
+		}
+	}
+}
+
+func TestClusterIsolatesDevices(t *testing.T) {
+	// Two apps forced onto separate devices by quota must not affect each
+	// other: latency equals solo full-GPU speed despite simultaneous load.
+	eng := sim.NewEngine()
+	clients := clusterClients(t, spec("resnet50", 0.9), spec("resnet50", 0.9))
+	cl, err := Deploy(eng, clients, Config{GPUs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cl.Host(0) == cl.Host(1) {
+		t.Fatal("0.9-quota apps placed on one device")
+	}
+	var reqs [2]*sharing.Request
+	for ai := 0; ai < 2; ai++ {
+		ai := ai
+		eng.Schedule(0, func() {
+			r, err := cl.Submit(ai, 0)
+			if err != nil {
+				t.Error(err)
+			}
+			reqs[ai] = r
+		})
+	}
+	eng.Run()
+	solo := clients[0].Profile.Iso[clients[0].Profile.Partitions-1]
+	for ai, r := range reqs {
+		if r.Done == 0 {
+			t.Fatalf("app %d incomplete", ai)
+		}
+		if lat := r.Latency(); lat > solo+solo/10 {
+			t.Errorf("app %d latency %v, want near solo %v (device isolation)", ai, lat, solo)
+		}
+	}
+}
+
+func TestClusterErrors(t *testing.T) {
+	eng := sim.NewEngine()
+	clients := clusterClients(t, spec("vgg11", 0.5))
+	if _, err := Deploy(nil, clients, Config{GPUs: 1}); err == nil {
+		t.Error("nil engine accepted")
+	}
+	if _, err := Deploy(eng, clients, Config{}); err == nil {
+		t.Error("zero GPUs accepted")
+	}
+	bad := []*sharing.Client{{ID: 0, App: model.MustGet("vgg11"), Quota: 0.5}}
+	if _, err := Deploy(eng, bad, Config{GPUs: 1}); err == nil {
+		t.Error("profile-less client accepted")
+	}
+	// Infeasible placement: two 0.9 quotas, one device.
+	cl2 := clusterClients(t, spec("vgg11", 0.9), spec("resnet50", 0.9))
+	if _, err := Deploy(eng, cl2, Config{GPUs: 1}); err == nil {
+		t.Error("infeasible placement accepted")
+	}
+	// Submit bounds.
+	cl, err := Deploy(eng, clients, Config{GPUs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Submit(5, 0); err == nil {
+		t.Error("out-of-range app accepted")
+	}
+}
+
+func TestClusterSharesVirtualTime(t *testing.T) {
+	// Devices share one engine: staggered submissions across devices see a
+	// consistent global clock.
+	eng := sim.NewEngine()
+	clients := clusterClients(t, spec("vgg11", 0.8), spec("resnet50", 0.8))
+	cl, err := Deploy(eng, clients, Config{GPUs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var r0, r1 *sharing.Request
+	eng.Schedule(0, func() { r0, _ = cl.Submit(0, 0) })
+	eng.Schedule(5*sim.Millisecond, func() { r1, _ = cl.Submit(1, 0) })
+	eng.Run()
+	if r1.Arrival != 5*sim.Millisecond {
+		t.Errorf("second request arrival %v, want 5ms", r1.Arrival)
+	}
+	if r0.Done == 0 || r1.Done == 0 {
+		t.Error("requests incomplete")
+	}
+}

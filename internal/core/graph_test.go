@@ -1,0 +1,110 @@
+package core
+
+import (
+	"testing"
+
+	"bless/internal/model"
+	"bless/internal/profiler"
+	"bless/internal/sharing"
+	"bless/internal/sim"
+)
+
+// graphClients builds two clients whose apps are partitioned into launch
+// graphs of the given size.
+func graphClients(t *testing.T, graphSize int) []*sharing.Client {
+	t.Helper()
+	clients := make([]*sharing.Client, 2)
+	for i, name := range []string{"resnet50", "vgg11"} {
+		app := model.MustGet(name).WithGraphs(graphSize)
+		if err := app.ValidateGraphs(); err != nil {
+			t.Fatal(err)
+		}
+		p, err := profiler.ProfileApp(app, profiler.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		clients[i] = &sharing.Client{ID: i, App: app, Profile: p, Quota: 0.5}
+	}
+	return clients
+}
+
+func TestGenerateSquadRespectsGraphAtomicity(t *testing.T) {
+	clients := graphClients(t, 8)
+	actives := activesFor(clients)
+	for round := 0; round < 30; round++ {
+		s := generateSquad(actives, clients, sim.Time(round+1)*sim.Millisecond, GenerateOptions{MaxKernels: 20})
+		if s == nil {
+			break
+		}
+		for _, e := range s.Entries {
+			// Every entry must start at a graph boundary and end either at
+			// one or at the request's last kernel.
+			first := e.Kernels[0]
+			if first != 0 && e.Client.App.GraphEnd(first-1) != first {
+				t.Fatalf("entry for %s starts mid-graph at %d", e.Client.App.Name, first)
+			}
+			last := e.Kernels[len(e.Kernels)-1]
+			if last != e.Client.App.NumKernels()-1 && e.Client.App.GraphEnd(last) != last+1 {
+				t.Fatalf("entry for %s ends mid-graph at %d", e.Client.App.Name, last)
+			}
+		}
+	}
+}
+
+func TestGraphEndHelpers(t *testing.T) {
+	app := model.MustGet("vgg11").WithGraphs(10) // 31 kernels -> ends 10,20,30,31
+	cases := []struct{ k, want int }{{0, 10}, {9, 10}, {10, 20}, {29, 30}, {30, 31}}
+	for _, c := range cases {
+		if got := app.GraphEnd(c.k); got != c.want {
+			t.Errorf("GraphEnd(%d) = %d, want %d", c.k, got, c.want)
+		}
+	}
+	plain := model.MustGet("vgg11")
+	if got := plain.GraphEnd(5); got != 6 {
+		t.Errorf("graphless GraphEnd(5) = %d, want 6", got)
+	}
+}
+
+func TestRuntimeWithGraphsCompletesAndSaves(t *testing.T) {
+	// Graph launches amortize host launch latency: the same workload
+	// completes, and end-to-end latency does not regress versus per-kernel
+	// launching by more than the scheduling-granularity loss.
+	run := func(graphSize int) sim.Time {
+		var clients []*sharing.Client
+		if graphSize > 0 {
+			clients = graphClients(t, graphSize)
+		} else {
+			clients = testClients(t, []float64{0.5, 0.5}, "resnet50", "vgg11")
+		}
+		env := newEnv(t, clients)
+		rt := deployBLESS(t, env, DefaultOptions())
+		r0 := submitAt(env, rt, clients[0], 0, 0)
+		r1 := submitAt(env, rt, clients[1], 0, 0)
+		env.Eng.Run()
+		if r0.Done == 0 || r1.Done == 0 {
+			t.Fatal("requests incomplete")
+		}
+		return (r0.Latency() + r1.Latency()) / 2
+	}
+	plain := run(0)
+	graphs := run(8)
+	if graphs > plain+plain/4 {
+		t.Errorf("graph granularity avg %v regressed more than 25%% vs per-kernel %v", graphs, plain)
+	}
+}
+
+func TestValidateGraphs(t *testing.T) {
+	app := model.MustGet("vgg11")
+	app.GraphEnds = []int{10, 5} // not ascending
+	if err := app.ValidateGraphs(); err == nil {
+		t.Error("non-ascending graph ends accepted")
+	}
+	app.GraphEnds = []int{10, 20} // does not cover all kernels
+	if err := app.ValidateGraphs(); err == nil {
+		t.Error("incomplete graph cover accepted")
+	}
+	app.GraphEnds = nil
+	if err := app.ValidateGraphs(); err != nil {
+		t.Errorf("nil graphs rejected: %v", err)
+	}
+}

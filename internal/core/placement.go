@@ -1,0 +1,153 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"bless/internal/profiler"
+	"bless/internal/sim"
+)
+
+// Multi-GPU placement (§4.2.2): when applications must be coordinated across
+// several GPUs (as in GPUlet-style serving clusters), BLESS replicates its
+// runtime per GPU and a central controller decides which GPU hosts which
+// application, using the offline profiles' memory requirements and kernel
+// statistics to avoid conflicts.
+
+// PlacementApp is one application awaiting placement.
+type PlacementApp struct {
+	// Name identifies the application.
+	Name string
+	// Profile is the offline profile (memory footprint, kernel statistics).
+	Profile *profiler.Profile
+	// Quota is the GPU fraction the application needs on its host GPU.
+	Quota float64
+}
+
+// PlacementGPU describes one target device.
+type PlacementGPU struct {
+	// ID names the device.
+	ID string
+	// Config is the device configuration (memory capacity, SMs).
+	Config sim.Config
+}
+
+// Placement maps application index -> GPU index.
+type Placement map[int]int
+
+// PlacementOptions tunes the controller.
+type PlacementOptions struct {
+	// Admission bounds per-GPU co-location compatibility (§4.2.2); the
+	// zero value selects profiler.DefaultAdmissionLimits.
+	Admission profiler.AdmissionLimits
+}
+
+// Place assigns each application to a GPU such that (a) per-GPU quotas sum to
+// at most 1, (b) combined memory footprints (plus per-client MPS contexts)
+// fit the device, and (c) the §4.2.2 kernel-duration compatibility checks
+// hold on every GPU. Applications are placed largest-memory-first onto the
+// GPU with the most remaining memory (best-fit-decreasing); the search
+// backtracks across eligible GPUs before failing.
+func Place(apps []PlacementApp, gpus []PlacementGPU, opts PlacementOptions) (Placement, error) {
+	if len(apps) == 0 {
+		return nil, fmt.Errorf("core: no applications to place")
+	}
+	if len(gpus) == 0 {
+		return nil, fmt.Errorf("core: no GPUs available")
+	}
+	lim := opts.Admission
+	if lim.MaxKernelDuration == 0 {
+		lim = profiler.DefaultAdmissionLimits()
+	}
+	for i, a := range apps {
+		if a.Profile == nil {
+			return nil, fmt.Errorf("core: application %q has no profile", a.Name)
+		}
+		if a.Quota <= 0 || a.Quota > 1 {
+			return nil, fmt.Errorf("core: application %q quota %g outside (0,1]", a.Name, a.Quota)
+		}
+		_ = i
+	}
+
+	// Largest memory footprint first.
+	order := make([]int, len(apps))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(x, y int) bool {
+		return apps[order[x]].Profile.MemoryBytes > apps[order[y]].Profile.MemoryBytes
+	})
+
+	assigned := make([][]int, len(gpus)) // app indices per GPU
+	placement := Placement{}
+
+	var place func(step int) error
+	place = func(step int) error {
+		if step == len(order) {
+			return nil
+		}
+		ai := order[step]
+		app := apps[ai]
+
+		// Try GPUs with the most free memory first.
+		cand := make([]int, len(gpus))
+		for i := range cand {
+			cand[i] = i
+		}
+		sort.SliceStable(cand, func(x, y int) bool {
+			return freeMemory(gpus[cand[x]], apps, assigned[cand[x]], lim) >
+				freeMemory(gpus[cand[y]], apps, assigned[cand[y]], lim)
+		})
+
+		var lastErr error
+		for _, gi := range cand {
+			if err := fits(gpus[gi], apps, assigned[gi], ai, lim); err != nil {
+				lastErr = err
+				continue
+			}
+			assigned[gi] = append(assigned[gi], ai)
+			placement[ai] = gi
+			if err := place(step + 1); err == nil {
+				return nil
+			} else {
+				lastErr = err
+			}
+			assigned[gi] = assigned[gi][:len(assigned[gi])-1]
+			delete(placement, ai)
+		}
+		if lastErr == nil {
+			lastErr = fmt.Errorf("core: no GPU fits application %q", app.Name)
+		}
+		return fmt.Errorf("core: placing %q: %w", app.Name, lastErr)
+	}
+	if err := place(0); err != nil {
+		return nil, err
+	}
+	return placement, nil
+}
+
+// fits checks whether adding app ai to the GPU's current assignment keeps the
+// deployment admissible.
+func fits(gpu PlacementGPU, apps []PlacementApp, current []int, ai int, lim profiler.AdmissionLimits) error {
+	quota := apps[ai].Quota
+	profiles := []*profiler.Profile{apps[ai].Profile}
+	for _, ci := range current {
+		quota += apps[ci].Quota
+		profiles = append(profiles, apps[ci].Profile)
+	}
+	if quota > 1.0001 {
+		return fmt.Errorf("quota sum %.3f exceeds GPU %s", quota, gpu.ID)
+	}
+	return profiler.CheckColocation(profiles, gpu.Config, lim)
+}
+
+// freeMemory estimates the GPU's remaining memory under its current
+// assignment.
+func freeMemory(gpu PlacementGPU, apps []PlacementApp, current []int, lim profiler.AdmissionLimits) int64 {
+	free := gpu.Config.MemoryBytes
+	for _, ci := range current {
+		free -= apps[ci].Profile.MemoryBytes
+		free -= int64(lim.ContextsPerClient) * gpu.Config.ContextMemBytes
+	}
+	return free
+}

@@ -1,0 +1,180 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"bless/internal/model"
+	"bless/internal/profiler"
+	"bless/internal/sim"
+)
+
+func placementApps(t *testing.T, specs ...struct {
+	name  string
+	quota float64
+}) []PlacementApp {
+	t.Helper()
+	out := make([]PlacementApp, len(specs))
+	for i, s := range specs {
+		p, err := profiler.ProfileApp(model.MustGet(s.name), profiler.Options{Partitions: 6})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[i] = PlacementApp{Name: s.name, Profile: p, Quota: s.quota}
+	}
+	return out
+}
+
+func app(name string, quota float64) struct {
+	name  string
+	quota float64
+} {
+	return struct {
+		name  string
+		quota float64
+	}{name, quota}
+}
+
+func twoGPUs() []PlacementGPU {
+	return []PlacementGPU{
+		{ID: "gpu0", Config: sim.DefaultConfig()},
+		{ID: "gpu1", Config: sim.DefaultConfig()},
+	}
+}
+
+func TestPlaceSpreadsByQuota(t *testing.T) {
+	apps := placementApps(t,
+		app("vgg11", 0.6), app("resnet50", 0.6),
+		app("bert", 0.4), app("resnet101", 0.4),
+	)
+	pl, err := Place(apps, twoGPUs(), PlacementOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Quotas per GPU must not exceed 1: the 0.6s must land apart.
+	sums := map[int]float64{}
+	for ai, gi := range pl {
+		sums[gi] += apps[ai].Quota
+	}
+	for gi, s := range sums {
+		if s > 1.0001 {
+			t.Errorf("gpu %d oversubscribed: quota sum %.2f", gi, s)
+		}
+	}
+	if len(pl) != len(apps) {
+		t.Errorf("placed %d of %d apps", len(pl), len(apps))
+	}
+}
+
+func TestPlaceRespectsMemory(t *testing.T) {
+	// Training apps are memory-hungry (4-12 GB); a 10 GB device holds few.
+	apps := placementApps(t,
+		app("resnet101-train", 0.5), app("resnet50-train", 0.5),
+		app("vgg11-train", 0.5),
+	)
+	small := sim.DefaultConfig()
+	small.MemoryBytes = 12 << 30
+	gpus := []PlacementGPU{
+		{ID: "a", Config: small},
+		{ID: "b", Config: small},
+		{ID: "c", Config: small},
+	}
+	pl, err := Place(apps, gpus, PlacementOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	used := map[int]int64{}
+	for ai, gi := range pl {
+		used[gi] += apps[ai].Profile.MemoryBytes
+	}
+	for gi, u := range used {
+		if u > small.MemoryBytes {
+			t.Errorf("gpu %d memory oversubscribed: %d bytes", gi, u)
+		}
+	}
+}
+
+func TestPlaceFailsWhenImpossible(t *testing.T) {
+	apps := placementApps(t, app("vgg11", 0.8), app("resnet50", 0.8))
+	one := []PlacementGPU{{ID: "only", Config: sim.DefaultConfig()}}
+	if _, err := Place(apps, one, PlacementOptions{}); err == nil {
+		t.Error("1.6 total quota on one GPU accepted")
+	}
+}
+
+func TestPlaceBacktracks(t *testing.T) {
+	// Three 0.5-quota apps on two GPUs: naive best-fit might pair wrongly;
+	// any valid assignment puts two on one device and one on the other.
+	apps := placementApps(t, app("vgg11", 0.5), app("resnet50", 0.5), app("bert", 0.5))
+	pl, err := Place(apps, twoGPUs(), PlacementOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := map[int]int{}
+	for _, gi := range pl {
+		count[gi]++
+	}
+	for gi, n := range count {
+		if n > 2 {
+			t.Errorf("gpu %d hosts %d 0.5-quota apps", gi, n)
+		}
+	}
+}
+
+func TestPlaceRejectsStarvationPairs(t *testing.T) {
+	big := model.Synthetic("monster", 4, 2500*sim.Microsecond, 108, 0.3, 1)
+	small := model.Synthetic("tiny", 50, 5*sim.Microsecond, 108, 0.3, 2)
+	pb, err := profiler.ProfileApp(big, profiler.Options{Partitions: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps, err := profiler.ProfileApp(small, profiler.Options{Partitions: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	apps := []PlacementApp{
+		{Name: "monster", Profile: pb, Quota: 0.5},
+		{Name: "tiny", Profile: ps, Quota: 0.5},
+	}
+	// One GPU: the starvation-prone pair must be rejected.
+	one := []PlacementGPU{{ID: "only", Config: sim.DefaultConfig()}}
+	if _, err := Place(apps, one, PlacementOptions{}); err == nil {
+		t.Error("starvation-prone co-location accepted on a single GPU")
+	}
+	// Two GPUs: the controller must separate them.
+	pl, err := Place(apps, twoGPUs(), PlacementOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl[0] == pl[1] {
+		t.Error("starvation-prone pair placed on the same GPU despite alternatives")
+	}
+}
+
+func TestPlaceValidation(t *testing.T) {
+	if _, err := Place(nil, twoGPUs(), PlacementOptions{}); err == nil {
+		t.Error("empty app list accepted")
+	}
+	apps := placementApps(t, app("vgg11", 0.5))
+	if _, err := Place(apps, nil, PlacementOptions{}); err == nil {
+		t.Error("empty GPU list accepted")
+	}
+	apps[0].Quota = 0
+	if _, err := Place(apps, twoGPUs(), PlacementOptions{}); err == nil {
+		t.Error("zero quota accepted")
+	}
+	apps[0].Quota = 0.5
+	apps[0].Profile = nil
+	if _, err := Place(apps, twoGPUs(), PlacementOptions{}); err == nil {
+		t.Error("profile-less app accepted")
+	}
+}
+
+func TestPlaceErrorNamesApp(t *testing.T) {
+	apps := placementApps(t, app("vgg11", 0.9), app("resnet50", 0.9))
+	one := []PlacementGPU{{ID: "only", Config: sim.DefaultConfig()}}
+	_, err := Place(apps, one, PlacementOptions{})
+	if err == nil || !strings.Contains(err.Error(), "placing") {
+		t.Errorf("error %v does not identify the failing application", err)
+	}
+}

@@ -1,0 +1,601 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"bless/internal/sharing"
+	"bless/internal/sim"
+)
+
+// Options configures the BLESS runtime.
+type Options struct {
+	// MaxSquadKernels caps kernels per squad (default 50, §6.7).
+	MaxSquadKernels int
+	// SplitRatio is the Semi-SP split c%: the leading fraction of each
+	// entry's kernels that run spatially restricted before the manager
+	// removes the restriction for the tail (default 0.5, §6.7).
+	SplitRatio float64
+	// Partitions is the configuration-space granularity N (default: the
+	// profiles' partition count, 18).
+	Partitions int
+	// SchedPerKernel is the host scheduling cost per kernel: multi-task
+	// scheduling 3.7us + configuration search 2us + squad generation 1us =
+	// 6.7us (§6.9). Overlapped with device execution.
+	SchedPerKernel sim.Time
+	// DisableFairSelection ablates the multi-task scheduler (Fig 20):
+	// round-robin kernel selection instead of progress-based.
+	DisableFairSelection bool
+	// DisableDeterminer ablates the execution configuration determiner
+	// (Fig 20): every multi-entry squad runs quota-proportionally
+	// partitioned without searching.
+	DisableDeterminer bool
+	// DisableSemiSP disables the mid-squad context switch, keeping strict
+	// spatial partitioning for whole squads (the SP row of Fig 17).
+	DisableSemiSP bool
+	// QuotaGuard forwards to DetermineOptions.QuotaGuard: constrain
+	// configuration search to quota-pace-feasible splits.
+	QuotaGuard bool
+	// NoAdaptiveSizing forwards to GenerateOptions.NoAdaptiveSizing: squads
+	// are bounded by the raw kernel cap only, without the pace-margin
+	// duration cap (used by the Fig 19a sweep).
+	NoAdaptiveSizing bool
+	// NoFlush forwards to GenerateOptions.NoFlush: disable the endgame
+	// flush (design ablation).
+	NoFlush bool
+	// TraceSquad, if set, observes every scheduled squad with its chosen
+	// execution configuration — the hook behind the fine-grained timeline
+	// analysis (Fig 18) and debugging.
+	TraceSquad func(at sim.Time, squad *Squad, cfg ExecConfig)
+}
+
+// DefaultOptions returns the paper's testbed settings.
+func DefaultOptions() Options {
+	return Options{
+		MaxSquadKernels: DefaultMaxSquadKernels,
+		SplitRatio:      0.5,
+		SchedPerKernel:  6700, // 6.7us
+	}
+}
+
+// clientState is the runtime's per-client bookkeeping.
+type clientState struct {
+	c      *sharing.Client
+	queue  []*sharing.Request // FIFO backlog, excluding the active request
+	active *activeRequest
+
+	defaultCtx *sim.Context
+	defaultQ   *sim.Queue
+	restricted map[int]*restrictedSlot // keyed by SM grant
+
+	// lastCtxSMs tracks which context the client's launches last targeted
+	// (0 = the unrestricted default); redirecting launches to a different
+	// context opens a ~50us vacuum for this client's kernels (§6.9). The
+	// vacuum begins once launches to the old context stop, so it is counted
+	// from lastLaunchAt — by the time the next squad issues, it has usually
+	// elapsed behind ongoing execution.
+	lastCtxSMs int
+	// lastLaunchAt is the host timestamp of the client's most recent kernel
+	// launch.
+	lastLaunchAt sim.Time
+	// lastArrival is when the client's most recent kernel reaches its
+	// device queue (>= lastLaunchAt when a redirection vacuum applies);
+	// graph followers must not arrive before it.
+	lastArrival sim.Time
+}
+
+type restrictedSlot struct {
+	ctx *sim.Context
+	q   *sim.Queue
+}
+
+// Runtime is the assembled BLESS system: it implements sharing.Scheduler by
+// composing the multi-task scheduler, the execution configuration determiner
+// and the concurrent kernel manager on top of the simulated device.
+type Runtime struct {
+	opts Options
+	env  *sharing.Env
+	host *sim.Host
+
+	clients []*clientState
+
+	squadRunning  bool
+	kickPending   bool
+	squadPendings int
+	prevSquadDur  sim.Time
+	squadStarted  sim.Time
+
+	// stats
+	squadsExecuted   int64
+	spatialSquads    int64
+	kernelsScheduled int64
+	configsEvaluated int64
+}
+
+// New creates a BLESS runtime with the given options.
+func New(opts Options) *Runtime {
+	if opts.MaxSquadKernels <= 0 {
+		opts.MaxSquadKernels = DefaultMaxSquadKernels
+	}
+	if opts.SplitRatio <= 0 || opts.SplitRatio > 1 {
+		opts.SplitRatio = 0.5
+	}
+	if opts.SchedPerKernel <= 0 {
+		opts.SchedPerKernel = 6700
+	}
+	return &Runtime{opts: opts}
+}
+
+// Name implements sharing.Scheduler.
+func (rt *Runtime) Name() string { return "BLESS" }
+
+// Deploy implements sharing.Scheduler: it validates the deployment, reserves
+// application memory and establishes each client's default (unrestricted)
+// GPU context. Restricted contexts are pre-established lazily per distinct
+// SM grant the determiner selects, each charged the MPS context footprint.
+func (rt *Runtime) Deploy(env *sharing.Env) error {
+	if err := sharing.ValidateDeployment(env, true); err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	rt.env = env
+	rt.host = sim.NewHost(env.GPU)
+	rt.clients = make([]*clientState, len(env.Clients))
+	var reserved int64
+	fail := func(c *sharing.Client, err error) error {
+		env.GPU.FreeMemory(reserved)
+		rt.clients = nil
+		return fmt.Errorf("core: deploying %q: %w", c.App.Name, err)
+	}
+	for i, c := range env.Clients {
+		if err := env.GPU.AllocMemory(c.App.MemoryBytes); err != nil {
+			return fail(c, err)
+		}
+		reserved += c.App.MemoryBytes
+		ctx, err := env.GPU.NewContext(sim.ContextOptions{Label: c.App.Name + "/default"})
+		if err != nil {
+			return fail(c, err)
+		}
+		reserved += env.GPU.Config().ContextMemBytes
+		rt.clients[i] = &clientState{
+			c:          c,
+			defaultCtx: ctx,
+			defaultQ:   ctx.NewQueue(c.App.Name + "/q"),
+			restricted: make(map[int]*restrictedSlot),
+		}
+	}
+	return nil
+}
+
+// Submit implements sharing.Scheduler.
+func (rt *Runtime) Submit(r *sharing.Request) {
+	cs := rt.clients[r.Client.ID]
+	if cs.active == nil {
+		cs.active = rt.newActive(r)
+	} else {
+		cs.queue = append(cs.queue, r)
+	}
+	rt.kick()
+}
+
+// kick arms a scheduling round at the end of the current virtual instant, so
+// that all same-instant arrivals join the same squad rather than the first
+// arrival racing ahead of its simultaneous peers.
+func (rt *Runtime) kick() {
+	if rt.squadRunning || rt.kickPending {
+		return
+	}
+	rt.kickPending = true
+	rt.env.Eng.Schedule(rt.env.Eng.Now(), func() {
+		rt.kickPending = false
+		if !rt.squadRunning {
+			rt.startSquad()
+		}
+	})
+}
+
+// newActive initializes progress tracking for a request entering service.
+func (rt *Runtime) newActive(r *sharing.Request) *activeRequest {
+	c := r.Client
+	partIdx := c.Profile.QuotaPartition(c.Quota)
+	pace := 1.0
+	if c.SLOTarget > 0 {
+		iso := c.Profile.Iso[partIdx]
+		if iso > 0 {
+			pace = float64(c.SLOTarget) / float64(iso)
+		}
+	}
+	return &activeRequest{
+		req: r, partIdx: partIdx, pace: pace,
+		activated:   rt.env.Eng.Now(),
+		fromArrival: c.SLOTarget > 0,
+	}
+}
+
+// startSquad runs one scheduling round: generate the squad, determine its
+// execution configuration, and launch it through the kernel manager. The
+// cycle re-arms itself from the squad-completion callback.
+func (rt *Runtime) startSquad() {
+	actives := make([]*activeRequest, len(rt.clients))
+	clients := make([]*sharing.Client, len(rt.clients))
+	for i, cs := range rt.clients {
+		actives[i] = cs.active
+		clients[i] = cs.c
+	}
+	squad := generateSquad(actives, clients, rt.host.Now(), GenerateOptions{
+		MaxKernels:       rt.opts.MaxSquadKernels,
+		RoundRobin:       rt.opts.DisableFairSelection,
+		NoAdaptiveSizing: rt.opts.NoAdaptiveSizing,
+		NoFlush:          rt.opts.NoFlush,
+	})
+	if squad == nil {
+		rt.squadRunning = false
+		return
+	}
+
+	quotas := make([]float64, len(squad.Entries))
+	for i := range squad.Entries {
+		quotas[i] = squad.Entries[i].Client.Quota
+	}
+	cfg := Determine(squad, rt.env.GPU.Config().SMs, quotas, DetermineOptions{
+		Partitions:        rt.partitions(squad),
+		ForceSpatialQuota: rt.opts.DisableDeterminer,
+		InterferenceBeta:  rt.env.GPU.Config().InterferenceBeta,
+		QuotaGuard:        rt.opts.QuotaGuard,
+	})
+
+	// Host scheduling cost (§6.9), overlapped with the previous squad's
+	// device execution: only the overspend beyond the previous squad's
+	// duration delays the GPU.
+	schedCost := rt.opts.SchedPerKernel * sim.Time(squad.Size())
+	if over := schedCost - rt.prevSquadDur; over > 0 {
+		rt.host.Spend(over)
+	}
+
+	rt.squadRunning = true
+	rt.squadStarted = rt.host.Now()
+	if rt.opts.TraceSquad != nil {
+		rt.opts.TraceSquad(rt.squadStarted, squad, cfg)
+	}
+	rt.squadsExecuted++
+	rt.kernelsScheduled += int64(squad.Size())
+	rt.configsEvaluated += int64(cfg.Considered)
+	if cfg.Spatial {
+		rt.spatialSquads++
+	}
+	rt.launchSquad(squad, cfg)
+}
+
+// partitions returns the determiner granularity, defaulting to the first
+// entry's profile grid.
+func (rt *Runtime) partitions(s *Squad) int {
+	if rt.opts.Partitions > 0 {
+		return rt.opts.Partitions
+	}
+	return s.Entries[0].Client.Profile.Partitions
+}
+
+// launchSquad is the concurrent kernel manager (§4.5): it launches the
+// squad's kernels into per-client GPU contexts according to the execution
+// configuration, realizing Semi-SP spatial-temporal sharing by redirecting
+// each client's tail kernels to its unrestricted context once the restricted
+// head completes. The squad-completion callback synchronizes (20us) and
+// starts the next scheduling round.
+func (rt *Runtime) launchSquad(squad *Squad, cfg ExecConfig) {
+	rt.squadPendings = squad.Size()
+
+	onKernelDone := func(e *SquadEntry, kernelIdx int) func(sim.Time) {
+		last := kernelIdx == e.Client.App.NumKernels()-1
+		req := e.Request
+		return func(at sim.Time) {
+			cs := rt.clients[e.Client.ID]
+			if cs.active != nil {
+				cs.active.inFlight--
+			}
+			if last {
+				rt.completeRequest(cs, req)
+			}
+			rt.squadPendings--
+			if rt.squadPendings == 0 {
+				rt.squadDone(at)
+			}
+		}
+	}
+
+	// Breadth-first launch order across entries starts cross-client
+	// concurrency as early as possible; the host serializes the 3us
+	// launches either way.
+	type plannedLaunch struct {
+		entry *SquadEntry
+		kIdx  int
+		q     *sim.Queue
+		smTag int // context identity for vacuum accounting (0=default)
+		after *launchGate
+	}
+	var plan []plannedLaunch
+
+	gates := make([]*launchGate, len(squad.Entries))
+	for i := range squad.Entries {
+		e := &squad.Entries[i]
+		cs := rt.clients[e.Client.ID]
+		cs.active.inFlight += len(e.Kernels)
+
+		if !cfg.Spatial {
+			for _, k := range e.Kernels {
+				plan = append(plan, plannedLaunch{entry: e, kIdx: k, q: cs.defaultQ})
+			}
+			continue
+		}
+
+		slot, err := rt.restrictedSlot(cs, cfg.SMs[i])
+		if err != nil {
+			// Context establishment failed (device memory exhausted by
+			// application footprints): degrade this entry to the default
+			// unrestricted context rather than stalling the squad.
+			for _, k := range e.Kernels {
+				plan = append(plan, plannedLaunch{entry: e, kIdx: k, q: cs.defaultQ})
+			}
+			continue
+		}
+
+		// Semi-SP: first c% of the entry's kernels run restricted; the
+		// manager waits for them and redirects the tail to the unrestricted
+		// context (Fig 7c). With Semi-SP disabled the whole entry stays
+		// restricted (strict SP).
+		split := len(e.Kernels)
+		if !rt.opts.DisableSemiSP {
+			split = int(float64(len(e.Kernels))*rt.opts.SplitRatio + 0.9999)
+			if split < 1 {
+				split = 1
+			}
+			if split > len(e.Kernels) {
+				split = len(e.Kernels)
+			}
+		}
+		head, tail := e.Kernels[:split], e.Kernels[split:]
+		for _, k := range head {
+			plan = append(plan, plannedLaunch{entry: e, kIdx: k, q: slot.q, smTag: cfg.SMs[i]})
+		}
+		if len(tail) > 0 {
+			gate := &launchGate{}
+			gates[i] = gate
+			for _, k := range tail {
+				plan = append(plan, plannedLaunch{entry: e, kIdx: k, q: cs.defaultQ, after: gate})
+			}
+		}
+	}
+
+	// Interleave entries breadth-first: sort by (position within entry,
+	// entry order). The plan was built entry-major; re-order stably.
+	sort.SliceStable(plan, func(a, b int) bool {
+		pa := rt.posWithinEntry(squad, plan[a].entry, plan[a].kIdx)
+		pb := rt.posWithinEntry(squad, plan[b].entry, plan[b].kIdx)
+		return pa < pb
+	})
+
+	// Wire gate triggers: a gate opens when the last restricted (head)
+	// kernel of its entry completes, plus the context-switch vacuum.
+	ctxSwitch := rt.env.GPU.Config().ContextSwitch
+	for i := range squad.Entries {
+		if gates[i] == nil {
+			continue
+		}
+		e := &squad.Entries[i]
+		split := 0
+		for _, pl := range plan {
+			if pl.entry == e && pl.after == nil {
+				split++
+			}
+		}
+		gates[i].expect = split
+	}
+
+	for _, pl := range plan {
+		pl := pl
+		cs := rt.clients[pl.entry.Client.ID]
+		k := &pl.entry.Client.App.Kernels[pl.kIdx]
+		done := onKernelDone(pl.entry, pl.kIdx)
+		gate := gateFor(gates, squad, pl.entry)
+
+		wrapped := done
+		if gate != nil && pl.after == nil {
+			// Head kernel: completing it counts toward opening the gate.
+			// The redirection vacuum runs concurrently with head execution
+			// (launches to the restricted context stop during the squad's
+			// launch phase), so the gate opens at the later of head
+			// completion and vacuum end.
+			wrapped = func(at sim.Time) {
+				ready := gate.launchEnd + ctxSwitch
+				if at > ready {
+					ready = at
+				}
+				gate.arrive(ready)
+				done(at)
+			}
+		}
+
+		if pl.after != nil {
+			// Tail kernel: defer the launch until the gate opens. The gate
+			// open time already includes the context-redirection vacuum.
+			pl.after.then(func(openAt sim.Time) {
+				cs.lastCtxSMs = 0
+				rt.host.LaunchAt(pl.q, k, openAt, wrapped)
+				cs.lastLaunchAt = rt.host.Now()
+			})
+			continue
+		}
+
+		// Context-redirection vacuum when this client's launches move to a
+		// different context than last time (§6.9): the client's kernels may
+		// not arrive until the vacuum has elapsed since launches to the OLD
+		// context ceased — by the next squad that is usually already behind
+		// the previous squad's execution, so the vacuum hides.
+		var notBefore sim.Time
+		if cs.lastCtxSMs != pl.smTag {
+			notBefore = cs.lastLaunchAt + ctxSwitch
+			cs.lastCtxSMs = pl.smTag
+		}
+		// CUDA-graph launch units (§6.10): only the first kernel of a graph
+		// pays the host launch latency; the rest of the graph rides the same
+		// call. A follower must never arrive before its leader, so it
+		// arrives at the later of the host clock and the entry's previous
+		// kernel's arrival (engine events at equal instants keep FIFO
+		// order).
+		app := pl.entry.Client.App
+		graphFollower := app.GraphEnds != nil && pl.kIdx > 0 && app.GraphEnd(pl.kIdx-1) != pl.kIdx
+		switch {
+		case graphFollower && notBefore == 0:
+			at := rt.host.Now()
+			if cs.lastArrival > at {
+				at = cs.lastArrival
+			}
+			pl.q.Enqueue(at, k, wrapped)
+			cs.lastArrival = at
+		case notBefore > 0:
+			rt.host.LaunchAt(pl.q, k, notBefore, wrapped)
+			cs.lastArrival = notBefore
+			if hf := rt.host.Now(); hf > cs.lastArrival {
+				cs.lastArrival = hf
+			}
+		default:
+			rt.host.Launch(pl.q, k, wrapped)
+			cs.lastArrival = rt.host.Now()
+		}
+		cs.lastLaunchAt = rt.host.Now()
+		if gate != nil && pl.after == nil && cs.lastLaunchAt > gate.launchEnd {
+			gate.launchEnd = cs.lastLaunchAt
+		}
+	}
+}
+
+// posWithinEntry returns the kernel's 0-based position inside its entry.
+func (rt *Runtime) posWithinEntry(s *Squad, e *SquadEntry, kIdx int) int {
+	return kIdx - e.Kernels[0]
+}
+
+// gateFor finds the gate belonging to the entry, if any.
+func gateFor(gates []*launchGate, s *Squad, e *SquadEntry) *launchGate {
+	for i := range s.Entries {
+		if &s.Entries[i] == e {
+			return gates[i]
+		}
+	}
+	return nil
+}
+
+// launchGate delays tail launches until all head kernels of an entry finish.
+type launchGate struct {
+	expect    int
+	arrived   int
+	launchEnd sim.Time // host time of the last head-kernel launch
+	openAt    sim.Time
+	open      bool
+	waiters   []func(sim.Time)
+}
+
+func (g *launchGate) arrive(readyAt sim.Time) {
+	g.arrived++
+	if readyAt > g.openAt {
+		g.openAt = readyAt
+	}
+	if g.arrived >= g.expect && !g.open {
+		g.open = true
+		for _, w := range g.waiters {
+			w(g.openAt)
+		}
+		g.waiters = nil
+	}
+}
+
+func (g *launchGate) then(f func(sim.Time)) {
+	if g.open {
+		f(g.openAt)
+		return
+	}
+	g.waiters = append(g.waiters, f)
+}
+
+// restrictedSlot returns (establishing on first use) the client's MPS context
+// restricted to sms SMs. Establishment charges the per-context memory
+// footprint; on exhaustion the nearest existing slot is reused.
+func (rt *Runtime) restrictedSlot(cs *clientState, sms int) (*restrictedSlot, error) {
+	if slot, ok := cs.restricted[sms]; ok {
+		return slot, nil
+	}
+	ctx, err := rt.env.GPU.NewContext(sim.ContextOptions{
+		SMLimit: sms,
+		Label:   fmt.Sprintf("%s/sm%d", cs.c.App.Name, sms),
+	})
+	if err != nil {
+		if errors.Is(err, sim.ErrOutOfMemory) {
+			if slot := cs.nearestSlot(sms); slot != nil {
+				return slot, nil
+			}
+		}
+		return nil, err
+	}
+	slot := &restrictedSlot{ctx: ctx, q: ctx.NewQueue(fmt.Sprintf("%s/q%d", cs.c.App.Name, sms))}
+	cs.restricted[sms] = slot
+	return slot, nil
+}
+
+// nearestSlot finds the established restricted context closest in SM count.
+func (cs *clientState) nearestSlot(sms int) *restrictedSlot {
+	var best *restrictedSlot
+	bestGap := 1 << 30
+	for got, slot := range cs.restricted {
+		gap := got - sms
+		if gap < 0 {
+			gap = -gap
+		}
+		if gap < bestGap {
+			bestGap, best = gap, slot
+		}
+	}
+	return best
+}
+
+// completeRequest retires a finished request and activates the client's next
+// queued one (FIFO, one active request per client — §4.3).
+func (rt *Runtime) completeRequest(cs *clientState, r *sharing.Request) {
+	rt.env.Complete(r)
+	cs.active = nil
+	if len(cs.queue) > 0 {
+		next := cs.queue[0]
+		cs.queue = cs.queue[1:]
+		cs.active = rt.newActive(next)
+	}
+}
+
+// squadDone fires when the squad's last kernel retires: synchronize with the
+// device (20us, §6.9) and arm the next scheduling round. The round is kicked
+// through the engine so that completions and arrivals landing at the same
+// instant are all visible to squad generation.
+func (rt *Runtime) squadDone(at sim.Time) {
+	rt.prevSquadDur = at - rt.squadStarted
+	rt.host.Sync()
+	rt.squadRunning = false
+	rt.kick()
+}
+
+// Stats reports runtime counters for the overhead analysis.
+type Stats struct {
+	// SquadsExecuted counts completed scheduling rounds.
+	SquadsExecuted int64
+	// SpatialSquads counts squads the determiner chose to partition.
+	SpatialSquads int64
+	// KernelsScheduled counts kernels placed into squads.
+	KernelsScheduled int64
+	// ConfigsEvaluated counts estimator invocations across all rounds.
+	ConfigsEvaluated int64
+}
+
+// Stats returns a snapshot of the runtime counters.
+func (rt *Runtime) Stats() Stats {
+	return Stats{
+		SquadsExecuted:   rt.squadsExecuted,
+		SpatialSquads:    rt.spatialSquads,
+		KernelsScheduled: rt.kernelsScheduled,
+		ConfigsEvaluated: rt.configsEvaluated,
+	}
+}

@@ -1,0 +1,242 @@
+package core
+
+import (
+	"testing"
+
+	"bless/internal/model"
+	"bless/internal/profiler"
+	"bless/internal/sharing"
+	"bless/internal/sim"
+)
+
+// testClients builds profiled clients from catalog names with given quotas.
+func testClients(t testing.TB, quotas []float64, names ...string) []*sharing.Client {
+	t.Helper()
+	out := make([]*sharing.Client, len(names))
+	for i, n := range names {
+		app := model.MustGet(n)
+		p, err := profiler.ProfileApp(app, profiler.Options{})
+		if err != nil {
+			t.Fatalf("profile %s: %v", n, err)
+		}
+		out[i] = &sharing.Client{ID: i, App: app, Profile: p, Quota: quotas[i]}
+	}
+	return out
+}
+
+// activesFor creates fresh active requests for all clients, arrived at 0.
+func activesFor(clients []*sharing.Client) []*activeRequest {
+	actives := make([]*activeRequest, len(clients))
+	for i, c := range clients {
+		actives[i] = &activeRequest{
+			req:     &sharing.Request{Client: c, Arrival: 0},
+			partIdx: c.Profile.QuotaPartition(c.Quota),
+			pace:    1.0,
+		}
+	}
+	return actives
+}
+
+func TestGenerateSquadRespectsCap(t *testing.T) {
+	clients := testClients(t, []float64{0.5, 0.5}, "resnet50", "vgg11")
+	actives := activesFor(clients)
+	s := generateSquad(actives, clients, sim.Millisecond, GenerateOptions{MaxKernels: 6})
+	if s == nil {
+		t.Fatal("no squad generated")
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Size() > 6 {
+		t.Errorf("squad size %d exceeds cap 6", s.Size())
+	}
+}
+
+func TestGenerateSquadQuotaPaceWeighting(t *testing.T) {
+	// Two identical apps, 70%/30% quotas, equal arrival: across repeated
+	// squads the high-quota request must complete its kernels sooner in
+	// expected-pace terms — it reaches its last kernel within fewer
+	// generation rounds than the low-quota peer (Fig 18a's earlier finish).
+	clients := testClients(t, []float64{0.7, 0.3}, "resnet50", "resnet50")
+	actives := activesFor(clients)
+	now := sim.Millisecond
+	round70, round30 := -1, -1
+	for round := 0; round < 100 && (round70 < 0 || round30 < 0); round++ {
+		s := generateSquad(actives, clients, now, GenerateOptions{MaxKernels: 50})
+		if s == nil {
+			break
+		}
+		// Advance virtual time by the squad's quota-pace duration estimate.
+		now += EstimateSpatial(s, []int{76, 32})
+		if round70 < 0 && actives[0].nextK == clients[0].App.NumKernels() {
+			round70 = round
+		}
+		if round30 < 0 && actives[1].nextK == clients[1].App.NumKernels() {
+			round30 = round
+		}
+	}
+	if round70 < 0 || round30 < 0 {
+		t.Fatalf("requests never fully scheduled (rounds %d, %d)", round70, round30)
+	}
+	if round70 > round30 {
+		t.Errorf("high-quota request fully scheduled at round %d, after low-quota at %d", round70, round30)
+	}
+}
+
+func TestGenerateSquadCompensatesLaggards(t *testing.T) {
+	// Equal quotas, but request 0 arrived much earlier (it is lagging): it
+	// must receive more kernels in the next squad (§4.3.2 compensation).
+	clients := testClients(t, []float64{0.5, 0.5}, "resnet50", "resnet50")
+	actives := activesFor(clients)
+	// Both have already been scheduled 10 kernels.
+	actives[0].nextK, actives[1].nextK = 10, 10
+	actives[0].req.Arrival = 0
+	actives[1].req.Arrival = 9 * sim.Millisecond // arrived later => less behind
+	s := generateSquad(actives, clients, 10*sim.Millisecond, GenerateOptions{MaxKernels: 20})
+	var nLag, nFresh int
+	for _, e := range s.Entries {
+		if e.Request == actives[0].req {
+			nLag = len(e.Kernels)
+		} else {
+			nFresh = len(e.Kernels)
+		}
+	}
+	if nLag <= nFresh {
+		t.Errorf("lagging request got %d kernels vs %d; want compensation", nLag, nFresh)
+	}
+}
+
+func TestGenerateSquadStopsAtRequestEnd(t *testing.T) {
+	clients := testClients(t, []float64{1.0}, "vgg11")
+	actives := activesFor(clients)
+	actives[0].nextK = clients[0].App.NumKernels() - 2
+	s := generateSquad(actives, clients, sim.Millisecond, GenerateOptions{MaxKernels: 50})
+	if s == nil {
+		t.Fatal("no squad")
+	}
+	// Only 2 kernels remained; the squad ends with the request even though
+	// the cap allows 50.
+	if s.Size() != 2 {
+		t.Errorf("squad size %d, want 2 (ends with the request's last kernel)", s.Size())
+	}
+}
+
+func TestGenerateSquadNilWhenIdle(t *testing.T) {
+	clients := testClients(t, []float64{1.0}, "vgg11")
+	actives := []*activeRequest{nil}
+	if s := generateSquad(actives, clients, 0, GenerateOptions{}); s != nil {
+		t.Error("squad generated with no active requests")
+	}
+}
+
+func TestGenerateSquadExhaustedRequestIgnored(t *testing.T) {
+	clients := testClients(t, []float64{0.5, 0.5}, "vgg11", "resnet50")
+	actives := activesFor(clients)
+	actives[0].nextK = clients[0].App.NumKernels() // fully scheduled
+	s := generateSquad(actives, clients, sim.Millisecond, GenerateOptions{MaxKernels: 10})
+	if s == nil {
+		t.Fatal("no squad")
+	}
+	for _, e := range s.Entries {
+		if e.Client == clients[0] {
+			t.Error("kernels selected from fully-scheduled request")
+		}
+	}
+}
+
+func TestGenerateSquadRoundRobinAblation(t *testing.T) {
+	// With round-robin (the ablation), quota weighting disappears: equal
+	// kernel counts despite 70/30 quotas.
+	clients := testClients(t, []float64{0.7, 0.3}, "resnet50", "resnet50")
+	actives := activesFor(clients)
+	s := generateSquad(actives, clients, sim.Millisecond, GenerateOptions{MaxKernels: 40, RoundRobin: true})
+	n0, n1 := 0, 0
+	for _, e := range s.Entries {
+		if e.Client == clients[0] {
+			n0 = len(e.Kernels)
+		} else {
+			n1 = len(e.Kernels)
+		}
+	}
+	if n0 != n1 {
+		t.Errorf("round-robin gave %d vs %d kernels; want equal", n0, n1)
+	}
+}
+
+func TestGenerateSquadAdvancesProgress(t *testing.T) {
+	clients := testClients(t, []float64{0.5, 0.5}, "vgg11", "resnet50")
+	actives := activesFor(clients)
+	s := generateSquad(actives, clients, sim.Millisecond, GenerateOptions{MaxKernels: 10})
+	total := 0
+	for _, a := range actives {
+		total += a.nextK
+	}
+	if total != s.Size() {
+		t.Errorf("nextK advanced by %d, squad size %d; must match", total, s.Size())
+	}
+	// Second squad continues where the first ended.
+	s2 := generateSquad(actives, clients, 2*sim.Millisecond, GenerateOptions{MaxKernels: 10})
+	for _, e2 := range s2.Entries {
+		for _, e1 := range s.Entries {
+			if e1.Client == e2.Client && e2.Kernels[0] != e1.Kernels[len(e1.Kernels)-1]+1 {
+				t.Errorf("%s: second squad starts at %d, first ended at %d",
+					e2.Client.App.Name, e2.Kernels[0], e1.Kernels[len(e1.Kernels)-1])
+			}
+		}
+	}
+}
+
+func TestSquadValidateCatchesCorruption(t *testing.T) {
+	clients := testClients(t, []float64{1.0}, "vgg11")
+	good := &Squad{Entries: []SquadEntry{{
+		Client:  clients[0],
+		Request: &sharing.Request{Client: clients[0]},
+		Kernels: []int{3, 4, 5},
+	}}}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid squad rejected: %v", err)
+	}
+	bad := &Squad{Entries: []SquadEntry{{
+		Client:  clients[0],
+		Request: &sharing.Request{Client: clients[0]},
+		Kernels: []int{3, 5},
+	}}}
+	if err := bad.Validate(); err == nil {
+		t.Error("non-contiguous squad accepted")
+	}
+	empty := &Squad{}
+	if err := empty.Validate(); err == nil {
+		t.Error("empty squad accepted")
+	}
+	oob := &Squad{Entries: []SquadEntry{{
+		Client:  clients[0],
+		Request: &sharing.Request{Client: clients[0]},
+		Kernels: []int{10_000},
+	}}}
+	if err := oob.Validate(); err == nil {
+		t.Error("out-of-range kernel index accepted")
+	}
+}
+
+func TestUrgencyNewRequestDominates(t *testing.T) {
+	clients := testClients(t, []float64{0.5, 0.5}, "vgg11", "resnet50")
+	fresh := &activeRequest{req: &sharing.Request{Client: clients[0], Arrival: 0}, partIdx: 8, pace: 1}
+	progressed := &activeRequest{req: &sharing.Request{Client: clients[1], Arrival: 0}, nextK: 20, partIdx: 8, pace: 1}
+	now := 5 * sim.Millisecond
+	if fresh.urgency(clients[0], now) <= progressed.urgency(clients[1], now) {
+		t.Error("request with no scheduled kernels not most urgent")
+	}
+}
+
+func TestSLOPaceStretchesExpectations(t *testing.T) {
+	clients := testClients(t, []float64{0.5}, "resnet50")
+	a := &activeRequest{req: &sharing.Request{Client: clients[0], Arrival: 0}, nextK: 40, partIdx: 8, pace: 1}
+	b := &activeRequest{req: &sharing.Request{Client: clients[0], Arrival: 0}, nextK: 40, partIdx: 8, pace: 2}
+	now := 10 * sim.Millisecond
+	// Doubled pace (relaxed SLO) doubles the expected timeline, halving
+	// urgency.
+	ua, ub := a.urgency(clients[0], now), b.urgency(clients[0], now)
+	if ub >= ua {
+		t.Errorf("relaxed-SLO urgency %g >= strict %g; want lower", ub, ua)
+	}
+}

@@ -1,0 +1,517 @@
+package harness
+
+import (
+	"fmt"
+	"math/rand"
+
+	"bless/internal/core"
+	"bless/internal/model"
+	"bless/internal/sharing"
+	"bless/internal/sim"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "fig9",
+		Title: "Fig 9: kernel-level and application-level interference",
+		Run:   runFig9,
+	})
+	register(Experiment{
+		ID:    "fig10",
+		Title: "Fig 10: estimator predictions vs actual across execution configurations (NasNet+ResNet50 squad)",
+		Run:   runFig10,
+	})
+	register(Experiment{
+		ID:    "estacc",
+		Title: "§4.4.2: aggregate estimator accuracy and optimal-configuration match rate",
+		Run:   runEstAcc,
+	})
+	register(Experiment{
+		ID:    "fig17",
+		Title: "Fig 17: kernel squad duration under SEQ / NSP / SP / Semi-SP",
+		Run:   runFig17,
+	})
+}
+
+// squadClient builds one profiled sharing.Client outside a scheduler run.
+func squadClient(id int, name string, quota float64) (*sharing.Client, error) {
+	app, err := model.Get(name)
+	if err != nil {
+		return nil, err
+	}
+	prof, err := ProfileFor(name, sim.DefaultConfig())
+	if err != nil {
+		return nil, err
+	}
+	return &sharing.Client{ID: id, App: app, Profile: prof, Quota: quota}, nil
+}
+
+// buildSquad assembles a squad from kernel ranges of two clients.
+func buildSquad(c0, c1 *sharing.Client, from0, n0, from1, n1 int) *core.Squad {
+	mk := func(from, n int) []int {
+		ks := make([]int, n)
+		for i := range ks {
+			ks[i] = from + i
+		}
+		return ks
+	}
+	return &core.Squad{Entries: []core.SquadEntry{
+		{Client: c0, Request: &sharing.Request{Client: c0}, Kernels: mk(from0, n0)},
+		{Client: c1, Request: &sharing.Request{Client: c1}, Kernels: mk(from1, n1)},
+	}}
+}
+
+// execSquad runs a squad on a fresh device under a given policy and returns
+// the measured duration (time of the last kernel completion).
+//
+// Policies: "seq" serializes all kernels through one queue; "nsp" gives each
+// entry an unrestricted context; "sp" restricts each entry to sms[i];
+// "semi" restricts the first half of each entry and redirects the rest to an
+// unrestricted context after the restricted head drains (+ context switch).
+func execSquad(s *core.Squad, policy string, sms []int) (sim.Time, error) {
+	eng := sim.NewEngine()
+	gpu := sim.NewGPU(eng, sim.DefaultConfig())
+	var last sim.Time
+	record := func(at sim.Time) {
+		if at > last {
+			last = at
+		}
+	}
+
+	switch policy {
+	case "seq":
+		ctx, err := gpu.NewContext(sim.ContextOptions{NoMemCharge: true})
+		if err != nil {
+			return 0, err
+		}
+		q := ctx.NewQueue("seq")
+		// Breadth-first interleave into ONE queue: strict serialization.
+		max := 0
+		for i := range s.Entries {
+			if n := len(s.Entries[i].Kernels); n > max {
+				max = n
+			}
+		}
+		for r := 0; r < max; r++ {
+			for i := range s.Entries {
+				e := &s.Entries[i]
+				if r < len(e.Kernels) {
+					q.Enqueue(0, &e.Client.App.Kernels[e.Kernels[r]], record)
+				}
+			}
+		}
+	case "nsp", "sp":
+		for i := range s.Entries {
+			e := &s.Entries[i]
+			limit := 0
+			if policy == "sp" {
+				limit = sms[i]
+			}
+			ctx, err := gpu.NewContext(sim.ContextOptions{SMLimit: limit, NoMemCharge: true})
+			if err != nil {
+				return 0, err
+			}
+			q := ctx.NewQueue(e.Client.App.Name)
+			for _, k := range e.Kernels {
+				q.Enqueue(0, &e.Client.App.Kernels[k], record)
+			}
+		}
+	case "semi":
+		ctxSwitch := gpu.Config().ContextSwitch
+		for i := range s.Entries {
+			e := &s.Entries[i]
+			rctx, err := gpu.NewContext(sim.ContextOptions{SMLimit: sms[i], NoMemCharge: true})
+			if err != nil {
+				return 0, err
+			}
+			uctx, err := gpu.NewContext(sim.ContextOptions{NoMemCharge: true})
+			if err != nil {
+				return 0, err
+			}
+			rq := rctx.NewQueue("head")
+			uq := uctx.NewQueue("tail")
+			split := (len(e.Kernels) + 1) / 2
+			head, tail := e.Kernels[:split], e.Kernels[split:]
+			app := e.Client.App
+			remainingHead := len(head)
+			for _, k := range head {
+				k := k
+				rq.Enqueue(0, &app.Kernels[k], func(at sim.Time) {
+					record(at)
+					remainingHead--
+					if remainingHead == 0 {
+						for _, tk := range tail {
+							uq.Enqueue(at+ctxSwitch, &app.Kernels[tk], record)
+						}
+					}
+				})
+			}
+			if len(head) == 0 {
+				for _, tk := range tail {
+					uq.Enqueue(0, &app.Kernels[tk], record)
+				}
+			}
+		}
+	default:
+		return 0, fmt.Errorf("harness: unknown squad policy %q", policy)
+	}
+	eng.Run()
+	return last, nil
+}
+
+// runFig9 measures (a) the slowdown of a compute kernel co-located with an
+// increasingly memory-intensive co-runner, and (b) application-level mutual
+// slowdown of quota-partitioned pairs.
+func runFig9(opt Options) (*Table, error) {
+	t := &Table{
+		ID:      "fig9",
+		Title:   "Interference analysis",
+		Columns: []string{"experiment", "case", "slowdown"},
+		Notes: []string{
+			"paper: kernel-level slowdown <= 2x even against highly memory-intensive co-runners; application-level average ~7%",
+		},
+	}
+
+	// (a) Kernel level: a 50%-intensity compute kernel on 54 SMs vs a
+	// co-runner on the other 54 SMs with rising memory intensity.
+	for _, mem := range []float64{0.0, 0.25, 0.5, 0.75, 1.0} {
+		base := &sim.Kernel{Name: "probe", Kind: sim.Compute, Work: 54 * sim.Millisecond, SaturationSMs: 108, MemIntensity: 0.5}
+		solo := runKernelPair(base, nil, 0)
+		co := &sim.Kernel{Name: "hog", Kind: sim.Compute, Work: 540 * sim.Millisecond, SaturationSMs: 108, MemIntensity: mem}
+		dur := runKernelPair(base, co, 0)
+		t.Rows = append(t.Rows, []string{
+			"kernel-level",
+			fmt.Sprintf("co-runner mem=%.2f", mem),
+			fmt.Sprintf("%.2fx", float64(dur)/float64(solo)),
+		})
+	}
+
+	// (b) Application level: mutual pairs under static 50/50 partitions;
+	// slowdown vs the isolated 50% latency.
+	apps := []string{"resnet50", "vgg11", "nasnet", "bert"}
+	total, n := 0.0, 0
+	for _, a := range apps {
+		for _, b := range apps {
+			if a == b {
+				continue
+			}
+			slow, err := appPairSlowdown(a, b)
+			if err != nil {
+				return nil, err
+			}
+			total += slow
+			n++
+			t.Rows = append(t.Rows, []string{
+				"app-level",
+				fmt.Sprintf("%s vs %s", a, b),
+				fmt.Sprintf("%+.1f%%", (slow-1)*100),
+			})
+		}
+	}
+	t.Rows = append(t.Rows, []string{"app-level", "average", fmt.Sprintf("%+.1f%%", (total/float64(n)-1)*100)})
+	return t, nil
+}
+
+// runKernelPair measures base's duration on a 54-SM partition, optionally
+// next to co on the other 54 SMs.
+func runKernelPair(base, co *sim.Kernel, _ int) sim.Time {
+	eng := sim.NewEngine()
+	gpu := sim.NewGPU(eng, sim.DefaultConfig())
+	ctx1, _ := gpu.NewContext(sim.ContextOptions{SMLimit: 54, NoMemCharge: true})
+	var end sim.Time
+	ctx1.NewQueue("q1").Enqueue(0, base, func(at sim.Time) { end = at })
+	if co != nil {
+		ctx2, _ := gpu.NewContext(sim.ContextOptions{SMLimit: 54, NoMemCharge: true})
+		ctx2.NewQueue("q2").Enqueue(0, co, nil)
+	}
+	eng.RunUntil(10 * sim.Second)
+	return end
+}
+
+// appPairSlowdown runs app a's full request on a 54-SM partition while app b
+// continuously occupies the other partition, and compares with a's isolated
+// 50% latency.
+func appPairSlowdown(a, b string) (float64, error) {
+	ca, err := squadClient(0, a, 0.5)
+	if err != nil {
+		return 0, err
+	}
+	cb, err := squadClient(1, b, 0.5)
+	if err != nil {
+		return 0, err
+	}
+	eng := sim.NewEngine()
+	gpu := sim.NewGPU(eng, sim.DefaultConfig())
+	ctxA, _ := gpu.NewContext(sim.ContextOptions{SMLimit: 54, NoMemCharge: true})
+	ctxB, _ := gpu.NewContext(sim.ContextOptions{SMLimit: 54, NoMemCharge: true})
+	qa, qb := ctxA.NewQueue("a"), ctxB.NewQueue("b")
+	var done sim.Time
+	for i := range ca.App.Kernels {
+		last := i == len(ca.App.Kernels)-1
+		qa.Enqueue(0, &ca.App.Kernels[i], func(at sim.Time) {
+			if last {
+				done = at
+			}
+		})
+	}
+	// b loops its request to keep pressure on for a's whole duration.
+	var loopB func(at sim.Time)
+	loopB = func(at sim.Time) {
+		for i := range cb.App.Kernels {
+			last := i == len(cb.App.Kernels)-1
+			if last {
+				qb.Enqueue(at, &cb.App.Kernels[i], func(end sim.Time) {
+					if done == 0 {
+						loopB(end)
+					}
+				})
+			} else {
+				qb.Enqueue(at, &cb.App.Kernels[i], nil)
+			}
+		}
+	}
+	loopB(0)
+	eng.RunUntil(5 * sim.Second)
+	iso := ca.Profile.IsoAtQuota(0.5)
+	return float64(done) / float64(iso), nil
+}
+
+// runFig10 sweeps the 18 execution configurations for a NasNet+ResNet50
+// squad, reporting predicted vs actual durations and the chosen optimum.
+func runFig10(opt Options) (*Table, error) {
+	t := &Table{
+		ID:      "fig10",
+		Title:   "Estimator predictions across configurations, NasNet+ResNet50 squad",
+		Columns: []string{"config", "predicted (ms)", "actual (ms)", "error"},
+		Notes: []string{
+			"paper: the predicted optimal configuration (54/54 SMs) matches the actual optimum",
+		},
+	}
+	c0, err := squadClient(0, "nasnet", 0.5)
+	if err != nil {
+		return nil, err
+	}
+	c1, err := squadClient(1, "resnet50", 0.5)
+	if err != nil {
+		return nil, err
+	}
+	s := buildSquad(c0, c1, 0, 29, 0, 40)
+
+	type point struct {
+		name      string
+		pred, act sim.Time
+	}
+	var pts []point
+	bestPred, bestAct := -1, -1
+	for p := 1; p <= 17; p++ {
+		sms := []int{108 * p / 18, 108 * (18 - p) / 18}
+		pred := core.EstimateSpatial(s, sms)
+		act, err := execSquad(s, "sp", sms)
+		if err != nil {
+			return nil, err
+		}
+		pts = append(pts, point{fmt.Sprintf("SP %d/%d", sms[0], sms[1]), pred, act})
+		if bestPred < 0 || pred < pts[bestPred].pred {
+			bestPred = len(pts) - 1
+		}
+		if bestAct < 0 || act < pts[bestAct].act {
+			bestAct = len(pts) - 1
+		}
+	}
+	nspPred := core.EstimateUnrestricted(s, 108, sim.DefaultConfig().InterferenceBeta)
+	nspAct, err := execSquad(s, "nsp", nil)
+	if err != nil {
+		return nil, err
+	}
+	pts = append(pts, point{"NSP", nspPred, nspAct})
+	if nspPred < pts[bestPred].pred {
+		bestPred = len(pts) - 1
+	}
+	if nspAct < pts[bestAct].act {
+		bestAct = len(pts) - 1
+	}
+
+	for _, p := range pts {
+		errFrac := float64(p.pred-p.act) / float64(p.act)
+		t.Rows = append(t.Rows, []string{p.name, ms(p.pred), ms(p.act), pct(errFrac)})
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("predicted optimum: %s; actual optimum: %s", pts[bestPred].name, pts[bestAct].name))
+	return t, nil
+}
+
+// runEstAcc samples many pair-wise squads, reporting both predictors' average
+// error and how often the predicted optimal configuration matches the true
+// optimum — the paper's 6.7% / 7.1% errors and 96.2% match rate.
+func runEstAcc(opt Options) (*Table, error) {
+	t := &Table{
+		ID:      "estacc",
+		Title:   "Aggregate estimator accuracy",
+		Columns: []string{"metric", "value"},
+		Notes: []string{
+			"paper: interference-free error 6.7%, workload-equivalence error 7.1% (1500 pairs); optimal-config match 96.2% (2260 groups)",
+		},
+	}
+	groups := 150
+	if opt.Quick {
+		groups = 30
+	}
+	rng := rand.New(rand.NewSource(42))
+	models := InferenceModels
+	beta := sim.DefaultConfig().InterferenceBeta
+
+	var spErr, nspErr float64
+	spN, nspN := 0, 0
+	match, near, matchN := 0, 0, 0
+	for g := 0; g < groups; g++ {
+		a := models[rng.Intn(len(models))]
+		b := models[rng.Intn(len(models))]
+		ca, err := squadClient(0, a, 0.5)
+		if err != nil {
+			return nil, err
+		}
+		cb, err := squadClient(1, b, 0.5)
+		if err != nil {
+			return nil, err
+		}
+		n0 := 5 + rng.Intn(20)
+		n1 := 5 + rng.Intn(20)
+		f0 := rng.Intn(ca.App.NumKernels() - n0)
+		f1 := rng.Intn(cb.App.NumKernels() - n1)
+		s := buildSquad(ca, cb, f0, n0, f1, n1)
+
+		// Interference-free predictor on a random strict split.
+		p := 3 + rng.Intn(12)
+		sms := []int{108 * p / 18, 108 * (18 - p) / 18}
+		pred := core.EstimateSpatial(s, sms)
+		act, err := execSquad(s, "sp", sms)
+		if err != nil {
+			return nil, err
+		}
+		spErr += absF(float64(pred-act) / float64(act))
+		spN++
+
+		// Workload-equivalence predictor.
+		nPred := core.EstimateUnrestricted(s, 108, beta)
+		nAct, err := execSquad(s, "nsp", nil)
+		if err != nil {
+			return nil, err
+		}
+		nspErr += absF(float64(nPred-nAct) / float64(nAct))
+		nspN++
+
+		// Optimal-configuration match over the full space.
+		bestPredName, bestActName := "", ""
+		var bestPred, bestAct sim.Time
+		actualOf := map[string]sim.Time{}
+		consider := func(name string, pr, ac sim.Time) {
+			actualOf[name] = ac
+			if bestPredName == "" || pr < bestPred {
+				bestPredName, bestPred = name, pr
+			}
+			if bestActName == "" || ac < bestAct {
+				bestActName, bestAct = name, ac
+			}
+		}
+		for pp := 1; pp <= 17; pp += 2 {
+			ss := []int{108 * pp / 18, 108 * (18 - pp) / 18}
+			ac, err := execSquad(s, "sp", ss)
+			if err != nil {
+				return nil, err
+			}
+			consider(fmt.Sprintf("sp%d", pp), core.EstimateSpatial(s, ss), ac)
+		}
+		consider("nsp", nPred, nAct)
+		matchN++
+		if bestPredName == bestActName {
+			match++
+		}
+		// A near-tie miss is harmless: the chosen configuration's ACTUAL
+		// duration within 5% of the true optimum.
+		if float64(actualOf[bestPredName]) <= float64(bestAct)*1.05 {
+			near++
+		}
+	}
+	t.Rows = append(t.Rows,
+		[]string{"interference-free predictor avg error", fmt.Sprintf("%.1f%%", spErr/float64(spN)*100)},
+		[]string{"workload-equivalence predictor avg error", fmt.Sprintf("%.1f%%", nspErr/float64(nspN)*100)},
+		[]string{"optimal-config exact match rate", fmt.Sprintf("%.1f%% (%d groups)", float64(match)/float64(matchN)*100, matchN)},
+		[]string{"chosen config within 5% of optimum", fmt.Sprintf("%.1f%%", float64(near)/float64(matchN)*100)},
+	)
+	return t, nil
+}
+
+func absF(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// runFig17 measures squad duration under the four execution policies for the
+// paper's three application pairs.
+func runFig17(opt Options) (*Table, error) {
+	t := &Table{
+		ID:      "fig17",
+		Title:   "Kernel squad duration by execution policy",
+		Columns: []string{"pair", "SEQ (ms)", "NSP (ms)", "SP (ms)", "Semi-SP (ms)", "Semi-SP vs SEQ"},
+		Notes: []string{
+			"paper: vs SEQ, NSP -6.5%, SP -12.9%, Semi-SP -17.6% on average; Semi-SP shortest",
+		},
+	}
+	pairs := [][2]string{{"nasnet", "bert"}, {"bert", "resnet50"}, {"nasnet", "resnet50"}}
+	for _, pair := range pairs {
+		c0, err := squadClient(0, pair[0], 0.5)
+		if err != nil {
+			return nil, err
+		}
+		c1, err := squadClient(1, pair[1], 0.5)
+		if err != nil {
+			return nil, err
+		}
+		n0 := min(25, c0.App.NumKernels())
+		n1 := min(25, c1.App.NumKernels())
+		s := buildSquad(c0, c1, 1, n0, 1, n1)
+
+		// Optimal strict split: the best spatial configuration by the
+		// interference-free estimate (the determiner's spatial search).
+		var sms []int
+		var bestEst sim.Time
+		for p := 1; p <= 17; p++ {
+			cand := []int{108 * p / 18, 108 * (18 - p) / 18}
+			if est := core.EstimateSpatial(s, cand); sms == nil || est < bestEst {
+				sms, bestEst = cand, est
+			}
+		}
+
+		seq, err := execSquad(s, "seq", nil)
+		if err != nil {
+			return nil, err
+		}
+		nsp, err := execSquad(s, "nsp", nil)
+		if err != nil {
+			return nil, err
+		}
+		sp, err := execSquad(s, "sp", sms)
+		if err != nil {
+			return nil, err
+		}
+		semi, err := execSquad(s, "semi", sms)
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{
+			pair[0] + "+" + pair[1],
+			ms(seq), ms(nsp), ms(sp), ms(semi),
+			pct(float64(semi)/float64(seq) - 1),
+		})
+	}
+	return t, nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,109 @@
+package harness
+
+import (
+	"fmt"
+
+	"bless/internal/cluster"
+	"bless/internal/sharing"
+	"bless/internal/sim"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "cluster",
+		Title: "§4.2.2 extension: multi-GPU cluster — central placement + per-device BLESS runtimes",
+		Run:   runCluster,
+	})
+}
+
+// runCluster deploys six applications across a three-GPU pool through the
+// central controller and drives closed-loop load on every tenant, reporting
+// the chosen placement and each application's latency against its
+// isolated-quota baseline.
+func runCluster(opt Options) (*Table, error) {
+	t := &Table{
+		ID:      "cluster",
+		Title:   "Three-GPU cluster deployment under per-device BLESS",
+		Columns: []string{"app", "quota", "gpu", "mean (ms)", "ISO (ms)", "vs ISO"},
+		Notes: []string{
+			"§4.2.2: BLESS extends to multiple GPUs by replicating its runtime per device; a central controller places applications by memory and kernel compatibility",
+		},
+	}
+	cfg := sim.DefaultConfig()
+	horizon := sim.Second
+	if opt.Quick {
+		horizon = 250 * sim.Millisecond
+	}
+	specs := []struct {
+		name  string
+		quota float64
+	}{
+		{"vgg11", 0.5}, {"resnet50", 0.5},
+		{"bert", 0.6}, {"resnet101", 0.4},
+		{"resnet50", 0.5}, {"vgg11", 0.5},
+	}
+	eng := sim.NewEngine()
+	clients := make([]*sharing.Client, len(specs))
+	for i, s := range specs {
+		prof, err := ProfileFor(s.name, cfg)
+		if err != nil {
+			return nil, err
+		}
+		app, err := appFor(s.name)
+		if err != nil {
+			return nil, err
+		}
+		clients[i] = &sharing.Client{ID: i, App: app, Profile: prof, Quota: s.quota}
+	}
+	cl, err := cluster.Deploy(eng, clients, cluster.Config{GPUs: 3, GPU: cfg})
+	if err != nil {
+		return nil, err
+	}
+
+	// Closed-loop load at medium intensity per app.
+	lat := make([][]sim.Time, len(clients))
+	seqs := make([]int, len(clients))
+	cl.OnComplete(func(app int, r *sharing.Request) {
+		lat[app] = append(lat[app], r.Latency())
+		prof := clients[app].Profile
+		think := sim.Time(float64(prof.Iso[prof.Partitions-1]) * 2 / 3)
+		at := r.Done + think
+		if at > horizon {
+			return
+		}
+		appIdx := app
+		eng.Schedule(at, func() {
+			seqs[appIdx]++
+			cl.Submit(appIdx, seqs[appIdx])
+		})
+	})
+	for ai := range clients {
+		ai := ai
+		eng.Schedule(0, func() { cl.Submit(ai, 0) })
+	}
+	eng.RunUntil(horizon)
+	eng.Run()
+
+	for ai, c := range clients {
+		var total sim.Time
+		for _, l := range lat[ai] {
+			total += l
+		}
+		mean := sim.Time(0)
+		if len(lat[ai]) > 0 {
+			mean = total / sim.Time(len(lat[ai]))
+		}
+		iso := c.Profile.IsoAtQuota(c.Quota)
+		t.Rows = append(t.Rows, []string{
+			c.App.Name,
+			fmt.Sprintf("%.0f%%", c.Quota*100),
+			fmt.Sprintf("gpu%d", cl.Host(ai)),
+			ms(mean), ms(iso),
+			pct(float64(mean)/float64(iso) - 1),
+		})
+	}
+	for gi, u := range cl.Utilization() {
+		t.Rows = append(t.Rows, []string{fmt.Sprintf("gpu%d", gi), "", "", "", "", fmt.Sprintf("util %.0f%%", u*100)})
+	}
+	return t, nil
+}

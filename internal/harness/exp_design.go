@@ -1,0 +1,106 @@
+package harness
+
+import (
+	"fmt"
+
+	"bless/internal/core"
+	"bless/internal/sim"
+	"bless/internal/trace"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "design",
+		Title: "Design ablation: this implementation's own scheduling choices (flush, duration cap, Semi-SP)",
+		Run:   runDesign,
+	})
+}
+
+// runDesign ablates the design decisions DESIGN.md calls out beyond the
+// paper's Fig 20: the endgame flush (which unlocks alternation at light
+// load), the pace-margin duration cap on squads (which keeps quota guards
+// responsive), and the Semi-SP mid-squad context switch. Each variant runs
+// the symmetric low-load pair where these mechanisms matter most, plus the
+// biased deployment that stresses the quota guard.
+func runDesign(opt Options) (*Table, error) {
+	t := &Table{
+		ID:      "design",
+		Title:   "Implementation design ablation",
+		Columns: []string{"variant", "R50-pair avg @C (ms)", "vs full", "biased app1 vs ISO"},
+		Notes: []string{
+			"R50 pair at workload C is the alternation showcase; the biased column is workload E's quota-guarantee stress (sparse 8/9-quota R50 vs dense 1/9 BERT)",
+		},
+	}
+	cfg := sim.DefaultConfig()
+	horizon := sim.Second
+	if opt.Quick {
+		horizon = 300 * sim.Millisecond
+	}
+
+	prof, err := ProfileFor("resnet50", cfg)
+	if err != nil {
+		return nil, err
+	}
+	solo := prof.Iso[prof.Partitions-1]
+
+	variants := []struct {
+		name string
+		opts core.Options
+	}{
+		{"full BLESS", core.DefaultOptions()},
+		{"no endgame flush", withOpt(func(o *core.Options) { o.NoFlush = true })},
+		{"no duration cap", withOpt(func(o *core.Options) { o.NoAdaptiveSizing = true })},
+		{"no Semi-SP", withOpt(func(o *core.Options) { o.DisableSemiSP = true })},
+		{"quota-guarded determiner", withOpt(func(o *core.Options) { o.QuotaGuard = true })},
+	}
+
+	var fullAvg sim.Time
+	for _, v := range variants {
+		// Alternation showcase.
+		pat := trace.Closed(solo, 0)
+		res, err := Run(RunConfig{
+			Scheduler: core.New(v.opts),
+			Clients: []ClientSpec{
+				{App: "resnet50", Quota: 0.5, Pattern: pat},
+				{App: "resnet50", Quota: 0.5, Pattern: pat},
+			},
+			Horizon: horizon,
+			GPU:     cfg,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("design %s: %w", v.name, err)
+		}
+		if v.name == "full BLESS" {
+			fullAvg = res.AvgLatency
+		}
+
+		// Quota-guard stress.
+		biased, err := Run(RunConfig{
+			Scheduler: core.New(v.opts),
+			Clients: []ClientSpec{
+				{App: "resnet50", Quota: 8.0 / 9, Pattern: trace.Closed(3*solo, 0)},
+				{App: "bert", Quota: 1.0 / 9, Pattern: trace.Closed(0, 0)},
+			},
+			Horizon: horizon,
+			GPU:     cfg,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("design %s (biased): %w", v.name, err)
+		}
+		app1 := biased.PerClient[0]
+
+		t.Rows = append(t.Rows, []string{
+			v.name,
+			ms(res.AvgLatency),
+			pct(float64(res.AvgLatency)/float64(fullAvg) - 1),
+			pct(float64(app1.Summary.Mean)/float64(app1.ISO) - 1),
+		})
+	}
+	return t, nil
+}
+
+func withOpt(mutate func(*core.Options)) core.Options {
+	o := core.DefaultOptions()
+	mutate(&o)
+	return o
+}

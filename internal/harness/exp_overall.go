@@ -1,0 +1,263 @@
+package harness
+
+import (
+	"fmt"
+
+	"bless/internal/sim"
+	"bless/internal/trace"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "fig13",
+		Title: "Fig 13: average latency of two symmetric applications with even quotas, workloads A/B/C, all systems (+ training)",
+		Run:   runFig13,
+	})
+	register(Experiment{
+		ID:    "fig14",
+		Title: "Fig 14: average latency deviation of 9 pair-wise applications across 7 uneven quota assignments",
+		Run:   runFig14,
+	})
+	register(Experiment{
+		ID:    "fig12",
+		Title: "Fig 12: latency charts of pair-wise applications across quota assignments (4 cases)",
+		Run:   runFig12,
+	})
+}
+
+// runFig13 measures the headline comparison: for each of the five inference
+// models deployed as a symmetric pair with 50/50 quotas, the per-system
+// average latency under workloads A (high), B (medium) and C (low); plus the
+// training comparison on an evenly shared pair.
+func runFig13(opt Options) (*Table, error) {
+	t := &Table{
+		ID:      "fig13",
+		Title:   "Average latency, symmetric pairs, even quotas",
+		Columns: []string{"workload", "system", "avg latency (ms)", "vs BLESS", "utilization"},
+		Notes: []string{
+			"paper: BLESS reduces inference latency by 37.3% (TEMPORAL), 34.2% (MIG), 21.1% (GSLICE), 16.5% (UNBOUND), 13.5% (REEF+) on average",
+			"paper training: BLESS -26.5% vs TEMPORAL, -7.5% vs MIG, -12.5% vs UNBOUND, -9.9% vs ZICO",
+		},
+	}
+	cfg := sim.DefaultConfig()
+	horizon := 2 * sim.Second
+	models := InferenceModels
+	if opt.Quick {
+		horizon = 300 * sim.Millisecond
+		models = models[:2]
+	}
+
+	workloads := []string{"A", "B", "C"}
+	for _, w := range workloads {
+		avgs := map[string][]sim.Time{}
+		utils := map[string][]float64{}
+		for _, m := range models {
+			pat, err := closedLoadPattern(m, w, cfg)
+			if err != nil {
+				return nil, err
+			}
+			for _, sys := range InferenceSystems {
+				res, err := runPairSystem(sys, [2]string{m, m}, [2]float64{0.5, 0.5},
+					[2]trace.Pattern{pat, pat}, horizon, cfg)
+				if err != nil {
+					return nil, fmt.Errorf("fig13 %s/%s/%s: %w", w, m, sys, err)
+				}
+				avgs[sys] = append(avgs[sys], res.AvgLatency)
+				utils[sys] = append(utils[sys], res.Utilization)
+			}
+		}
+		var bless sim.Time
+		if l := avgs["BLESS"]; len(l) > 0 {
+			bless = meanT(l)
+		}
+		for _, sys := range InferenceSystems {
+			m := meanT(avgs[sys])
+			t.Rows = append(t.Rows, []string{
+				w, sys, ms(m),
+				pct(float64(m)/float64(bless) - 1),
+				fmt.Sprintf("%.2f", meanF(utils[sys])),
+			})
+		}
+	}
+
+	// Training: two models evenly sharing, closed-loop back-to-back
+	// iterations (training runs continuously).
+	trainPair := [2]string{"vgg11-train", "resnet50-train"}
+	type trainOutcome struct {
+		avg  sim.Time
+		util float64
+	}
+	outcomes := map[string]trainOutcome{}
+	for _, sys := range TrainingSystems {
+		pats := [2]trace.Pattern{trace.Closed(0, 0), trace.Closed(0, 0)}
+		res, err := runPairSystem(sys, trainPair, [2]float64{0.5, 0.5}, pats, horizon, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("fig13 training/%s: %w", sys, err)
+		}
+		outcomes[sys] = trainOutcome{avg: res.AvgLatency, util: res.Utilization}
+	}
+	blessTrain := outcomes["BLESS"].avg
+	for _, sys := range TrainingSystems {
+		o := outcomes[sys]
+		t.Rows = append(t.Rows, []string{
+			"train", sys, ms(o.avg),
+			pct(float64(o.avg)/float64(blessTrain) - 1),
+			fmt.Sprintf("%.2f", o.util),
+		})
+	}
+	return t, nil
+}
+
+// runFig14 sweeps the 9 pair-wise deployments (5 symmetric + 4 asymmetric
+// R50+other) over Table 2's seven quota assignments and reports each system's
+// average latency deviation. MIG rows cover only the assignments its slicing
+// can express.
+func runFig14(opt Options) (*Table, error) {
+	t := &Table{
+		ID:      "fig14",
+		Title:   "Average latency deviation across uneven quota assignments",
+		Columns: []string{"system", "avg deviation (ms)", "quota configs supported"},
+		Notes: []string{
+			"paper: TEMPORAL 14.3ms, GSLICE 2.1ms, BLESS 0.6ms average deviation; MIG cannot express the diverse quotas",
+			"deviation = sum_j max(mean_latency_j - ISO_j, 0), averaged over pairs x quota configs",
+		},
+	}
+	cfg := sim.DefaultConfig()
+	horizon := sim.Second
+	pairs := ninePairs()
+	quotaSet := PairQuotas
+	if opt.Quick {
+		horizon = 250 * sim.Millisecond
+		pairs = pairs[:2]
+		quotaSet = [][2]float64{{1.0 / 3, 2.0 / 3}, {0.5, 0.5}}
+	}
+
+	systems := []string{"TEMPORAL", "MIG", "GSLICE", "UNBOUND", "REEF+", "BLESS"}
+	for _, sys := range systems {
+		var devs []sim.Time
+		supported := 0
+		total := 0
+		for _, pair := range pairs {
+			for _, q := range quotaSet {
+				total++
+				p0, err := closedLoadPattern(pair[0], "B", cfg)
+				if err != nil {
+					return nil, err
+				}
+				p1, err := closedLoadPattern(pair[1], "B", cfg)
+				if err != nil {
+					return nil, err
+				}
+				res, err := runPairSystem(sys, pair, q, [2]trace.Pattern{p0, p1}, horizon, cfg)
+				if err != nil {
+					continue // unsupported (e.g. MIG quota)
+				}
+				supported++
+				devs = append(devs, res.Deviation)
+			}
+		}
+		row := []string{sys, "n/a", fmt.Sprintf("%d/%d", supported, total)}
+		if len(devs) > 0 {
+			row[1] = ms(meanT(devs))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// runFig12 produces the latency-chart data: for four representative pair
+// deployments, the (lat1, lat2) coordinates across the seven quota
+// assignments, next to the ISO bound.
+func runFig12(opt Options) (*Table, error) {
+	t := &Table{
+		ID:      "fig12",
+		Title:   "Latency charts: per-quota (app1, app2) average latencies under BLESS vs the ISO bound",
+		Columns: []string{"case", "quota split", "lat1 (ms)", "iso1 (ms)", "lat2 (ms)", "iso2 (ms)", "inside ISO region"},
+		Notes: []string{
+			"paper: under all quota assignments the BLESS latency pair is dominated by the ISO pair (Fig 12)",
+			"case a/b: symmetric R50 pair at workloads B and C; case c: homogeneous kernels (R50+R101); case d: heterogeneous kernels (VGG11+BERT)",
+		},
+	}
+	cfg := sim.DefaultConfig()
+	horizon := sim.Second
+	quotaSet := PairQuotas
+	if opt.Quick {
+		horizon = 250 * sim.Millisecond
+		quotaSet = [][2]float64{{1.0 / 3, 2.0 / 3}, {0.5, 0.5}, {2.0 / 3, 1.0 / 3}}
+	}
+	cases := []struct {
+		name     string
+		apps     [2]string
+		workload string
+	}{
+		{"a:R50+R50/B", [2]string{"resnet50", "resnet50"}, "B"},
+		{"b:R50+R50/C", [2]string{"resnet50", "resnet50"}, "C"},
+		{"c:R50+R101/B", [2]string{"resnet50", "resnet101"}, "B"},
+		{"d:VGG+BERT/B", [2]string{"vgg11", "bert"}, "B"},
+	}
+	for _, c := range cases {
+		for _, q := range quotaSet {
+			p0, err := closedLoadPattern(c.apps[0], c.workload, cfg)
+			if err != nil {
+				return nil, err
+			}
+			p1, err := closedLoadPattern(c.apps[1], c.workload, cfg)
+			if err != nil {
+				return nil, err
+			}
+			res, err := runPairSystem("BLESS", c.apps, q, [2]trace.Pattern{p0, p1}, horizon, cfg)
+			if err != nil {
+				return nil, err
+			}
+			l1, l2 := res.PerClient[0].Summary.Mean, res.PerClient[1].Summary.Mean
+			i1, i2 := res.PerClient[0].ISO, res.PerClient[1].ISO
+			inside := "yes"
+			if l1 > i1 || l2 > i2 {
+				inside = "no"
+			}
+			t.Rows = append(t.Rows, []string{
+				c.name,
+				fmt.Sprintf("%.2f/%.2f", q[0], q[1]),
+				ms(l1), ms(i1), ms(l2), ms(i2), inside,
+			})
+		}
+	}
+	return t, nil
+}
+
+// ninePairs returns the paper's 9 pair-wise deployments: the five symmetric
+// pairs plus ResNet50 against each of the other four models.
+func ninePairs() [][2]string {
+	var out [][2]string
+	for _, m := range InferenceModels {
+		out = append(out, [2]string{m, m})
+	}
+	for _, m := range InferenceModels {
+		if m != "resnet50" {
+			out = append(out, [2]string{"resnet50", m})
+		}
+	}
+	return out
+}
+
+func meanT(ts []sim.Time) sim.Time {
+	if len(ts) == 0 {
+		return 0
+	}
+	var total sim.Time
+	for _, t := range ts {
+		total += t
+	}
+	return total / sim.Time(len(ts))
+}
+
+func meanF(fs []float64) float64 {
+	if len(fs) == 0 {
+		return 0
+	}
+	total := 0.0
+	for _, f := range fs {
+		total += f
+	}
+	return total / float64(len(fs))
+}

@@ -1,0 +1,124 @@
+package harness
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"bless/internal/sim"
+)
+
+// Table is a rendered experiment artifact: the rows/series of one paper
+// table or figure.
+type Table struct {
+	// ID is the experiment identifier ("fig13", "table1", ...).
+	ID string
+	// Title describes the artifact.
+	Title string
+	// Columns are the header cells.
+	Columns []string
+	// Rows are the data cells, stringified.
+	Rows [][]string
+	// Notes carry commentary: paper reference values, substitutions,
+	// caveats.
+	Notes []string
+}
+
+// Render formats the table as aligned plain text.
+func (t *Table) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			w := 0
+			if i < len(widths) {
+				w = widths[i]
+			}
+			fmt.Fprintf(&b, "%-*s", w+2, c)
+		}
+		b.WriteString("\n")
+	}
+	line(t.Columns)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Options tunes experiment execution.
+type Options struct {
+	// Quick shrinks horizons and sweep densities for tests and smoke runs;
+	// the shapes remain, absolute statistics get noisier.
+	Quick bool
+}
+
+// Experiment is one reproducible paper artifact.
+type Experiment struct {
+	// ID is the registry key ("fig13").
+	ID string
+	// Title describes what is reproduced.
+	Title string
+	// Run executes the experiment.
+	Run func(opt Options) (*Table, error)
+}
+
+var registry = map[string]Experiment{}
+
+func register(e Experiment) {
+	if _, dup := registry[e.ID]; dup {
+		panic("harness: duplicate experiment id " + e.ID)
+	}
+	registry[e.ID] = e
+}
+
+// Experiments lists registered experiments sorted by ID.
+func Experiments() []Experiment {
+	out := make([]Experiment, 0, len(registry))
+	for _, e := range registry {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Lookup finds an experiment by ID.
+func Lookup(id string) (Experiment, error) {
+	e, ok := registry[id]
+	if !ok {
+		ids := make([]string, 0, len(registry))
+		for k := range registry {
+			ids = append(ids, k)
+		}
+		sort.Strings(ids)
+		return Experiment{}, fmt.Errorf("harness: unknown experiment %q (have %s)", id, strings.Join(ids, ", "))
+	}
+	return e, nil
+}
+
+// ms renders virtual time as milliseconds with two decimals.
+func ms(t sim.Time) string { return fmt.Sprintf("%.2f", t.Milliseconds()) }
+
+// pct renders a ratio as a signed percentage.
+func pct(f float64) string { return fmt.Sprintf("%+.1f%%", f*100) }
+
+// reduction computes 1 - new/old, the paper's "latency reduction" metric.
+func reduction(baseline, system sim.Time) float64 {
+	if baseline <= 0 {
+		return 0
+	}
+	return 1 - float64(system)/float64(baseline)
+}

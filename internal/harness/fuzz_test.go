@@ -1,0 +1,165 @@
+package harness
+
+import (
+	"math/rand"
+	"testing"
+
+	"bless/internal/sim"
+	"bless/internal/trace"
+)
+
+// TestRandomDeploymentsInvariants throws randomized deployments and workloads
+// at every scheduler and checks the invariants no configuration may break:
+// every submitted request completes exactly once, completions are FIFO per
+// client, and a repeated run is bit-identical.
+func TestRandomDeploymentsInvariants(t *testing.T) {
+	systems := []string{"BLESS", "STATIC", "GSLICE", "UNBOUND", "TEMPORAL", "REEF+"}
+	models := []string{"vgg11", "resnet50", "resnet101", "bert"}
+	rng := rand.New(rand.NewSource(2024))
+
+	for trial := 0; trial < 12; trial++ {
+		// Random deployment: 2-4 clients, random quota split.
+		n := 2 + rng.Intn(3)
+		cuts := make([]float64, n-1)
+		for i := range cuts {
+			cuts[i] = 0.1 + 0.8*rng.Float64()
+		}
+		quotas := make([]float64, n)
+		rem := 1.0
+		for i := 0; i < n-1; i++ {
+			q := rem * (0.2 + 0.6*rng.Float64()) / float64(n-i)
+			if q < 0.05 {
+				q = 0.05
+			}
+			quotas[i] = q
+			rem -= q
+		}
+		quotas[n-1] = rem
+
+		specs := make([]ClientSpec, n)
+		for i := range specs {
+			app := models[rng.Intn(len(models))]
+			var pat trace.Pattern
+			switch rng.Intn(3) {
+			case 0:
+				pat = trace.Closed(sim.Time(2+rng.Intn(20))*sim.Millisecond, 0)
+			case 1:
+				pat = trace.Poisson(10+20*rng.Float64(), 150*sim.Millisecond, int64(trial*10+i))
+			default:
+				pat = trace.Burst(1+rng.Intn(3), sim.Time(rng.Intn(20))*sim.Millisecond)
+			}
+			specs[i] = ClientSpec{App: app, Quota: quotas[i], Pattern: pat}
+		}
+		sys := systems[trial%len(systems)]
+
+		run := func() *Result {
+			sched, err := NewSystem(sys)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := Run(RunConfig{Scheduler: sched, Clients: specs, Horizon: 150 * sim.Millisecond})
+			if err != nil {
+				t.Fatalf("trial %d (%s): %v", trial, sys, err)
+			}
+			return res
+		}
+		r1 := run()
+		for i, cr := range r1.PerClient {
+			if cr.Completed != cr.Submitted {
+				t.Errorf("trial %d (%s) client %d: %d submitted, %d completed",
+					trial, sys, i, cr.Submitted, cr.Completed)
+			}
+			for _, l := range cr.Latencies {
+				if l <= 0 {
+					t.Errorf("trial %d (%s) client %d: non-positive latency %v", trial, sys, i, l)
+				}
+			}
+		}
+		if r1.Utilization < 0 || r1.Utilization > 1.0+1e-9 {
+			t.Errorf("trial %d (%s): utilization %g out of range", trial, sys, r1.Utilization)
+		}
+
+		// Determinism.
+		r2 := run()
+		if r1.AvgLatency != r2.AvgLatency || r1.Elapsed != r2.Elapsed {
+			t.Errorf("trial %d (%s): repeat run diverged (%v/%v vs %v/%v)",
+				trial, sys, r1.AvgLatency, r1.Elapsed, r2.AvgLatency, r2.Elapsed)
+		}
+	}
+}
+
+// TestBLESSQuotaPaceUnderPressure verifies the quota machinery end-to-end:
+// with one client hammered by a dense peer, its average latency stays within
+// the flush-slack envelope of its quota-isolated target across many random
+// quota splits.
+func TestBLESSQuotaPaceUnderPressure(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 6; trial++ {
+		q := 0.3 + 0.5*rng.Float64()
+		sched, err := NewSystem("BLESS")
+		if err != nil {
+			t.Fatal(err)
+		}
+		prof, err := ProfileFor("resnet50", sim.DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Run(RunConfig{
+			Scheduler: sched,
+			Clients: []ClientSpec{
+				// Protected client: closed loop at its quota-isolated pace.
+				{App: "resnet50", Quota: q, Pattern: trace.Closed(prof.IsoAtQuota(q), 0)},
+				// Dense aggressor.
+				{App: "bert", Quota: 1 - q, Pattern: trace.Closed(0, 0)},
+			},
+			Horizon: 500 * sim.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		iso := res.PerClient[0].ISO
+		mean := res.PerClient[0].Summary.Mean
+		// The flush gate bounds per-request harm at ~1.15x the quota target
+		// plus one un-preemptable squad; allow 25% end to end.
+		if mean > iso+iso/4 {
+			t.Errorf("quota %.2f: mean %v exceeds ISO %v by more than 25%%", q, mean, iso)
+		}
+	}
+}
+
+// TestLoadCQuotaSweepInsideISO guards the headline Fig 12 property: at low
+// load, both clients of an R50 pair sit inside the ISO region (each mean
+// latency at or below its quota-isolated baseline) across quota splits.
+func TestLoadCQuotaSweepInsideISO(t *testing.T) {
+	cfg := sim.DefaultConfig()
+	prof, err := ProfileFor("resnet50", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	solo := prof.Iso[prof.Partitions-1]
+	for _, q := range []float64{1.0 / 3, 0.5, 2.0 / 3} {
+		sched, err := NewSystem("BLESS")
+		if err != nil {
+			t.Fatal(err)
+		}
+		pat := trace.Closed(solo, 0) // workload C
+		res, err := Run(RunConfig{
+			Scheduler: sched,
+			Clients: []ClientSpec{
+				{App: "resnet50", Quota: q, Pattern: pat},
+				{App: "resnet50", Quota: 1 - q, Pattern: pat},
+			},
+			Horizon: 500 * sim.Millisecond,
+			GPU:     cfg,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, cr := range res.PerClient {
+			if cr.Summary.Mean > cr.ISO {
+				t.Errorf("quota %.2f client %d: mean %v above ISO %v (outside the Fig 12 region)",
+					q, i, cr.Summary.Mean, cr.ISO)
+			}
+		}
+	}
+}

@@ -1,0 +1,229 @@
+// Package harness runs GPU-sharing experiments: it wires applications,
+// offline profiles, workload patterns and a scheduler onto one simulated
+// device, collects per-client latency distributions, and implements one
+// experiment entry per table and figure of the paper's evaluation (§6). The
+// cmd/blessbench binary and the repository-root benchmarks are thin wrappers
+// over this package.
+package harness
+
+import (
+	"fmt"
+	"sync"
+
+	"bless/internal/metrics"
+	"bless/internal/model"
+	"bless/internal/profiler"
+	"bless/internal/sharing"
+	"bless/internal/sim"
+	"bless/internal/trace"
+)
+
+// ClientSpec declares one deployed application.
+type ClientSpec struct {
+	// App is the catalog application name (see model.Names).
+	App string
+	// Quota is the provisioned GPU fraction in (0, 1].
+	Quota float64
+	// SLOTarget, when non-zero, replaces the ISO latency as the pace target.
+	SLOTarget sim.Time
+	// Pattern is the client's arrival process.
+	Pattern trace.Pattern
+}
+
+// RunConfig describes one experiment run.
+type RunConfig struct {
+	// Scheduler is the system under test.
+	Scheduler sharing.Scheduler
+	// Clients are the deployed applications with their workloads.
+	Clients []ClientSpec
+	// Horizon bounds request generation; the run then drains in-flight work.
+	Horizon sim.Time
+	// GPU overrides the device configuration (zero value = DefaultConfig).
+	GPU sim.Config
+	// Tracer, if set, observes every kernel execution (timeline capture).
+	Tracer sim.Tracer
+}
+
+// ClientResult aggregates one client's outcome.
+type ClientResult struct {
+	// App is the application name.
+	App string
+	// Quota is the provisioned fraction.
+	Quota float64
+	// Latencies are per-request latencies in completion order.
+	Latencies []sim.Time
+	// Summary distills Latencies.
+	Summary metrics.Summary
+	// ISO is the isolated-quota latency target T[n%] from the profile.
+	ISO sim.Time
+	// Submitted and Completed count requests.
+	Submitted, Completed int
+}
+
+// Result is one experiment run's outcome.
+type Result struct {
+	// System is the scheduler's name.
+	System string
+	// PerClient holds per-application results, in deployment order.
+	PerClient []ClientResult
+	// AvgLatency is the mean of per-application mean latencies (§6.2).
+	AvgLatency sim.Time
+	// Deviation is the average-latency-deviation metric (§6.2).
+	Deviation sim.Time
+	// Utilization is the device's average SM utilization over the run.
+	Utilization float64
+	// Elapsed is the virtual time at drain.
+	Elapsed sim.Time
+}
+
+// profileCache memoizes offline profiles per (app, device-SMs, partitions);
+// profiling is deterministic, so sharing across runs is sound. It makes the
+// benchmark harness tractable: Table 2 sweeps profile the same five apps
+// hundreds of times otherwise.
+var profileCache sync.Map // key string -> *profiler.Profile
+
+// ProfileFor returns the (cached) offline profile of a catalog application on
+// the given device.
+func ProfileFor(appName string, cfg sim.Config) (*profiler.Profile, error) {
+	key := fmt.Sprintf("%s/%d/%d", appName, cfg.SMs, profiler.DefaultPartitions)
+	if p, ok := profileCache.Load(key); ok {
+		return p.(*profiler.Profile), nil
+	}
+	app, err := model.Get(appName)
+	if err != nil {
+		return nil, err
+	}
+	p, err := profiler.ProfileApp(app, profiler.Options{Config: cfg})
+	if err != nil {
+		return nil, err
+	}
+	profileCache.Store(key, p)
+	return p, nil
+}
+
+// appFor returns a fresh copy of a catalog application.
+func appFor(name string) (*model.App, error) {
+	return model.Get(name)
+}
+
+// Run executes one experiment and returns its result. Deterministic for a
+// given configuration.
+func Run(cfg RunConfig) (*Result, error) {
+	if cfg.Scheduler == nil {
+		return nil, fmt.Errorf("harness: no scheduler")
+	}
+	if len(cfg.Clients) == 0 {
+		return nil, fmt.Errorf("harness: no clients")
+	}
+	gpuCfg := cfg.GPU
+	if gpuCfg.SMs == 0 {
+		gpuCfg = sim.DefaultConfig()
+	}
+	horizon := cfg.Horizon
+	if horizon <= 0 {
+		horizon = sim.Second
+	}
+
+	eng := sim.NewEngine()
+	gpu := sim.NewGPU(eng, gpuCfg)
+	if cfg.Tracer != nil {
+		gpu.SetTracer(cfg.Tracer)
+	}
+	clients := make([]*sharing.Client, len(cfg.Clients))
+	results := make([]ClientResult, len(cfg.Clients))
+	for i, spec := range cfg.Clients {
+		app, err := model.Get(spec.App)
+		if err != nil {
+			return nil, fmt.Errorf("harness: %w", err)
+		}
+		prof, err := ProfileFor(spec.App, gpuCfg)
+		if err != nil {
+			return nil, fmt.Errorf("harness: profiling %s: %w", spec.App, err)
+		}
+		clients[i] = &sharing.Client{
+			ID:        i,
+			App:       app,
+			Profile:   prof,
+			Quota:     spec.Quota,
+			SLOTarget: spec.SLOTarget,
+		}
+		results[i] = ClientResult{
+			App:   spec.App,
+			Quota: spec.Quota,
+			ISO:   prof.IsoAtQuota(spec.Quota),
+		}
+	}
+
+	env := &sharing.Env{Eng: eng, GPU: gpu, Clients: clients}
+	sched := cfg.Scheduler
+
+	// Completion hook: record latency and keep closed loops spinning.
+	seqs := make([]int, len(clients))
+	env.OnComplete = func(r *sharing.Request) {
+		cr := &results[r.Client.ID]
+		cr.Latencies = append(cr.Latencies, r.Latency())
+		cr.Completed++
+		p := &cfg.Clients[r.Client.ID].Pattern
+		if p.ClosedLoop() {
+			id := r.Client.ID
+			if p.Limit > 0 && seqs[id] >= p.Limit {
+				return
+			}
+			at := r.Done + p.Think
+			if at > horizon {
+				return
+			}
+			submitAt(env, sched, clients[id], &seqs[id], at, &results[id])
+		}
+	}
+
+	if err := sched.Deploy(env); err != nil {
+		return nil, fmt.Errorf("harness: deploy %s: %w", sched.Name(), err)
+	}
+
+	// Seed arrivals.
+	for i := range cfg.Clients {
+		p := &cfg.Clients[i].Pattern
+		if p.ClosedLoop() {
+			submitAt(env, sched, clients[i], &seqs[i], 0, &results[i])
+			continue
+		}
+		for _, at := range p.Arrivals {
+			if at > horizon {
+				break
+			}
+			submitAt(env, sched, clients[i], &seqs[i], at, &results[i])
+		}
+	}
+
+	// Run to the horizon, then drain in-flight work.
+	eng.RunUntil(horizon)
+	eng.Run()
+
+	res := &Result{System: sched.Name(), Elapsed: eng.Now(), Utilization: gpu.Utilization()}
+	perApp := make([][]sim.Time, len(results))
+	sys := make([]sim.Time, len(results))
+	iso := make([]sim.Time, len(results))
+	for i := range results {
+		results[i].Summary = metrics.Summarize(results[i].Latencies)
+		perApp[i] = results[i].Latencies
+		sys[i] = results[i].Summary.Mean
+		iso[i] = results[i].ISO
+	}
+	res.PerClient = results
+	res.AvgLatency = metrics.MeanOfMeans(perApp)
+	dev, err := metrics.Deviation(sys, iso)
+	if err != nil {
+		return nil, err
+	}
+	res.Deviation = dev
+	return res, nil
+}
+
+// submitAt schedules one request submission.
+func submitAt(env *sharing.Env, s sharing.Scheduler, c *sharing.Client, seq *int, at sim.Time, cr *ClientResult) {
+	r := &sharing.Request{Client: c, Seq: *seq, Arrival: at}
+	*seq++
+	cr.Submitted++
+	env.Eng.Schedule(at, func() { s.Submit(r) })
+}

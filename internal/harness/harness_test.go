@@ -1,0 +1,204 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"bless/internal/sim"
+	"bless/internal/trace"
+)
+
+func TestRunClosedLoopPair(t *testing.T) {
+	sched, err := NewSystem("BLESS")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(RunConfig{
+		Scheduler: sched,
+		Clients: []ClientSpec{
+			{App: "vgg11", Quota: 0.5, Pattern: trace.Closed(10*sim.Millisecond, 0)},
+			{App: "resnet50", Quota: 0.5, Pattern: trace.Closed(9*sim.Millisecond, 0)},
+		},
+		Horizon: 200 * sim.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, cr := range res.PerClient {
+		if cr.Completed < 3 {
+			t.Errorf("client %d completed %d requests, want >= 3", i, cr.Completed)
+		}
+		if cr.Submitted != cr.Completed {
+			t.Errorf("client %d submitted %d but completed %d; drain incomplete", i, cr.Submitted, cr.Completed)
+		}
+		if cr.ISO <= 0 {
+			t.Errorf("client %d missing ISO target", i)
+		}
+	}
+	if res.AvgLatency <= 0 {
+		t.Error("no average latency")
+	}
+	if res.Utilization <= 0 || res.Utilization > 1 {
+		t.Errorf("utilization %g out of range", res.Utilization)
+	}
+}
+
+func TestRunOpenLoopDrainsAfterHorizon(t *testing.T) {
+	sched, err := NewSystem("STATIC")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(RunConfig{
+		Scheduler: sched,
+		Clients: []ClientSpec{
+			{App: "vgg11", Quota: 0.5, Pattern: trace.Periodic(20*sim.Millisecond, 0, 100*sim.Millisecond)},
+			{App: "resnet50", Quota: 0.5, Pattern: trace.Burst(2, 95*sim.Millisecond)},
+		},
+		Horizon: 100 * sim.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Periodic: arrivals at 0,20,...,100 -> 6 requests; burst: 2 requests
+	// at 95ms, completing past the horizon during drain.
+	if res.PerClient[0].Completed != 6 {
+		t.Errorf("periodic client completed %d, want 6", res.PerClient[0].Completed)
+	}
+	if res.PerClient[1].Completed != 2 {
+		t.Errorf("burst client completed %d, want 2", res.PerClient[1].Completed)
+	}
+	if res.Elapsed <= 100*sim.Millisecond {
+		t.Errorf("elapsed %v; drain did not extend past the horizon", res.Elapsed)
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	run := func() sim.Time {
+		sched, _ := NewSystem("BLESS")
+		res, err := Run(RunConfig{
+			Scheduler: sched,
+			Clients: []ClientSpec{
+				{App: "resnet50", Quota: 0.5, Pattern: trace.Poisson(80, 150*sim.Millisecond, 5)},
+				{App: "bert", Quota: 0.5, Pattern: trace.Poisson(40, 150*sim.Millisecond, 6)},
+			},
+			Horizon: 150 * sim.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.AvgLatency
+	}
+	if a, b := run(), run(); a != b {
+		t.Errorf("identical configs produced different results: %v vs %v", a, b)
+	}
+}
+
+func TestRunRejectsBadConfig(t *testing.T) {
+	if _, err := Run(RunConfig{}); err == nil {
+		t.Error("empty config accepted")
+	}
+	sched, _ := NewSystem("BLESS")
+	if _, err := Run(RunConfig{Scheduler: sched}); err == nil {
+		t.Error("clientless config accepted")
+	}
+	sched2, _ := NewSystem("BLESS")
+	if _, err := Run(RunConfig{
+		Scheduler: sched2,
+		Clients:   []ClientSpec{{App: "nope", Quota: 0.5, Pattern: trace.Burst(1, 0)}},
+	}); err == nil {
+		t.Error("unknown app accepted")
+	}
+}
+
+func TestNewSystemNames(t *testing.T) {
+	for _, name := range append(append([]string{}, InferenceSystems...), "ZICO", "STATIC", "BLESS-noSched", "BLESS-noDet") {
+		if _, err := NewSystem(name); err != nil {
+			t.Errorf("NewSystem(%q): %v", name, err)
+		}
+	}
+	if _, err := NewSystem("nope"); err == nil {
+		t.Error("unknown system accepted")
+	}
+}
+
+func TestProfileForCachesDeterministically(t *testing.T) {
+	cfg := sim.DefaultConfig()
+	p1, err := ProfileFor("vgg11", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := ProfileFor("vgg11", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1 != p2 {
+		t.Error("cache returned distinct profiles for identical keys")
+	}
+	if _, err := ProfileFor("nope", cfg); err == nil {
+		t.Error("unknown app accepted")
+	}
+}
+
+func TestExperimentRegistry(t *testing.T) {
+	exps := Experiments()
+	want := []string{"cluster", "design", "estacc", "fig1", "fig10", "fig12", "fig13",
+		"fig14", "fig15", "fig16", "fig17", "fig18", "fig19a", "fig19b",
+		"fig19c", "fig20", "fig3", "fig9", "llm", "overhead", "slo",
+		"table1", "traces"}
+	if len(exps) != len(want) {
+		t.Fatalf("%d experiments registered, want %d", len(exps), len(want))
+	}
+	for i, e := range exps {
+		if e.ID != want[i] {
+			t.Errorf("experiment %d = %q, want %q", i, e.ID, want[i])
+		}
+		if e.Title == "" || e.Run == nil {
+			t.Errorf("experiment %q incomplete", e.ID)
+		}
+	}
+	if _, err := Lookup("fig13"); err != nil {
+		t.Error(err)
+	}
+	if _, err := Lookup("nope"); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tb := &Table{
+		ID:      "x",
+		Title:   "test",
+		Columns: []string{"a", "bbbb"},
+		Rows:    [][]string{{"1", "2"}, {"333", "4"}},
+		Notes:   []string{"a note"},
+	}
+	out := tb.Render()
+	for _, want := range []string{"== x: test ==", "bbbb", "333", "note: a note"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestQuickExperimentsSmoke runs every registered experiment in quick mode —
+// the end-to-end integration test of the whole repository.
+func TestQuickExperimentsSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("quick experiments still take seconds")
+	}
+	for _, e := range Experiments() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			tb, err := e.Run(Options{Quick: true})
+			if err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			if len(tb.Rows) == 0 {
+				t.Errorf("%s produced no rows", e.ID)
+			}
+			if tb.Render() == "" {
+				t.Errorf("%s rendered empty", e.ID)
+			}
+		})
+	}
+}

@@ -1,0 +1,112 @@
+package harness
+
+import (
+	"fmt"
+
+	"bless/internal/baselines"
+	"bless/internal/core"
+	"bless/internal/sharing"
+	"bless/internal/sim"
+	"bless/internal/trace"
+)
+
+// InferenceModels are the five Table 1 inference applications, in the
+// paper's order.
+var InferenceModels = []string{"vgg11", "resnet50", "resnet101", "nasnet", "bert"}
+
+// TrainingModels are the five Table 1 training applications.
+var TrainingModels = []string{"vgg11-train", "resnet50-train", "resnet101-train", "nasnet-train", "bert-train"}
+
+// PairQuotas are Table 2's seven 2-model quota assignments.
+var PairQuotas = [][2]float64{
+	{1.0 / 3, 2.0 / 3},
+	{7.0 / 18, 11.0 / 18},
+	{4.0 / 9, 5.0 / 9},
+	{0.5, 0.5},
+	{5.0 / 9, 4.0 / 9},
+	{11.0 / 18, 7.0 / 18},
+	{2.0 / 3, 1.0 / 3},
+}
+
+// FourModelQuotas is Table 2's 4-model assignment.
+var FourModelQuotas = []float64{0.10, 0.20, 0.30, 0.40}
+
+// EightModelQuotas is Table 2's 8-model assignment.
+var EightModelQuotas = []float64{0.05, 0.05, 0.10, 0.10, 0.15, 0.15, 0.20, 0.20}
+
+// NewSystem constructs a fresh scheduler by name. Each Run needs a fresh
+// instance (schedulers hold per-run device state).
+func NewSystem(name string) (sharing.Scheduler, error) {
+	switch name {
+	case "BLESS":
+		return core.New(core.DefaultOptions()), nil
+	case "BLESS-noSched":
+		o := core.DefaultOptions()
+		o.DisableFairSelection = true
+		return core.New(o), nil
+	case "BLESS-noDet":
+		o := core.DefaultOptions()
+		o.DisableDeterminer = true
+		return core.New(o), nil
+	case "TEMPORAL":
+		return baselines.NewTemporal(), nil
+	case "MIG":
+		return baselines.NewMIG(), nil
+	case "GSLICE":
+		return baselines.NewGSlice(), nil
+	case "STATIC":
+		return baselines.NewStatic(), nil
+	case "UNBOUND":
+		return baselines.NewUnbound(), nil
+	case "REEF+":
+		return baselines.NewREEFPlus(), nil
+	case "ZICO":
+		return baselines.NewZico(), nil
+	default:
+		return nil, fmt.Errorf("harness: unknown system %q", name)
+	}
+}
+
+// InferenceSystems are the systems compared on inference workloads (§6.1).
+var InferenceSystems = []string{"TEMPORAL", "MIG", "GSLICE", "UNBOUND", "REEF+", "BLESS"}
+
+// TrainingSystems are the systems compared on training workloads.
+var TrainingSystems = []string{"TEMPORAL", "MIG", "UNBOUND", "ZICO", "BLESS"}
+
+// loadFrac maps Table 2's workloads A/B/C to their closed-loop think-time
+// fraction of the solo-run latency.
+var loadFrac = map[string]float64{"A": 1.0 / 3, "B": 2.0 / 3, "C": 1.0}
+
+// closedLoadPattern builds the closed-loop pattern of workload w for an app,
+// with think time = frac x solo full-GPU latency (the QPS convention of §6.1,
+// matching REEF's low load at workload C).
+func closedLoadPattern(appName, w string, cfg sim.Config) (trace.Pattern, error) {
+	frac, ok := loadFrac[w]
+	if !ok {
+		return trace.Pattern{}, fmt.Errorf("harness: unknown workload %q", w)
+	}
+	prof, err := ProfileFor(appName, cfg)
+	if err != nil {
+		return trace.Pattern{}, err
+	}
+	solo := prof.Iso[prof.Partitions-1]
+	return trace.Closed(sim.Time(float64(solo)*frac), 0), nil
+}
+
+// runPairSystem runs one 2-client experiment for one system, returning the
+// result or an error (e.g. MIG with inexpressible quotas).
+func runPairSystem(system string, apps [2]string, quotas [2]float64, patterns [2]trace.Pattern, horizon sim.Time, gpu sim.Config) (*Result, error) {
+	sched, err := NewSystem(system)
+	if err != nil {
+		return nil, err
+	}
+	return Run(RunConfig{
+		Scheduler: sched,
+		Clients: []ClientSpec{
+			{App: apps[0], Quota: quotas[0], Pattern: patterns[0]},
+			{App: apps[1], Quota: quotas[1], Pattern: patterns[1]},
+		},
+		Horizon: horizon,
+		GPU:     gpu,
+	})
+}

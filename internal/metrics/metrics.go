@@ -1,0 +1,128 @@
+// Package metrics implements the evaluation metrics of §6.2: request latency
+// summaries, the average-latency-deviation metric for quota flexibility, QoS
+// violation rates for the SLO experiments, and throughput.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+
+	"bless/internal/sim"
+)
+
+// Summary is a latency distribution snapshot.
+type Summary struct {
+	// Count is the number of samples.
+	Count int
+	// Mean is the average latency.
+	Mean sim.Time
+	// P50, P95 and P99 are latency percentiles.
+	P50, P95, P99 sim.Time
+	// Min and Max bound the samples.
+	Min, Max sim.Time
+}
+
+// Summarize computes a Summary over latency samples. An empty input yields a
+// zero Summary.
+func Summarize(lats []sim.Time) Summary {
+	if len(lats) == 0 {
+		return Summary{}
+	}
+	sorted := append([]sim.Time(nil), lats...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	var total sim.Time
+	for _, l := range sorted {
+		total += l
+	}
+	return Summary{
+		Count: len(sorted),
+		Mean:  total / sim.Time(len(sorted)),
+		P50:   percentile(sorted, 0.50),
+		P95:   percentile(sorted, 0.95),
+		P99:   percentile(sorted, 0.99),
+		Min:   sorted[0],
+		Max:   sorted[len(sorted)-1],
+	}
+}
+
+// percentile returns the nearest-rank percentile of pre-sorted samples.
+func percentile(sorted []sim.Time, p float64) sim.Time {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(p*float64(len(sorted)) + 0.5)
+	if idx < 1 {
+		idx = 1
+	}
+	if idx > len(sorted) {
+		idx = len(sorted)
+	}
+	return sorted[idx-1]
+}
+
+// String renders the summary compactly.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%v p50=%v p99=%v max=%v", s.Count, s.Mean, s.P50, s.P99, s.Max)
+}
+
+// Deviation computes the paper's latency-deviation metric for one quota
+// assignment (§6.2):
+//
+//	sum_j max(Tsys[j] - Tiso[j], 0)
+//
+// where Tsys[j] is application j's average latency under the system and
+// Tiso[j] its isolated-quota target. Larger deviation means the system
+// honours the quota assignment worse.
+func Deviation(sys, iso []sim.Time) (sim.Time, error) {
+	if len(sys) != len(iso) {
+		return 0, fmt.Errorf("metrics: %d system latencies vs %d ISO targets", len(sys), len(iso))
+	}
+	var d sim.Time
+	for j := range sys {
+		if over := sys[j] - iso[j]; over > 0 {
+			d += over
+		}
+	}
+	return d, nil
+}
+
+// QoSViolationRate returns the fraction of samples exceeding the target.
+func QoSViolationRate(lats []sim.Time, target sim.Time) float64 {
+	if len(lats) == 0 || target <= 0 {
+		return 0
+	}
+	n := 0
+	for _, l := range lats {
+		if l > target {
+			n++
+		}
+	}
+	return float64(n) / float64(len(lats))
+}
+
+// Throughput returns completed requests per second of virtual time.
+func Throughput(completed int, elapsed sim.Time) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(completed) / (float64(elapsed) / float64(sim.Second))
+}
+
+// MeanOfMeans averages per-application mean latencies — the paper's "average
+// latency of requests from different applications" headline metric, which
+// weights applications equally regardless of request rate.
+func MeanOfMeans(perApp [][]sim.Time) sim.Time {
+	var total sim.Time
+	n := 0
+	for _, lats := range perApp {
+		if len(lats) == 0 {
+			continue
+		}
+		total += Summarize(lats).Mean
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return total / sim.Time(n)
+}

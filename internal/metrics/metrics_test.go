@@ -1,0 +1,177 @@
+package metrics
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"bless/internal/sim"
+)
+
+func TestSummarizeBasics(t *testing.T) {
+	lats := []sim.Time{5, 1, 3, 2, 4}
+	s := Summarize(lats)
+	if s.Count != 5 {
+		t.Errorf("Count = %d, want 5", s.Count)
+	}
+	if s.Mean != 3 {
+		t.Errorf("Mean = %v, want 3", s.Mean)
+	}
+	if s.Min != 1 || s.Max != 5 {
+		t.Errorf("Min/Max = %v/%v, want 1/5", s.Min, s.Max)
+	}
+	if s.P50 != 3 {
+		t.Errorf("P50 = %v, want 3", s.P50)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	if s := Summarize(nil); s.Count != 0 || s.Mean != 0 {
+		t.Errorf("empty summary = %+v, want zero", s)
+	}
+}
+
+func TestSummarizeDoesNotMutateInput(t *testing.T) {
+	lats := []sim.Time{5, 1, 3}
+	Summarize(lats)
+	if lats[0] != 5 || lats[1] != 1 || lats[2] != 3 {
+		t.Errorf("input mutated: %v", lats)
+	}
+}
+
+func TestPercentilesOrderedProperty(t *testing.T) {
+	f := func(raw []uint32) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		lats := make([]sim.Time, len(raw))
+		for i, r := range raw {
+			lats[i] = sim.Time(r % 1_000_000)
+		}
+		s := Summarize(lats)
+		return s.Min <= s.P50 && s.P50 <= s.P95 && s.P95 <= s.P99 && s.P99 <= s.Max
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPercentileNearestRank(t *testing.T) {
+	// 100 samples 1..100: P99 should be 99 (nearest rank), P50 = 50.
+	lats := make([]sim.Time, 100)
+	for i := range lats {
+		lats[i] = sim.Time(i + 1)
+	}
+	rand.New(rand.NewSource(1)).Shuffle(len(lats), func(i, j int) { lats[i], lats[j] = lats[j], lats[i] })
+	s := Summarize(lats)
+	if s.P50 != 50 {
+		t.Errorf("P50 = %v, want 50", s.P50)
+	}
+	if s.P99 != 99 {
+		t.Errorf("P99 = %v, want 99", s.P99)
+	}
+}
+
+func TestDeviation(t *testing.T) {
+	sys := []sim.Time{10, 20, 30}
+	iso := []sim.Time{15, 15, 15}
+	d, err := Deviation(sys, iso)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// max(10-15,0) + max(20-15,0) + max(30-15,0) = 0 + 5 + 15 = 20.
+	if d != 20 {
+		t.Errorf("Deviation = %v, want 20", d)
+	}
+}
+
+func TestDeviationAllWithinISO(t *testing.T) {
+	d, err := Deviation([]sim.Time{5, 10}, []sim.Time{10, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 0 {
+		t.Errorf("Deviation = %v, want 0 when all latencies beat ISO", d)
+	}
+}
+
+func TestDeviationLengthMismatch(t *testing.T) {
+	if _, err := Deviation([]sim.Time{1}, []sim.Time{1, 2}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+func TestQoSViolationRate(t *testing.T) {
+	lats := []sim.Time{5, 10, 15, 20}
+	if v := QoSViolationRate(lats, 12); v != 0.5 {
+		t.Errorf("violation rate = %g, want 0.5", v)
+	}
+	if v := QoSViolationRate(lats, 100); v != 0 {
+		t.Errorf("violation rate = %g, want 0", v)
+	}
+	if v := QoSViolationRate(nil, 10); v != 0 {
+		t.Errorf("empty violation rate = %g, want 0", v)
+	}
+	if v := QoSViolationRate(lats, 0); v != 0 {
+		t.Errorf("zero-target violation rate = %g, want 0", v)
+	}
+}
+
+func TestThroughput(t *testing.T) {
+	if th := Throughput(100, sim.Second); th != 100 {
+		t.Errorf("throughput = %g, want 100", th)
+	}
+	if th := Throughput(50, sim.Second/2); th != 100 {
+		t.Errorf("throughput = %g, want 100", th)
+	}
+	if th := Throughput(10, 0); th != 0 {
+		t.Errorf("zero-elapsed throughput = %g, want 0", th)
+	}
+}
+
+func TestMeanOfMeans(t *testing.T) {
+	perApp := [][]sim.Time{
+		{10, 20},      // mean 15
+		{5},           // mean 5
+		{},            // skipped
+		{100, 80, 60}, // mean 80
+	}
+	if m := MeanOfMeans(perApp); m != (15+5+80)/3 {
+		t.Errorf("MeanOfMeans = %v, want %v", m, (15+5+80)/3)
+	}
+	if m := MeanOfMeans(nil); m != 0 {
+		t.Errorf("empty MeanOfMeans = %v, want 0", m)
+	}
+}
+
+// Property: Summarize's mean lies between min and max and matches a direct
+// computation.
+func TestMeanProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		lats := make([]sim.Time, len(raw))
+		var total sim.Time
+		for i, r := range raw {
+			lats[i] = sim.Time(r)
+			total += sim.Time(r)
+		}
+		s := Summarize(lats)
+		want := total / sim.Time(len(raw))
+		sorted := append([]sim.Time(nil), lats...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		return s.Mean == want && s.Min == sorted[0] && s.Max == sorted[len(sorted)-1]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	s := Summarize([]sim.Time{sim.Millisecond})
+	if str := s.String(); str == "" {
+		t.Error("empty String()")
+	}
+}

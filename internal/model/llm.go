@@ -1,0 +1,94 @@
+package model
+
+import (
+	"fmt"
+	"math/rand"
+
+	"bless/internal/sim"
+)
+
+// Autoregressive builds an LLM-inference-like application, the dynamic
+// workload the paper's discussion (§6.10) proposes handling by treating each
+// forward pass as its own DAG. This reproduction models a fixed-length
+// generation as one stationary request DAG:
+//
+//   - a PREFILL phase: a few large tensor-core GEMM kernels whose work
+//     scales with the prompt length — compute-dense, saturating the GPU;
+//   - decodeSteps DECODE phases: per generated token, a handful of small
+//     memory-bound kernels (attention over the KV cache, layernorms) that
+//     individually occupy only part of the device.
+//
+// The phase contrast is the interesting property for GPU sharing: prefill
+// saturates the device while decode leaves wide bubbles a co-located tenant
+// can absorb — exactly the spatial-temporal opportunity BLESS targets.
+func Autoregressive(name string, promptTokens, decodeSteps int, seed int64) *App {
+	if promptTokens < 1 || decodeSteps < 1 {
+		panic("model: Autoregressive needs promptTokens >= 1 and decodeSteps >= 1")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var kernels []sim.Kernel
+
+	// Input prompt transfer: ~2KB per token of activations.
+	kernels = append(kernels, sim.Kernel{
+		Name: name + "/h2d_prompt", Kind: sim.MemcpyH2D, Bytes: int64(promptTokens) * 2 << 10,
+	})
+
+	// Prefill: 8 GEMM layers, each ~6us of full-GPU time per 32 prompt
+	// tokens (tensor cores), compute-bound, highly parallel.
+	prefillLayers := 8
+	for l := 0; l < prefillLayers; l++ {
+		perLayerUS := 6.0 * float64(promptTokens) / 32.0 * (0.8 + 0.4*rng.Float64())
+		if perLayerUS < 3 {
+			perLayerUS = 3
+		}
+		sat := 96 + rng.Intn(13)
+		kernels = append(kernels, sim.Kernel{
+			Name:          fmt.Sprintf("%s/prefill_gemm_%d", name, l),
+			Kind:          sim.Compute,
+			Work:          sim.Time(perLayerUS*float64(sat)) * sim.Microsecond,
+			SaturationSMs: sat,
+			MemIntensity:  0.15 + 0.15*rng.Float64(),
+			TensorCore:    true,
+		})
+	}
+
+	// Decode: per token, 4 kernels — two small GEMVs (low occupancy), one
+	// KV-cache attention read (memory-bound), one layernorm/sampling tail.
+	for s := 0; s < decodeSteps; s++ {
+		step := []sim.Kernel{
+			{
+				Name: fmt.Sprintf("%s/decode%d_gemv_a", name, s), Kind: sim.Compute,
+				Work:          sim.Time(36*(0.8+0.4*rng.Float64())) * sim.Microsecond * 24,
+				SaturationSMs: 24, MemIntensity: 0.55 + 0.2*rng.Float64(), TensorCore: true,
+			},
+			{
+				Name: fmt.Sprintf("%s/decode%d_attn_kv", name, s), Kind: sim.Compute,
+				Work:          sim.Time(54*(0.8+0.4*rng.Float64())) * sim.Microsecond * 36,
+				SaturationSMs: 36, MemIntensity: 0.8 + 0.15*rng.Float64(),
+			},
+			{
+				Name: fmt.Sprintf("%s/decode%d_gemv_b", name, s), Kind: sim.Compute,
+				Work:          sim.Time(36*(0.8+0.4*rng.Float64())) * sim.Microsecond * 24,
+				SaturationSMs: 24, MemIntensity: 0.55 + 0.2*rng.Float64(), TensorCore: true,
+			},
+			{
+				Name: fmt.Sprintf("%s/decode%d_norm", name, s), Kind: sim.Compute,
+				Work:          sim.Time(15*(0.8+0.4*rng.Float64())) * sim.Microsecond * 48,
+				SaturationSMs: 48, MemIntensity: 0.6 + 0.2*rng.Float64(),
+			},
+		}
+		kernels = append(kernels, step...)
+	}
+
+	// Generated-token output transfer.
+	kernels = append(kernels, sim.Kernel{
+		Name: name + "/d2h_tokens", Kind: sim.MemcpyD2H, Bytes: int64(decodeSteps) * 512,
+	})
+
+	return &App{
+		Name:        name,
+		Kind:        Inference,
+		Kernels:     kernels,
+		MemoryBytes: 6 << 30, // weights + KV cache
+	}
+}

@@ -1,0 +1,95 @@
+package model
+
+import (
+	"strings"
+	"testing"
+
+	"bless/internal/sim"
+)
+
+func TestAutoregressiveShape(t *testing.T) {
+	app := Autoregressive("llm", 128, 32, 11)
+	if err := app.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// 1 h2d + 8 prefill + 32*4 decode + 1 d2h.
+	if want := 1 + 8 + 32*4 + 1; app.NumKernels() != want {
+		t.Errorf("kernel count = %d, want %d", app.NumKernels(), want)
+	}
+	// Phase contrast: prefill kernels saturate >= 96 SMs, decode kernels
+	// at most 48.
+	for i := range app.Kernels {
+		k := &app.Kernels[i]
+		if !k.IsCompute() {
+			continue
+		}
+		switch {
+		case strings.Contains(k.Name, "prefill"):
+			if k.SaturationSMs < 96 {
+				t.Errorf("%s saturates %d SMs, want >= 96", k.Name, k.SaturationSMs)
+			}
+		case strings.Contains(k.Name, "decode"):
+			if k.SaturationSMs > 48 {
+				t.Errorf("%s saturates %d SMs, want <= 48", k.Name, k.SaturationSMs)
+			}
+		}
+	}
+}
+
+func TestAutoregressiveDeterministic(t *testing.T) {
+	a := Autoregressive("llm", 64, 16, 3)
+	b := Autoregressive("llm", 64, 16, 3)
+	for i := range a.Kernels {
+		if a.Kernels[i] != b.Kernels[i] {
+			t.Fatal("Autoregressive not deterministic for equal seeds")
+		}
+	}
+}
+
+func TestAutoregressivePrefillScalesWithPrompt(t *testing.T) {
+	short := Autoregressive("s", 32, 8, 5)
+	long := Autoregressive("l", 256, 8, 5)
+	var shortPrefill, longPrefill sim.Time
+	for i := range short.Kernels {
+		if strings.Contains(short.Kernels[i].Name, "prefill") {
+			shortPrefill += short.Kernels[i].IsolatedDuration(108, 25)
+		}
+	}
+	for i := range long.Kernels {
+		if strings.Contains(long.Kernels[i].Name, "prefill") {
+			longPrefill += long.Kernels[i].IsolatedDuration(108, 25)
+		}
+	}
+	if longPrefill < 4*shortPrefill {
+		t.Errorf("prefill scaling: 256 tokens %v vs 32 tokens %v, want ~8x", longPrefill, shortPrefill)
+	}
+}
+
+func TestAutoregressiveDecodeLeavesBubbles(t *testing.T) {
+	// Running decode solo on the full device must leave most SMs idle —
+	// the sharing opportunity the §6.10 discussion points at.
+	app := Autoregressive("llm", 32, 40, 7)
+	eng := sim.NewEngine()
+	gpu := sim.NewGPU(eng, sim.DefaultConfig())
+	ctx, err := gpu.NewContext(sim.ContextOptions{NoMemCharge: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := ctx.NewQueue("llm")
+	for i := range app.Kernels {
+		q.Enqueue(0, &app.Kernels[i], nil)
+	}
+	eng.Run()
+	if u := gpu.Utilization(); u > 0.5 {
+		t.Errorf("solo LLM utilization %.2f, want < 0.5 (decode-dominated bubbles)", u)
+	}
+}
+
+func TestAutoregressivePanicsOnBadArgs(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("bad args did not panic")
+		}
+	}()
+	Autoregressive("bad", 0, 10, 1)
+}

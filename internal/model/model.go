@@ -1,0 +1,507 @@
+// Package model provides the application substrate for the BLESS
+// reproduction: DNN-like applications expressed as sequences of GPU kernels.
+//
+// The paper evaluates five models (VGG-11, ResNet50, ResNet101, NasNet, BERT)
+// in both inference and training form, compiled with TVM/nnfusion or run
+// under PyTorch (Table 1). Real compiled kernels are unavailable in this
+// environment, so each application is a deterministic, seeded kernel-sequence
+// generator calibrated so that
+//
+//   - the kernel count matches Table 1 exactly,
+//   - the solo full-GPU latency matches Table 1,
+//   - kernel durations span the paper's reported 3us-3ms range with
+//     per-model heterogeneity (NasNet: many tiny cell kernels; VGG: few
+//     fat convolutions; BERT inference: tensor-core GEMMs), and
+//   - per-kernel SM saturation (the paper's d% statistic) and memory
+//     intensity vary by kernel class, which is what drives bubbles,
+//     interference and the estimator behaviour.
+//
+// The scheduler side of the system observes applications only through the
+// offline profiler (kernel durations at each SM partition), so matching these
+// observables preserves the behaviour the paper's mechanisms depend on.
+package model
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"bless/internal/sim"
+)
+
+// Kind distinguishes inference services from training jobs.
+type Kind int
+
+const (
+	// Inference applications serve latency-sensitive requests.
+	Inference Kind = iota
+	// Training applications run iterations (one request = one iteration).
+	Training
+)
+
+// String returns "inference" or "training".
+func (k Kind) String() string {
+	if k == Training {
+		return "training"
+	}
+	return "inference"
+}
+
+// App is a stationary GPU application: every request executes the same kernel
+// sequence (the paper's deterministic-computation-pattern requirement, §4.2).
+type App struct {
+	// Name identifies the application, e.g. "resnet50" or "bert-train".
+	Name string
+	// Kind is Inference or Training.
+	Kind Kind
+	// Kernels is the per-request kernel sequence, in issue order.
+	Kernels []sim.Kernel
+	// MemoryBytes is the device memory footprint (weights + activations).
+	MemoryBytes int64
+	// GraphEnds optionally partitions the sequence into CUDA-graph-style
+	// launch units (§6.10): each element is the exclusive end index of one
+	// graph, ascending, with the last equal to len(Kernels). A graph is
+	// launched with a single host call and scheduled atomically. Nil means
+	// plain kernel granularity.
+	GraphEnds []int
+}
+
+// GraphEnd returns the exclusive end index of the graph containing kernel k,
+// or k+1 when the app has no graphs.
+func (a *App) GraphEnd(k int) int {
+	for _, e := range a.GraphEnds {
+		if k < e {
+			return e
+		}
+	}
+	return k + 1
+}
+
+// WithGraphs returns a copy of the app partitioned into graphs of at most
+// size kernels each — the simplest CUDA-graph capture policy.
+func (a *App) WithGraphs(size int) *App {
+	if size < 1 {
+		panic("model: WithGraphs needs size >= 1")
+	}
+	b := a.Clone()
+	for e := size; e < len(b.Kernels); e += size {
+		b.GraphEnds = append(b.GraphEnds, e)
+	}
+	b.GraphEnds = append(b.GraphEnds, len(b.Kernels))
+	return b
+}
+
+// ValidateGraphs checks graph-boundary well-formedness.
+func (a *App) ValidateGraphs() error {
+	if a.GraphEnds == nil {
+		return nil
+	}
+	prev := 0
+	for i, e := range a.GraphEnds {
+		if e <= prev || e > len(a.Kernels) {
+			return fmt.Errorf("model: app %q: graph end %d at index %d invalid", a.Name, e, i)
+		}
+		prev = e
+	}
+	if prev != len(a.Kernels) {
+		return fmt.Errorf("model: app %q: graphs cover %d of %d kernels", a.Name, prev, len(a.Kernels))
+	}
+	return nil
+}
+
+// NumKernels returns the per-request kernel count.
+func (a *App) NumKernels() int { return len(a.Kernels) }
+
+// SoloDuration returns the analytic request latency when the app runs alone
+// with sms SMs and exclusive PCIe bandwidth: the serial sum of isolated
+// kernel durations (device-bound; host launch pipelining hides launch gaps).
+func (a *App) SoloDuration(sms int, pcieBytesPerNS float64) sim.Time {
+	var total sim.Time
+	for i := range a.Kernels {
+		total += a.Kernels[i].IsolatedDuration(sms, pcieBytesPerNS)
+	}
+	return total
+}
+
+// MeanKernelDuration returns the average full-GPU compute-kernel duration,
+// the statistic the deployment checks use (§4.2.2).
+func (a *App) MeanKernelDuration(sms int) sim.Time {
+	var total sim.Time
+	n := 0
+	for i := range a.Kernels {
+		if a.Kernels[i].IsCompute() {
+			total += a.Kernels[i].IsolatedDuration(sms, 1)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return total / sim.Time(n)
+}
+
+// MaxKernelDuration returns the longest full-GPU kernel duration.
+func (a *App) MaxKernelDuration(sms int) sim.Time {
+	var max sim.Time
+	for i := range a.Kernels {
+		if d := a.Kernels[i].IsolatedDuration(sms, 25); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// Validate checks every kernel in the sequence.
+func (a *App) Validate() error {
+	if a.Name == "" {
+		return fmt.Errorf("model: app has empty name")
+	}
+	if len(a.Kernels) == 0 {
+		return fmt.Errorf("model: app %q has no kernels", a.Name)
+	}
+	for i := range a.Kernels {
+		if err := a.Kernels[i].Validate(); err != nil {
+			return fmt.Errorf("model: app %q kernel %d: %w", a.Name, i, err)
+		}
+	}
+	return nil
+}
+
+// Clone returns a deep copy; mutating the copy's kernels does not affect the
+// original.
+func (a *App) Clone() *App {
+	b := *a
+	b.Kernels = append([]sim.Kernel(nil), a.Kernels...)
+	b.GraphEnds = append([]int(nil), a.GraphEnds...)
+	return &b
+}
+
+// kernelClass describes one family of kernels a model is built from.
+type kernelClass struct {
+	name string
+	// weight is the relative share of kernels drawn from this class.
+	weight float64
+	// workMeanUS / workSigma parameterize a lognormal full-GPU duration in
+	// microseconds (before global calibration).
+	workMeanUS float64
+	workSigma  float64
+	// satLo, satHi bound the SM saturation point.
+	satLo, satHi int
+	// memLo, memHi bound the memory-bandwidth intensity.
+	memLo, memHi float64
+	tensorCore   bool
+}
+
+// Standard kernel classes for convolutional and transformer models.
+var (
+	classHeavyConv = kernelClass{name: "conv_heavy", workMeanUS: 600, workSigma: 0.5, satLo: 90, satHi: 108, memLo: 0.2, memHi: 0.4}
+	classConv      = kernelClass{name: "conv", workMeanUS: 150, workSigma: 0.6, satLo: 60, satHi: 108, memLo: 0.25, memHi: 0.5}
+	classCellConv  = kernelClass{name: "cell_conv", workMeanUS: 45, workSigma: 0.7, satLo: 24, satHi: 72, memLo: 0.3, memHi: 0.55}
+	classGemm      = kernelClass{name: "gemm", workMeanUS: 120, workSigma: 0.5, satLo: 48, satHi: 96, memLo: 0.3, memHi: 0.5}
+	classGemmTC    = kernelClass{name: "gemm_tc", workMeanUS: 60, workSigma: 0.4, satLo: 80, satHi: 108, memLo: 0.15, memHi: 0.35, tensorCore: true}
+	classElemwise  = kernelClass{name: "elemwise", workMeanUS: 8, workSigma: 0.5, satLo: 100, satHi: 108, memLo: 0.7, memHi: 0.95}
+	classPoolNorm  = kernelClass{name: "pool_norm", workMeanUS: 15, workSigma: 0.5, satLo: 36, satHi: 80, memLo: 0.5, memHi: 0.8}
+	classFC        = kernelClass{name: "fc", workMeanUS: 40, workSigma: 0.4, satLo: 24, satHi: 60, memLo: 0.5, memHi: 0.75}
+	classOptim     = kernelClass{name: "optim", workMeanUS: 12, workSigma: 0.4, satLo: 100, satHi: 108, memLo: 0.75, memHi: 0.95}
+	classGradConv  = kernelClass{name: "grad_conv", workMeanUS: 200, workSigma: 0.6, satLo: 60, satHi: 108, memLo: 0.3, memHi: 0.55}
+)
+
+// spec fully describes one catalog application before calibration.
+type spec struct {
+	name       string
+	kind       Kind
+	kernels    int     // Table 1 kernel count
+	soloUS     float64 // Table 1 solo duration in microseconds
+	memBytes   int64   // device footprint
+	inputKB    int64   // H2D transfer per request
+	outputKB   int64   // D2H transfer per request
+	seed       int64   // deterministic generation seed
+	classes    []kernelClass
+	hasMemcpys bool
+}
+
+// catalogSpecs pins the ten Table 1 applications. Class mixes reflect each
+// architecture: VGG is a few fat convolutions, ResNets interleave convs with
+// bn/relu elementwise kernels, NasNet is hundreds of small cell kernels, BERT
+// inference is tensor-core GEMMs with softmax/layernorm elementwise kernels,
+// and the training variants add backward and optimizer kernels.
+var catalogSpecs = []spec{
+	{
+		name: "vgg11", kind: Inference, kernels: 31, soloUS: 10200,
+		memBytes: 1300 << 20, inputKB: 602, outputKB: 4, seed: 101, hasMemcpys: true,
+		classes: []kernelClass{
+			withWeight(classHeavyConv, 8), withWeight(classElemwise, 14),
+			withWeight(classPoolNorm, 5), withWeight(classFC, 4),
+		},
+	},
+	{
+		name: "resnet50", kind: Inference, kernels: 80, soloUS: 8700,
+		memBytes: 900 << 20, inputKB: 602, outputKB: 4, seed: 102, hasMemcpys: true,
+		classes: []kernelClass{
+			withWeight(classConv, 30), withWeight(classElemwise, 36),
+			withWeight(classPoolNorm, 12), withWeight(classFC, 2),
+		},
+	},
+	{
+		name: "resnet101", kind: Inference, kernels: 148, soloUS: 17200,
+		memBytes: 1400 << 20, inputKB: 602, outputKB: 4, seed: 103, hasMemcpys: true,
+		classes: []kernelClass{
+			withWeight(classConv, 60), withWeight(classElemwise, 66),
+			withWeight(classPoolNorm, 20), withWeight(classFC, 2),
+		},
+	},
+	{
+		name: "nasnet", kind: Inference, kernels: 458, soloUS: 32700,
+		memBytes: 1600 << 20, inputKB: 602, outputKB: 4, seed: 104, hasMemcpys: true,
+		classes: []kernelClass{
+			withWeight(classCellConv, 220), withWeight(classElemwise, 160),
+			withWeight(classPoolNorm, 70), withWeight(classFC, 8),
+		},
+	},
+	{
+		name: "bert", kind: Inference, kernels: 382, soloUS: 12800,
+		memBytes: 1700 << 20, inputKB: 48, outputKB: 6, seed: 105, hasMemcpys: true,
+		classes: []kernelClass{
+			withWeight(classGemmTC, 145), withWeight(classElemwise, 170),
+			withWeight(classPoolNorm, 55), withWeight(classFC, 12),
+		},
+	},
+	{
+		name: "vgg11-train", kind: Training, kernels: 80, soloUS: 11200,
+		memBytes: 4 << 30, seed: 201,
+		classes: []kernelClass{
+			withWeight(classHeavyConv, 8), withWeight(classGradConv, 14),
+			withWeight(classElemwise, 30), withWeight(classPoolNorm, 10),
+			withWeight(classFC, 6), withWeight(classOptim, 12),
+		},
+	},
+	{
+		name: "resnet50-train", kind: Training, kernels: 306, soloUS: 25200,
+		memBytes: 6 << 30, seed: 202,
+		classes: []kernelClass{
+			withWeight(classConv, 55), withWeight(classGradConv, 55),
+			withWeight(classElemwise, 110), withWeight(classPoolNorm, 40),
+			withWeight(classOptim, 46),
+		},
+	},
+	{
+		name: "resnet101-train", kind: Training, kernels: 598, soloUS: 40100,
+		memBytes: 8 << 30, seed: 203,
+		classes: []kernelClass{
+			withWeight(classConv, 105), withWeight(classGradConv, 105),
+			withWeight(classElemwise, 220), withWeight(classPoolNorm, 78),
+			withWeight(classOptim, 90),
+		},
+	},
+	{
+		name: "nasnet-train", kind: Training, kernels: 2824, soloUS: 157800,
+		memBytes: 10 << 30, seed: 204,
+		classes: []kernelClass{
+			withWeight(classCellConv, 900), withWeight(classGradConv, 500),
+			withWeight(classElemwise, 900), withWeight(classPoolNorm, 300),
+			withWeight(classOptim, 224),
+		},
+	},
+	{
+		name: "bert-train", kind: Training, kernels: 5035, soloUS: 186100,
+		memBytes: 12 << 30, seed: 205,
+		classes: []kernelClass{
+			withWeight(classGemm, 1400), withWeight(classGemmTC, 400),
+			withWeight(classElemwise, 1900), withWeight(classPoolNorm, 600),
+			withWeight(classOptim, 735),
+		},
+	},
+}
+
+func withWeight(c kernelClass, w float64) kernelClass {
+	c.weight = w
+	return c
+}
+
+// build generates and calibrates one application from its spec. The result
+// is deterministic for a given spec.
+func (s *spec) build() *App {
+	rng := rand.New(rand.NewSource(s.seed))
+	n := s.kernels
+	nMemcpy := 0
+	if s.hasMemcpys {
+		nMemcpy = 2 // one H2D input, one D2H output
+	}
+	nCompute := n - nMemcpy
+
+	// Assign each compute kernel a class, spreading classes through the
+	// sequence (real nets interleave conv->bn->relu; a round-robin draw
+	// weighted by class share approximates that and avoids long runs of
+	// identical kernels).
+	totalW := 0.0
+	for _, c := range s.classes {
+		totalW += c.weight
+	}
+	kernels := make([]sim.Kernel, 0, n)
+	if s.hasMemcpys {
+		kernels = append(kernels, sim.Kernel{
+			Name: s.name + "/h2d_input", Kind: sim.MemcpyH2D, Bytes: s.inputKB << 10,
+		})
+	}
+	counts := make([]int, len(s.classes))
+	for i := 0; i < nCompute; i++ {
+		// Pick the class currently most under-represented vs. its weight —
+		// a deterministic stride that interleaves classes.
+		best, bestGap := 0, math.Inf(-1)
+		for ci, c := range s.classes {
+			gap := c.weight/totalW*float64(i+1) - float64(counts[ci])
+			if gap > bestGap {
+				best, bestGap = ci, gap
+			}
+		}
+		counts[best]++
+		c := s.classes[best]
+		fullDurUS := math.Exp(math.Log(c.workMeanUS) + c.workSigma*rng.NormFloat64())
+		if fullDurUS < 3 {
+			fullDurUS = 3 // paper's minimum kernel duration
+		}
+		if fullDurUS > 3000 {
+			fullDurUS = 3000
+		}
+		sat := c.satLo + rng.Intn(c.satHi-c.satLo+1)
+		work := sim.Time(fullDurUS*float64(sat)) * sim.Microsecond
+		kernels = append(kernels, sim.Kernel{
+			Name:          fmt.Sprintf("%s/%s_%d", s.name, c.name, counts[best]),
+			Kind:          sim.Compute,
+			Work:          work,
+			SaturationSMs: sat,
+			MemIntensity:  c.memLo + rng.Float64()*(c.memHi-c.memLo),
+			TensorCore:    c.tensorCore,
+		})
+	}
+	if s.hasMemcpys {
+		kernels = append(kernels, sim.Kernel{
+			Name: s.name + "/d2h_output", Kind: sim.MemcpyD2H, Bytes: s.outputKB << 10,
+		})
+	}
+
+	app := &App{Name: s.name, Kind: s.kind, Kernels: kernels, MemoryBytes: s.memBytes}
+	calibrate(app, sim.Time(s.soloUS)*sim.Microsecond)
+	return app
+}
+
+// calibrate uniformly scales compute work so the solo full-GPU latency
+// matches target. Memcpy durations are fixed by transfer size.
+func calibrate(a *App, target sim.Time) {
+	cfg := sim.DefaultConfig()
+	var memcpyT, computeT sim.Time
+	for i := range a.Kernels {
+		d := a.Kernels[i].IsolatedDuration(cfg.SMs, cfg.PCIeBytesPerNS)
+		if a.Kernels[i].IsCompute() {
+			computeT += d
+		} else {
+			memcpyT += d
+		}
+	}
+	if computeT <= 0 {
+		return
+	}
+	f := float64(target-memcpyT) / float64(computeT)
+	if f <= 0 {
+		f = 0.01
+	}
+	for i := range a.Kernels {
+		if a.Kernels[i].IsCompute() {
+			w := sim.Time(float64(a.Kernels[i].Work) * f)
+			if w < 1 {
+				w = 1
+			}
+			a.Kernels[i].Work = w
+		}
+	}
+}
+
+var catalog = func() map[string]*App {
+	m := make(map[string]*App, len(catalogSpecs)+1)
+	for i := range catalogSpecs {
+		app := catalogSpecs[i].build()
+		m[app.Name] = app
+	}
+	// The §6.10 dynamic-application extension: an LLM-like autoregressive
+	// app (128-token prompt, 48 decode steps) with the prefill/decode phase
+	// contrast that makes GPU sharing interesting.
+	m["llm"] = Autoregressive("llm", 128, 48, 301)
+	return m
+}()
+
+// Get returns a copy of the named catalog application. Valid names are
+// "vgg11", "resnet50", "resnet101", "nasnet", "bert" and the same with a
+// "-train" suffix.
+func Get(name string) (*App, error) {
+	a, ok := catalog[name]
+	if !ok {
+		return nil, fmt.Errorf("model: unknown application %q (have %v)", name, Names())
+	}
+	return a.Clone(), nil
+}
+
+// MustGet is Get but panics on unknown names; for tests and examples.
+func MustGet(name string) *App {
+	a, err := Get(name)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// Names lists the catalog application names in sorted order.
+func Names() []string {
+	names := make([]string, 0, len(catalog))
+	for n := range catalog {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// InferenceApps returns copies of the five inference applications in the
+// paper's order: VGG, R50, R101, NAS, BERT.
+func InferenceApps() []*App {
+	return apps("vgg11", "resnet50", "resnet101", "nasnet", "bert")
+}
+
+// TrainingApps returns copies of the five training applications in the
+// paper's order.
+func TrainingApps() []*App {
+	return apps("vgg11-train", "resnet50-train", "resnet101-train", "nasnet-train", "bert-train")
+}
+
+func apps(names ...string) []*App {
+	out := make([]*App, len(names))
+	for i, n := range names {
+		out[i] = MustGet(n)
+	}
+	return out
+}
+
+// Synthetic builds a uniform synthetic application for tests and
+// microbenchmarks: n compute kernels of roughly avgFullGPU duration each,
+// saturating sat SMs with the given memory intensity, deterministically from
+// seed.
+func Synthetic(name string, n int, avgFullGPU sim.Time, sat int, memIntensity float64, seed int64) *App {
+	if n < 1 {
+		panic("model: Synthetic needs n >= 1")
+	}
+	if sat < 1 {
+		sat = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	kernels := make([]sim.Kernel, n)
+	for i := range kernels {
+		jitter := 0.5 + rng.Float64() // 0.5x .. 1.5x
+		kernels[i] = sim.Kernel{
+			Name:          fmt.Sprintf("%s/k%d", name, i),
+			Kind:          sim.Compute,
+			Work:          sim.Time(float64(avgFullGPU)*jitter) * sim.Time(sat),
+			SaturationSMs: sat,
+			MemIntensity:  memIntensity,
+		}
+	}
+	return &App{Name: name, Kind: Inference, Kernels: kernels, MemoryBytes: 512 << 20}
+}

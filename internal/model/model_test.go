@@ -1,0 +1,291 @@
+package model
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"bless/internal/sim"
+)
+
+// table1 pins the paper's Table 1: name -> (kernel count, solo duration us).
+var table1 = map[string]struct {
+	kernels int
+	soloUS  float64
+}{
+	"vgg11":           {31, 10200},
+	"resnet50":        {80, 8700},
+	"resnet101":       {148, 17200},
+	"nasnet":          {458, 32700},
+	"bert":            {382, 12800},
+	"vgg11-train":     {80, 11200},
+	"resnet50-train":  {306, 25200},
+	"resnet101-train": {598, 40100},
+	"nasnet-train":    {2824, 157800},
+	"bert-train":      {5035, 186100},
+}
+
+func TestCatalogMatchesTable1(t *testing.T) {
+	cfg := sim.DefaultConfig()
+	for name, want := range table1 {
+		app, err := Get(name)
+		if err != nil {
+			t.Fatalf("Get(%q): %v", name, err)
+		}
+		if got := app.NumKernels(); got != want.kernels {
+			t.Errorf("%s: %d kernels, want %d (Table 1)", name, got, want.kernels)
+		}
+		solo := app.SoloDuration(cfg.SMs, cfg.PCIeBytesPerNS)
+		gotUS := solo.Microseconds()
+		if math.Abs(gotUS-want.soloUS)/want.soloUS > 0.01 {
+			t.Errorf("%s: solo duration %.0fus, want %.0fus +-1%% (Table 1)", name, gotUS, want.soloUS)
+		}
+	}
+}
+
+func TestCatalogValid(t *testing.T) {
+	for _, name := range Names() {
+		app := MustGet(name)
+		if err := app.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestCatalogDeterministic(t *testing.T) {
+	a1 := MustGet("resnet50")
+	a2 := MustGet("resnet50")
+	if len(a1.Kernels) != len(a2.Kernels) {
+		t.Fatal("two Gets returned different kernel counts")
+	}
+	for i := range a1.Kernels {
+		if a1.Kernels[i] != a2.Kernels[i] {
+			t.Fatalf("kernel %d differs between Gets: %+v vs %+v", i, a1.Kernels[i], a2.Kernels[i])
+		}
+	}
+}
+
+func TestGetReturnsIndependentCopies(t *testing.T) {
+	a1 := MustGet("vgg11")
+	a1.Kernels[0].Work = 42
+	a2 := MustGet("vgg11")
+	if a2.Kernels[0].Work == 42 {
+		t.Error("mutating one Get's kernels leaked into another")
+	}
+}
+
+func TestGetUnknown(t *testing.T) {
+	if _, err := Get("alexnet"); err == nil {
+		t.Error("unknown model accepted")
+	}
+}
+
+func TestKernelDurationRange(t *testing.T) {
+	// The paper: kernel durations vary from 3us to 3ms; average per model in
+	// roughly 10us..300us for well-deployable apps.
+	cfg := sim.DefaultConfig()
+	for _, name := range Names() {
+		app := MustGet(name)
+		for i := range app.Kernels {
+			k := &app.Kernels[i]
+			if !k.IsCompute() {
+				continue
+			}
+			d := k.IsolatedDuration(cfg.SMs, cfg.PCIeBytesPerNS)
+			if d < 1*sim.Microsecond || d > 4*sim.Millisecond {
+				t.Errorf("%s kernel %s: full-GPU duration %v outside [1us, 4ms]", name, k.Name, d)
+			}
+		}
+	}
+}
+
+func TestModelHeterogeneity(t *testing.T) {
+	// NasNet kernels must be much shorter on average than VGG kernels —
+	// that contrast is what exercises squad-size tradeoffs.
+	vgg := MustGet("vgg11").MeanKernelDuration(108)
+	nas := MustGet("nasnet").MeanKernelDuration(108)
+	if nas >= vgg {
+		t.Errorf("mean kernel durations: nasnet %v >= vgg %v, want nasnet shorter", nas, vgg)
+	}
+}
+
+func TestBERTUsesTensorCores(t *testing.T) {
+	bert := MustGet("bert")
+	tc := 0
+	for i := range bert.Kernels {
+		if bert.Kernels[i].TensorCore {
+			tc++
+		}
+	}
+	if tc == 0 {
+		t.Error("bert has no tensor-core kernels")
+	}
+	vgg := MustGet("vgg11")
+	for i := range vgg.Kernels {
+		if vgg.Kernels[i].TensorCore {
+			t.Error("vgg11 has tensor-core kernels; paper says only BERT inference does")
+			break
+		}
+	}
+}
+
+func TestInferenceAppsHaveMemcpys(t *testing.T) {
+	for _, app := range InferenceApps() {
+		if app.Kernels[0].Kind != sim.MemcpyH2D {
+			t.Errorf("%s: first kernel is %v, want h2d input copy", app.Name, app.Kernels[0].Kind)
+		}
+		last := app.Kernels[len(app.Kernels)-1]
+		if last.Kind != sim.MemcpyD2H {
+			t.Errorf("%s: last kernel is %v, want d2h output copy", app.Name, last.Kind)
+		}
+	}
+}
+
+func TestInferenceTrainingSplit(t *testing.T) {
+	if n := len(InferenceApps()); n != 5 {
+		t.Errorf("%d inference apps, want 5", n)
+	}
+	if n := len(TrainingApps()); n != 5 {
+		t.Errorf("%d training apps, want 5", n)
+	}
+	for _, a := range InferenceApps() {
+		if a.Kind != Inference {
+			t.Errorf("%s kind = %v, want inference", a.Name, a.Kind)
+		}
+	}
+	for _, a := range TrainingApps() {
+		if a.Kind != Training {
+			t.Errorf("%s kind = %v, want training", a.Name, a.Kind)
+		}
+	}
+}
+
+func TestSoloDurationScalesDown(t *testing.T) {
+	// Apps must be meaningfully slower on a third of the GPU, but less than
+	// 3x slower (kernels saturate below 108 SMs, so small partitions hurt
+	// sub-linearly... actually super-linear slowdown is impossible).
+	app := MustGet("resnet50")
+	full := app.SoloDuration(108, 25)
+	third := app.SoloDuration(36, 25)
+	if third <= full {
+		t.Errorf("solo at 36 SMs (%v) not slower than at 108 (%v)", third, full)
+	}
+	if third > 3*full+sim.Millisecond {
+		t.Errorf("solo at 36 SMs (%v) more than 3x full (%v): model broken", third, full)
+	}
+}
+
+func TestSoloDurationMonotoneProperty(t *testing.T) {
+	app := MustGet("vgg11")
+	f := func(a, b uint8) bool {
+		s1, s2 := int(a%108)+1, int(b%108)+1
+		if s1 > s2 {
+			s1, s2 = s2, s1
+		}
+		return app.SoloDuration(s2, 25) <= app.SoloDuration(s1, 25)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSynthetic(t *testing.T) {
+	app := Synthetic("syn", 10, 100*sim.Microsecond, 54, 0.5, 7)
+	if err := app.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if app.NumKernels() != 10 {
+		t.Errorf("kernel count = %d, want 10", app.NumKernels())
+	}
+	// Average full-GPU duration should be near 100us (jitter is 0.5-1.5x).
+	mean := app.MeanKernelDuration(108)
+	if mean < 50*sim.Microsecond || mean > 150*sim.Microsecond {
+		t.Errorf("mean duration %v, want ~100us", mean)
+	}
+	// Determinism.
+	app2 := Synthetic("syn", 10, 100*sim.Microsecond, 54, 0.5, 7)
+	for i := range app.Kernels {
+		if app.Kernels[i] != app2.Kernels[i] {
+			t.Fatal("Synthetic not deterministic for equal seeds")
+		}
+	}
+}
+
+func TestSyntheticPanicsOnBadN(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Synthetic(n=0) did not panic")
+		}
+	}()
+	Synthetic("bad", 0, sim.Microsecond, 1, 0, 1)
+}
+
+func TestMemoryFootprints(t *testing.T) {
+	// All five inference apps must fit a 40GB device together (the paper
+	// co-locates up to 8 instances).
+	var total int64
+	for _, a := range InferenceApps() {
+		if a.MemoryBytes <= 0 {
+			t.Errorf("%s: no memory footprint", a.Name)
+		}
+		total += a.MemoryBytes
+	}
+	if total >= 40<<30 {
+		t.Errorf("inference apps need %d bytes, exceeding a 40GB device", total)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Inference.String() != "inference" || Training.String() != "training" {
+		t.Error("Kind.String mnemonics wrong")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	a := MustGet("bert")
+	b := a.Clone()
+	b.Kernels[3].Work++
+	if a.Kernels[3].Work == b.Kernels[3].Work {
+		t.Error("Clone shares kernel backing array")
+	}
+}
+
+func TestMaxKernelDuration(t *testing.T) {
+	app := MustGet("vgg11")
+	max := app.MaxKernelDuration(108)
+	if max <= 0 {
+		t.Fatal("no max duration")
+	}
+	for i := range app.Kernels {
+		if d := app.Kernels[i].IsolatedDuration(108, 25); d > max {
+			t.Errorf("kernel %d duration %v exceeds reported max %v", i, d, max)
+		}
+	}
+	// Fewer SMs cannot shrink the max.
+	if app.MaxKernelDuration(36) < max {
+		t.Error("max duration shrank with fewer SMs")
+	}
+}
+
+func TestWithGraphsPartition(t *testing.T) {
+	app := MustGet("resnet50").WithGraphs(16) // 80 kernels -> 16,32,48,64,80
+	if err := app.ValidateGraphs(); err != nil {
+		t.Fatal(err)
+	}
+	if len(app.GraphEnds) != 5 || app.GraphEnds[4] != 80 {
+		t.Errorf("graph ends = %v", app.GraphEnds)
+	}
+	// Original untouched.
+	if MustGet("resnet50").GraphEnds != nil {
+		t.Error("WithGraphs mutated the catalog copy source")
+	}
+}
+
+func TestWithGraphsPanicsOnBadSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("WithGraphs(0) did not panic")
+		}
+	}()
+	MustGet("vgg11").WithGraphs(0)
+}

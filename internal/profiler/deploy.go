@@ -1,0 +1,114 @@
+package profiler
+
+import (
+	"fmt"
+
+	"bless/internal/sim"
+)
+
+// Deployment admission checks (§4.2.2): before accepting a set of
+// applications onto one GPU, BLESS (a) avoids co-locating applications with
+// very short kernels next to applications with extremely long kernels, which
+// would starve the former inside every kernel squad, and (b) verifies the
+// combined memory footprint — including per-client MPS contexts — fits the
+// device.
+
+// AdmissionLimits tunes the co-location compatibility checks.
+type AdmissionLimits struct {
+	// MaxKernelDuration rejects applications whose longest kernel exceeds
+	// this bound (default 4ms; the paper deploys kernels up to ~3ms).
+	MaxKernelDuration sim.Time
+	// StarvationRatio rejects pairs where one app's longest kernel exceeds
+	// this multiple of another app's mean kernel duration (default 400x —
+	// a 3ms kernel next to 10us kernels is near the paper's working limit).
+	StarvationRatio float64
+	// ContextsPerClient is the number of pre-established MPS contexts each
+	// client needs (default: one unrestricted + the restricted set).
+	ContextsPerClient int
+}
+
+// DefaultAdmissionLimits returns limits matching the paper's deployment
+// envelope.
+func DefaultAdmissionLimits() AdmissionLimits {
+	return AdmissionLimits{
+		MaxKernelDuration: 4 * sim.Millisecond,
+		StarvationRatio:   400,
+		ContextsPerClient: 4,
+	}
+}
+
+// fullGPUStats derives mean and max full-GPU compute-kernel durations from a
+// profile's largest partition.
+func fullGPUStats(p *Profile) (mean, max sim.Time) {
+	last := p.Partitions - 1
+	var total sim.Time
+	n := 0
+	for k := range p.Kernels {
+		if !p.Kernels[k].IsCompute {
+			continue
+		}
+		d := p.Kernels[k].Dur[last]
+		total += d
+		if d > max {
+			max = d
+		}
+		n++
+	}
+	if n > 0 {
+		mean = total / sim.Time(n)
+	}
+	return mean, max
+}
+
+// CheckColocation validates that the profiled applications can be deployed
+// together on a device with the given configuration. It returns nil when the
+// deployment is admissible and a descriptive error otherwise.
+func CheckColocation(profiles []*Profile, cfg sim.Config, lim AdmissionLimits) error {
+	if len(profiles) == 0 {
+		return fmt.Errorf("profiler: no applications to deploy")
+	}
+	if lim.MaxKernelDuration == 0 {
+		lim = DefaultAdmissionLimits()
+	}
+
+	// Memory: application footprints plus per-client extra MPS contexts.
+	var mem int64
+	for _, p := range profiles {
+		mem += p.MemoryBytes
+		mem += int64(lim.ContextsPerClient) * cfg.ContextMemBytes
+	}
+	if mem > cfg.MemoryBytes {
+		return fmt.Errorf("profiler: deployment needs %.1f GB, device has %.1f GB: %w",
+			float64(mem)/(1<<30), float64(cfg.MemoryBytes)/(1<<30), sim.ErrOutOfMemory)
+	}
+
+	type stat struct {
+		name      string
+		mean, max sim.Time
+	}
+	stats := make([]stat, len(profiles))
+	for i, p := range profiles {
+		mean, maxDur := fullGPUStats(p)
+		stats[i] = stat{name: p.AppName, mean: mean, max: maxDur}
+		if maxDur > lim.MaxKernelDuration {
+			return fmt.Errorf("profiler: app %q has a %v kernel, exceeding the %v deployment limit",
+				p.AppName, maxDur, lim.MaxKernelDuration)
+		}
+	}
+
+	// Pairwise starvation check: an extremely long kernel monopolizes every
+	// squad it appears in, starving co-located short-kernel apps.
+	for i := range stats {
+		for j := range stats {
+			if i == j || stats[j].mean == 0 {
+				continue
+			}
+			ratio := float64(stats[i].max) / float64(stats[j].mean)
+			if ratio > lim.StarvationRatio {
+				return fmt.Errorf("profiler: co-locating %q (max kernel %v) with %q (mean kernel %v) risks starvation (ratio %.0fx > %.0fx)",
+					stats[i].name, stats[i].max, stats[j].name, stats[j].mean, ratio, lim.StarvationRatio)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,106 @@
+package profiler
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"bless/internal/model"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	p, err := ProfileApp(model.MustGet("vgg11"), Options{Partitions: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := p.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.AppName != p.AppName || got.Partitions != p.Partitions || got.NumKernels() != p.NumKernels() {
+		t.Errorf("round trip changed identity: %s/%d/%d vs %s/%d/%d",
+			got.AppName, got.Partitions, got.NumKernels(), p.AppName, p.Partitions, p.NumKernels())
+	}
+	for pt := 0; pt < p.Partitions; pt++ {
+		if got.Iso[pt] != p.Iso[pt] {
+			t.Fatalf("iso[%d] changed: %v vs %v", pt, got.Iso[pt], p.Iso[pt])
+		}
+	}
+	for k := range p.Kernels {
+		for pt := 0; pt < p.Partitions; pt++ {
+			if got.Kernels[k].Dur[pt] != p.Kernels[k].Dur[pt] {
+				t.Fatalf("kernel %d dur[%d] changed", k, pt)
+			}
+		}
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(strings.NewReader("not json")); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := Load(strings.NewReader(`{"version":99,"profile":null}`)); err == nil {
+		t.Error("wrong version accepted")
+	}
+	if _, err := Load(strings.NewReader(`{"version":1}`)); err == nil {
+		t.Error("missing profile accepted")
+	}
+}
+
+func TestLoadValidatesInvariants(t *testing.T) {
+	p, err := ProfileApp(model.MustGet("vgg11"), Options{Partitions: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	corrupt := func(f func(*Profile)) error {
+		var buf bytes.Buffer
+		if err := p.Save(&buf); err != nil {
+			t.Fatal(err)
+		}
+		loaded, err := Load(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		f(loaded)
+		var buf2 bytes.Buffer
+		if err := loaded.Save(&buf2); err != nil {
+			t.Fatal(err)
+		}
+		_, err = Load(&buf2)
+		return err
+	}
+	if err := corrupt(func(q *Profile) { q.Iso[0] = 0 }); err == nil {
+		t.Error("non-monotone iso accepted")
+	}
+	if err := corrupt(func(q *Profile) { q.Kernels[3].Dur[2] = -1 }); err == nil {
+		t.Error("negative duration accepted")
+	}
+	if err := corrupt(func(q *Profile) { q.PartitionSMs[1] = q.PartitionSMs[0] }); err == nil {
+		t.Error("non-ascending grid accepted")
+	}
+	if err := corrupt(func(q *Profile) { q.AppName = "" }); err == nil {
+		t.Error("anonymous profile accepted")
+	}
+	if err := corrupt(func(q *Profile) { q.Kernels[0].MaxSMs = 10_000 }); err == nil {
+		t.Error("out-of-range MaxSMs accepted")
+	}
+	if err := corrupt(func(q *Profile) {}); err != nil {
+		t.Errorf("intact profile rejected: %v", err)
+	}
+}
+
+func TestValidateFreshProfiles(t *testing.T) {
+	for _, name := range model.Names() {
+		p, err := ProfileApp(model.MustGet(name), Options{Partitions: 6})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s: fresh profile invalid: %v", name, err)
+		}
+	}
+}

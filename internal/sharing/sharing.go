@@ -1,0 +1,130 @@
+// Package sharing defines the common harness contract for multi-user GPU
+// sharing systems: deployed clients with quotas, request lifecycles, and the
+// Scheduler interface that BLESS and every baseline (TEMPORAL, MIG, GSLICE,
+// UNBOUND, REEF+, ZICO, ...) implement. All systems drive the same simulated
+// device, so experiments compare scheduling policy only.
+package sharing
+
+import (
+	"fmt"
+
+	"bless/internal/model"
+	"bless/internal/profiler"
+	"bless/internal/sim"
+)
+
+// Client is one application deployed on the shared GPU with a provisioned
+// quota.
+type Client struct {
+	// ID is the client's slot index, dense from 0.
+	ID int
+	// App is the deployed application.
+	App *model.App
+	// Profile is the offline profile (§4.2); nil only for systems that do
+	// not need profiling (the paper notes BLESS degrades to plain MPS
+	// without it).
+	Profile *profiler.Profile
+	// Quota is the provisioned GPU fraction in (0, 1]. Quotas of co-located
+	// clients sum to at most 1.
+	Quota float64
+	// SLOTarget, when non-zero, replaces the isolated latency as the pace
+	// target (§6.5).
+	SLOTarget sim.Time
+}
+
+// QuotaSMs returns the client's quota in whole SMs on the given device.
+func (c *Client) QuotaSMs(deviceSMs int) int {
+	s := int(c.Quota*float64(deviceSMs) + 0.5)
+	if s < 1 {
+		s = 1
+	}
+	if s > deviceSMs {
+		s = deviceSMs
+	}
+	return s
+}
+
+// Request is one unit of client work (an inference request or a training
+// iteration): executing the client's whole kernel sequence once.
+type Request struct {
+	// Client owns the request.
+	Client *Client
+	// Seq numbers the client's requests from 0.
+	Seq int
+	// Arrival is when the request entered the system.
+	Arrival sim.Time
+	// Done is the completion instant; zero until completed.
+	Done sim.Time
+}
+
+// Latency returns Done-Arrival; call only after completion.
+func (r *Request) Latency() sim.Time { return r.Done - r.Arrival }
+
+// Env is the execution environment the harness hands to a Scheduler: the
+// simulation engine, the device, the deployed clients, and the completion
+// hook. Schedulers must call Complete exactly once per submitted request.
+type Env struct {
+	// Eng is the simulation engine.
+	Eng *sim.Engine
+	// GPU is the shared device.
+	GPU *sim.GPU
+	// Clients are the deployed applications, indexed by Client.ID.
+	Clients []*Client
+	// OnComplete, if set, observes every completed request (the harness
+	// uses it to record latency and to drive closed-loop workloads).
+	OnComplete func(*Request)
+
+	completed int
+}
+
+// Complete marks a request finished at the current virtual time and notifies
+// the harness. Schedulers call this when the request's last kernel retires.
+func (e *Env) Complete(r *Request) {
+	r.Done = e.Eng.Now()
+	e.completed++
+	if e.OnComplete != nil {
+		e.OnComplete(r)
+	}
+}
+
+// Completed reports how many requests have finished.
+func (e *Env) Completed() int { return e.completed }
+
+// Scheduler is a GPU-sharing system under test.
+type Scheduler interface {
+	// Name returns the system's display name ("BLESS", "GSLICE", ...).
+	Name() string
+	// Deploy prepares device state (contexts, queues) for env's clients.
+	// It returns an error if the deployment is unsupported — e.g. MIG with
+	// quota splits its hardware slicing cannot express.
+	Deploy(env *Env) error
+	// Submit hands a request to the scheduler. The request's Arrival is
+	// already set; Submit is called at that virtual time.
+	Submit(r *Request)
+}
+
+// ValidateDeployment checks the common preconditions every scheduler shares:
+// at least one client, quotas in range and summing to at most 1 (with slack
+// for rounding), and profiles present when required.
+func ValidateDeployment(env *Env, needProfiles bool) error {
+	if len(env.Clients) == 0 {
+		return fmt.Errorf("sharing: no clients deployed")
+	}
+	sum := 0.0
+	for i, c := range env.Clients {
+		if c.ID != i {
+			return fmt.Errorf("sharing: client %d has ID %d; IDs must be dense slot indices", i, c.ID)
+		}
+		if c.Quota <= 0 || c.Quota > 1 {
+			return fmt.Errorf("sharing: client %q quota %g outside (0,1]", c.App.Name, c.Quota)
+		}
+		if needProfiles && c.Profile == nil {
+			return fmt.Errorf("sharing: client %q has no offline profile", c.App.Name)
+		}
+		sum += c.Quota
+	}
+	if sum > 1.0001 {
+		return fmt.Errorf("sharing: quotas sum to %g > 1", sum)
+	}
+	return nil
+}

@@ -1,0 +1,98 @@
+package sharing
+
+import (
+	"testing"
+
+	"bless/internal/model"
+	"bless/internal/sim"
+)
+
+func mkClients(quotas ...float64) []*Client {
+	out := make([]*Client, len(quotas))
+	for i, q := range quotas {
+		out[i] = &Client{ID: i, App: model.MustGet("vgg11"), Quota: q}
+	}
+	return out
+}
+
+func TestQuotaSMs(t *testing.T) {
+	c := &Client{Quota: 0.5}
+	if got := c.QuotaSMs(108); got != 54 {
+		t.Errorf("QuotaSMs(0.5) = %d, want 54", got)
+	}
+	c.Quota = 1.0 / 3
+	if got := c.QuotaSMs(108); got != 36 {
+		t.Errorf("QuotaSMs(1/3) = %d, want 36", got)
+	}
+	c.Quota = 0.001
+	if got := c.QuotaSMs(108); got != 1 {
+		t.Errorf("tiny quota = %d SMs, want clamp to 1", got)
+	}
+	c.Quota = 1.0
+	if got := c.QuotaSMs(108); got != 108 {
+		t.Errorf("full quota = %d SMs, want 108", got)
+	}
+}
+
+func TestRequestLatency(t *testing.T) {
+	r := &Request{Arrival: 10 * sim.Millisecond, Done: 25 * sim.Millisecond}
+	if r.Latency() != 15*sim.Millisecond {
+		t.Errorf("Latency = %v, want 15ms", r.Latency())
+	}
+}
+
+func TestEnvComplete(t *testing.T) {
+	eng := sim.NewEngine()
+	env := &Env{Eng: eng}
+	var seen *Request
+	env.OnComplete = func(r *Request) { seen = r }
+	r := &Request{Arrival: 0}
+	eng.Schedule(7*sim.Millisecond, func() { env.Complete(r) })
+	eng.Run()
+	if r.Done != 7*sim.Millisecond {
+		t.Errorf("Done = %v, want 7ms", r.Done)
+	}
+	if seen != r {
+		t.Error("OnComplete not invoked")
+	}
+	if env.Completed() != 1 {
+		t.Errorf("Completed = %d, want 1", env.Completed())
+	}
+}
+
+func TestValidateDeployment(t *testing.T) {
+	eng := sim.NewEngine()
+	gpu := sim.NewGPU(eng, sim.DefaultConfig())
+
+	ok := &Env{Eng: eng, GPU: gpu, Clients: mkClients(0.4, 0.6)}
+	if err := ValidateDeployment(ok, false); err != nil {
+		t.Errorf("valid deployment rejected: %v", err)
+	}
+
+	if err := ValidateDeployment(&Env{Eng: eng, GPU: gpu}, false); err == nil {
+		t.Error("empty deployment accepted")
+	}
+
+	over := &Env{Eng: eng, GPU: gpu, Clients: mkClients(0.7, 0.7)}
+	if err := ValidateDeployment(over, false); err == nil {
+		t.Error("oversubscribed quotas accepted")
+	}
+
+	bad := &Env{Eng: eng, GPU: gpu, Clients: mkClients(0.5, 0)}
+	if err := ValidateDeployment(bad, false); err == nil {
+		t.Error("zero quota accepted")
+	}
+
+	// Dense ID check.
+	scrambled := mkClients(0.4, 0.4)
+	scrambled[1].ID = 5
+	if err := ValidateDeployment(&Env{Eng: eng, GPU: gpu, Clients: scrambled}, false); err == nil {
+		t.Error("non-dense client IDs accepted")
+	}
+
+	// Profile requirement.
+	noProf := &Env{Eng: eng, GPU: gpu, Clients: mkClients(0.5)}
+	if err := ValidateDeployment(noProf, true); err == nil {
+		t.Error("profile-less client accepted when profiles required")
+	}
+}

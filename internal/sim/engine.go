@@ -1,0 +1,194 @@
+// Package sim implements a deterministic discrete-event simulator of a
+// multi-context GPU, the execution substrate for the BLESS reproduction.
+//
+// The simulated device follows the general GPU-sharing workflow of the paper
+// (§3.1): host-side schedulers create contexts with SM-affinity restrictions,
+// enqueue kernels into per-context device queues, and the hardware scheduler
+// dispatches blocks of the queue-head kernels onto streaming multiprocessors
+// (SMs). Kernels within one queue are serialized; kernels across queues run
+// concurrently, capped by their context's SM limit and slowed by memory
+// bandwidth contention. Memory-management kernels (H2D/D2H copies) run on a
+// DMA engine and contend for PCIe bandwidth.
+//
+// All time is virtual: an int64 nanosecond clock driven by an event heap.
+// Simulations are fully deterministic, which the test-suite and the benchmark
+// harness rely on.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is a virtual-time instant, in nanoseconds since simulation start.
+type Time int64
+
+// Duration constants for readable virtual-time arithmetic.
+const (
+	Nanosecond  Time = 1
+	Microsecond Time = 1000
+	Millisecond Time = 1000 * 1000
+	Second      Time = 1000 * 1000 * 1000
+)
+
+// String formats the instant with microsecond precision, e.g. "12.345ms".
+func (t Time) String() string {
+	switch {
+	case t < 0:
+		return fmt.Sprintf("-%v", -t)
+	case t < Microsecond:
+		return fmt.Sprintf("%dns", int64(t))
+	case t < Millisecond:
+		return fmt.Sprintf("%.3gus", float64(t)/float64(Microsecond))
+	case t < Second:
+		return fmt.Sprintf("%.4gms", float64(t)/float64(Millisecond))
+	default:
+		return fmt.Sprintf("%.4gs", float64(t)/float64(Second))
+	}
+}
+
+// Milliseconds returns the instant as a float64 count of milliseconds.
+func (t Time) Milliseconds() float64 { return float64(t) / float64(Millisecond) }
+
+// Microseconds returns the instant as a float64 count of microseconds.
+func (t Time) Microseconds() float64 { return float64(t) / float64(Microsecond) }
+
+// Event is a scheduled callback. The zero Event is invalid; events are
+// created through Engine.Schedule and may be revoked with Cancel.
+type Event struct {
+	at       Time
+	seq      uint64
+	fn       func()
+	canceled bool
+	index    int // heap index, -1 once popped
+}
+
+// Cancel revokes the event. Canceling an already-fired or already-canceled
+// event is a no-op. Cancel is safe to call from within event callbacks.
+func (e *Event) Cancel() {
+	if e != nil {
+		e.canceled = true
+	}
+}
+
+// At reports the virtual time the event is scheduled for.
+func (e *Event) At() Time { return e.at }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a discrete-event simulation loop: a virtual clock plus a heap of
+// timed callbacks. Callbacks run strictly in time order (FIFO among equal
+// times) and may schedule further events. Engine is not safe for concurrent
+// use; the whole simulation is single-threaded by design.
+type Engine struct {
+	now     Time
+	seq     uint64
+	events  eventHeap
+	stopped bool
+}
+
+// NewEngine returns an engine with the clock at zero and no pending events.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now reports the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Schedule registers fn to run at virtual time at. If at is in the past, the
+// event fires at the current time (never before already-pending earlier
+// events). The returned Event may be canceled.
+func (e *Engine) Schedule(at Time, fn func()) *Event {
+	if at < e.now {
+		at = e.now
+	}
+	ev := &Event{at: at, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.events, ev)
+	return ev
+}
+
+// After registers fn to run d nanoseconds from now.
+func (e *Engine) After(d Time, fn func()) *Event {
+	return e.Schedule(e.now+d, fn)
+}
+
+// Pending reports the number of scheduled (possibly canceled) events.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// Stop makes the currently running Run/RunUntil call return after the
+// in-flight callback completes. Pending events stay queued.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Step fires the earliest pending non-canceled event and advances the clock
+// to its timestamp. It reports whether an event fired.
+func (e *Engine) Step() bool {
+	for len(e.events) > 0 {
+		ev := heap.Pop(&e.events).(*Event)
+		if ev.canceled {
+			continue
+		}
+		e.now = ev.at
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run fires events until the queue drains or Stop is called.
+func (e *Engine) Run() {
+	e.stopped = false
+	for !e.stopped && e.Step() {
+	}
+}
+
+// RunUntil fires events with timestamps <= deadline, then sets the clock to
+// the deadline (if it has not already passed it) and returns. Events beyond
+// the deadline stay queued.
+func (e *Engine) RunUntil(deadline Time) {
+	e.stopped = false
+	for !e.stopped {
+		// Peek at the earliest live event.
+		idx := -1
+		for len(e.events) > 0 && e.events[0].canceled {
+			heap.Pop(&e.events)
+		}
+		if len(e.events) > 0 {
+			idx = 0
+		}
+		if idx < 0 || e.events[0].at > deadline {
+			break
+		}
+		e.Step()
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+}

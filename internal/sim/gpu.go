@@ -1,0 +1,740 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Config holds the simulated device parameters. DefaultConfig models the
+// paper's testbed, an Nvidia A100 (108 SMs, 40 GB), with the host-side cost
+// constants the paper measures in §6.9.
+type Config struct {
+	// SMs is the number of streaming multiprocessors (108 on A100).
+	SMs int
+	// MemoryBytes is the device memory capacity (40 GB on A100).
+	MemoryBytes int64
+	// PCIeBytesPerNS is the host<->device transfer bandwidth in bytes per
+	// nanosecond (25 GB/s PCIe4 x16 effective ~= 25 bytes/ns).
+	PCIeBytesPerNS float64
+	// KernelLaunch is the host-side cost of launching one kernel (~3us).
+	KernelLaunch Time
+	// ContextSwitch is the vacuum period when a client redirects kernel
+	// launches from one GPU context to another through MPS (~50us). The
+	// vacuum delays that client's kernels only; other device queues keep
+	// executing (§6.9).
+	ContextSwitch Time
+	// SquadSync is the host<->device synchronization cost at a kernel-squad
+	// boundary (~20us).
+	SquadSync Time
+	// ContextMemBytes is the device memory consumed per additional MPS
+	// context (~230 MB, §6.9).
+	ContextMemBytes int64
+	// SlowdownCap bounds the per-kernel contention slowdown ratio. The paper
+	// measures a kernel-level slowdown no larger than 2x even against highly
+	// memory-intensive co-runners (Fig 9a).
+	SlowdownCap float64
+	// BWSatOccupancy is the fraction of a kernel's saturation SM count at
+	// which it already reaches its full memory-bandwidth demand: memory-
+	// bound kernels saturate the bus well below full occupancy. 0 or 1
+	// disables the knee (linear scaling).
+	BWSatOccupancy float64
+	// InterferenceBeta scales the co-residency penalty: kernels whose SM
+	// scopes overlap (at least one side launched without an SM-affinity
+	// restriction) slow down by 1 + beta x oversubscription when their
+	// combined SM demand exceeds capacity — the uncontrolled interleaving
+	// the paper attributes to unbounded sharing (Fig 3b, §3.2). Strictly
+	// partitioned contexts never pay it, which is what makes controlled
+	// spatial sharing attractive.
+	InterferenceBeta float64
+}
+
+// DefaultConfig returns the A100-calibrated configuration used throughout the
+// evaluation.
+func DefaultConfig() Config {
+	return Config{
+		SMs:              108,
+		MemoryBytes:      40 << 30,
+		PCIeBytesPerNS:   25.0,
+		KernelLaunch:     3 * Microsecond,
+		ContextSwitch:    50 * Microsecond,
+		SquadSync:        20 * Microsecond,
+		ContextMemBytes:  230 << 20,
+		SlowdownCap:      2.0,
+		BWSatOccupancy:   0.5,
+		InterferenceBeta: 0.16,
+	}
+}
+
+// Validate reports an error for inconsistent device parameters.
+func (c *Config) Validate() error {
+	if c.SMs < 1 {
+		return fmt.Errorf("sim: config: SMs must be >= 1, got %d", c.SMs)
+	}
+	if c.PCIeBytesPerNS <= 0 {
+		return fmt.Errorf("sim: config: PCIeBytesPerNS must be positive, got %g", c.PCIeBytesPerNS)
+	}
+	if c.SlowdownCap < 1 {
+		return fmt.Errorf("sim: config: SlowdownCap must be >= 1, got %g", c.SlowdownCap)
+	}
+	if c.InterferenceBeta < 0 {
+		return fmt.Errorf("sim: config: InterferenceBeta must be >= 0, got %g", c.InterferenceBeta)
+	}
+	return nil
+}
+
+// Context is a simulated GPU context. Kernels launched into a context's
+// device queues are collectively capped at SMLimit SMs (0 = unrestricted),
+// mirroring MPS contexts created with cuCtxCreate_v3 SM affinity. A context
+// with Isolated set also receives a private memory-bandwidth slice
+// proportional to its SM share, modeling MIG hardware partitions.
+type Context struct {
+	gpu *GPU
+	id  int
+
+	// SMLimit caps the SMs usable by all kernels of this context combined;
+	// 0 means no restriction.
+	SMLimit int
+	// Isolated grants the context a private bandwidth slice (MIG-style);
+	// non-isolated contexts contend on the shared bandwidth pool (MPS-style).
+	Isolated bool
+	// Priority orders hardware dispatch: higher-priority contexts take the
+	// SMs they want before lower tiers share the remainder. Equal priorities
+	// share fairly, as Volta+ hardware schedulers do (paper footnote 1).
+	Priority int
+
+	label string
+}
+
+// ID returns the context's device-unique identifier.
+func (c *Context) ID() int { return c.id }
+
+// SetSMLimit re-restricts the context to limit SMs (0 = unrestricted),
+// taking effect immediately for queued and future kernels (a running kernel
+// keeps its allocation policy from the next rate recomputation on). This
+// models tearing down and re-establishing an MPS context with a different SM
+// affinity; callers that want the associated ~50us vacuum charge it
+// themselves (e.g. by pausing the queue), as adaptive spatial-sharing
+// schedulers like GSLICE do.
+func (c *Context) SetSMLimit(limit int) error {
+	if limit < 0 || limit > c.gpu.cfg.SMs {
+		return fmt.Errorf("sim: context %q: SMLimit %d out of range [0,%d]", c.label, limit, c.gpu.cfg.SMs)
+	}
+	if limit != c.SMLimit {
+		c.SMLimit = limit
+		c.gpu.reschedule()
+	}
+	return nil
+}
+
+// Label returns the debug label given at creation.
+func (c *Context) Label() string { return c.label }
+
+// launchRecord is a kernel sitting in (or running from) a device queue.
+type launchRecord struct {
+	k      *Kernel
+	onDone func(at Time)
+}
+
+// Queue is a device queue (ring buffer in real hardware): kernels in one
+// queue execute in FIFO order, one at a time; concurrency happens across
+// queues. A queue belongs to exactly one context and inherits its SM limit,
+// isolation and priority.
+type Queue struct {
+	ctx     *Context
+	id      int
+	pending []launchRecord
+	run     *exec // currently executing head, nil if idle
+	paused  bool
+	label   string
+}
+
+// Context returns the owning context.
+func (q *Queue) Context() *Context { return q.ctx }
+
+// Len reports the number of kernels in the queue, including the running one.
+func (q *Queue) Len() int {
+	n := len(q.pending)
+	if q.run != nil {
+		n++
+	}
+	return n
+}
+
+// Idle reports whether the queue has no running and no pending kernels.
+func (q *Queue) Idle() bool { return q.run == nil && len(q.pending) == 0 }
+
+// Label returns the debug label given at creation.
+func (q *Queue) Label() string { return q.label }
+
+// Pause stops the queue from dispatching its next pending kernel. A kernel
+// already executing is not preempted (GPU kernels are un-preemptable); it
+// runs to completion. Used by time-slicing schedulers.
+func (q *Queue) Pause() {
+	if !q.paused {
+		q.paused = true
+		q.ctx.gpu.reschedule()
+	}
+}
+
+// Resume re-enables dispatch from the queue.
+func (q *Queue) Resume() {
+	if q.paused {
+		q.paused = false
+		q.ctx.gpu.reschedule()
+	}
+}
+
+// Paused reports whether the queue is paused.
+func (q *Queue) Paused() bool { return q.paused }
+
+// exec is a kernel in flight.
+type exec struct {
+	q         *Queue
+	rec       launchRecord
+	remaining float64 // compute: SM*ns of work left; memcpy: bytes left
+	rate      float64 // compute: effective SMs; memcpy: bytes per ns
+	alloc     float64 // compute: SMs granted before slowdown (for accounting)
+	demand    float64 // compute: SMs wanted under the context cap
+	started   Time
+	allocIntg float64 // integral of alloc over time, for avg-SM tracing
+}
+
+// GPU is the simulated device. Create one per experiment with NewGPU, create
+// contexts and queues, and enqueue kernels; the GPU schedules itself on the
+// shared Engine. GPU is not safe for concurrent use (the simulation is
+// single-threaded).
+type GPU struct {
+	eng *Engine
+	cfg Config
+
+	contexts []*Context
+	queues   []*Queue
+
+	completion *Event
+	lastAcct   Time
+
+	// accounting
+	busySMIntegral float64 // integral of allocated compute SMs over time (SM*ns)
+	anyBusyTime    Time    // total time with >= 1 compute kernel running
+	lastAnyBusy    bool
+	kernelsDone    int64
+	memUsed        int64
+
+	tracer Tracer
+}
+
+// NewGPU creates a device with the given configuration, scheduled on eng.
+// It panics if the configuration is invalid (a programming error).
+func NewGPU(eng *Engine, cfg Config) *GPU {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	return &GPU{eng: eng, cfg: cfg}
+}
+
+// Config returns the device configuration.
+func (g *GPU) Config() Config { return g.cfg }
+
+// Engine returns the simulation engine driving this device.
+func (g *GPU) Engine() *Engine { return g.eng }
+
+// ContextOptions configures NewContext.
+type ContextOptions struct {
+	// SMLimit caps SM usage (0 = unrestricted).
+	SMLimit int
+	// Isolated gives the context a private bandwidth slice (MIG-style).
+	Isolated bool
+	// Priority tiers hardware dispatch (higher first; default 0).
+	Priority int
+	// Label is a free-form debug label.
+	Label string
+	// NoMemCharge skips the per-context device-memory charge (used by
+	// tests and by schedulers that account for context memory themselves).
+	NoMemCharge bool
+}
+
+// NewContext creates a GPU context. Each context consumes ContextMemBytes of
+// device memory unless NoMemCharge is set; creation fails if memory is
+// exhausted.
+func (g *GPU) NewContext(opts ContextOptions) (*Context, error) {
+	if opts.SMLimit < 0 || opts.SMLimit > g.cfg.SMs {
+		return nil, fmt.Errorf("sim: context %q: SMLimit %d out of range [0,%d]", opts.Label, opts.SMLimit, g.cfg.SMs)
+	}
+	if !opts.NoMemCharge {
+		if err := g.AllocMemory(g.cfg.ContextMemBytes); err != nil {
+			return nil, fmt.Errorf("sim: context %q: %w", opts.Label, err)
+		}
+	}
+	c := &Context{
+		gpu:      g,
+		id:       len(g.contexts),
+		SMLimit:  opts.SMLimit,
+		Isolated: opts.Isolated,
+		Priority: opts.Priority,
+		label:    opts.Label,
+	}
+	g.contexts = append(g.contexts, c)
+	return c, nil
+}
+
+// NewQueue creates a device queue bound to the context.
+func (c *Context) NewQueue(label string) *Queue {
+	q := &Queue{ctx: c, id: len(c.gpu.queues), label: label}
+	c.gpu.queues = append(c.gpu.queues, q)
+	return q
+}
+
+// AllocMemory reserves device memory, failing with an error that unwraps to
+// ErrOutOfMemory when capacity is exceeded.
+func (g *GPU) AllocMemory(bytes int64) error {
+	if bytes < 0 {
+		return fmt.Errorf("sim: negative allocation %d", bytes)
+	}
+	if g.memUsed+bytes > g.cfg.MemoryBytes {
+		return fmt.Errorf("%w: want %d, free %d", ErrOutOfMemory, bytes, g.cfg.MemoryBytes-g.memUsed)
+	}
+	g.memUsed += bytes
+	return nil
+}
+
+// FreeMemory releases device memory previously reserved with AllocMemory.
+func (g *GPU) FreeMemory(bytes int64) {
+	g.memUsed -= bytes
+	if g.memUsed < 0 {
+		g.memUsed = 0
+	}
+}
+
+// MemUsed reports currently reserved device memory in bytes.
+func (g *GPU) MemUsed() int64 { return g.memUsed }
+
+// ErrOutOfMemory indicates a device memory allocation could not be satisfied.
+var ErrOutOfMemory = fmt.Errorf("sim: out of device memory")
+
+// Tracer observes kernel execution on the device; attach one with SetTracer
+// to reconstruct timelines (Gantt charts, utilization traces). Callbacks run
+// synchronously inside the simulation loop and must not mutate device state.
+type Tracer interface {
+	// KernelStart fires when a kernel begins executing (reaches its queue
+	// head and receives an allocation).
+	KernelStart(at Time, queue *Queue, k *Kernel)
+	// KernelEnd fires when the kernel retires; avgSMs is its time-averaged
+	// SM allocation over the execution.
+	KernelEnd(at Time, queue *Queue, k *Kernel, avgSMs float64)
+}
+
+// SetTracer attaches a tracer (nil detaches). Only one tracer is supported.
+func (g *GPU) SetTracer(t Tracer) { g.tracer = t }
+
+// Enqueue submits a kernel to the queue at virtual time at (>= now; the
+// caller charges host-side launch latency itself, typically via Host). onDone
+// fires when the kernel completes; it may be nil. Enqueue panics on an
+// invalid kernel — launching garbage is a programming error, matching CUDA's
+// behavior of failing the launch.
+func (q *Queue) Enqueue(at Time, k *Kernel, onDone func(at Time)) {
+	if err := k.Validate(); err != nil {
+		panic(err)
+	}
+	g := q.ctx.gpu
+	if at <= g.eng.Now() {
+		q.pending = append(q.pending, launchRecord{k: k, onDone: onDone})
+		g.reschedule()
+		return
+	}
+	g.eng.Schedule(at, func() {
+		q.pending = append(q.pending, launchRecord{k: k, onDone: onDone})
+		g.reschedule()
+	})
+}
+
+// runningExecs returns the execs currently eligible to run, starting queued
+// heads as needed.
+func (g *GPU) runningExecs() []*exec {
+	var out []*exec
+	for _, q := range g.queues {
+		if q.run == nil && !q.paused && len(q.pending) > 0 {
+			rec := q.pending[0]
+			q.pending = q.pending[1:]
+			e := &exec{q: q, rec: rec, started: g.eng.Now()}
+			if rec.k.IsCompute() {
+				e.remaining = float64(rec.k.Work)
+			} else {
+				e.remaining = float64(rec.k.Bytes)
+			}
+			q.run = e
+			if g.tracer != nil {
+				g.tracer.KernelStart(e.started, q, rec.k)
+			}
+		}
+		if q.run != nil {
+			out = append(out, q.run)
+		}
+	}
+	return out
+}
+
+// advance integrates in-flight work from the last accounting instant to now
+// at the rates computed by the previous update pass.
+func (g *GPU) advance() {
+	now := g.eng.Now()
+	dt := float64(now - g.lastAcct)
+	if dt > 0 {
+		for _, q := range g.queues {
+			e := q.run
+			if e == nil {
+				continue
+			}
+			e.remaining -= e.rate * dt
+			if e.remaining < 0 {
+				e.remaining = 0
+			}
+			if e.rec.k.IsCompute() {
+				g.busySMIntegral += e.alloc * dt
+				e.allocIntg += e.alloc * dt
+			}
+		}
+		if g.lastAnyBusy {
+			g.anyBusyTime += now - g.lastAcct
+		}
+	}
+	g.lastAcct = now
+}
+
+// reschedule brings the device to a consistent state at the current virtual
+// time: it integrates elapsed work, retires finished kernels (starting queued
+// successors), recomputes SM allocations and contention slowdowns, and arms
+// the next completion event. It must be called whenever the runnable set
+// changes (enqueue, pause, resume) and on every completion event.
+//
+// Completion callbacks run only after the device state is consistent, so they
+// may freely enqueue further kernels (which re-enters reschedule).
+func (g *GPU) reschedule() {
+	g.advance()
+
+	var callbacks []launchRecord
+	var execs []*exec
+	for {
+		execs = g.runningExecs()
+		g.assignRates(execs)
+		finished := false
+		for _, e := range execs {
+			if e.remaining <= 0.5 {
+				e.q.run = nil
+				g.kernelsDone++
+				if g.tracer != nil {
+					avg := 0.0
+					if dur := g.eng.Now() - e.started; dur > 0 {
+						avg = e.allocIntg / float64(dur)
+					}
+					g.tracer.KernelEnd(g.eng.Now(), e.q, e.rec.k, avg)
+				}
+				if e.rec.onDone != nil {
+					callbacks = append(callbacks, e.rec)
+				}
+				finished = true
+			}
+		}
+		if !finished {
+			break
+		}
+	}
+
+	// Record whether any compute kernel is running, for busy-time accounting.
+	g.lastAnyBusy = false
+	for _, e := range execs {
+		if e.rec.k.IsCompute() {
+			g.lastAnyBusy = true
+			break
+		}
+	}
+
+	// Arm the earliest next completion.
+	if g.completion != nil {
+		g.completion.Cancel()
+		g.completion = nil
+	}
+	next := Time(math.MaxInt64)
+	for _, e := range execs {
+		if e.rate <= 0 {
+			continue
+		}
+		d := Time(math.Ceil(e.remaining / e.rate))
+		if d < 1 {
+			d = 1
+		}
+		if g.eng.Now()+d < next {
+			next = g.eng.Now() + d
+		}
+	}
+	if next != Time(math.MaxInt64) {
+		g.completion = g.eng.Schedule(next, func() {
+			g.completion = nil
+			g.reschedule()
+		})
+	}
+
+	for _, rec := range callbacks {
+		rec.onDone(g.eng.Now())
+	}
+}
+
+// assignRates computes, for the current runnable set, each kernel's SM
+// allocation (priority tiers, per-context caps, proportional sharing of the
+// remainder) and contention slowdown, then each memcpy's PCIe share.
+func (g *GPU) assignRates(execs []*exec) {
+	var compute, dma []*exec
+	for _, e := range execs {
+		if e.rec.k.IsCompute() {
+			compute = append(compute, e)
+		} else {
+			dma = append(dma, e)
+		}
+	}
+
+	// --- SM allocation ---
+	// Group compute kernels by priority tier, highest first.
+	byPrio := map[int][]*exec{}
+	var prios []int
+	for _, e := range compute {
+		p := e.q.ctx.Priority
+		if _, ok := byPrio[p]; !ok {
+			prios = append(prios, p)
+		}
+		byPrio[p] = append(byPrio[p], e)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(prios)))
+
+	// Within each priority tier, SMs are assigned by hierarchical max-min
+	// fairness, modeling the hardware scheduler's fair block dispatch across
+	// equal-priority device queues (paper footnote 1): a context with a
+	// small (restricted) demand keeps its full share while unrestricted
+	// kernels expand into whatever capacity is left — the property the
+	// Semi-SP execution mode (§4.4.1) relies on.
+	available := float64(g.cfg.SMs)
+	for _, p := range prios {
+		tier := byPrio[p]
+		// Group kernels by context: the context's demand is the sum of its
+		// kernels' demands, capped by its SM limit.
+		type ctxGroup struct {
+			ctx     *Context
+			kernels []*exec
+			demand  float64
+		}
+		var groups []*ctxGroup
+		byCtx := map[*Context]*ctxGroup{}
+		for _, e := range tier {
+			grp := byCtx[e.q.ctx]
+			if grp == nil {
+				grp = &ctxGroup{ctx: e.q.ctx}
+				byCtx[e.q.ctx] = grp
+				groups = append(groups, grp)
+			}
+			grp.kernels = append(grp.kernels, e)
+			e.demand = float64(e.rec.k.SMDemand(e.q.ctx.SMLimit, g.cfg.SMs))
+			grp.demand += e.demand
+		}
+		demands := make([]float64, len(groups))
+		for i, grp := range groups {
+			d := grp.demand
+			if grp.ctx.SMLimit > 0 && d > float64(grp.ctx.SMLimit) {
+				d = float64(grp.ctx.SMLimit)
+			}
+			demands[i] = d
+		}
+		grants := waterFill(demands, available)
+		granted := 0.0
+		for i, grp := range groups {
+			granted += grants[i]
+			// Within the context, max-min across its kernels.
+			kd := make([]float64, len(grp.kernels))
+			for j, e := range grp.kernels {
+				kd[j] = float64(e.rec.k.SMDemand(e.q.ctx.SMLimit, g.cfg.SMs))
+			}
+			kg := waterFill(kd, grants[i])
+			for j, e := range grp.kernels {
+				e.alloc = kg[j]
+			}
+		}
+		available -= granted
+		if available < 0 {
+			available = 0
+		}
+	}
+
+	// --- Bandwidth contention ---
+	// Shared pool: all non-isolated contexts contend on budget 1.0. Each
+	// isolated context has a private budget proportional to its SM share.
+	sharedDemand := 0.0
+	isoDemand := map[*Context]float64{}
+	for _, e := range compute {
+		d := e.demandBW(g.cfg.BWSatOccupancy)
+		if e.q.ctx.Isolated {
+			isoDemand[e.q.ctx] += d
+		} else {
+			sharedDemand += d
+		}
+	}
+	for _, e := range compute {
+		var over float64
+		if e.q.ctx.Isolated {
+			budget := float64(e.q.ctx.SMLimit) / float64(g.cfg.SMs)
+			if budget <= 0 {
+				budget = 1
+			}
+			over = isoDemand[e.q.ctx]/budget - 1
+		} else {
+			over = sharedDemand - 1
+		}
+		slow := 1.0
+		if over > 0 {
+			slow = 1 + e.rec.k.MemIntensity*over
+		}
+		// Co-residency penalty: when this kernel's SM scope overlaps other
+		// kernels' (either side unrestricted) and the combined demand
+		// oversubscribes the device, block interleaving thrashes shared
+		// resources. Strictly partitioned (restricted or MIG) contexts on
+		// disjoint SM sets never pay this — the asymmetry that makes
+		// controlled spatial sharing (§3.3) profitable.
+		if beta := g.cfg.InterferenceBeta; beta > 0 && e.alloc > 0 {
+			overlapDemand := e.demand
+			for _, o := range compute {
+				if o == e || o.alloc <= 0 {
+					continue // starved kernels occupy no SMs, no thrash
+				}
+				if e.q.ctx.SMLimit == 0 || o.q.ctx.SMLimit == 0 {
+					overlapDemand += o.demand
+				}
+			}
+			if oversub := (overlapDemand - float64(g.cfg.SMs)) / float64(g.cfg.SMs); oversub > 0 {
+				slow *= 1 + beta*oversub
+			}
+		}
+		if slow > g.cfg.SlowdownCap {
+			slow = g.cfg.SlowdownCap
+		}
+		e.rate = e.alloc / slow
+	}
+
+	// --- PCIe sharing ---
+	if n := len(dma); n > 0 {
+		share := g.cfg.PCIeBytesPerNS / float64(n)
+		for _, e := range dma {
+			e.rate = share
+			e.alloc = 0
+		}
+	}
+}
+
+// waterFill distributes capacity across demands by max-min fairness: demands
+// at or below the fair share are fully satisfied; the remainder is split
+// equally among the rest. The returned grants sum to min(capacity,
+// sum(demands)).
+func waterFill(demands []float64, capacity float64) []float64 {
+	grants := make([]float64, len(demands))
+	if capacity <= 0 {
+		return grants
+	}
+	unsat := make([]int, 0, len(demands))
+	for i := range demands {
+		unsat = append(unsat, i)
+	}
+	remaining := capacity
+	for len(unsat) > 0 {
+		share := remaining / float64(len(unsat))
+		progressed := false
+		next := unsat[:0]
+		for _, i := range unsat {
+			if demands[i] <= share {
+				grants[i] = demands[i]
+				remaining -= demands[i]
+				progressed = true
+			} else {
+				next = append(next, i)
+			}
+		}
+		unsat = next
+		if !progressed {
+			// All remaining demands exceed the fair share: split equally.
+			share = remaining / float64(len(unsat))
+			for _, i := range unsat {
+				grants[i] = share
+			}
+			break
+		}
+	}
+	return grants
+}
+
+// demandBW is the kernel's bandwidth demand at its current allocation:
+// intensity scaled by achieved occupancy, with a saturation knee — the
+// kernel reaches its full bandwidth demand at BWSatOccupancy of its
+// saturation SM count (memory-bound kernels saturate the bus early).
+func (e *exec) demandBW(satOcc float64) float64 {
+	sat := float64(e.rec.k.SaturationSMs)
+	if sat <= 0 {
+		return 0
+	}
+	if satOcc > 0 && satOcc < 1 {
+		sat *= satOcc
+	}
+	f := e.alloc / sat
+	if f > 1 {
+		f = 1
+	}
+	return e.rec.k.MemIntensity * f
+}
+
+// Stats is a snapshot of device accounting.
+type Stats struct {
+	// KernelsCompleted counts retired kernels.
+	KernelsCompleted int64
+	// BusySMTime is the integral of allocated compute SMs over time, in
+	// SM-nanoseconds. Divide by (SMs x elapsed) for average utilization.
+	BusySMTime float64
+	// AnyBusyTime is the total time at least one compute kernel was running.
+	AnyBusyTime Time
+}
+
+// Stats returns accounting integrated up to the current virtual time.
+func (g *GPU) Stats() Stats {
+	g.advance()
+	return Stats{
+		KernelsCompleted: g.kernelsDone,
+		BusySMTime:       g.busySMIntegral,
+		AnyBusyTime:      g.anyBusyTime,
+	}
+}
+
+// Utilization returns average SM utilization in [0,1] over the elapsed
+// virtual time window [0, now].
+func (g *GPU) Utilization() float64 {
+	now := g.eng.Now()
+	if now == 0 {
+		return 0
+	}
+	s := g.Stats()
+	return s.BusySMTime / (float64(g.cfg.SMs) * float64(now))
+}
+
+// ActiveSMs returns the number of SMs allocated to running compute kernels
+// at this instant — instantaneous occupancy for timeline introspection.
+func (g *GPU) ActiveSMs() float64 {
+	total := 0.0
+	for _, q := range g.queues {
+		if q.run != nil && q.run.rec.k.IsCompute() {
+			total += q.run.alloc
+		}
+	}
+	return total
+}
+
+// Quiescent reports whether no queue holds running or pending kernels.
+func (g *GPU) Quiescent() bool {
+	for _, q := range g.queues {
+		if !q.Idle() {
+			return false
+		}
+	}
+	return true
+}

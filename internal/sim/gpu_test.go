@@ -1,0 +1,715 @@
+package sim
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// testGPU builds an engine + default-config GPU pair for tests.
+func testGPU(t testing.TB) (*Engine, *GPU) {
+	t.Helper()
+	eng := NewEngine()
+	return eng, NewGPU(eng, DefaultConfig())
+}
+
+// mustCtx creates a context, failing the test on error.
+func mustCtx(t testing.TB, g *GPU, opts ContextOptions) *Context {
+	t.Helper()
+	opts.NoMemCharge = true
+	c, err := g.NewContext(opts)
+	if err != nil {
+		t.Fatalf("NewContext: %v", err)
+	}
+	return c
+}
+
+func computeKernel(work Time, sat int, mem float64) *Kernel {
+	return &Kernel{Name: "k", Kind: Compute, Work: work, SaturationSMs: sat, MemIntensity: mem}
+}
+
+func TestSingleKernelFullGPU(t *testing.T) {
+	eng, g := testGPU(t)
+	q := mustCtx(t, g, ContextOptions{}).NewQueue("q")
+	var done Time
+	// 108000 SM*us of work saturating 108 SMs -> 1000us isolated.
+	q.Enqueue(0, computeKernel(108000*Microsecond, 108, 0), func(at Time) { done = at })
+	eng.Run()
+	if done != 1000*Microsecond {
+		t.Errorf("completion at %v, want 1ms", done)
+	}
+}
+
+func TestSMLimitSlowsKernel(t *testing.T) {
+	eng, g := testGPU(t)
+	q := mustCtx(t, g, ContextOptions{SMLimit: 54}).NewQueue("q")
+	var done Time
+	q.Enqueue(0, computeKernel(108000*Microsecond, 108, 0), func(at Time) { done = at })
+	eng.Run()
+	if done != 2000*Microsecond {
+		t.Errorf("completion at %v with 54/108 SMs, want 2ms", done)
+	}
+}
+
+func TestQueueSerializesKernels(t *testing.T) {
+	eng, g := testGPU(t)
+	q := mustCtx(t, g, ContextOptions{}).NewQueue("q")
+	var ends []Time
+	for i := 0; i < 3; i++ {
+		q.Enqueue(0, computeKernel(108*Millisecond, 108, 0), func(at Time) { ends = append(ends, at) })
+	}
+	eng.Run()
+	if len(ends) != 3 {
+		t.Fatalf("%d kernels completed, want 3", len(ends))
+	}
+	for i, want := range []Time{Millisecond, 2 * Millisecond, 3 * Millisecond} {
+		if ends[i] != want {
+			t.Errorf("kernel %d finished at %v, want %v (serialization within a queue)", i, ends[i], want)
+		}
+	}
+}
+
+func TestCrossQueueConcurrency(t *testing.T) {
+	eng, g := testGPU(t)
+	// Two contexts, 54 SMs each: both kernels fit side by side.
+	q1 := mustCtx(t, g, ContextOptions{SMLimit: 54}).NewQueue("q1")
+	q2 := mustCtx(t, g, ContextOptions{SMLimit: 54}).NewQueue("q2")
+	var e1, e2 Time
+	q1.Enqueue(0, computeKernel(54*Millisecond, 108, 0), func(at Time) { e1 = at })
+	q2.Enqueue(0, computeKernel(54*Millisecond, 108, 0), func(at Time) { e2 = at })
+	eng.Run()
+	// Each runs on its own 54 SMs: 54ms work / 54 SMs = 1ms, concurrently.
+	if e1 != Millisecond || e2 != Millisecond {
+		t.Errorf("completions at %v, %v; want both 1ms (spatial concurrency)", e1, e2)
+	}
+}
+
+func TestUnrestrictedContention(t *testing.T) {
+	eng := NewEngine()
+	cfg := DefaultConfig()
+	cfg.InterferenceBeta = 0 // isolate pure SM-sharing math
+	g := NewGPU(eng, cfg)
+	// Two unrestricted kernels each saturating the whole device: the
+	// hardware scheduler splits SMs fairly, so each takes 2x isolated time.
+	q1 := mustCtx(t, g, ContextOptions{}).NewQueue("q1")
+	q2 := mustCtx(t, g, ContextOptions{}).NewQueue("q2")
+	var e1, e2 Time
+	q1.Enqueue(0, computeKernel(108*Millisecond, 108, 0), func(at Time) { e1 = at })
+	q2.Enqueue(0, computeKernel(108*Millisecond, 108, 0), func(at Time) { e2 = at })
+	eng.Run()
+	if e1 != 2*Millisecond || e2 != 2*Millisecond {
+		t.Errorf("completions at %v, %v; want both 2ms (fair SM sharing)", e1, e2)
+	}
+}
+
+func TestUnboundedCoResidencyPenalty(t *testing.T) {
+	eng, g := testGPU(t)
+	// With the default interference model, two fully-saturating unrestricted
+	// kernels oversubscribe the device 2x: each is slowed by 1+beta (the
+	// uncontrolled interleaving of Fig 3b).
+	q1 := mustCtx(t, g, ContextOptions{}).NewQueue("q1")
+	q2 := mustCtx(t, g, ContextOptions{}).NewQueue("q2")
+	var e1 Time
+	q1.Enqueue(0, computeKernel(108*Millisecond, 108, 0), func(at Time) { e1 = at })
+	q2.Enqueue(0, computeKernel(108*Millisecond, 108, 0), nil)
+	eng.Run()
+	beta := g.Config().InterferenceBeta
+	want := Time(float64(2*Millisecond) * (1 + beta))
+	if diff := e1 - want; diff < -10*Microsecond || diff > 10*Microsecond {
+		t.Errorf("penalized completion at %v, want ~%v (2ms x (1+%.2f))", e1, want, beta)
+	}
+}
+
+func TestSpatialPartitionsAvoidCoResidencyPenalty(t *testing.T) {
+	eng, g := testGPU(t)
+	// The same pair under strict 54/54 spatial partitioning pays no
+	// co-residency penalty — only the (zero here) bandwidth term.
+	q1 := mustCtx(t, g, ContextOptions{SMLimit: 54}).NewQueue("q1")
+	q2 := mustCtx(t, g, ContextOptions{SMLimit: 54}).NewQueue("q2")
+	var e1 Time
+	q1.Enqueue(0, computeKernel(108*Millisecond, 108, 0), func(at Time) { e1 = at })
+	q2.Enqueue(0, computeKernel(108*Millisecond, 108, 0), nil)
+	eng.Run()
+	if e1 != 2*Millisecond {
+		t.Errorf("partitioned completion at %v, want exactly 2ms (no penalty)", e1)
+	}
+}
+
+func TestSmallKernelsCoexistWithoutSlowdown(t *testing.T) {
+	eng, g := testGPU(t)
+	// Kernels saturating 50 SMs each: 100 <= 108, no contention at all.
+	q1 := mustCtx(t, g, ContextOptions{}).NewQueue("q1")
+	q2 := mustCtx(t, g, ContextOptions{}).NewQueue("q2")
+	var e1, e2 Time
+	q1.Enqueue(0, computeKernel(50*Millisecond, 50, 0), func(at Time) { e1 = at })
+	q2.Enqueue(0, computeKernel(50*Millisecond, 50, 0), func(at Time) { e2 = at })
+	eng.Run()
+	if e1 != Millisecond || e2 != Millisecond {
+		t.Errorf("completions at %v, %v; want both 1ms (no contention below capacity)", e1, e2)
+	}
+}
+
+func TestPriorityPreemptsSMShare(t *testing.T) {
+	eng, g := testGPU(t)
+	rt := mustCtx(t, g, ContextOptions{Priority: 1}).NewQueue("rt")
+	be := mustCtx(t, g, ContextOptions{}).NewQueue("be")
+	var eRT, eBE Time
+	rt.Enqueue(0, computeKernel(108*Millisecond, 108, 0), func(at Time) { eRT = at })
+	be.Enqueue(0, computeKernel(108*Millisecond, 108, 0), func(at Time) { eBE = at })
+	eng.Run()
+	if eRT != Millisecond {
+		t.Errorf("real-time kernel finished at %v, want 1ms (takes all SMs first)", eRT)
+	}
+	// BE got 0 SMs for 1ms, then the full device for its whole work: 2ms total.
+	if eBE != 2*Millisecond {
+		t.Errorf("best-effort kernel finished at %v, want 2ms", eBE)
+	}
+}
+
+func TestBandwidthInterferenceSlowdown(t *testing.T) {
+	eng, g := testGPU(t)
+	// Two fully memory-bound kernels, each demanding the whole bandwidth:
+	// total demand 2.0, overshoot 1.0, slowdown = 1 + 1.0*1.0 = 2x each,
+	// capped at 2. Each has its own 54 SMs so no SM contention.
+	q1 := mustCtx(t, g, ContextOptions{SMLimit: 54}).NewQueue("q1")
+	q2 := mustCtx(t, g, ContextOptions{SMLimit: 54}).NewQueue("q2")
+	var e1 Time
+	q1.Enqueue(0, &Kernel{Name: "m1", Kind: Compute, Work: 54 * Millisecond, SaturationSMs: 54, MemIntensity: 1}, func(at Time) { e1 = at })
+	q2.Enqueue(0, &Kernel{Name: "m2", Kind: Compute, Work: 54 * Millisecond, SaturationSMs: 54, MemIntensity: 1}, nil)
+	eng.Run()
+	if e1 != 2*Millisecond {
+		t.Errorf("memory-bound pair finished at %v, want 2ms (2x slowdown)", e1)
+	}
+}
+
+func TestSlowdownCapAtTwo(t *testing.T) {
+	eng, g := testGPU(t)
+	// Four fully memory-bound kernels: raw overshoot 3.0 would imply 4x
+	// slowdown; the cap per Fig 9(a) holds it at 2x.
+	var last Time
+	for i := 0; i < 4; i++ {
+		q := mustCtx(t, g, ContextOptions{SMLimit: 27}).NewQueue("q")
+		q.Enqueue(0, &Kernel{Name: "m", Kind: Compute, Work: 27 * Millisecond, SaturationSMs: 27, MemIntensity: 1}, func(at Time) { last = at })
+	}
+	eng.Run()
+	if last != 2*Millisecond {
+		t.Errorf("capped slowdown finish at %v, want 2ms", last)
+	}
+}
+
+func TestComputeBoundUnaffectedByMemoryPressure(t *testing.T) {
+	eng, g := testGPU(t)
+	q1 := mustCtx(t, g, ContextOptions{SMLimit: 54}).NewQueue("q1")
+	q2 := mustCtx(t, g, ContextOptions{SMLimit: 54}).NewQueue("q2")
+	var eCompute Time
+	q1.Enqueue(0, &Kernel{Name: "c", Kind: Compute, Work: 54 * Millisecond, SaturationSMs: 54, MemIntensity: 0}, func(at Time) { eCompute = at })
+	q2.Enqueue(0, &Kernel{Name: "m", Kind: Compute, Work: 540 * Millisecond, SaturationSMs: 54, MemIntensity: 1}, nil)
+	eng.Run()
+	if eCompute != Millisecond {
+		t.Errorf("pure-compute kernel finished at %v under memory pressure, want 1ms", eCompute)
+	}
+}
+
+func TestIsolatedContextAvoidsInterference(t *testing.T) {
+	eng, g := testGPU(t)
+	// MIG-style: two isolated halves, both memory-bound. Each has a private
+	// bandwidth slice of 0.5 and demands 1.0 x (54/54) = 1.0 against budget
+	// 0.5 -> overshoot 1.0 -> slowdown 2x... but relative to its own slice.
+	// The MIG model gives each partition bandwidth proportional to SMs, so
+	// two identical memory-bound kernels see the same 2x as the shared pool
+	// when both run; the difference appears when only one runs: the shared
+	// pool gives it full bandwidth, MIG still caps it at its slice.
+	q1 := mustCtx(t, g, ContextOptions{SMLimit: 54, Isolated: true}).NewQueue("q1")
+	var e1 Time
+	q1.Enqueue(0, &Kernel{Name: "m1", Kind: Compute, Work: 54 * Millisecond, SaturationSMs: 54, MemIntensity: 1}, func(at Time) { e1 = at })
+	eng.Run()
+	// Alone in its isolated half: demand 1.0 vs budget 0.5 -> slowdown 2x.
+	if e1 != 2*Millisecond {
+		t.Errorf("isolated memory-bound solo finished at %v, want 2ms (bandwidth slice)", e1)
+	}
+}
+
+func TestMemcpyKernels(t *testing.T) {
+	eng, g := testGPU(t)
+	q := mustCtx(t, g, ContextOptions{}).NewQueue("q")
+	var done Time
+	// 25 MB at 25 B/ns = 1ms.
+	q.Enqueue(0, &Kernel{Name: "h2d", Kind: MemcpyH2D, Bytes: 25 << 20}, func(at Time) { done = at })
+	eng.Run()
+	want := Time(float64(25<<20) / 25.0)
+	if done != want {
+		t.Errorf("memcpy finished at %v, want %v", done, want)
+	}
+}
+
+func TestMemcpyPCIeContention(t *testing.T) {
+	eng, g := testGPU(t)
+	q1 := mustCtx(t, g, ContextOptions{}).NewQueue("q1")
+	q2 := mustCtx(t, g, ContextOptions{}).NewQueue("q2")
+	var e1, e2 Time
+	q1.Enqueue(0, &Kernel{Name: "a", Kind: MemcpyH2D, Bytes: 25_000_000}, func(at Time) { e1 = at })
+	q2.Enqueue(0, &Kernel{Name: "b", Kind: MemcpyD2H, Bytes: 25_000_000}, func(at Time) { e2 = at })
+	eng.Run()
+	// Each would take 1ms alone; sharing PCIe halves the rate: 2ms.
+	if e1 != 2*Millisecond || e2 != 2*Millisecond {
+		t.Errorf("concurrent memcpys finished at %v, %v; want 2ms each", e1, e2)
+	}
+}
+
+func TestMemcpyDoesNotOccupySMs(t *testing.T) {
+	eng, g := testGPU(t)
+	qc := mustCtx(t, g, ContextOptions{}).NewQueue("qc")
+	qm := mustCtx(t, g, ContextOptions{}).NewQueue("qm")
+	var eC Time
+	qc.Enqueue(0, computeKernel(108*Millisecond, 108, 0), func(at Time) { eC = at })
+	qm.Enqueue(0, &Kernel{Name: "m", Kind: MemcpyH2D, Bytes: 50_000_000}, nil)
+	eng.Run()
+	if eC != Millisecond {
+		t.Errorf("compute kernel finished at %v while DMA active, want 1ms", eC)
+	}
+}
+
+func TestPauseResume(t *testing.T) {
+	eng, g := testGPU(t)
+	q := mustCtx(t, g, ContextOptions{}).NewQueue("q")
+	q.Pause()
+	var done Time
+	q.Enqueue(0, computeKernel(108*Millisecond, 108, 0), func(at Time) { done = at })
+	eng.Schedule(5*Millisecond, q.Resume)
+	eng.Run()
+	if done != 6*Millisecond {
+		t.Errorf("paused-queue kernel finished at %v, want 6ms (5ms pause + 1ms run)", done)
+	}
+}
+
+func TestPauseDoesNotPreemptRunningKernel(t *testing.T) {
+	eng, g := testGPU(t)
+	q := mustCtx(t, g, ContextOptions{}).NewQueue("q")
+	var first, second Time
+	q.Enqueue(0, computeKernel(108*Millisecond, 108, 0), func(at Time) { first = at })
+	q.Enqueue(0, computeKernel(108*Millisecond, 108, 0), func(at Time) { second = at })
+	eng.Schedule(500*Microsecond, q.Pause)
+	eng.Schedule(10*Millisecond, q.Resume)
+	eng.Run()
+	if first != Millisecond {
+		t.Errorf("running kernel finished at %v despite pause, want 1ms (non-preemptable)", first)
+	}
+	if second != 11*Millisecond {
+		t.Errorf("second kernel finished at %v, want 11ms (held until resume)", second)
+	}
+}
+
+func TestContextSumCap(t *testing.T) {
+	eng, g := testGPU(t)
+	// Two queues in ONE context capped at 54 SMs: their combined use must
+	// respect the cap, so each gets 27 SMs.
+	ctx := mustCtx(t, g, ContextOptions{SMLimit: 54})
+	q1, q2 := ctx.NewQueue("q1"), ctx.NewQueue("q2")
+	var e1 Time
+	q1.Enqueue(0, computeKernel(27*Millisecond, 108, 0), func(at Time) { e1 = at })
+	q2.Enqueue(0, computeKernel(27*Millisecond, 108, 0), nil)
+	eng.Run()
+	if e1 != Millisecond {
+		t.Errorf("finished at %v, want 1ms (27 SMs each under shared 54-SM cap)", e1)
+	}
+}
+
+func TestDeferredEnqueue(t *testing.T) {
+	eng, g := testGPU(t)
+	q := mustCtx(t, g, ContextOptions{}).NewQueue("q")
+	var done Time
+	q.Enqueue(3*Microsecond, computeKernel(108*Millisecond, 108, 0), func(at Time) { done = at })
+	eng.Run()
+	if done != Millisecond+3*Microsecond {
+		t.Errorf("deferred-launch kernel finished at %v, want 1.003ms", done)
+	}
+}
+
+func TestMemoryAccounting(t *testing.T) {
+	eng := NewEngine()
+	cfg := DefaultConfig()
+	cfg.MemoryBytes = 1 << 30
+	g := NewGPU(eng, cfg)
+	if err := g.AllocMemory(1 << 29); err != nil {
+		t.Fatalf("first alloc: %v", err)
+	}
+	if err := g.AllocMemory(1 << 29); err != nil {
+		t.Fatalf("second alloc: %v", err)
+	}
+	if err := g.AllocMemory(1); !errors.Is(err, ErrOutOfMemory) {
+		t.Errorf("over-capacity alloc error = %v, want ErrOutOfMemory", err)
+	}
+	g.FreeMemory(1 << 29)
+	if err := g.AllocMemory(1 << 28); err != nil {
+		t.Errorf("alloc after free: %v", err)
+	}
+	if g.MemUsed() != (1<<29)+(1<<28) {
+		t.Errorf("MemUsed = %d", g.MemUsed())
+	}
+}
+
+func TestContextCreationChargesMemory(t *testing.T) {
+	eng := NewEngine()
+	cfg := DefaultConfig()
+	cfg.MemoryBytes = 300 << 20 // room for exactly one 230MB context
+	g := NewGPU(eng, cfg)
+	if _, err := g.NewContext(ContextOptions{Label: "a"}); err != nil {
+		t.Fatalf("first context: %v", err)
+	}
+	if _, err := g.NewContext(ContextOptions{Label: "b"}); !errors.Is(err, ErrOutOfMemory) {
+		t.Errorf("second context error = %v, want ErrOutOfMemory", err)
+	}
+}
+
+func TestUtilizationAccounting(t *testing.T) {
+	eng, g := testGPU(t)
+	q := mustCtx(t, g, ContextOptions{SMLimit: 54}).NewQueue("q")
+	q.Enqueue(0, computeKernel(54*Millisecond, 108, 0), nil) // 1ms on 54 SMs
+	eng.Run()
+	// 54 SM*ms busy over 1ms elapsed on a 108-SM device = 50%.
+	if u := g.Utilization(); math.Abs(u-0.5) > 1e-9 {
+		t.Errorf("utilization = %g, want 0.5", u)
+	}
+	st := g.Stats()
+	if st.KernelsCompleted != 1 {
+		t.Errorf("KernelsCompleted = %d, want 1", st.KernelsCompleted)
+	}
+	if st.AnyBusyTime != Millisecond {
+		t.Errorf("AnyBusyTime = %v, want 1ms", st.AnyBusyTime)
+	}
+}
+
+func TestQuiescent(t *testing.T) {
+	eng, g := testGPU(t)
+	q := mustCtx(t, g, ContextOptions{}).NewQueue("q")
+	if !g.Quiescent() {
+		t.Error("fresh GPU not quiescent")
+	}
+	q.Enqueue(0, computeKernel(Millisecond, 1, 0), nil)
+	if g.Quiescent() {
+		t.Error("GPU with pending kernel reported quiescent")
+	}
+	eng.Run()
+	if !g.Quiescent() {
+		t.Error("drained GPU not quiescent")
+	}
+}
+
+func TestInvalidContextOptions(t *testing.T) {
+	eng, g := testGPU(t)
+	_ = eng
+	if _, err := g.NewContext(ContextOptions{SMLimit: -1, NoMemCharge: true}); err == nil {
+		t.Error("negative SMLimit accepted")
+	}
+	if _, err := g.NewContext(ContextOptions{SMLimit: 109, NoMemCharge: true}); err == nil {
+		t.Error("SMLimit beyond device accepted")
+	}
+}
+
+func TestEnqueueInvalidKernelPanics(t *testing.T) {
+	_, g := testGPU(t)
+	q := mustCtx(t, g, ContextOptions{}).NewQueue("q")
+	defer func() {
+		if recover() == nil {
+			t.Error("enqueue of invalid kernel did not panic")
+		}
+	}()
+	q.Enqueue(0, &Kernel{Name: "bad", Kind: Compute, Work: 0, SaturationSMs: 0}, nil)
+}
+
+// Property: every enqueued kernel completes exactly once, completions are
+// FIFO per queue, and total completed work is conserved regardless of random
+// arrival patterns and context limits.
+func TestExecutionConservationProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		eng := NewEngine()
+		g := NewGPU(eng, DefaultConfig())
+		nq := 1 + rng.Intn(4)
+		type record struct {
+			order []int
+			count int
+		}
+		recs := make([]record, nq)
+		queues := make([]*Queue, nq)
+		for i := range queues {
+			limit := 0
+			if rng.Intn(2) == 0 {
+				limit = 6 * (1 + rng.Intn(18))
+				if limit > 108 {
+					limit = 108
+				}
+			}
+			c, err := g.NewContext(ContextOptions{SMLimit: limit, NoMemCharge: true})
+			if err != nil {
+				return false
+			}
+			queues[i] = c.NewQueue("q")
+		}
+		total := 0
+		for i := 0; i < nq; i++ {
+			n := 1 + rng.Intn(8)
+			total += n
+			recs[i].count = n
+			for j := 0; j < n; j++ {
+				j := j
+				i := i
+				k := &Kernel{
+					Name:          "k",
+					Kind:          Compute,
+					Work:          Time(1+rng.Intn(1000)) * Microsecond,
+					SaturationSMs: 1 + rng.Intn(200),
+					MemIntensity:  rng.Float64(),
+				}
+				// Strictly increasing arrivals within a queue so that the
+				// FIFO-completion check below is meaningful.
+				at := Time(j*500+rng.Intn(400)) * Microsecond
+				queues[i].Enqueue(at, k, func(Time) {
+					recs[i].order = append(recs[i].order, j)
+				})
+			}
+		}
+		eng.Run()
+		if !g.Quiescent() {
+			return false
+		}
+		got := 0
+		for i := range recs {
+			got += len(recs[i].order)
+			// FIFO within each queue.
+			for x := 1; x < len(recs[i].order); x++ {
+				if recs[i].order[x] < recs[i].order[x-1] {
+					return false
+				}
+			}
+			if len(recs[i].order) != recs[i].count {
+				return false
+			}
+		}
+		return got == total && g.Stats().KernelsCompleted == int64(total)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: with contention, a kernel never finishes earlier than its
+// isolated duration at its context cap, and never later than SlowdownCap x
+// the duration it would take on its fair SM share.
+func TestContentionBoundsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		eng := NewEngine()
+		g := NewGPU(eng, DefaultConfig())
+		n := 2 + rng.Intn(3)
+		type kinfo struct {
+			k    *Kernel
+			end  Time
+			iso  Time
+			fair Time
+		}
+		infos := make([]*kinfo, n)
+		for i := range infos {
+			c, err := g.NewContext(ContextOptions{NoMemCharge: true})
+			if err != nil {
+				return false
+			}
+			q := c.NewQueue("q")
+			k := &Kernel{
+				Name:          "k",
+				Kind:          Compute,
+				Work:          Time(10+rng.Intn(2000)) * Microsecond,
+				SaturationSMs: 1 + rng.Intn(150),
+				MemIntensity:  rng.Float64(),
+			}
+			ki := &kinfo{k: k}
+			ki.iso = k.IsolatedDuration(g.Config().SMs, 0)
+			// Worst case under proportional demand sharing: n competitors
+			// shrink the allocation to at least want/n, so the duration is
+			// at most n x the isolated-at-cap duration.
+			ki.fair = Time(int64(n) * int64(ki.iso))
+			infos[i] = ki
+			q.Enqueue(0, k, func(at Time) { ki.end = at })
+		}
+		eng.Run()
+		for _, ki := range infos {
+			if ki.end < ki.iso {
+				return false // faster than physically possible
+			}
+			limit := Time(float64(ki.fair)*g.Config().SlowdownCap) + Microsecond
+			if ki.end > limit {
+				return false // slower than worst-case bound
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: SM allocations never exceed the device total at any event point.
+// Verified indirectly: total busy integral can never exceed SMs x elapsed.
+func TestUtilizationNeverExceedsOneProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		eng := NewEngine()
+		g := NewGPU(eng, DefaultConfig())
+		for i := 0; i < 3+rng.Intn(5); i++ {
+			c, err := g.NewContext(ContextOptions{NoMemCharge: true})
+			if err != nil {
+				return false
+			}
+			q := c.NewQueue("q")
+			for j := 0; j < 1+rng.Intn(5); j++ {
+				q.Enqueue(Time(rng.Intn(100))*Microsecond, &Kernel{
+					Name: "k", Kind: Compute,
+					Work:          Time(1+rng.Intn(500)) * Microsecond,
+					SaturationSMs: 1 + rng.Intn(300),
+					MemIntensity:  rng.Float64(),
+				}, nil)
+			}
+		}
+		eng.Run()
+		return g.Utilization() <= 1.0+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	bad := []Config{
+		{SMs: 0, PCIeBytesPerNS: 1, SlowdownCap: 2},
+		{SMs: 10, PCIeBytesPerNS: 0, SlowdownCap: 2},
+		{SMs: 10, PCIeBytesPerNS: 1, SlowdownCap: 0.5},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("config %d: invalid config accepted", i)
+		}
+	}
+	good := DefaultConfig()
+	if err := good.Validate(); err != nil {
+		t.Errorf("default config rejected: %v", err)
+	}
+}
+
+func TestSetSMLimitTakesEffect(t *testing.T) {
+	eng, g := testGPU(t)
+	ctx := mustCtx(t, g, ContextOptions{SMLimit: 27})
+	q := ctx.NewQueue("q")
+	var e1, e2 Time
+	q.Enqueue(0, computeKernel(27*Millisecond, 108, 0), func(at Time) { e1 = at })
+	q.Enqueue(0, computeKernel(27*Millisecond, 108, 0), func(at Time) { e2 = at })
+	// Mid-run, widen the context to 108 SMs: the running kernel accelerates
+	// from the change instant; the queued successor runs fully at 108.
+	eng.Schedule(500*Microsecond, func() {
+		if err := ctx.SetSMLimit(108); err != nil {
+			t.Error(err)
+		}
+	})
+	eng.Run()
+	// Kernel 1: 0.5ms at 27 SMs consumes 13.5ms work; remaining 13.5ms work
+	// at 108 SMs takes 125us -> ends at 625us.
+	if e1 != 625*Microsecond {
+		t.Errorf("widened kernel finished at %v, want 625us", e1)
+	}
+	// Kernel 2: 27ms work at 108 SMs = 250us after kernel 1.
+	if e2 != 875*Microsecond {
+		t.Errorf("successor finished at %v, want 875us", e2)
+	}
+}
+
+func TestSetSMLimitValidation(t *testing.T) {
+	_, g := testGPU(t)
+	ctx := mustCtx(t, g, ContextOptions{SMLimit: 54})
+	if err := ctx.SetSMLimit(-1); err == nil {
+		t.Error("negative limit accepted")
+	}
+	if err := ctx.SetSMLimit(1000); err == nil {
+		t.Error("oversized limit accepted")
+	}
+	if err := ctx.SetSMLimit(0); err != nil {
+		t.Errorf("unrestricting failed: %v", err)
+	}
+}
+
+func TestPriorityWithPauseInterplay(t *testing.T) {
+	eng, g := testGPU(t)
+	rt := mustCtx(t, g, ContextOptions{Priority: 1})
+	be := mustCtx(t, g, ContextOptions{})
+	rq, bq := rt.NewQueue("rt"), be.NewQueue("be")
+	var eBE Time
+	// Pause the RT queue before enqueueing: its kernel must not dispatch,
+	// so the BE kernel gets the whole device immediately. (Pausing after
+	// the enqueue would be too late — the kernel starts instantly and GPU
+	// kernels are non-preemptable.)
+	rq.Pause()
+	rq.Enqueue(0, computeKernel(108*Millisecond, 108, 0), nil)
+	bq.Enqueue(0, computeKernel(108*Millisecond, 108, 0), func(at Time) { eBE = at })
+	eng.Schedule(2*Millisecond, rq.Resume)
+	eng.Run()
+	if eBE != Millisecond {
+		t.Errorf("BE kernel finished at %v, want 1ms (RT paused)", eBE)
+	}
+}
+
+func TestActiveSMsSnapshot(t *testing.T) {
+	eng, g := testGPU(t)
+	q := mustCtx(t, g, ContextOptions{SMLimit: 54}).NewQueue("q")
+	q.Enqueue(0, computeKernel(54*Millisecond, 108, 0), nil)
+	eng.Schedule(500*Microsecond, func() {
+		if a := g.ActiveSMs(); a != 54 {
+			t.Errorf("ActiveSMs = %g mid-run, want 54", a)
+		}
+	})
+	eng.Run()
+	if a := g.ActiveSMs(); a != 0 {
+		t.Errorf("ActiveSMs = %g after drain, want 0", a)
+	}
+}
+
+func TestWaterFillProperties(t *testing.T) {
+	f := func(rawDemands []uint16, rawCap uint16) bool {
+		if len(rawDemands) == 0 {
+			return true
+		}
+		demands := make([]float64, len(rawDemands))
+		sum := 0.0
+		for i, r := range rawDemands {
+			demands[i] = float64(r%200) + 0.5
+			sum += demands[i]
+		}
+		capacity := float64(rawCap%300) + 1
+		grants := waterFill(demands, capacity)
+		total := 0.0
+		for i, gr := range grants {
+			if gr < -1e-9 || gr > demands[i]+1e-9 {
+				return false // grant outside [0, demand]
+			}
+			total += gr
+		}
+		want := capacity
+		if sum < want {
+			want = sum
+		}
+		return total <= want+1e-6 && total >= want-1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWaterFillMaxMinFairness(t *testing.T) {
+	// Small demands are fully satisfied; big ones share the rest equally.
+	grants := waterFill([]float64{10, 100, 100}, 90)
+	if grants[0] != 10 {
+		t.Errorf("small demand granted %g, want 10 (fully satisfied)", grants[0])
+	}
+	if grants[1] != 40 || grants[2] != 40 {
+		t.Errorf("big demands granted %g/%g, want 40/40", grants[1], grants[2])
+	}
+}

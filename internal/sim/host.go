@@ -1,0 +1,65 @@
+package sim
+
+// Host models one host-side thread of control (a scheduler process). Kernel
+// launches, scheduling computation and synchronization all consume host time
+// serially: a launch issued while the host is busy queues behind the earlier
+// work, exactly like a CPU thread calling into the CUDA runtime. The paper's
+// overhead analysis (§6.9) — 3us per kernel launch, 20us squad sync, 50us MPS
+// context redirection, 6.7us of scheduler work per kernel — is reproduced by
+// charging those costs here in virtual time.
+//
+// The host clock may run ahead of the engine clock while a burst of work is
+// being issued; launched kernels arrive at their device queues at the host
+// timestamp of the launch.
+type Host struct {
+	gpu  *GPU
+	free Time // host thread is busy until this instant
+}
+
+// NewHost creates a host thread bound to the device.
+func NewHost(gpu *GPU) *Host {
+	return &Host{gpu: gpu}
+}
+
+// GPU returns the device this host drives.
+func (h *Host) GPU() *GPU { return h.gpu }
+
+// Now returns the instant at which the host thread is next free: the later of
+// the engine clock and the end of already-issued host work.
+func (h *Host) Now() Time {
+	if n := h.gpu.eng.Now(); n > h.free {
+		return n
+	}
+	return h.free
+}
+
+// Spend charges d nanoseconds of host computation (e.g. scheduler work).
+func (h *Host) Spend(d Time) {
+	h.free = h.Now() + d
+}
+
+// Launch charges one kernel-launch latency and enqueues k so that it reaches
+// q at the end of the launch. onDone fires at kernel completion (may be nil).
+func (h *Host) Launch(q *Queue, k *Kernel, onDone func(at Time)) {
+	start := h.Now()
+	h.free = start + h.gpu.cfg.KernelLaunch
+	q.Enqueue(h.free, k, onDone)
+}
+
+// LaunchAt is Launch but the kernel additionally may not arrive at the queue
+// before notBefore — used to model per-client context-redirection vacuums
+// that delay one client's kernels without blocking the host or other queues.
+func (h *Host) LaunchAt(q *Queue, k *Kernel, notBefore Time, onDone func(at Time)) {
+	start := h.Now()
+	h.free = start + h.gpu.cfg.KernelLaunch
+	at := h.free
+	if notBefore > at {
+		at = notBefore
+	}
+	q.Enqueue(at, k, onDone)
+}
+
+// Sync charges one squad-boundary synchronization cost (§6.9).
+func (h *Host) Sync() {
+	h.Spend(h.gpu.cfg.SquadSync)
+}

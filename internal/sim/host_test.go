@@ -1,0 +1,104 @@
+package sim
+
+import "testing"
+
+func TestHostSerialLaunchCost(t *testing.T) {
+	eng, g := testGPU(t)
+	h := NewHost(g)
+	q := mustCtx(t, g, ContextOptions{}).NewQueue("q")
+	var ends []Time
+	// Two tiny kernels launched back to back: the second arrives one launch
+	// latency (3us) after the first.
+	for i := 0; i < 2; i++ {
+		h.Launch(q, computeKernel(108*Microsecond, 108, 0), func(at Time) { ends = append(ends, at) })
+	}
+	eng.Run()
+	if len(ends) != 2 {
+		t.Fatalf("%d completions, want 2", len(ends))
+	}
+	// Kernel 1 arrives at 3us, runs 1us -> ends 4us. Kernel 2 arrives at 6us,
+	// runs 1us -> ends 7us.
+	if ends[0] != 4*Microsecond {
+		t.Errorf("first kernel ended at %v, want 4us", ends[0])
+	}
+	if ends[1] != 7*Microsecond {
+		t.Errorf("second kernel ended at %v, want 7us (serial launches)", ends[1])
+	}
+}
+
+func TestHostSpendDelaysLaunches(t *testing.T) {
+	eng, g := testGPU(t)
+	h := NewHost(g)
+	q := mustCtx(t, g, ContextOptions{}).NewQueue("q")
+	h.Spend(100 * Microsecond) // scheduler burns 100us first
+	var done Time
+	h.Launch(q, computeKernel(108*Microsecond, 108, 0), func(at Time) { done = at })
+	eng.Run()
+	if done != 104*Microsecond {
+		t.Errorf("kernel ended at %v, want 104us (100us spend + 3us launch + 1us run)", done)
+	}
+}
+
+func TestHostNowTracksEngine(t *testing.T) {
+	eng, g := testGPU(t)
+	h := NewHost(g)
+	eng.Schedule(50*Microsecond, func() {
+		if h.Now() != 50*Microsecond {
+			t.Errorf("host Now = %v, want 50us (follows engine when idle)", h.Now())
+		}
+	})
+	eng.Run()
+}
+
+func TestHostLaunchAtHonorsVacuum(t *testing.T) {
+	eng, g := testGPU(t)
+	h := NewHost(g)
+	q := mustCtx(t, g, ContextOptions{}).NewQueue("q")
+	var done Time
+	// Context-switch vacuum: kernel may not arrive before 50us even though
+	// the host is free at 3us.
+	h.LaunchAt(q, computeKernel(108*Microsecond, 108, 0), 50*Microsecond, func(at Time) { done = at })
+	eng.Run()
+	if done != 51*Microsecond {
+		t.Errorf("kernel ended at %v, want 51us (50us vacuum + 1us run)", done)
+	}
+	// Host itself was free at 3us, not blocked by the vacuum.
+	if h.free != 3*Microsecond {
+		t.Errorf("host free at %v, want 3us", h.free)
+	}
+}
+
+func TestHostSync(t *testing.T) {
+	eng, g := testGPU(t)
+	h := NewHost(g)
+	h.Sync()
+	if h.Now() != g.Config().SquadSync {
+		t.Errorf("host after Sync at %v, want %v", h.Now(), g.Config().SquadSync)
+	}
+	_ = eng
+}
+
+// Property: host time never runs backwards through any interleaving of
+// Spend, Launch and engine progress.
+func TestHostMonotoneProperty(t *testing.T) {
+	eng, g := testGPU(t)
+	h := NewHost(g)
+	q := mustCtx(t, g, ContextOptions{}).NewQueue("q")
+	prev := h.Now()
+	for i := 0; i < 50; i++ {
+		switch i % 3 {
+		case 0:
+			h.Spend(Time(i) * Microsecond)
+		case 1:
+			h.Launch(q, computeKernel(Millisecond, 10, 0), nil)
+		default:
+			eng.RunUntil(eng.Now() + Time(i)*Microsecond)
+		}
+		if now := h.Now(); now < prev {
+			t.Fatalf("host time went backwards: %v after %v (step %d)", now, prev, i)
+		} else {
+			prev = now
+		}
+	}
+	eng.Run()
+}

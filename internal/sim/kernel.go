@@ -1,0 +1,138 @@
+package sim
+
+import "fmt"
+
+// KernelKind distinguishes compute kernels (run on SMs) from memory
+// management kernels (run on the DMA engine over PCIe).
+type KernelKind int
+
+const (
+	// Compute kernels execute thread blocks on SMs.
+	Compute KernelKind = iota
+	// MemcpyH2D transfers bytes host-to-device over PCIe.
+	MemcpyH2D
+	// MemcpyD2H transfers bytes device-to-host over PCIe.
+	MemcpyD2H
+)
+
+// String returns the kind mnemonic.
+func (k KernelKind) String() string {
+	switch k {
+	case Compute:
+		return "compute"
+	case MemcpyH2D:
+		return "h2d"
+	case MemcpyD2H:
+		return "d2h"
+	default:
+		return fmt.Sprintf("KernelKind(%d)", int(k))
+	}
+}
+
+// Kernel describes one GPU kernel using a fluid ("roofline-style") execution
+// model: the kernel carries Work nanoseconds of single-SM compute and scales
+// linearly with the number of SMs granted to it, saturating at SaturationSMs
+// (the point where it cannot occupy more SMs — the paper's d% statistic).
+//
+// The isolated duration on s SMs is therefore
+//
+//	t(s) = Work / min(s, SaturationSMs)
+//
+// which is the observable the offline profiler records at each MPS partition
+// and the observable both kernel-squad performance estimators consume (§4.4).
+//
+// MemIntensity in [0,1] is the fraction of device memory bandwidth the kernel
+// demands when running at full occupancy; it drives the contention model (the
+// kernel-level slowdown of Fig 9, capped at 2x).
+type Kernel struct {
+	// Name identifies the kernel for traces and debugging, e.g. "conv2d_3".
+	Name string
+	// Kind selects compute vs. DMA execution.
+	Kind KernelKind
+	// Work is the total compute demand in single-SM nanoseconds. A kernel
+	// with Work = 108000ns saturating 108 SMs runs 1000ns in isolation on a
+	// full A100. Ignored for memcpy kernels.
+	Work Time
+	// SaturationSMs is the maximum number of SMs the kernel can occupy
+	// (limited by its thread-block count and per-SM occupancy). Must be >= 1
+	// for compute kernels.
+	SaturationSMs int
+	// MemIntensity is the memory-bandwidth demand fraction in [0,1] at full
+	// occupancy. 0 = pure compute; 1 = fully bandwidth-bound.
+	MemIntensity float64
+	// Bytes is the transfer size for memcpy kernels; ignored for compute.
+	Bytes int64
+	// TensorCore records whether the kernel uses tensor cores. It does not
+	// change the execution model but is tracked because the paper notes the
+	// application mix (BERT inference uses tensor cores) and the deployment
+	// checks inspect kernel duration heterogeneity.
+	TensorCore bool
+}
+
+// Validate reports a descriptive error if the kernel parameters are
+// inconsistent (non-positive work, zero saturation, out-of-range intensity).
+func (k *Kernel) Validate() error {
+	switch k.Kind {
+	case Compute:
+		if k.Work <= 0 {
+			return fmt.Errorf("sim: kernel %q: Work must be positive, got %d", k.Name, k.Work)
+		}
+		if k.SaturationSMs < 1 {
+			return fmt.Errorf("sim: kernel %q: SaturationSMs must be >= 1, got %d", k.Name, k.SaturationSMs)
+		}
+	case MemcpyH2D, MemcpyD2H:
+		if k.Bytes <= 0 {
+			return fmt.Errorf("sim: kernel %q: memcpy Bytes must be positive, got %d", k.Name, k.Bytes)
+		}
+	default:
+		return fmt.Errorf("sim: kernel %q: unknown kind %d", k.Name, int(k.Kind))
+	}
+	if k.MemIntensity < 0 || k.MemIntensity > 1 {
+		return fmt.Errorf("sim: kernel %q: MemIntensity must be in [0,1], got %g", k.Name, k.MemIntensity)
+	}
+	return nil
+}
+
+// IsolatedDuration returns the kernel's contention-free duration when granted
+// sms SMs (for compute kernels) or the full PCIe bandwidth bytesPerNS (for
+// memcpy kernels, pass the GPU's configured bandwidth).
+func (k *Kernel) IsolatedDuration(sms int, bytesPerNS float64) Time {
+	switch k.Kind {
+	case Compute:
+		if sms < 1 {
+			sms = 1
+		}
+		eff := sms
+		if eff > k.SaturationSMs {
+			eff = k.SaturationSMs
+		}
+		d := Time((float64(k.Work) + float64(eff) - 1) / float64(eff))
+		if d < 1 {
+			d = 1
+		}
+		return d
+	default:
+		d := Time(float64(k.Bytes) / bytesPerNS)
+		if d < 1 {
+			d = 1
+		}
+		return d
+	}
+}
+
+// IsCompute reports whether the kernel runs on SMs.
+func (k *Kernel) IsCompute() bool { return k.Kind == Compute }
+
+// SMDemand returns the number of SMs the kernel wants when the owning context
+// caps it at limit SMs (limit <= 0 means unrestricted with total device SMs
+// given by deviceSMs).
+func (k *Kernel) SMDemand(limit, deviceSMs int) int {
+	max := deviceSMs
+	if limit > 0 && limit < max {
+		max = limit
+	}
+	if k.SaturationSMs < max {
+		return k.SaturationSMs
+	}
+	return max
+}

@@ -1,0 +1,121 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestKernelValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		k    Kernel
+		ok   bool
+	}{
+		{"valid compute", Kernel{Name: "k", Kind: Compute, Work: 1000, SaturationSMs: 10}, true},
+		{"zero work", Kernel{Name: "k", Kind: Compute, Work: 0, SaturationSMs: 10}, false},
+		{"negative work", Kernel{Name: "k", Kind: Compute, Work: -5, SaturationSMs: 10}, false},
+		{"zero saturation", Kernel{Name: "k", Kind: Compute, Work: 100, SaturationSMs: 0}, false},
+		{"valid h2d", Kernel{Name: "m", Kind: MemcpyH2D, Bytes: 4096}, true},
+		{"zero bytes memcpy", Kernel{Name: "m", Kind: MemcpyD2H, Bytes: 0}, false},
+		{"intensity too high", Kernel{Name: "k", Kind: Compute, Work: 100, SaturationSMs: 1, MemIntensity: 1.5}, false},
+		{"intensity negative", Kernel{Name: "k", Kind: Compute, Work: 100, SaturationSMs: 1, MemIntensity: -0.1}, false},
+		{"unknown kind", Kernel{Name: "k", Kind: KernelKind(99)}, false},
+	}
+	for _, c := range cases {
+		err := c.k.Validate()
+		if c.ok && err != nil {
+			t.Errorf("%s: unexpected error %v", c.name, err)
+		}
+		if !c.ok && err == nil {
+			t.Errorf("%s: expected error, got nil", c.name)
+		}
+	}
+}
+
+func TestIsolatedDurationScalesWithSMs(t *testing.T) {
+	k := Kernel{Name: "k", Kind: Compute, Work: 108000, SaturationSMs: 108}
+	if d := k.IsolatedDuration(108, 0); d != 1000 {
+		t.Errorf("full GPU duration = %v, want 1000ns", d)
+	}
+	if d := k.IsolatedDuration(54, 0); d != 2000 {
+		t.Errorf("half GPU duration = %v, want 2000ns", d)
+	}
+	if d := k.IsolatedDuration(1, 0); d != 108000 {
+		t.Errorf("1 SM duration = %v, want 108000ns", d)
+	}
+}
+
+func TestIsolatedDurationSaturates(t *testing.T) {
+	k := Kernel{Name: "k", Kind: Compute, Work: 10000, SaturationSMs: 10}
+	at10 := k.IsolatedDuration(10, 0)
+	at108 := k.IsolatedDuration(108, 0)
+	if at10 != at108 {
+		t.Errorf("duration beyond saturation changed: %v at 10 SMs vs %v at 108", at10, at108)
+	}
+	if at10 != 1000 {
+		t.Errorf("saturated duration = %v, want 1000ns", at10)
+	}
+}
+
+func TestIsolatedDurationMemcpy(t *testing.T) {
+	k := Kernel{Name: "m", Kind: MemcpyH2D, Bytes: 25000}
+	if d := k.IsolatedDuration(0, 25.0); d != 1000 {
+		t.Errorf("25000B at 25B/ns = %v, want 1000ns", d)
+	}
+}
+
+func TestIsolatedDurationClampsSMs(t *testing.T) {
+	k := Kernel{Name: "k", Kind: Compute, Work: 100, SaturationSMs: 4}
+	if d := k.IsolatedDuration(0, 0); d != k.IsolatedDuration(1, 0) {
+		t.Errorf("sms=0 clamped duration = %v, want %v", d, k.IsolatedDuration(1, 0))
+	}
+}
+
+func TestSMDemand(t *testing.T) {
+	k := Kernel{Kind: Compute, Work: 100, SaturationSMs: 50}
+	if got := k.SMDemand(0, 108); got != 50 {
+		t.Errorf("unrestricted demand = %d, want 50 (saturation)", got)
+	}
+	if got := k.SMDemand(30, 108); got != 30 {
+		t.Errorf("limited demand = %d, want 30 (context cap)", got)
+	}
+	big := Kernel{Kind: Compute, Work: 100, SaturationSMs: 500}
+	if got := big.SMDemand(0, 108); got != 108 {
+		t.Errorf("oversaturated demand = %d, want 108 (device cap)", got)
+	}
+}
+
+// Property: isolated duration is nonincreasing in the SM count and never
+// below Work/SaturationSMs.
+func TestIsolatedDurationMonotoneProperty(t *testing.T) {
+	f := func(work uint32, sat, a, b uint8) bool {
+		k := Kernel{
+			Kind:          Compute,
+			Work:          Time(work%1_000_000 + 1),
+			SaturationSMs: int(sat%108) + 1,
+		}
+		s1, s2 := int(a%108)+1, int(b%108)+1
+		if s1 > s2 {
+			s1, s2 = s2, s1
+		}
+		d1 := k.IsolatedDuration(s1, 0) // fewer SMs
+		d2 := k.IsolatedDuration(s2, 0) // more SMs
+		if d2 > d1 {
+			return false // more SMs must not be slower
+		}
+		floor := k.IsolatedDuration(k.SaturationSMs, 0)
+		return d2 >= floor
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKernelKindString(t *testing.T) {
+	if Compute.String() != "compute" || MemcpyH2D.String() != "h2d" || MemcpyD2H.String() != "d2h" {
+		t.Error("kind mnemonics wrong")
+	}
+	if KernelKind(42).String() != "KernelKind(42)" {
+		t.Error("unknown kind fallback wrong")
+	}
+}

@@ -1,0 +1,179 @@
+// Package timeline reconstructs execution timelines from the simulator's
+// kernel tracer and renders them as ASCII Gantt charts — the textual
+// equivalent of the paper's scheduling-scheme illustrations (Fig 1, Fig 3,
+// Fig 7, Fig 18a).
+package timeline
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"bless/internal/sim"
+)
+
+// Span is one executed kernel.
+type Span struct {
+	// Lane groups spans into a display row (typically the client name).
+	Lane string
+	// Kernel is the kernel's name.
+	Kernel string
+	// Queue is the device queue's label.
+	Queue string
+	// Start and End bound the execution in virtual time.
+	Start, End sim.Time
+	// AvgSMs is the kernel's time-averaged SM allocation.
+	AvgSMs float64
+}
+
+// Recorder implements sim.Tracer, collecting spans. Lanes default to the
+// queue's context label; set LaneOf to override.
+type Recorder struct {
+	// LaneOf maps a queue to a display lane; nil uses the queue's context
+	// label.
+	LaneOf func(q *sim.Queue) string
+
+	open  map[*sim.Queue][]pending
+	Spans []Span
+}
+
+type pending struct {
+	k     *sim.Kernel
+	start sim.Time
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder {
+	return &Recorder{open: make(map[*sim.Queue][]pending)}
+}
+
+// KernelStart implements sim.Tracer.
+func (r *Recorder) KernelStart(at sim.Time, q *sim.Queue, k *sim.Kernel) {
+	r.open[q] = append(r.open[q], pending{k: k, start: at})
+}
+
+// KernelEnd implements sim.Tracer.
+func (r *Recorder) KernelEnd(at sim.Time, q *sim.Queue, k *sim.Kernel, avgSMs float64) {
+	ps := r.open[q]
+	if len(ps) == 0 {
+		return // unmatched end; ignore rather than panic in a tracer
+	}
+	p := ps[0]
+	r.open[q] = ps[1:]
+	lane := q.Context().Label()
+	if r.LaneOf != nil {
+		lane = r.LaneOf(q)
+	}
+	r.Spans = append(r.Spans, Span{
+		Lane:   lane,
+		Kernel: p.k.Name,
+		Queue:  q.Label(),
+		Start:  p.start,
+		End:    at,
+		AvgSMs: avgSMs,
+	})
+}
+
+// Window returns the time range covered by the recorded spans.
+func (r *Recorder) Window() (start, end sim.Time) {
+	for i, s := range r.Spans {
+		if i == 0 || s.Start < start {
+			start = s.Start
+		}
+		if s.End > end {
+			end = s.End
+		}
+	}
+	return start, end
+}
+
+// Lanes lists the distinct lanes in first-appearance order.
+func (r *Recorder) Lanes() []string {
+	var out []string
+	seen := map[string]bool{}
+	for _, s := range r.Spans {
+		if !seen[s.Lane] {
+			seen[s.Lane] = true
+			out = append(out, s.Lane)
+		}
+	}
+	return out
+}
+
+// Gantt renders the spans as one ASCII row per lane, width columns wide.
+// Each column is shaded by the lane's busy fraction within that time slot:
+// ' ' idle, '.' <25%, '-' <50%, '=' <75%, '#' >=75%. A shared time axis and
+// per-lane busy percentages are appended.
+func (r *Recorder) Gantt(width int) string {
+	if width < 10 {
+		width = 10
+	}
+	start, end := r.Window()
+	if end <= start || len(r.Spans) == 0 {
+		return "(no spans)\n"
+	}
+	span := float64(end - start)
+	lanes := r.Lanes()
+	sort.Strings(lanes)
+	busy := map[string][]float64{}
+	for _, l := range lanes {
+		busy[l] = make([]float64, width)
+	}
+
+	for _, s := range r.Spans {
+		b := busy[s.Lane]
+		lo := float64(s.Start-start) / span * float64(width)
+		hi := float64(s.End-start) / span * float64(width)
+		for c := int(lo); c < width && float64(c) < hi; c++ {
+			colLo, colHi := float64(c), float64(c+1)
+			overlap := minF(hi, colHi) - maxF(lo, colLo)
+			if overlap > 0 {
+				b[c] += overlap
+			}
+		}
+	}
+
+	nameW := 0
+	for _, l := range lanes {
+		if len(l) > nameW {
+			nameW = len(l)
+		}
+	}
+	var sb strings.Builder
+	for _, l := range lanes {
+		total := 0.0
+		fmt.Fprintf(&sb, "%-*s |", nameW, l)
+		for _, f := range busy[l] {
+			total += f
+			switch {
+			case f <= 0.01:
+				sb.WriteByte(' ')
+			case f < 0.25:
+				sb.WriteByte('.')
+			case f < 0.5:
+				sb.WriteByte('-')
+			case f < 0.75:
+				sb.WriteByte('=')
+			default:
+				sb.WriteByte('#')
+			}
+		}
+		fmt.Fprintf(&sb, "| %3.0f%% busy\n", total/float64(width)*100)
+	}
+	fmt.Fprintf(&sb, "%-*s  %v%*v\n", nameW, "", start, width-len(start.String())+2, end)
+	return sb.String()
+}
+
+func minF(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxF(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

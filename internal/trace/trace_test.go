@@ -1,0 +1,151 @@
+package trace
+
+import (
+	"testing"
+	"testing/quick"
+
+	"bless/internal/sim"
+)
+
+func TestClosedPattern(t *testing.T) {
+	p := Closed(5*sim.Millisecond, 10)
+	if !p.ClosedLoop() {
+		t.Error("Closed pattern not closed-loop")
+	}
+	if p.Think != 5*sim.Millisecond || p.Limit != 10 {
+		t.Errorf("pattern = %+v", p)
+	}
+}
+
+func TestPoissonDeterministicAndBounded(t *testing.T) {
+	h := sim.Second
+	p1 := Poisson(100, h, 7)
+	p2 := Poisson(100, h, 7)
+	if len(p1.Arrivals) != len(p2.Arrivals) {
+		t.Fatal("Poisson not deterministic for equal seeds")
+	}
+	for i := range p1.Arrivals {
+		if p1.Arrivals[i] != p2.Arrivals[i] {
+			t.Fatal("Poisson not deterministic for equal seeds")
+		}
+	}
+	if p := Poisson(100, h, 8); len(p.Arrivals) == len(p1.Arrivals) {
+		same := true
+		for i := range p.Arrivals {
+			if p.Arrivals[i] != p1.Arrivals[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Error("different seeds produced identical arrivals")
+		}
+	}
+	// Rate sanity: 100/s over 1s -> roughly 100 arrivals.
+	if n := len(p1.Arrivals); n < 60 || n > 150 {
+		t.Errorf("Poisson(100/s, 1s) produced %d arrivals", n)
+	}
+}
+
+func TestArrivalsSortedWithinHorizonProperty(t *testing.T) {
+	f := func(seed int64, rateRaw uint8) bool {
+		rate := float64(rateRaw%50) + 1
+		h := 500 * sim.Millisecond
+		for _, p := range []Pattern{
+			Poisson(rate, h, seed),
+			Twitter(rate, h, seed),
+			Azure(3, sim.Millisecond, 20*sim.Millisecond, h, seed),
+		} {
+			if p.ClosedLoop() {
+				continue
+			}
+			var prev sim.Time
+			for _, at := range p.Arrivals {
+				if at < prev || at > h {
+					return false
+				}
+				prev = at
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTwitterModulation(t *testing.T) {
+	// The diurnal sinusoid concentrates arrivals unevenly: the densest
+	// quarter of the horizon should hold meaningfully more than 25%.
+	h := 2 * sim.Second
+	p := Twitter(200, h, 3)
+	quarters := make([]int, 4)
+	for _, at := range p.Arrivals {
+		q := int(at * 4 / (h + 1))
+		quarters[q]++
+	}
+	max := 0
+	for _, q := range quarters {
+		if q > max {
+			max = q
+		}
+	}
+	if float64(max) < float64(len(p.Arrivals))*0.3 {
+		t.Errorf("densest quarter holds %d of %d arrivals; want > 30%% (diurnal shape)", max, len(p.Arrivals))
+	}
+}
+
+func TestAzureBurstiness(t *testing.T) {
+	// Azure-shaped arrivals cluster: the mean gap should be much larger
+	// than the median gap (long idles between tight bursts).
+	p := Azure(4, sim.Millisecond, 100*sim.Millisecond, 4*sim.Second, 9)
+	if len(p.Arrivals) < 10 {
+		t.Fatalf("only %d arrivals generated", len(p.Arrivals))
+	}
+	gaps := make([]sim.Time, 0, len(p.Arrivals)-1)
+	var total sim.Time
+	for i := 1; i < len(p.Arrivals); i++ {
+		g := p.Arrivals[i] - p.Arrivals[i-1]
+		gaps = append(gaps, g)
+		total += g
+	}
+	mean := total / sim.Time(len(gaps))
+	// Median.
+	lo := 0
+	for _, g := range gaps {
+		if g < mean/4 {
+			lo++
+		}
+	}
+	if float64(lo) < float64(len(gaps))*0.4 {
+		t.Errorf("only %d/%d gaps are short (bursty shape missing)", lo, len(gaps))
+	}
+}
+
+func TestBurst(t *testing.T) {
+	p := Burst(3, 5*sim.Millisecond)
+	if len(p.Arrivals) != 3 {
+		t.Fatalf("%d arrivals, want 3", len(p.Arrivals))
+	}
+	for _, at := range p.Arrivals {
+		if at != 5*sim.Millisecond {
+			t.Errorf("arrival at %v, want 5ms", at)
+		}
+	}
+	if p.ClosedLoop() {
+		t.Error("Burst reported closed-loop")
+	}
+}
+
+func TestPeriodic(t *testing.T) {
+	p := Periodic(10*sim.Millisecond, 5*sim.Millisecond, 50*sim.Millisecond)
+	want := []sim.Time{5, 15, 25, 35, 45}
+	if len(p.Arrivals) != len(want) {
+		t.Fatalf("%d arrivals, want %d", len(p.Arrivals), len(want))
+	}
+	for i, at := range p.Arrivals {
+		if at != want[i]*sim.Millisecond {
+			t.Errorf("arrival %d at %v, want %v", i, at, want[i]*sim.Millisecond)
+		}
+	}
+}
