@@ -1,6 +1,11 @@
 // Command blessbench regenerates the paper's tables and figures on the
 // simulated testbed. Run with -list to enumerate experiment ids, -exp <id>
 // to run one (or "all"), and -quick for reduced-scale smoke runs.
+//
+// Observability: -trace FILE and -metrics FILE execute one instrumented
+// fig13-style pair run (resnet50+vgg11, even quotas, workload B) and export
+// its Chrome trace-event JSON (loadable in Perfetto or chrome://tracing) and
+// streaming-metrics snapshot. They combine freely with -exp.
 package main
 
 import (
@@ -10,15 +15,19 @@ import (
 	"time"
 
 	"bless/internal/harness"
+	"bless/internal/sim"
 )
 
 func main() {
 	exp := flag.String("exp", "", "experiment id to run, or 'all'")
 	list := flag.Bool("list", false, "list experiment ids")
 	quick := flag.Bool("quick", false, "reduced-scale smoke run")
+	tracePath := flag.String("trace", "", "write Chrome trace JSON of an instrumented pair run to this file")
+	metricsPath := flag.String("metrics", "", "write a metrics snapshot JSON of an instrumented pair run to this file")
 	flag.Parse()
 
-	if *list || *exp == "" {
+	observed := *tracePath != "" || *metricsPath != ""
+	if *list || (*exp == "" && !observed) {
 		fmt.Println("available experiments:")
 		for _, e := range harness.Experiments() {
 			fmt.Printf("  %-10s %s\n", e.ID, e.Title)
@@ -40,16 +49,67 @@ func main() {
 		fmt.Println(table.Render())
 		fmt.Printf("(%s completed in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
 	}
-	if *exp == "all" {
+	switch {
+	case *exp == "all":
 		for _, e := range harness.Experiments() {
 			run(e)
 		}
-		return
+	case *exp != "":
+		e, err := harness.Lookup(*exp)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		run(e)
 	}
-	e, err := harness.Lookup(*exp)
+
+	if observed {
+		if err := runObserved(*tracePath, *metricsPath, *quick); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+}
+
+// runObserved executes the instrumented pair run behind -trace/-metrics and
+// writes the requested artifacts.
+func runObserved(tracePath, metricsPath string, quick bool) error {
+	horizon := 500 * sim.Millisecond
+	if quick {
+		horizon = 100 * sim.Millisecond
+	}
+	o, err := harness.ObservedPairRun([2]string{"resnet50", "vgg11"}, [2]float64{0.5, 0.5}, "B", horizon)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		return fmt.Errorf("observed run: %w", err)
 	}
-	run(e)
+	if tracePath != "" {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			return err
+		}
+		if err := o.Collector.WriteChromeTrace(f); err != nil {
+			f.Close()
+			return fmt.Errorf("writing trace: %w", err)
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote Chrome trace (%d kernel spans, %d decision events) to %s\n",
+			len(o.Collector.Recorder.Spans), len(o.Collector.Events), tracePath)
+	}
+	if metricsPath != "" {
+		f, err := os.Create(metricsPath)
+		if err != nil {
+			return err
+		}
+		if err := o.Registry.Snapshot().WriteJSON(f); err != nil {
+			f.Close()
+			return fmt.Errorf("writing metrics: %w", err)
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote metrics snapshot (%d series) to %s\n", len(o.Registry.Names()), metricsPath)
+	}
+	return nil
 }

@@ -1,12 +1,20 @@
 // Package planner implements blessd's RPC surface: simulate a multi-tenant
-// GPU deployment and report the projected outcome.
+// GPU deployment and report the projected outcome. Every plan runs fully
+// instrumented — kernel timeline, scheduler decision events and streaming
+// metrics — and the accumulated state is exposed live over the daemon's
+// debug HTTP endpoints (see ServeMetrics and ServeTrace).
 package planner
 
 import (
 	"fmt"
-	"time"
+	"net/http"
+	"sync"
 
-	"bless"
+	"bless/internal/core"
+	"bless/internal/harness"
+	"bless/internal/obs"
+	"bless/internal/sim"
+	"bless/internal/trace"
 )
 
 // ClientPlan describes one tenant in a planning request.
@@ -59,72 +67,156 @@ type PlanReply struct {
 	ElapsedMS   float64
 }
 
-// Planner is the RPC receiver.
-type Planner struct{}
+// Planner is the RPC receiver. It accumulates observability state across
+// plans: a streaming metrics registry (latency histograms per app, plan
+// counters, the §6.9 overhead accounting of the latest BLESS plan) and the
+// Chrome trace of the most recent plan.
+type Planner struct {
+	reg *obs.Registry
+
+	mu        sync.Mutex
+	lastTrace []byte
+}
 
 // New returns a Planner.
-func New() *Planner { return &Planner{} }
+func New() *Planner { return &Planner{reg: obs.NewRegistry()} }
+
+// PlanService is the net/rpc receiver: it exposes exactly the Plan method,
+// keeping the Planner's HTTP debug handlers out of the RPC surface (net/rpc
+// logs a warning per exported method with a non-RPC signature).
+type PlanService struct{ p *Planner }
+
+// RPC returns the receiver to register with an rpc.Server.
+func (p *Planner) RPC() *PlanService { return &PlanService{p: p} }
+
+// Plan forwards to Planner.Plan.
+func (s *PlanService) Plan(req PlanRequest, reply *PlanReply) error { return s.p.Plan(req, reply) }
 
 // Plan simulates the requested deployment and fills the reply.
 func (p *Planner) Plan(req PlanRequest, reply *PlanReply) error {
 	if len(req.Clients) == 0 {
+		p.reg.Counter("plan_errors_total").Inc()
 		return fmt.Errorf("planner: no clients in request")
 	}
-	horizon := time.Duration(req.HorizonMS * float64(time.Millisecond))
+	horizon := sim.Time(req.HorizonMS * float64(sim.Millisecond))
 	if horizon <= 0 {
-		horizon = time.Second
+		horizon = sim.Second
+	}
+	system := req.System
+	if system == "" {
+		system = "BLESS"
+	}
+	gpuCfg := sim.DefaultConfig()
+	if req.GPUSMs > 0 {
+		gpuCfg.SMs = req.GPUSMs
 	}
 
-	cfg := bless.SessionConfig{System: req.System, GPU: bless.GPUConfig{SMs: req.GPUSMs}}
-	for _, c := range req.Clients {
-		cfg.Clients = append(cfg.Clients, bless.ClientConfig{
-			App:       c.App,
-			Quota:     c.Quota,
-			SLOTarget: time.Duration(c.SLOTargetMS * float64(time.Millisecond)),
-		})
-	}
-	session, err := bless.NewSession(cfg)
+	sched, err := harness.NewSystem(system)
 	if err != nil {
+		p.reg.Counter("plan_errors_total").Inc()
 		return err
 	}
+	specs := make([]harness.ClientSpec, len(req.Clients))
 	for i, c := range req.Clients {
+		spec := harness.ClientSpec{
+			App:       c.App,
+			Quota:     c.Quota,
+			SLOTarget: sim.Time(c.SLOTargetMS * float64(sim.Millisecond)),
+		}
 		switch c.Workload {
 		case "", "closed":
-			think := time.Duration(c.ThinkMS * float64(time.Millisecond))
-			if err := session.SubmitClosedLoop(i, think, c.Requests, horizon); err != nil {
-				return err
-			}
+			spec.Pattern = trace.Closed(sim.Time(c.ThinkMS*float64(sim.Millisecond)), c.Requests)
 		case "burst":
 			n := c.Requests
 			if n <= 0 {
 				n = 1
 			}
-			for r := 0; r < n; r++ {
-				if err := session.SubmitAt(i, 0); err != nil {
-					return err
-				}
-			}
+			spec.Pattern = trace.Burst(n, 0)
 		default:
+			p.reg.Counter("plan_errors_total").Inc()
 			return fmt.Errorf("planner: unknown workload %q", c.Workload)
 		}
+		specs[i] = spec
 	}
-	res := session.Run()
-	reply.System = req.System
-	if reply.System == "" {
-		reply.System = bless.SystemBLESS
+
+	col := obs.NewCollector()
+	col.Recorder.LaneOf = obs.ClientLane
+	bus := obs.NewBus()
+	bus.Subscribe(col)
+	res, err := harness.Run(harness.RunConfig{
+		Scheduler: sched,
+		Clients:   specs,
+		Horizon:   horizon,
+		GPU:       gpuCfg,
+		Tracers:   []sim.Tracer{col.Recorder},
+		Bus:       bus,
+		Registry:  p.reg,
+	})
+	if err != nil {
+		p.reg.Counter("plan_errors_total").Inc()
+		return err
 	}
+	p.reg.Counter("plans_total").Inc()
+	p.reg.Counter("plans/" + res.System).Inc()
+	if rt, ok := sched.(*core.Runtime); ok {
+		harness.RecordOverheads(p.reg, rt.Stats(), rt.OverheadStats(), rt.HostOverhead())
+	}
+	p.captureTrace(col)
+
+	reply.System = res.System
 	reply.Utilization = res.Utilization
-	reply.ElapsedMS = float64(res.Elapsed) / float64(time.Millisecond)
+	reply.ElapsedMS = float64(res.Elapsed) / float64(sim.Millisecond)
 	for _, cs := range res.PerClient {
 		reply.PerClient = append(reply.PerClient, ClientOutcome{
 			App:            cs.App,
 			Quota:          cs.Quota,
 			Completed:      cs.Completed,
-			MeanLatencyMS:  float64(cs.MeanLatency) / float64(time.Millisecond),
-			P99LatencyMS:   float64(cs.P99Latency) / float64(time.Millisecond),
-			ISOLatencyMS:   float64(cs.ISOLatency) / float64(time.Millisecond),
-			MeetsISOTarget: cs.MeanLatency <= cs.ISOLatency,
+			MeanLatencyMS:  float64(cs.Summary.Mean) / float64(sim.Millisecond),
+			P99LatencyMS:   float64(cs.Summary.P99) / float64(sim.Millisecond),
+			ISOLatencyMS:   float64(cs.ISO) / float64(sim.Millisecond),
+			MeetsISOTarget: cs.Summary.Mean <= cs.ISO,
 		})
 	}
 	return nil
+}
+
+// captureTrace renders and stores the plan's Chrome trace for ServeTrace.
+func (p *Planner) captureTrace(col *obs.Collector) {
+	var buf writerBuf
+	if err := col.WriteChromeTrace(&buf); err != nil {
+		return
+	}
+	p.mu.Lock()
+	p.lastTrace = buf.b
+	p.mu.Unlock()
+}
+
+// writerBuf is a minimal io.Writer over a byte slice.
+type writerBuf struct{ b []byte }
+
+func (w *writerBuf) Write(p []byte) (int, error) { w.b = append(w.b, p...); return len(p), nil }
+
+// ServeMetrics handles GET /debug/bless/metrics: the live streaming-metrics
+// snapshot (counters, gauges, per-app latency histograms, the latest BLESS
+// plan's overhead accounting) as JSON.
+func (p *Planner) ServeMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := p.reg.Snapshot().WriteJSON(w); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// ServeTrace handles GET /debug/bless/trace: the most recent plan's Chrome
+// trace-event JSON (load in Perfetto or chrome://tracing). 404 until a plan
+// has been served.
+func (p *Planner) ServeTrace(w http.ResponseWriter, _ *http.Request) {
+	p.mu.Lock()
+	tr := p.lastTrace
+	p.mu.Unlock()
+	if len(tr) == 0 {
+		http.Error(w, "no plan traced yet; call Planner.Plan first", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(tr)
 }

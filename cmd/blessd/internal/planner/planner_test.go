@@ -1,7 +1,9 @@
 package planner
 
 import (
+	"encoding/json"
 	"net"
+	"net/http/httptest"
 	"net/rpc"
 	"testing"
 )
@@ -72,9 +74,87 @@ func TestPlanValidation(t *testing.T) {
 	}
 }
 
+func TestDebugEndpoints(t *testing.T) {
+	p := New()
+
+	// Before any plan: metrics snapshot is valid JSON, trace is 404.
+	rec := httptest.NewRecorder()
+	p.ServeMetrics(rec, nil)
+	if rec.Code != 200 {
+		t.Fatalf("metrics status %d before any plan", rec.Code)
+	}
+	rec = httptest.NewRecorder()
+	p.ServeTrace(rec, nil)
+	if rec.Code != 404 {
+		t.Fatalf("trace status %d before any plan, want 404", rec.Code)
+	}
+
+	var reply PlanReply
+	if err := p.Plan(PlanRequest{
+		Clients: []ClientPlan{
+			{App: "vgg11", Quota: 0.5, Workload: "burst", Requests: 1},
+			{App: "resnet50", Quota: 0.5, Workload: "burst", Requests: 1},
+		},
+		HorizonMS: 200,
+	}, &reply); err != nil {
+		t.Fatal(err)
+	}
+
+	// Metrics: counters and per-app latency histograms from the plan, plus
+	// the BLESS overhead accounting.
+	rec = httptest.NewRecorder()
+	p.ServeMetrics(rec, nil)
+	if got := rec.Header().Get("Content-Type"); got != "application/json" {
+		t.Errorf("metrics content-type %q", got)
+	}
+	var snap struct {
+		Counters   map[string]int64          `json:"counters"`
+		Histograms map[string]map[string]any `json:"histograms"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &snap); err != nil {
+		t.Fatalf("metrics not JSON: %v", err)
+	}
+	if snap.Counters["plans_total"] != 1 {
+		t.Errorf("plans_total = %d, want 1", snap.Counters["plans_total"])
+	}
+	if snap.Counters["requests_completed_total"] != 2 {
+		t.Errorf("requests_completed_total = %d, want 2", snap.Counters["requests_completed_total"])
+	}
+	for _, app := range []string{"vgg11", "resnet50"} {
+		if _, ok := snap.Histograms["latency/"+app]; !ok {
+			t.Errorf("no latency histogram for %s", app)
+		}
+	}
+	if snap.Counters["squads_total"] == 0 {
+		t.Error("no BLESS overhead accounting recorded")
+	}
+
+	// Trace: the latest plan as Chrome trace-event JSON with client lanes.
+	rec = httptest.NewRecorder()
+	p.ServeTrace(rec, nil)
+	if rec.Code != 200 {
+		t.Fatalf("trace status %d after a plan", rec.Code)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &events); err != nil {
+		t.Fatalf("trace not JSON: %v", err)
+	}
+	lanes := map[string]bool{}
+	for _, ev := range events {
+		if ev["name"] == "thread_name" {
+			lanes[ev["args"].(map[string]any)["name"].(string)] = true
+		}
+	}
+	for _, want := range []string{"scheduler", "vgg11", "resnet50"} {
+		if !lanes[want] {
+			t.Errorf("trace missing lane %q (have %v)", want, lanes)
+		}
+	}
+}
+
 func TestPlanOverRPC(t *testing.T) {
 	srv := rpc.NewServer()
-	if err := srv.RegisterName("Planner", New()); err != nil {
+	if err := srv.RegisterName("Planner", New().RPC()); err != nil {
 		t.Fatal(err)
 	}
 	l, err := net.Listen("tcp", "127.0.0.1:0")

@@ -10,19 +10,28 @@
 //
 // Start the daemon:
 //
-//	blessd -listen :7600
+//	blessd -listen :7600 -debug :7601
 //
 // Call it (see PlanRequest/PlanReply in this package):
 //
 //	client, _ := rpc.Dial("tcp", "localhost:7600")
 //	var reply blessd.PlanReply
 //	client.Call("Planner.Plan", req, &reply)
+//
+// With -debug set, the daemon also serves live introspection over HTTP:
+//
+//	GET /debug/bless/metrics  streaming-metrics snapshot (plan counters,
+//	                          per-app latency histograms, §6.9 overhead
+//	                          accounting of the latest BLESS plan)
+//	GET /debug/bless/trace    Chrome trace-event JSON of the most recent
+//	                          plan (load in Perfetto or chrome://tracing)
 package main
 
 import (
 	"flag"
 	"log"
 	"net"
+	"net/http"
 	"net/rpc"
 
 	"bless/cmd/blessd/internal/planner"
@@ -30,16 +39,35 @@ import (
 
 func main() {
 	listen := flag.String("listen", ":7600", "TCP address to serve RPC on")
+	debug := flag.String("debug", "", "HTTP address for debug endpoints (empty = disabled)")
 	flag.Parse()
 
+	p := planner.New()
 	srv := rpc.NewServer()
-	if err := srv.RegisterName("Planner", planner.New()); err != nil {
+	if err := srv.RegisterName("Planner", p.RPC()); err != nil {
 		log.Fatal(err)
 	}
 	l, err := net.Listen("tcp", *listen)
 	if err != nil {
 		log.Fatal(err)
 	}
+
+	if *debug != "" {
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/bless/metrics", p.ServeMetrics)
+		mux.HandleFunc("/debug/bless/trace", p.ServeTrace)
+		dl, err := net.Listen("tcp", *debug)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("blessd: debug endpoints on http://%s/debug/bless/{metrics,trace}", dl.Addr())
+		go func() {
+			if err := http.Serve(dl, mux); err != nil {
+				log.Printf("blessd: debug server: %v", err)
+			}
+		}()
+	}
+
 	log.Printf("blessd: planning service on %s", l.Addr())
 	srv.Accept(l)
 }

@@ -1,0 +1,203 @@
+package core
+
+import (
+	"testing"
+
+	"bless/internal/obs"
+	"bless/internal/sharing"
+	"bless/internal/sim"
+)
+
+// runObservedPair deploys a two-client runtime with a subscribed bus, runs
+// one overlapped request per client, and returns the collected events.
+func runObservedPair(t *testing.T, opts Options) (*Runtime, []obs.Event, []*sharing.Client) {
+	t.Helper()
+	clients := testClients(t, []float64{0.5, 0.5}, "vgg11", "resnet50")
+	env := newEnv(t, clients)
+	rt := New(opts)
+	bus := obs.NewBus()
+	var events []obs.Event
+	bus.Subscribe(obs.SubscriberFunc(func(ev obs.Event) { events = append(events, ev) }))
+	rt.Observe(bus)
+	if err := rt.Deploy(env); err != nil {
+		t.Fatalf("Deploy: %v", err)
+	}
+	submitAt(env, rt, clients[0], 0, 0)
+	submitAt(env, rt, clients[1], 0, 0)
+	env.Eng.Run()
+	return rt, events, clients
+}
+
+func TestRuntimeDecisionEvents(t *testing.T) {
+	rt, events, _ := runObservedPair(t, DefaultOptions())
+	if len(events) == 0 {
+		t.Fatal("no decision events published")
+	}
+
+	byKind := map[obs.Kind][]obs.Event{}
+	var prev sim.Time
+	for _, ev := range events {
+		if ev.At < prev {
+			t.Errorf("event %s at %v out of virtual-time order (prev %v)", ev.Kind, ev.At, prev)
+		}
+		prev = ev.At
+		byKind[ev.Kind] = append(byKind[ev.Kind], ev)
+	}
+
+	squads := rt.Stats().SquadsExecuted
+	if got := int64(len(byKind[obs.KindSquadFormed])); got != squads {
+		t.Errorf("squad_formed events = %d, want one per squad (%d)", got, squads)
+	}
+	if got := int64(len(byKind[obs.KindConfigChosen])); got != squads {
+		t.Errorf("config_chosen events = %d, want one per squad (%d)", got, squads)
+	}
+	if got := int64(len(byKind[obs.KindSquadDone])); got != squads {
+		t.Errorf("squad_done events = %d, want one per squad (%d)", got, squads)
+	}
+
+	// Squad IDs ascend 1..N on formation events.
+	for i, ev := range byKind[obs.KindSquadFormed] {
+		if ev.Squad != int64(i)+1 {
+			t.Errorf("squad_formed #%d has Squad=%d, want %d", i, ev.Squad, i+1)
+		}
+		if ev.Reason == "" {
+			t.Errorf("squad_formed #%d has no stop reason", i)
+		}
+		if len(ev.Members) == 0 {
+			t.Errorf("squad_formed #%d has no members", i)
+		}
+		for _, m := range ev.Members {
+			if m.Client == "" || m.From < 0 || m.To <= m.From {
+				t.Errorf("squad_formed #%d bad member %+v", i, m)
+			}
+		}
+	}
+
+	validModes := map[string]bool{"SP": true, "NSP": true, "Semi-SP": true}
+	for i, ev := range byKind[obs.KindConfigChosen] {
+		if !validModes[ev.Mode] {
+			t.Errorf("config_chosen #%d has mode %q", i, ev.Mode)
+		}
+		if ev.Predicted <= 0 {
+			t.Errorf("config_chosen #%d has non-positive prediction %v", i, ev.Predicted)
+		}
+		if ev.Considered <= 0 {
+			t.Errorf("config_chosen #%d evaluated no configurations", i)
+		}
+	}
+
+	for i, ev := range byKind[obs.KindSquadDone] {
+		if ev.Actual <= 0 {
+			t.Errorf("squad_done #%d has non-positive measured duration %v", i, ev.Actual)
+		}
+		if !validModes[ev.Mode] {
+			t.Errorf("squad_done #%d has mode %q", i, ev.Mode)
+		}
+	}
+
+	// A co-run of two clients through Semi-SP squads must redirect contexts.
+	if len(byKind[obs.KindContextSwitch]) == 0 {
+		t.Error("no context_switch events in a Semi-SP co-run")
+	}
+	validReasons := map[string]bool{"restrict": true, "unrestrict": true, "re-restrict": true}
+	for i, ev := range byKind[obs.KindContextSwitch] {
+		if !validReasons[ev.Reason] {
+			t.Errorf("context_switch #%d has reason %q", i, ev.Reason)
+		}
+		if ev.Client == "" {
+			t.Errorf("context_switch #%d has no client", i)
+		}
+	}
+}
+
+func TestRuntimeSemiSPDisabledModeTag(t *testing.T) {
+	opts := DefaultOptions()
+	opts.DisableSemiSP = true
+	_, events, _ := runObservedPair(t, opts)
+	for _, ev := range events {
+		if ev.Kind == obs.KindConfigChosen && ev.Mode == "Semi-SP" {
+			t.Fatalf("Semi-SP mode reported with DisableSemiSP: %+v", ev)
+		}
+	}
+}
+
+func TestRuntimeOverheadAccountingIdentities(t *testing.T) {
+	rt, _, clients := runObservedPair(t, DefaultOptions())
+
+	ovh := rt.OverheadStats()
+	if len(ovh) != len(clients) {
+		t.Fatalf("OverheadStats len = %d, want %d", len(ovh), len(clients))
+	}
+	host := rt.HostOverhead()
+	cfg := sim.DefaultConfig()
+
+	var launches, switches, kernels int64
+	var launchTime, switchTime, syncTime, schedTime sim.Time
+	for i, o := range ovh {
+		if o.Client != clients[i].App.Name {
+			t.Errorf("overhead[%d].Client = %q, want %q", i, o.Client, clients[i].App.Name)
+		}
+		if o.Kernels > 0 && o.Total() <= 0 {
+			t.Errorf("%s scheduled %d kernels but has zero overhead", o.Client, o.Kernels)
+		}
+		launches += o.Launches
+		switches += o.Switches
+		kernels += o.Kernels
+		launchTime += o.LaunchTime
+		switchTime += o.SwitchTime
+		syncTime += o.SyncTime
+		schedTime += o.SchedTime
+	}
+
+	// Launch attribution must match the host's independent measurement
+	// exactly: same call count, same total time.
+	if launches != host.Launches {
+		t.Errorf("attributed launches %d != host launches %d", launches, host.Launches)
+	}
+	if launchTime != host.LaunchTime {
+		t.Errorf("attributed launch time %v != host launch time %v", launchTime, host.LaunchTime)
+	}
+	// Sync attribution: the per-client split must sum exactly to the host's
+	// measured synchronization time (one 20us sync per squad).
+	if syncTime != host.SyncTime {
+		t.Errorf("attributed sync time %v != host sync time %v", syncTime, host.SyncTime)
+	}
+	if host.Syncs != rt.Stats().SquadsExecuted {
+		t.Errorf("host syncs %d != squads executed %d", host.Syncs, rt.Stats().SquadsExecuted)
+	}
+	// Definitional identities for the modeled costs.
+	if kernels != rt.Stats().KernelsScheduled {
+		t.Errorf("attributed kernels %d != kernels scheduled %d", kernels, rt.Stats().KernelsScheduled)
+	}
+	if want := rt.opts.SchedPerKernel * sim.Time(kernels); schedTime != want {
+		t.Errorf("attributed sched time %v != kernels x unit cost %v", schedTime, want)
+	}
+	if want := cfg.ContextSwitch * sim.Time(switches); switchTime != want {
+		t.Errorf("attributed switch time %v != switches x unit cost %v", switchTime, want)
+	}
+	if switches == 0 {
+		t.Error("no context switches attributed in a Semi-SP co-run")
+	}
+}
+
+func TestRuntimeUnobservedStillAccounts(t *testing.T) {
+	// Without a bus the runtime must not publish (or panic) but the
+	// overhead accounting still accrues.
+	clients := testClients(t, []float64{0.5, 0.5}, "vgg11", "resnet50")
+	env := newEnv(t, clients)
+	rt := deployBLESS(t, env, DefaultOptions())
+	submitAt(env, rt, clients[0], 0, 0)
+	submitAt(env, rt, clients[1], 0, 0)
+	env.Eng.Run()
+
+	var total sim.Time
+	for _, o := range rt.OverheadStats() {
+		total += o.Total()
+	}
+	if total <= 0 {
+		t.Fatal("no overhead attributed without a bus")
+	}
+	if rt.HostOverhead().Total() <= 0 {
+		t.Fatal("host overhead empty")
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 
+	"bless/internal/obs"
 	"bless/internal/sharing"
 	"bless/internal/sim"
 )
@@ -83,6 +84,10 @@ type clientState struct {
 	// device queue (>= lastLaunchAt when a redirection vacuum applies);
 	// graph followers must not arrive before it.
 	lastArrival sim.Time
+
+	// ovh accumulates this client's share of the host-side overheads
+	// (§6.9), attributed at the decision points that incur them.
+	ovh ClientOverhead
 }
 
 type restrictedSlot struct {
@@ -105,6 +110,16 @@ type Runtime struct {
 	squadPendings int
 	prevSquadDur  sim.Time
 	squadStarted  sim.Time
+
+	// bus receives decision events when a subscriber is attached (obs
+	// package); nil-safe, zero cost when unobserved.
+	bus *obs.Bus
+	// current squad decision context, for SquadDone and context-switch
+	// events and for splitting the completion sync among the members.
+	curSquad     int64
+	curMode      string
+	curPredicted sim.Time
+	curMembers   []int // client IDs of the running squad's entries
 
 	// stats
 	squadsExecuted   int64
@@ -129,6 +144,12 @@ func New(opts Options) *Runtime {
 
 // Name implements sharing.Scheduler.
 func (rt *Runtime) Name() string { return "BLESS" }
+
+// Observe implements obs.Observable: the runtime publishes its scheduling
+// decisions (squad formation, configuration choice, context switches,
+// pace-guard trips, endgame flushes, squad completion) to the bus. Attach
+// before Deploy/first Submit; a nil or subscriber-less bus costs nothing.
+func (rt *Runtime) Observe(bus *obs.Bus) { rt.bus = bus }
 
 // Deploy implements sharing.Scheduler: it validates the deployment, reserves
 // application memory and establishes each client's default (unrestricted)
@@ -162,6 +183,7 @@ func (rt *Runtime) Deploy(env *sharing.Env) error {
 			defaultCtx: ctx,
 			defaultQ:   ctx.NewQueue(c.App.Name + "/q"),
 			restricted: make(map[int]*restrictedSlot),
+			ovh:        ClientOverhead{Client: c.App.Name},
 		}
 	}
 	return nil
@@ -222,7 +244,7 @@ func (rt *Runtime) startSquad() {
 		actives[i] = cs.active
 		clients[i] = cs.c
 	}
-	squad := generateSquad(actives, clients, rt.host.Now(), GenerateOptions{
+	squad, gen := generateSquadInfo(actives, clients, rt.host.Now(), GenerateOptions{
 		MaxKernels:       rt.opts.MaxSquadKernels,
 		RoundRobin:       rt.opts.DisableFairSelection,
 		NoAdaptiveSizing: rt.opts.NoAdaptiveSizing,
@@ -231,6 +253,36 @@ func (rt *Runtime) startSquad() {
 	if squad == nil {
 		rt.squadRunning = false
 		return
+	}
+	seq := rt.squadsExecuted + 1
+
+	if rt.bus.Enabled() {
+		formedAt := rt.host.Now()
+		members := make([]obs.SquadMember, len(squad.Entries))
+		for i := range squad.Entries {
+			e := &squad.Entries[i]
+			members[i] = obs.SquadMember{
+				Client: e.Client.App.Name,
+				From:   e.Kernels[0],
+				To:     e.Kernels[len(e.Kernels)-1] + 1,
+			}
+		}
+		rt.bus.Emit(obs.Event{
+			At: formedAt, Kind: obs.KindSquadFormed, Squad: seq,
+			Reason: gen.stopReason, Members: members,
+		})
+		if gen.stopReason == "pace-cap" && gen.paceLimited >= 0 {
+			rt.bus.Emit(obs.Event{
+				At: formedAt, Kind: obs.KindPaceGuardTrip, Squad: seq,
+				Client: clients[gen.paceLimited].App.Name, Reason: "duration-cap",
+			})
+		}
+		if gen.flushClient >= 0 {
+			rt.bus.Emit(obs.Event{
+				At: formedAt, Kind: obs.KindEndgameFlush, Squad: seq,
+				Client: clients[gen.flushClient].App.Name,
+			})
+		}
 	}
 
 	quotas := make([]float64, len(squad.Entries))
@@ -243,10 +295,38 @@ func (rt *Runtime) startSquad() {
 		InterferenceBeta:  rt.env.GPU.Config().InterferenceBeta,
 		QuotaGuard:        rt.opts.QuotaGuard,
 	})
+	mode := "NSP"
+	if cfg.Spatial {
+		mode = "Semi-SP"
+		if rt.opts.DisableSemiSP {
+			mode = "SP"
+		}
+	}
+
+	if rt.bus.Enabled() {
+		members := make([]obs.SquadMember, len(squad.Entries))
+		for i := range squad.Entries {
+			e := &squad.Entries[i]
+			members[i] = obs.SquadMember{
+				Client: e.Client.App.Name,
+				From:   e.Kernels[0],
+				To:     e.Kernels[len(e.Kernels)-1] + 1,
+			}
+			if cfg.Spatial && i < len(cfg.SMs) {
+				members[i].SMs = cfg.SMs[i]
+			}
+		}
+		rt.bus.Emit(obs.Event{
+			At: rt.host.Now(), Kind: obs.KindConfigChosen, Squad: seq,
+			Mode: mode, Predicted: cfg.Estimate, Considered: cfg.Considered,
+			Members: members,
+		})
+	}
 
 	// Host scheduling cost (§6.9), overlapped with the previous squad's
 	// device execution: only the overspend beyond the previous squad's
-	// duration delays the GPU.
+	// duration delays the GPU. The full cost is attributed per client in
+	// proportion to its kernels in the squad.
 	schedCost := rt.opts.SchedPerKernel * sim.Time(squad.Size())
 	if over := schedCost - rt.prevSquadDur; over > 0 {
 		rt.host.Spend(over)
@@ -254,6 +334,17 @@ func (rt *Runtime) startSquad() {
 
 	rt.squadRunning = true
 	rt.squadStarted = rt.host.Now()
+	rt.curSquad = seq
+	rt.curMode = mode
+	rt.curPredicted = cfg.Estimate
+	rt.curMembers = rt.curMembers[:0]
+	for i := range squad.Entries {
+		e := &squad.Entries[i]
+		rt.curMembers = append(rt.curMembers, e.Client.ID)
+		cs := rt.clients[e.Client.ID]
+		cs.ovh.Kernels += int64(len(e.Kernels))
+		cs.ovh.SchedTime += rt.opts.SchedPerKernel * sim.Time(len(e.Kernels))
+	}
 	if rt.opts.TraceSquad != nil {
 		rt.opts.TraceSquad(rt.squadStarted, squad, cfg)
 	}
@@ -376,6 +467,7 @@ func (rt *Runtime) launchSquad(squad *Squad, cfg ExecConfig) {
 	// Wire gate triggers: a gate opens when the last restricted (head)
 	// kernel of its entry completes, plus the context-switch vacuum.
 	ctxSwitch := rt.env.GPU.Config().ContextSwitch
+	kLaunch := rt.env.GPU.Config().KernelLaunch
 	for i := range squad.Entries {
 		if gates[i] == nil {
 			continue
@@ -418,9 +510,23 @@ func (rt *Runtime) launchSquad(squad *Squad, cfg ExecConfig) {
 			// Tail kernel: defer the launch until the gate opens. The gate
 			// open time already includes the context-redirection vacuum.
 			pl.after.then(func(openAt sim.Time) {
-				cs.lastCtxSMs = 0
+				if cs.lastCtxSMs != 0 {
+					// First tail launch redirects this client back to its
+					// unrestricted context: one switch per gate trip.
+					cs.lastCtxSMs = 0
+					cs.ovh.Switches++
+					cs.ovh.SwitchTime += ctxSwitch
+					if rt.bus.Enabled() {
+						rt.bus.Emit(obs.Event{
+							At: openAt, Kind: obs.KindContextSwitch, Squad: rt.curSquad,
+							Client: cs.c.App.Name, Reason: "unrestrict",
+						})
+					}
+				}
 				rt.host.LaunchAt(pl.q, k, openAt, wrapped)
 				cs.lastLaunchAt = rt.host.Now()
+				cs.ovh.Launches++
+				cs.ovh.LaunchTime += kLaunch
 			})
 			continue
 		}
@@ -433,7 +539,22 @@ func (rt *Runtime) launchSquad(squad *Squad, cfg ExecConfig) {
 		var notBefore sim.Time
 		if cs.lastCtxSMs != pl.smTag {
 			notBefore = cs.lastLaunchAt + ctxSwitch
+			reason := "restrict"
+			switch {
+			case pl.smTag == 0:
+				reason = "unrestrict"
+			case cs.lastCtxSMs != 0:
+				reason = "re-restrict"
+			}
 			cs.lastCtxSMs = pl.smTag
+			cs.ovh.Switches++
+			cs.ovh.SwitchTime += ctxSwitch
+			if rt.bus.Enabled() {
+				rt.bus.Emit(obs.Event{
+					At: rt.host.Now(), Kind: obs.KindContextSwitch, Squad: rt.curSquad,
+					Client: cs.c.App.Name, Reason: reason,
+				})
+			}
 		}
 		// CUDA-graph launch units (§6.10): only the first kernel of a graph
 		// pays the host launch latency; the rest of the graph rides the same
@@ -457,9 +578,13 @@ func (rt *Runtime) launchSquad(squad *Squad, cfg ExecConfig) {
 			if hf := rt.host.Now(); hf > cs.lastArrival {
 				cs.lastArrival = hf
 			}
+			cs.ovh.Launches++
+			cs.ovh.LaunchTime += kLaunch
 		default:
 			rt.host.Launch(pl.q, k, wrapped)
 			cs.lastArrival = rt.host.Now()
+			cs.ovh.Launches++
+			cs.ovh.LaunchTime += kLaunch
 		}
 		cs.lastLaunchAt = rt.host.Now()
 		if gate != nil && pl.after == nil && cs.lastLaunchAt > gate.launchEnd {
@@ -574,6 +699,28 @@ func (rt *Runtime) completeRequest(cs *clientState, r *sharing.Request) {
 func (rt *Runtime) squadDone(at sim.Time) {
 	rt.prevSquadDur = at - rt.squadStarted
 	rt.host.Sync()
+	// Attribute the squad-boundary sync equally among the squad's members,
+	// remainder to the first, so per-client sums stay exactly equal to
+	// squads x SquadSync.
+	if n := len(rt.curMembers); n > 0 {
+		sync := rt.env.GPU.Config().SquadSync
+		per := sync / sim.Time(n)
+		for i, id := range rt.curMembers {
+			cs := rt.clients[id]
+			cs.ovh.Syncs++
+			if i == 0 {
+				cs.ovh.SyncTime += sync - per*sim.Time(n-1)
+			} else {
+				cs.ovh.SyncTime += per
+			}
+		}
+	}
+	if rt.bus.Enabled() {
+		rt.bus.Emit(obs.Event{
+			At: at, Kind: obs.KindSquadDone, Squad: rt.curSquad,
+			Mode: rt.curMode, Predicted: rt.curPredicted, Actual: rt.prevSquadDur,
+		})
+	}
 	rt.squadRunning = false
 	rt.kick()
 }
@@ -598,4 +745,56 @@ func (rt *Runtime) Stats() Stats {
 		KernelsScheduled: rt.kernelsScheduled,
 		ConfigsEvaluated: rt.configsEvaluated,
 	}
+}
+
+// ClientOverhead is one client's share of the host-side overheads (§6.9),
+// attributed at the decision points that incur them: per-kernel launch calls
+// (3us each), context-redirection vacuums (50us per switch), squad-boundary
+// synchronization (20us per squad, split among the members) and host
+// scheduling work (6.7us per kernel, overlapped with device execution).
+type ClientOverhead struct {
+	// Client is the owning application's name.
+	Client string
+	// Kernels counts kernels scheduled into squads for this client.
+	Kernels int64
+	// Launches counts host launch calls (graph followers ride their
+	// leader's call and are excluded).
+	Launches int64
+	// Switches counts context redirections (restrict, unrestrict or
+	// re-restrict trips).
+	Switches int64
+	// Syncs counts squad-boundary synchronizations this client took part in.
+	Syncs int64
+	// LaunchTime, SwitchTime, SyncTime and SchedTime are the attributed
+	// overhead times per source.
+	LaunchTime sim.Time
+	SwitchTime sim.Time
+	SyncTime   sim.Time
+	SchedTime  sim.Time
+}
+
+// Total sums the attributed overhead time across all four sources.
+func (o ClientOverhead) Total() sim.Time {
+	return o.LaunchTime + o.SwitchTime + o.SyncTime + o.SchedTime
+}
+
+// OverheadStats returns the per-client overhead breakdown, in deployment
+// order. The launch and sync columns sum exactly to the host's independently
+// measured accounting (see HostOverhead); switch and sched columns are
+// decision-count times the §6.9 unit costs.
+func (rt *Runtime) OverheadStats() []ClientOverhead {
+	out := make([]ClientOverhead, len(rt.clients))
+	for i, cs := range rt.clients {
+		out[i] = cs.ovh
+	}
+	return out
+}
+
+// HostOverhead returns the simulated host's ground-truth time accounting,
+// for cross-checking the decision-level attribution.
+func (rt *Runtime) HostOverhead() sim.HostOverhead {
+	if rt.host == nil {
+		return sim.HostOverhead{}
+	}
+	return rt.host.Overhead()
 }

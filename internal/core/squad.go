@@ -174,15 +174,38 @@ const paceSafetyFrac = 0.1
 // that co-run for free) fail the check outright.
 const flushDeadlineSlack = 1.15
 
+// genInfo describes how squad generation ended, for decision tracing.
+type genInfo struct {
+	// stopReason says why generation stopped: "kernel-cap" (size cap
+	// reached), "pace-cap" (the pace-guard duration cap tripped),
+	// "request-end" (a selected kernel completes its request), "flush"
+	// (endgame flush finished a request), or "drained" (no more selectable
+	// kernels).
+	stopReason string
+	// flushClient is the flushed request's slot index, -1 when no flush.
+	flushClient int
+	// paceLimited is the slot index of the request whose in-squad timeline
+	// hit the duration cap (-1 unless stopReason is "pace-cap").
+	paceLimited int
+}
+
 // generateSquad builds the next kernel squad from the active requests at
 // virtual time now, advancing each chosen request's nextK. Generation stops
 // when the cap is reached or a selected kernel completes a request (§4.3.2).
 // Returns nil when no active request has unscheduled kernels.
 func generateSquad(actives []*activeRequest, clients []*sharing.Client, now sim.Time, opts GenerateOptions) *Squad {
+	s, _ := generateSquadInfo(actives, clients, now, opts)
+	return s
+}
+
+// generateSquadInfo is generateSquad plus the stop-reason metadata the
+// observability layer publishes as decision events.
+func generateSquadInfo(actives []*activeRequest, clients []*sharing.Client, now sim.Time, opts GenerateOptions) (*Squad, genInfo) {
 	maxK := opts.MaxKernels
 	if maxK <= 0 {
 		maxK = DefaultMaxSquadKernels
 	}
+	info := genInfo{flushClient: -1, paceLimited: -1}
 
 	// Entries indexed by position in actives, materialized at the end.
 	picked := make([][]int, len(actives))
@@ -375,6 +398,7 @@ func generateSquad(actives []*activeRequest, clients []*sharing.Client, now sim.
 			}
 		}
 		if sel < 0 {
+			info.stopReason = "drained"
 			break
 		}
 		a := actives[sel]
@@ -390,16 +414,27 @@ func generateSquad(actives []*activeRequest, clients []*sharing.Client, now sim.
 		}
 		if a.nextK == a.req.Client.App.NumKernels() {
 			// Selected kernel is the request's last: terminate generation.
+			if sel == flushTarget {
+				info.stopReason = "flush"
+				info.flushClient = sel
+			} else {
+				info.stopReason = "request-end"
+			}
 			break
 		}
 		if inSquad[sel] >= durationCap {
 			// Longest timeline hit the pace-guard margin.
+			info.stopReason = "pace-cap"
+			info.paceLimited = sel
 			break
 		}
 	}
+	if info.stopReason == "" {
+		info.stopReason = "kernel-cap"
+	}
 
 	if total == 0 {
-		return nil
+		return nil, info
 	}
 
 	s := &Squad{}
@@ -413,5 +448,5 @@ func generateSquad(actives []*activeRequest, clients []*sharing.Client, now sim.
 			Kernels: ks,
 		})
 	}
-	return s
+	return s, info
 }

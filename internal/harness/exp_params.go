@@ -406,25 +406,20 @@ func runOverhead(opt Options) (*Table, error) {
 		[]string{"MPS context memory", fmt.Sprintf("%d MB", cfg.ContextMemBytes>>20)},
 	)
 
-	// Measured from a live run: squads, kernels/squad, configurations
-	// evaluated per squad.
-	pat, err := closedLoadPattern("resnet50", "B", cfg)
+	// Measured from a live instrumented run: squads, kernels/squad,
+	// configurations evaluated per squad, and the per-client overhead
+	// attribution derived from the decision stream. The attribution is
+	// verified against the host's independent time accounting — a failed
+	// identity fails the experiment.
+	horizon := 500 * sim.Millisecond
+	if opt.Quick {
+		horizon = 100 * sim.Millisecond
+	}
+	o, err := ObservedPairRun([2]string{"resnet50", "vgg11"}, [2]float64{0.5, 0.5}, "B", horizon)
 	if err != nil {
 		return nil, err
 	}
-	rt := core.New(core.DefaultOptions())
-	if _, err := Run(RunConfig{
-		Scheduler: rt,
-		Clients: []ClientSpec{
-			{App: "resnet50", Quota: 0.5, Pattern: pat},
-			{App: "vgg11", Quota: 0.5, Pattern: pat},
-		},
-		Horizon: 500 * sim.Millisecond,
-		GPU:     cfg,
-	}); err != nil {
-		return nil, err
-	}
-	st := rt.Stats()
+	st := o.Stats
 	if st.SquadsExecuted > 0 {
 		t.Rows = append(t.Rows,
 			[]string{"measured squads executed", fmt.Sprintf("%d", st.SquadsExecuted)},
@@ -433,5 +428,21 @@ func runOverhead(opt Options) (*Table, error) {
 			[]string{"measured spatial-squad share", fmt.Sprintf("%.0f%%", float64(st.SpatialSquads)/float64(st.SquadsExecuted)*100)},
 		)
 	}
+	for _, co := range o.Overheads {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%s overhead (launch+switch+sync+sched)", co.Client),
+			fmt.Sprintf("%s = %s + %s + %s + %s",
+				co.Total(), co.LaunchTime, co.SwitchTime, co.SyncTime, co.SchedTime),
+		})
+	}
+	t.Rows = append(t.Rows,
+		[]string{"host measured launch time", o.Host.LaunchTime.String()},
+		[]string{"host measured sync time", o.Host.SyncTime.String()},
+		[]string{"host sched overspend (not overlapped)", o.Host.SpendTime.String()},
+	)
+	if err := VerifyOverheadAttribution(st, o.Overheads, o.Host, cfg, core.DefaultOptions().SchedPerKernel); err != nil {
+		return nil, fmt.Errorf("overhead attribution check failed: %w", err)
+	}
+	t.Notes = append(t.Notes, "attribution verified: launch/sync columns match the host's independent accounting exactly; sched/switch columns equal decision counts x unit costs")
 	return t, nil
 }

@@ -12,6 +12,7 @@ import (
 
 	"bless/internal/metrics"
 	"bless/internal/model"
+	"bless/internal/obs"
 	"bless/internal/profiler"
 	"bless/internal/sharing"
 	"bless/internal/sim"
@@ -42,6 +43,17 @@ type RunConfig struct {
 	GPU sim.Config
 	// Tracer, if set, observes every kernel execution (timeline capture).
 	Tracer sim.Tracer
+	// Tracers are additional kernel observers; all attach alongside Tracer
+	// (the device fans out to every subscriber).
+	Tracers []sim.Tracer
+	// Bus, if set, is offered to the scheduler before deployment: schedulers
+	// implementing obs.Observable publish their decision events to it.
+	Bus *obs.Bus
+	// Registry, if set, receives streaming run metrics: per-client request
+	// latency histograms (latency/<app>), completion counters and the
+	// device utilization gauge. Observations stream during the run instead
+	// of being post-processed from stored samples.
+	Registry *obs.Registry
 }
 
 // ClientResult aggregates one client's outcome.
@@ -126,8 +138,14 @@ func Run(cfg RunConfig) (*Result, error) {
 
 	eng := sim.NewEngine()
 	gpu := sim.NewGPU(eng, gpuCfg)
-	if cfg.Tracer != nil {
-		gpu.SetTracer(cfg.Tracer)
+	gpu.AddTracer(cfg.Tracer) // nil-safe
+	for _, tr := range cfg.Tracers {
+		gpu.AddTracer(tr)
+	}
+	if cfg.Bus != nil {
+		if o, ok := cfg.Scheduler.(obs.Observable); ok {
+			o.Observe(cfg.Bus)
+		}
 	}
 	clients := make([]*sharing.Client, len(cfg.Clients))
 	results := make([]ClientResult, len(cfg.Clients))
@@ -163,6 +181,10 @@ func Run(cfg RunConfig) (*Result, error) {
 		cr := &results[r.Client.ID]
 		cr.Latencies = append(cr.Latencies, r.Latency())
 		cr.Completed++
+		if cfg.Registry != nil {
+			cfg.Registry.Histogram("latency/" + r.Client.App.Name).Observe(r.Latency())
+			cfg.Registry.Counter("requests_completed_total").Inc()
+		}
 		p := &cfg.Clients[r.Client.ID].Pattern
 		if p.ClosedLoop() {
 			id := r.Client.ID
@@ -201,6 +223,9 @@ func Run(cfg RunConfig) (*Result, error) {
 	eng.Run()
 
 	res := &Result{System: sched.Name(), Elapsed: eng.Now(), Utilization: gpu.Utilization()}
+	if cfg.Registry != nil {
+		cfg.Registry.Gauge("sm_utilization").Set(res.Utilization)
+	}
 	perApp := make([][]sim.Time, len(results))
 	sys := make([]sim.Time, len(results))
 	iso := make([]sim.Time, len(results))

@@ -1,0 +1,167 @@
+package harness
+
+import (
+	"fmt"
+
+	"bless/internal/core"
+	"bless/internal/obs"
+	"bless/internal/sim"
+	"bless/internal/trace"
+)
+
+// ObservedRun bundles the artifacts of a fully instrumented run: the usual
+// result plus the kernel timeline, the decision-event stream, the streaming
+// metrics registry and the per-client overhead breakdown (§6.9).
+type ObservedRun struct {
+	// Result is the ordinary harness outcome.
+	Result *Result
+	// Collector holds the kernel timeline (one lane per client) and the
+	// scheduler's decision events; WriteChromeTrace exports both.
+	Collector *obs.Collector
+	// Registry holds the streaming metrics: latency histograms, counters,
+	// gauges, and the recorded overhead breakdown.
+	Registry *obs.Registry
+	// Overheads is the per-client overhead attribution, deployment order.
+	Overheads []core.ClientOverhead
+	// Host is the simulated host's independent ground-truth accounting.
+	Host sim.HostOverhead
+	// Stats are the runtime's scheduling counters.
+	Stats core.Stats
+}
+
+// ObservedPairRun executes one fig13-style run — two closed-loop clients
+// under BLESS with the given quotas and workload intensity — with the full
+// observability stack attached: a timeline recorder and decision-event
+// collector for Chrome-trace export, and a streaming metrics registry
+// holding latency histograms plus the §6.9 per-client overhead breakdown.
+func ObservedPairRun(apps [2]string, quotas [2]float64, workload string, horizon sim.Time) (*ObservedRun, error) {
+	cfg := sim.DefaultConfig()
+	var pats [2]trace.Pattern
+	for i, a := range apps {
+		p, err := closedLoadPattern(a, workload, cfg)
+		if err != nil {
+			return nil, err
+		}
+		pats[i] = p
+	}
+
+	rt := core.New(core.DefaultOptions())
+	col := obs.NewCollector()
+	col.Recorder.LaneOf = obs.ClientLane // one lane per client, not per context
+	bus := obs.NewBus()
+	bus.Subscribe(col)
+	reg := obs.NewRegistry()
+
+	res, err := Run(RunConfig{
+		Scheduler: rt,
+		Clients: []ClientSpec{
+			{App: apps[0], Quota: quotas[0], Pattern: pats[0]},
+			{App: apps[1], Quota: quotas[1], Pattern: pats[1]},
+		},
+		Horizon:  horizon,
+		GPU:      cfg,
+		Tracers:  []sim.Tracer{col.Recorder},
+		Bus:      bus,
+		Registry: reg,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	o := &ObservedRun{
+		Result:    res,
+		Collector: col,
+		Registry:  reg,
+		Overheads: rt.OverheadStats(),
+		Host:      rt.HostOverhead(),
+		Stats:     rt.Stats(),
+	}
+	RecordOverheads(reg, o.Stats, o.Overheads, o.Host)
+	return o, nil
+}
+
+// RecordOverheads publishes the scheduling counters and the per-client
+// overhead breakdown into the registry, so a metrics snapshot carries the
+// full §6.9 accounting next to the latency histograms. Times are recorded as
+// nanosecond counters (virtual time is integral nanoseconds).
+func RecordOverheads(reg *obs.Registry, st core.Stats, ovh []core.ClientOverhead, host sim.HostOverhead) {
+	reg.Counter("squads_total").Add(st.SquadsExecuted)
+	reg.Counter("kernels_scheduled_total").Add(st.KernelsScheduled)
+	reg.Counter("configs_evaluated_total").Add(st.ConfigsEvaluated)
+	reg.Counter("spatial_squads_total").Add(st.SpatialSquads)
+
+	for _, o := range ovh {
+		p := "overhead/" + o.Client + "/"
+		reg.Counter(p + "launches").Add(o.Launches)
+		reg.Counter(p + "switches").Add(o.Switches)
+		reg.Counter(p + "syncs").Add(o.Syncs)
+		reg.Counter(p + "kernels").Add(o.Kernels)
+		reg.Counter(p + "launch_ns").Add(int64(o.LaunchTime))
+		reg.Counter(p + "switch_ns").Add(int64(o.SwitchTime))
+		reg.Counter(p + "sync_ns").Add(int64(o.SyncTime))
+		reg.Counter(p + "sched_ns").Add(int64(o.SchedTime))
+		reg.Counter(p + "total_ns").Add(int64(o.Total()))
+	}
+	// Host ground truth, for cross-checking the attribution.
+	reg.Counter("host/launch_ns").Add(int64(host.LaunchTime))
+	reg.Counter("host/sync_ns").Add(int64(host.SyncTime))
+	reg.Counter("host/sched_spend_ns").Add(int64(host.SpendTime))
+	reg.Counter("host/launches").Add(host.Launches)
+	reg.Counter("host/syncs").Add(host.Syncs)
+}
+
+// VerifyOverheadAttribution cross-checks the decision-level per-client
+// attribution against the host's independently measured accounting. The
+// launch and sync columns must match the host EXACTLY (same events, same
+// unit costs, two independent code paths); the sched and switch columns are
+// definitional (counts times the §6.9 unit costs) and must agree with the
+// runtime's counters. Returns an error naming the first violated identity.
+func VerifyOverheadAttribution(st core.Stats, ovh []core.ClientOverhead, host sim.HostOverhead, cfg sim.Config, schedPerKernel sim.Time) error {
+	var launches, switches, kernels int64
+	var launchT, switchT, syncT, schedT sim.Time
+	for _, o := range ovh {
+		launches += o.Launches
+		switches += o.Switches
+		kernels += o.Kernels
+		launchT += o.LaunchTime
+		switchT += o.SwitchTime
+		syncT += o.SyncTime
+		schedT += o.SchedTime
+	}
+	if launches != host.Launches || launchT != host.LaunchTime {
+		return fmt.Errorf("launch attribution (%d calls, %v) != host measurement (%d calls, %v)",
+			launches, launchT, host.Launches, host.LaunchTime)
+	}
+	if syncT != host.SyncTime {
+		return fmt.Errorf("sync attribution %v != host measurement %v", syncT, host.SyncTime)
+	}
+	if host.Syncs != st.SquadsExecuted {
+		return fmt.Errorf("host syncs %d != squads executed %d", host.Syncs, st.SquadsExecuted)
+	}
+	if kernels != st.KernelsScheduled {
+		return fmt.Errorf("attributed kernels %d != kernels scheduled %d", kernels, st.KernelsScheduled)
+	}
+	if want := schedPerKernel * sim.Time(kernels); schedT != want {
+		return fmt.Errorf("sched attribution %v != kernels x unit cost %v", schedT, want)
+	}
+	if want := cfg.ContextSwitch * sim.Time(switches); switchT != want {
+		return fmt.Errorf("switch attribution %v != switches x unit cost %v", switchT, want)
+	}
+	// The host's busy time (launches + syncs + sched overspend) must be
+	// covered by the attribution within 1%: launch and sync match exactly,
+	// and the sched column bounds the overspend (scheduling overlapped with
+	// device execution is attributed in full but only the excess stalls the
+	// host).
+	if host.SpendTime > schedT {
+		return fmt.Errorf("host sched overspend %v exceeds attributed sched time %v", host.SpendTime, schedT)
+	}
+	attributed := launchT + syncT + schedT
+	measured := host.LaunchTime + host.SyncTime + host.SpendTime
+	if attributed < measured {
+		diff := float64(measured-attributed) / float64(measured)
+		if diff > 0.01 {
+			return fmt.Errorf("attributed host overhead %v below measured %v by %.2f%%", attributed, measured, diff*100)
+		}
+	}
+	return nil
+}

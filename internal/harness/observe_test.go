@@ -1,0 +1,119 @@
+package harness
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"bless/internal/core"
+	"bless/internal/sim"
+)
+
+func TestObservedPairRun(t *testing.T) {
+	o, err := ObservedPairRun([2]string{"resnet50", "vgg11"}, [2]float64{0.5, 0.5}, "B", 100*sim.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Result == nil || o.Result.PerClient[0].Completed == 0 {
+		t.Fatal("observed run completed no requests")
+	}
+	if len(o.Collector.Recorder.Spans) == 0 {
+		t.Fatal("no kernel spans recorded")
+	}
+	if len(o.Collector.Events) == 0 {
+		t.Fatal("no decision events collected")
+	}
+	// Lanes collapse to one per client.
+	for _, l := range o.Collector.Recorder.Lanes() {
+		if l != "resnet50" && l != "vgg11" {
+			t.Errorf("unexpected lane %q, want one lane per client", l)
+		}
+	}
+
+	// The streaming registry carries latency histograms matching the
+	// post-processed result summaries.
+	for _, cr := range o.Result.PerClient {
+		d := o.Registry.Histogram("latency/" + cr.App).Digest()
+		if int(d.Count) != len(cr.Latencies) {
+			t.Errorf("%s: registry histogram count %d, want %d", cr.App, d.Count, len(cr.Latencies))
+		}
+		if d.Count > 0 && d.Mean() != cr.Summary.Mean {
+			t.Errorf("%s: registry mean %v != summary mean %v", cr.App, d.Mean(), cr.Summary.Mean)
+		}
+	}
+	if got := o.Registry.Counter("requests_completed_total").Value(); got == 0 {
+		t.Error("completion counter never incremented")
+	}
+
+	// The overhead attribution must pass the cross-check against the host's
+	// independent accounting.
+	if err := VerifyOverheadAttribution(o.Stats, o.Overheads, o.Host, sim.DefaultConfig(), core.DefaultOptions().SchedPerKernel); err != nil {
+		t.Errorf("overhead attribution: %v", err)
+	}
+
+	// Per-client overhead counters land in the metrics snapshot and sum to
+	// the attributed totals.
+	snap := o.Registry.Snapshot()
+	var snapTotal, attrTotal int64
+	for _, co := range o.Overheads {
+		snapTotal += snap.Counters["overhead/"+co.Client+"/total_ns"]
+		attrTotal += int64(co.Total())
+	}
+	if snapTotal != attrTotal {
+		t.Errorf("snapshot overhead total %d != attributed total %d", snapTotal, attrTotal)
+	}
+
+	// The trace export must be valid JSON with the client lanes present.
+	var buf bytes.Buffer
+	if err := o.Collector.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("trace export is not valid JSON: %v", err)
+	}
+	lanes := map[string]bool{}
+	for _, ev := range events {
+		if ev["name"] == "thread_name" {
+			lanes[ev["args"].(map[string]any)["name"].(string)] = true
+		}
+	}
+	for _, want := range []string{"scheduler", "resnet50", "vgg11"} {
+		if !lanes[want] {
+			t.Errorf("trace missing lane %q (have %v)", want, lanes)
+		}
+	}
+}
+
+func TestRunAttachesMultipleTracers(t *testing.T) {
+	// RunConfig.Tracer and RunConfig.Tracers must all observe the run.
+	var a, b countSpans
+	pat, err := closedLoadPattern("vgg11", "C", sim.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := core.New(core.DefaultOptions())
+	_, err = Run(RunConfig{
+		Scheduler: rt,
+		Clients: []ClientSpec{
+			{App: "vgg11", Quota: 0.5, Pattern: pat},
+			{App: "resnet50", Quota: 0.5, Pattern: pat},
+		},
+		Horizon: 50 * sim.Millisecond,
+		Tracer:  &a,
+		Tracers: []sim.Tracer{&b},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.ends == 0 || a.ends != b.ends {
+		t.Fatalf("tracers observed %d and %d kernel ends, want equal and non-zero", a.ends, b.ends)
+	}
+}
+
+type countSpans struct{ starts, ends int }
+
+func (c *countSpans) KernelStart(sim.Time, *sim.Queue, *sim.Kernel) { c.starts++ }
+func (c *countSpans) KernelEnd(sim.Time, *sim.Queue, *sim.Kernel, float64) {
+	c.ends++
+}

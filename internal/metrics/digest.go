@@ -1,0 +1,209 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+
+	"bless/internal/sim"
+)
+
+// digestBuckets is the bucket count of the log2 latency histogram: bucket i
+// holds samples v with bits.Len64(v) == i, i.e. v in [2^(i-1), 2^i). 64
+// buckets cover the full non-negative int64 nanosecond range (2^63 ns ≈ 292
+// years of virtual time).
+const digestBuckets = 64
+
+// Digest is a streaming latency distribution: constant memory, O(1) updates,
+// mergeable snapshots. It replaces the store-all-samples pattern on hot paths
+// (always-on metrics, live introspection endpoints) while Summarize remains
+// the exact offline path. Count, Sum, Min and Max are exact; quantiles are
+// approximated by log-bucketed histogram interpolation (relative error
+// bounded by the 2x bucket width, in practice a few percent).
+//
+// The zero Digest is ready to use. Digest is not safe for concurrent use;
+// wrap it in a lock for shared registries.
+type Digest struct {
+	// Count is the number of observed samples.
+	Count int64
+	// Sum is the exact sample total.
+	Sum sim.Time
+	// Min and Max bound the samples (valid when Count > 0).
+	Min, Max sim.Time
+	// Buckets is the log2 histogram; Buckets[i] counts samples in
+	// [2^(i-1), 2^i), with Buckets[0] counting zero (and negative, clamped)
+	// samples.
+	Buckets [digestBuckets]int64
+}
+
+// bucketOf maps a sample to its bucket index.
+func bucketOf(v sim.Time) int {
+	if v <= 0 {
+		return 0
+	}
+	return bits.Len64(uint64(v)) // in [1, 63] for positive int64
+}
+
+// bucketBounds returns the value range [lo, hi) covered by bucket i.
+func bucketBounds(i int) (lo, hi sim.Time) {
+	if i <= 0 {
+		return 0, 1
+	}
+	return 1 << (i - 1), 1 << i
+}
+
+// Observe adds one sample. Negative samples are clamped to zero (latencies
+// cannot be negative; tolerating garbage beats panicking in a metrics path).
+func (d *Digest) Observe(v sim.Time) {
+	if v < 0 {
+		v = 0
+	}
+	if d.Count == 0 || v < d.Min {
+		d.Min = v
+	}
+	if d.Count == 0 || v > d.Max {
+		d.Max = v
+	}
+	d.Count++
+	d.Sum += v
+	d.Buckets[bucketOf(v)]++
+}
+
+// Merge folds another digest into d. Snapshots taken on different devices,
+// shards or runs merge exactly (the histogram is a sum; Count/Sum/Min/Max
+// combine losslessly), which is what makes the streaming path aggregatable.
+func (d *Digest) Merge(o *Digest) {
+	if o == nil || o.Count == 0 {
+		return
+	}
+	if d.Count == 0 || o.Min < d.Min {
+		d.Min = o.Min
+	}
+	if d.Count == 0 || o.Max > d.Max {
+		d.Max = o.Max
+	}
+	d.Count += o.Count
+	d.Sum += o.Sum
+	for i := range d.Buckets {
+		d.Buckets[i] += o.Buckets[i]
+	}
+}
+
+// Mean returns the exact average (0 when empty).
+func (d *Digest) Mean() sim.Time {
+	if d.Count == 0 {
+		return 0
+	}
+	return d.Sum / sim.Time(d.Count)
+}
+
+// Quantile approximates the p-quantile (p in [0,1]) by nearest-rank over the
+// log buckets with linear interpolation inside the containing bucket, clamped
+// to the exact [Min, Max] envelope. An empty digest yields 0.
+func (d *Digest) Quantile(p float64) sim.Time {
+	if d.Count == 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	// Nearest-rank, matching percentile() on the exact path.
+	rank := int64(p*float64(d.Count) + 0.5)
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > d.Count {
+		rank = d.Count
+	}
+	// The extreme ranks are known exactly.
+	if rank == d.Count {
+		return d.Max
+	}
+	if rank == 1 {
+		return d.Min
+	}
+	var seen int64
+	for i := range d.Buckets {
+		n := d.Buckets[i]
+		if n == 0 {
+			continue
+		}
+		if seen+n >= rank {
+			lo, hi := bucketBounds(i)
+			// Interpolate the rank's position within the bucket.
+			frac := (float64(rank-seen) - 0.5) / float64(n)
+			v := sim.Time(float64(lo) + frac*float64(hi-lo))
+			if v < d.Min {
+				v = d.Min
+			}
+			if v > d.Max {
+				v = d.Max
+			}
+			return v
+		}
+		seen += n
+	}
+	return d.Max
+}
+
+// Summary distills the digest into the common Summary shape. Count, Mean,
+// Min and Max are exact; the percentiles carry the digest's log-bucket
+// approximation error.
+func (d *Digest) Summary() Summary {
+	return Summary{
+		Count: int(d.Count),
+		Mean:  d.Mean(),
+		P50:   d.Quantile(0.50),
+		P95:   d.Quantile(0.95),
+		P99:   d.Quantile(0.99),
+		Min:   d.Min,
+		Max:   d.Max,
+	}
+}
+
+// String renders the digest's summary compactly.
+func (d *Digest) String() string {
+	if d.Count == 0 {
+		return "n=0"
+	}
+	return fmt.Sprintf("n=%d mean=%v p50~%v p99~%v max=%v", d.Count, d.Mean(), d.Quantile(0.5), d.Quantile(0.99), d.Max)
+}
+
+// MergeSummaries combines per-shard exact Summaries into one approximate
+// aggregate: Count, Min and Max are exact, Mean is the count-weighted exact
+// mean, and each percentile is the count-weighted mean of the shard
+// percentiles — the standard (biased, but monotone) shard-merge rule. For a
+// lossless merge, keep Digests instead and merge those.
+func MergeSummaries(parts ...Summary) Summary {
+	var out Summary
+	var wP50, wP95, wP99, wMean float64
+	for _, s := range parts {
+		if s.Count == 0 {
+			continue
+		}
+		if out.Count == 0 || s.Min < out.Min {
+			out.Min = s.Min
+		}
+		if out.Count == 0 || s.Max > out.Max {
+			out.Max = s.Max
+		}
+		w := float64(s.Count)
+		wMean += w * float64(s.Mean)
+		wP50 += w * float64(s.P50)
+		wP95 += w * float64(s.P95)
+		wP99 += w * float64(s.P99)
+		out.Count += s.Count
+	}
+	if out.Count == 0 {
+		return out
+	}
+	n := float64(out.Count)
+	out.Mean = sim.Time(math.Round(wMean / n))
+	out.P50 = sim.Time(math.Round(wP50 / n))
+	out.P95 = sim.Time(math.Round(wP95 / n))
+	out.P99 = sim.Time(math.Round(wP99 / n))
+	return out
+}

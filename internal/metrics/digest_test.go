@@ -1,0 +1,175 @@
+package metrics
+
+import (
+	"math/rand"
+	"testing"
+
+	"bless/internal/sim"
+)
+
+func TestPercentileSingleSample(t *testing.T) {
+	s := Summarize([]sim.Time{42})
+	if s.Count != 1 || s.Mean != 42 || s.Min != 42 || s.Max != 42 {
+		t.Fatalf("single-sample summary wrong: %+v", s)
+	}
+	for _, p := range []sim.Time{s.P50, s.P95, s.P99} {
+		if p != 42 {
+			t.Fatalf("single-sample percentile should be the sample, got %v (summary %+v)", p, s)
+		}
+	}
+}
+
+func TestPercentileDuplicateHeavy(t *testing.T) {
+	// 99 copies of 10 and one 1000: the duplicate must dominate every
+	// percentile below the top rank.
+	lats := make([]sim.Time, 0, 100)
+	for i := 0; i < 99; i++ {
+		lats = append(lats, 10)
+	}
+	lats = append(lats, 1000)
+	s := Summarize(lats)
+	if s.P50 != 10 || s.P95 != 10 {
+		t.Fatalf("duplicate-heavy percentiles wrong: p50=%v p95=%v", s.P50, s.P95)
+	}
+	if s.P99 != 10 {
+		// nearest-rank: rank ceil-ish(0.99*100+0.5)=99 -> still the duplicate
+		t.Fatalf("p99 of 99x10+1x1000 should be 10 (nearest rank 99), got %v", s.P99)
+	}
+	if s.Max != 1000 {
+		t.Fatalf("max should see the outlier, got %v", s.Max)
+	}
+}
+
+func TestPercentileEmptyAndBounds(t *testing.T) {
+	if got := percentile(nil, 0.5); got != 0 {
+		t.Fatalf("empty percentile = %v, want 0", got)
+	}
+	sorted := []sim.Time{1, 2, 3}
+	if got := percentile(sorted, 0); got != 1 {
+		t.Fatalf("p0 = %v, want first sample", got)
+	}
+	if got := percentile(sorted, 1); got != 3 {
+		t.Fatalf("p100 = %v, want last sample", got)
+	}
+}
+
+func TestDigestExactFields(t *testing.T) {
+	var d Digest
+	for _, v := range []sim.Time{5, 3, 9, 7, 1} {
+		d.Observe(v)
+	}
+	if d.Count != 5 || d.Sum != 25 || d.Min != 1 || d.Max != 9 {
+		t.Fatalf("digest exact fields wrong: %+v", d)
+	}
+	if d.Mean() != 5 {
+		t.Fatalf("mean = %v, want 5", d.Mean())
+	}
+}
+
+func TestDigestSingleSampleQuantiles(t *testing.T) {
+	var d Digest
+	d.Observe(42)
+	for _, p := range []float64{0, 0.5, 0.95, 0.99, 1} {
+		if got := d.Quantile(p); got != 42 {
+			t.Fatalf("single-sample quantile(%g) = %v, want 42 (min/max clamp)", p, got)
+		}
+	}
+}
+
+func TestDigestDuplicateHeavyQuantiles(t *testing.T) {
+	var d Digest
+	for i := 0; i < 99; i++ {
+		d.Observe(10)
+	}
+	d.Observe(1000)
+	// All mass in one bucket: min/max clamping pins the quantiles to the
+	// duplicate's bucket envelope.
+	if got := d.Quantile(0.5); got < 8 || got > 16 {
+		t.Fatalf("duplicate-heavy q50 = %v, want within bucket [8,16)", got)
+	}
+	if got := d.Quantile(1); got != 1000 {
+		t.Fatalf("q100 = %v, want the exact max 1000", got)
+	}
+}
+
+func TestDigestZeroAndNegative(t *testing.T) {
+	var d Digest
+	d.Observe(0)
+	d.Observe(-5) // clamped
+	if d.Count != 2 || d.Min != 0 || d.Max != 0 || d.Sum != 0 {
+		t.Fatalf("zero/negative handling wrong: %+v", d)
+	}
+	if got := d.Quantile(0.5); got != 0 {
+		t.Fatalf("q50 of zeros = %v, want 0", got)
+	}
+}
+
+func TestDigestMergeEqualsCombinedStream(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var a, b, both Digest
+	for i := 0; i < 5000; i++ {
+		v := sim.Time(rng.Int63n(int64(20 * sim.Millisecond)))
+		if i%2 == 0 {
+			a.Observe(v)
+		} else {
+			b.Observe(v)
+		}
+		both.Observe(v)
+	}
+	var merged Digest
+	merged.Merge(&a)
+	merged.Merge(&b)
+	merged.Merge(nil)       // no-op
+	merged.Merge(&Digest{}) // empty: no-op
+	if merged != both {
+		t.Fatalf("merge of shards differs from the combined stream:\n  merged %+v\n  both   %+v", merged, both)
+	}
+}
+
+func TestDigestQuantileTracksExact(t *testing.T) {
+	// Against an exponential-ish latency stream, the digest quantiles must
+	// stay within the log-bucket factor-of-2 envelope of the exact ones.
+	rng := rand.New(rand.NewSource(7))
+	var d Digest
+	var lats []sim.Time
+	for i := 0; i < 20000; i++ {
+		v := sim.Time(rng.ExpFloat64() * float64(2*sim.Millisecond))
+		d.Observe(v)
+		lats = append(lats, v)
+	}
+	exact := Summarize(lats)
+	approx := d.Summary()
+	check := func(name string, got, want sim.Time) {
+		lo, hi := float64(want)/2, float64(want)*2
+		if float64(got) < lo || float64(got) > hi {
+			t.Errorf("%s: digest %v outside [0.5x, 2x] of exact %v", name, got, want)
+		}
+	}
+	check("p50", approx.P50, exact.P50)
+	check("p95", approx.P95, exact.P95)
+	check("p99", approx.P99, exact.P99)
+	if approx.Mean != exact.Mean {
+		t.Errorf("digest mean %v != exact mean %v (mean is exact by construction)", approx.Mean, exact.Mean)
+	}
+	if approx.Min != exact.Min || approx.Max != exact.Max {
+		t.Errorf("digest min/max %v/%v != exact %v/%v", approx.Min, approx.Max, exact.Min, exact.Max)
+	}
+}
+
+func TestMergeSummaries(t *testing.T) {
+	a := Summarize([]sim.Time{10, 20, 30})
+	b := Summarize([]sim.Time{40, 50, 60})
+	m := MergeSummaries(a, b, Summary{})
+	if m.Count != 6 {
+		t.Fatalf("merged count = %d, want 6", m.Count)
+	}
+	if m.Min != 10 || m.Max != 60 {
+		t.Fatalf("merged min/max = %v/%v, want 10/60", m.Min, m.Max)
+	}
+	if m.Mean != 35 {
+		t.Fatalf("merged mean = %v, want 35 (count-weighted exact)", m.Mean)
+	}
+	if MergeSummaries().Count != 0 {
+		t.Fatal("empty merge should be zero")
+	}
+}

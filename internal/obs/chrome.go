@@ -1,0 +1,168 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"bless/internal/sim"
+	"bless/internal/timeline"
+)
+
+// Chrome trace-event JSON exporter (the "JSON Array Format" understood by
+// Perfetto and chrome://tracing). Kernel spans become complete ("X") events,
+// one thread lane per client; squads become spans on a dedicated scheduler
+// lane; point decisions (context switches, pace-guard trips, flushes) become
+// instant ("i") events on the affected client's lane, or the scheduler lane
+// when squad-wide. Virtual time is deterministic, so exports are byte-stable
+// and golden-testable.
+
+// chromeEvent is one trace-event record. Field order follows the trace-event
+// spec's conventional ordering; encoding/json emits struct fields in
+// declaration order and sorts map keys, keeping output deterministic.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  *float64       `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+const (
+	chromePid    = 0 // single simulated process
+	schedulerTid = 0 // scheduler decision lane; client lanes are 1..N
+)
+
+// usOf converts virtual nanoseconds to the trace format's microseconds.
+func usOf(t sim.Time) float64 { return float64(t) / 1e3 }
+
+// WriteChromeTrace writes kernel spans and decision events as Chrome
+// trace-event JSON. Lanes (one per distinct span lane, i.e. per client) are
+// announced with thread_name metadata so Perfetto labels them.
+func WriteChromeTrace(w io.Writer, spans []timeline.Span, events []Event) error {
+	// Assign lane tids: scheduler first, then client lanes in sorted order
+	// for determinism. Decision events may reference clients that never ran
+	// a kernel in the window; give them lanes too.
+	laneSet := map[string]bool{}
+	for _, s := range spans {
+		laneSet[s.Lane] = true
+	}
+	for _, ev := range events {
+		if ev.Client != "" {
+			laneSet[ev.Client] = true
+		}
+	}
+	lanes := make([]string, 0, len(laneSet))
+	for l := range laneSet {
+		lanes = append(lanes, l)
+	}
+	sort.Strings(lanes)
+	tidOf := map[string]int{}
+	for i, l := range lanes {
+		tidOf[l] = i + 1
+	}
+
+	out := make([]chromeEvent, 0, len(spans)+len(events)+len(lanes)+2)
+
+	// Metadata: process and lane names.
+	meta := func(name string, tid int, label string) chromeEvent {
+		return chromeEvent{
+			Name: name, Ph: "M", Pid: chromePid, Tid: tid,
+			Args: map[string]any{"name": label},
+		}
+	}
+	out = append(out, meta("process_name", schedulerTid, "bless"))
+	out = append(out, meta("thread_name", schedulerTid, "scheduler"))
+	for _, l := range lanes {
+		out = append(out, meta("thread_name", tidOf[l], l))
+	}
+
+	// Kernel spans.
+	for _, s := range spans {
+		dur := usOf(s.End - s.Start)
+		out = append(out, chromeEvent{
+			Name: s.Kernel, Cat: "kernel", Ph: "X",
+			Ts: usOf(s.Start), Dur: &dur,
+			Pid: chromePid, Tid: tidOf[s.Lane],
+			Args: map[string]any{"queue": s.Queue, "avg_sms": round2(s.AvgSMs)},
+		})
+	}
+
+	// Decision events.
+	for _, ev := range events {
+		tid := schedulerTid
+		if ev.Client != "" {
+			tid = tidOf[ev.Client]
+		}
+		switch ev.Kind {
+		case KindSquadDone:
+			// Render the whole squad as a span on the scheduler lane: start
+			// is completion minus the measured duration.
+			dur := usOf(ev.Actual)
+			out = append(out, chromeEvent{
+				Name: fmt.Sprintf("squad %d (%s)", ev.Squad, ev.Mode),
+				Cat:  "squad", Ph: "X",
+				Ts: usOf(ev.At - ev.Actual), Dur: &dur,
+				Pid: chromePid, Tid: schedulerTid,
+				Args: map[string]any{
+					"predicted_us": usOf(ev.Predicted),
+					"actual_us":    usOf(ev.Actual),
+				},
+			})
+		case KindSquadFormed:
+			args := map[string]any{"reason": ev.Reason}
+			for _, m := range ev.Members {
+				args[m.Client] = fmt.Sprintf("k%d-%d", m.From, m.To-1)
+			}
+			out = append(out, chromeEvent{
+				Name: ev.Kind.String(), Cat: "decision", Ph: "i",
+				Ts: usOf(ev.At), Pid: chromePid, Tid: tid, S: "t",
+				Args: args,
+			})
+		case KindConfigChosen:
+			args := map[string]any{
+				"mode":         ev.Mode,
+				"predicted_us": usOf(ev.Predicted),
+				"considered":   ev.Considered,
+			}
+			for _, m := range ev.Members {
+				if m.SMs > 0 {
+					args[m.Client+"_sms"] = m.SMs
+				}
+			}
+			out = append(out, chromeEvent{
+				Name: ev.Kind.String(), Cat: "decision", Ph: "i",
+				Ts: usOf(ev.At), Pid: chromePid, Tid: tid, S: "t",
+				Args: args,
+			})
+		default:
+			args := map[string]any{}
+			if ev.Reason != "" {
+				args["reason"] = ev.Reason
+			}
+			if ev.Squad != 0 {
+				args["squad"] = ev.Squad
+			}
+			out = append(out, chromeEvent{
+				Name: ev.Kind.String(), Cat: "decision", Ph: "i",
+				Ts: usOf(ev.At), Pid: chromePid, Tid: tid, S: "t",
+				Args: args,
+			})
+		}
+	}
+
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(out)
+}
+
+// round2 rounds to two decimals so float formatting stays stable across
+// accumulation orders.
+func round2(f float64) float64 {
+	return float64(int64(f*100+0.5)) / 100
+}

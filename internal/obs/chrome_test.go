@@ -1,0 +1,167 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"bless/internal/sim"
+	"bless/internal/timeline"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite golden files")
+
+// fixtureTrace builds a small deterministic run: two client lanes, two
+// squads, one decision event of every kind.
+func fixtureTrace() ([]timeline.Span, []Event) {
+	spans := []timeline.Span{
+		{Lane: "resnet50", Kernel: "conv1", Queue: "resnet50/q", Start: 10 * sim.Microsecond, End: 110 * sim.Microsecond, AvgSMs: 54},
+		{Lane: "vgg11", Kernel: "fc6", Queue: "vgg11/q", Start: 15 * sim.Microsecond, End: 95 * sim.Microsecond, AvgSMs: 54.333},
+		{Lane: "resnet50", Kernel: "conv2", Queue: "resnet50/sm54", Start: 120 * sim.Microsecond, End: 300 * sim.Microsecond, AvgSMs: 40.5},
+	}
+	events := []Event{
+		{At: 5 * sim.Microsecond, Kind: KindSquadFormed, Squad: 1, Reason: "kernel-cap",
+			Members: []SquadMember{
+				{Client: "resnet50", From: 0, To: 2},
+				{Client: "vgg11", From: 0, To: 1},
+			}},
+		{At: 6 * sim.Microsecond, Kind: KindConfigChosen, Squad: 1, Mode: "Semi-SP",
+			Predicted: 290 * sim.Microsecond, Considered: 18,
+			Members: []SquadMember{
+				{Client: "resnet50", From: 0, To: 2, SMs: 54},
+				{Client: "vgg11", From: 0, To: 1, SMs: 54},
+			}},
+		{At: 110 * sim.Microsecond, Kind: KindContextSwitch, Squad: 1, Client: "resnet50", Reason: "unrestrict"},
+		{At: 150 * sim.Microsecond, Kind: KindPaceGuardTrip, Squad: 2, Client: "vgg11", Reason: "duration-cap"},
+		{At: 200 * sim.Microsecond, Kind: KindEndgameFlush, Squad: 2, Client: "resnet50"},
+		{At: 300 * sim.Microsecond, Kind: KindSquadDone, Squad: 1, Mode: "Semi-SP",
+			Predicted: 290 * sim.Microsecond, Actual: 295 * sim.Microsecond},
+	}
+	return spans, events
+}
+
+func TestChromeTraceGolden(t *testing.T) {
+	spans, events := fixtureTrace()
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, spans, events); err != nil {
+		t.Fatal(err)
+	}
+
+	golden := filepath.Join("testdata", "chrome_trace.golden.json")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden (run with -update-golden to create): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("Chrome trace output diverged from golden.\ngot:\n%s\nwant:\n%s", buf.Bytes(), want)
+	}
+}
+
+func TestChromeTraceIsValidTraceEventJSON(t *testing.T) {
+	spans, events := fixtureTrace()
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, spans, events); err != nil {
+		t.Fatal(err)
+	}
+	var out []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("output is not a JSON array: %v", err)
+	}
+
+	lanes := map[float64]string{}
+	var kernelSpans, squadSpans, instants int
+	for _, ev := range out {
+		ph, _ := ev["ph"].(string)
+		switch ph {
+		case "M":
+			if ev["name"] == "thread_name" {
+				args := ev["args"].(map[string]any)
+				lanes[ev["tid"].(float64)] = args["name"].(string)
+			}
+		case "X":
+			if _, ok := ev["dur"].(float64); !ok {
+				t.Errorf("complete event without dur: %v", ev)
+			}
+			switch ev["cat"] {
+			case "kernel":
+				kernelSpans++
+			case "squad":
+				squadSpans++
+			}
+		case "i":
+			instants++
+			if s, _ := ev["s"].(string); s == "" {
+				t.Errorf("instant event without scope: %v", ev)
+			}
+		default:
+			t.Errorf("unexpected phase %q: %v", ph, ev)
+		}
+		// Every event must carry the required keys.
+		for _, key := range []string{"name", "ph", "pid", "tid"} {
+			if _, ok := ev[key]; !ok {
+				t.Errorf("event missing %q: %v", key, ev)
+			}
+		}
+	}
+	if kernelSpans != 3 {
+		t.Errorf("kernel spans = %d, want 3", kernelSpans)
+	}
+	if squadSpans != 1 {
+		t.Errorf("squad spans = %d, want 1", squadSpans)
+	}
+	if instants != 5 {
+		t.Errorf("instant events = %d, want 5", instants)
+	}
+	// One lane per client plus the scheduler lane.
+	wantLanes := map[string]bool{"scheduler": true, "resnet50": true, "vgg11": true}
+	for _, name := range lanes {
+		delete(wantLanes, name)
+	}
+	if len(wantLanes) != 0 {
+		t.Errorf("missing lanes: %v (have %v)", wantLanes, lanes)
+	}
+}
+
+func TestCollectorGathersSpansAndEvents(t *testing.T) {
+	eng := sim.NewEngine()
+	gpu := sim.NewGPU(eng, sim.DefaultConfig())
+	col := NewCollector()
+	gpu.AddTracer(col.Recorder)
+	bus := NewBus()
+	bus.Subscribe(col)
+
+	ctx, err := gpu.NewContext(sim.ContextOptions{Label: "c", NoMemCharge: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := ctx.NewQueue("q")
+	k := &sim.Kernel{Name: "k", Kind: sim.Compute, Work: 108 * sim.Microsecond, SaturationSMs: 108}
+	q.Enqueue(0, k, nil)
+	bus.Emit(Event{At: 0, Kind: KindSquadFormed, Squad: 1, Reason: "drained"})
+	eng.Run()
+
+	if len(col.Recorder.Spans) != 1 {
+		t.Fatalf("collector spans = %d, want 1", len(col.Recorder.Spans))
+	}
+	if len(col.Events) != 1 || col.Events[0].Kind != KindSquadFormed {
+		t.Fatalf("collector events wrong: %+v", col.Events)
+	}
+	var buf bytes.Buffer
+	if err := col.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() == 0 {
+		t.Fatal("empty trace export")
+	}
+}

@@ -1,0 +1,51 @@
+package obs
+
+import (
+	"io"
+	"strings"
+
+	"bless/internal/sim"
+	"bless/internal/timeline"
+)
+
+// Collector captures a complete run for export: kernel execution spans
+// (as a sim.Tracer, via the embedded timeline.Recorder) plus the decision
+// events published on a Bus (as a Subscriber). Attach both ways:
+//
+//	col := obs.NewCollector()
+//	gpu.AddTracer(col.Recorder)
+//	bus.Subscribe(col)
+//
+// and export with WriteChromeTrace after the run.
+type Collector struct {
+	// Recorder collects kernel spans; it implements sim.Tracer.
+	Recorder *timeline.Recorder
+	// Events are the decision events in publication (time) order.
+	Events []Event
+}
+
+// NewCollector returns an empty collector.
+func NewCollector() *Collector {
+	return &Collector{Recorder: timeline.NewRecorder()}
+}
+
+// Publish implements Subscriber.
+func (c *Collector) Publish(ev Event) { c.Events = append(c.Events, ev) }
+
+// WriteChromeTrace exports everything collected as Chrome trace-event JSON.
+func (c *Collector) WriteChromeTrace(w io.Writer) error {
+	return WriteChromeTrace(w, c.Recorder.Spans, c.Events)
+}
+
+// ClientLane maps a queue to its owning client's lane by stripping the
+// context label's "/suffix" part. BLESS labels a client's contexts
+// "app/default", "app/sm54", ...; collapsing them yields one trace lane per
+// client regardless of which context each kernel ran in. Use as the
+// Recorder's LaneOf.
+func ClientLane(q *sim.Queue) string {
+	label := q.Context().Label()
+	if i := strings.IndexByte(label, '/'); i >= 0 {
+		return label[:i]
+	}
+	return label
+}

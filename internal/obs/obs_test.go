@@ -1,0 +1,136 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"bless/internal/sim"
+)
+
+func TestBusFanOut(t *testing.T) {
+	bus := NewBus()
+	var got []string
+	bus.Subscribe(SubscriberFunc(func(ev Event) { got = append(got, "a:"+ev.Kind.String()) }))
+	bus.Subscribe(SubscriberFunc(func(ev Event) { got = append(got, "b:"+ev.Kind.String()) }))
+	bus.Subscribe(nil) // ignored
+	bus.Emit(Event{Kind: KindEndgameFlush})
+	if len(got) != 2 || got[0] != "a:endgame_flush" || got[1] != "b:endgame_flush" {
+		t.Fatalf("fan-out wrong: %v", got)
+	}
+}
+
+func TestNilBusSafe(t *testing.T) {
+	var bus *Bus
+	bus.Emit(Event{Kind: KindSquadFormed}) // must not panic
+	bus.Subscribe(SubscriberFunc(func(Event) {}))
+	if bus.Enabled() {
+		t.Fatal("nil bus reports enabled")
+	}
+}
+
+func TestBusEnabled(t *testing.T) {
+	bus := NewBus()
+	if bus.Enabled() {
+		t.Fatal("empty bus reports enabled")
+	}
+	bus.Subscribe(SubscriberFunc(func(Event) {}))
+	if !bus.Enabled() {
+		t.Fatal("subscribed bus reports disabled")
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	kinds := []Kind{KindSquadFormed, KindConfigChosen, KindContextSwitch,
+		KindPaceGuardTrip, KindEndgameFlush, KindSquadDone}
+	seen := map[string]bool{}
+	for _, k := range kinds {
+		s := k.String()
+		if s == "" || strings.HasPrefix(s, "kind(") {
+			t.Errorf("kind %d has no name", int(k))
+		}
+		if seen[s] {
+			t.Errorf("duplicate kind name %q", s)
+		}
+		seen[s] = true
+	}
+	if got := Kind(99).String(); got != "kind(99)" {
+		t.Errorf("unknown kind string = %q", got)
+	}
+}
+
+func TestRegistryCountersGaugesHistograms(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("squads_total").Add(3)
+	r.Counter("squads_total").Inc()
+	r.Gauge("utilization").Set(0.75)
+	h := r.Histogram("latency")
+	for _, v := range []sim.Time{sim.Millisecond, 2 * sim.Millisecond, 4 * sim.Millisecond} {
+		h.Observe(v)
+	}
+
+	if got := r.Counter("squads_total").Value(); got != 4 {
+		t.Fatalf("counter = %d, want 4", got)
+	}
+	if got := r.Gauge("utilization").Value(); got != 0.75 {
+		t.Fatalf("gauge = %g, want 0.75", got)
+	}
+	d := h.Digest()
+	if d.Count != 3 || d.Min != sim.Millisecond || d.Max != 4*sim.Millisecond {
+		t.Fatalf("histogram digest wrong: %+v", d)
+	}
+
+	snap := r.Snapshot()
+	if snap.Counters["squads_total"] != 4 {
+		t.Fatalf("snapshot counter wrong: %+v", snap.Counters)
+	}
+	hs := snap.Histograms["latency"]
+	if hs.Count != 3 || hs.MinNS != int64(sim.Millisecond) || hs.MaxNS != int64(4*sim.Millisecond) {
+		t.Fatalf("snapshot histogram wrong: %+v", hs)
+	}
+	if len(hs.Bucket) == 0 {
+		t.Fatal("snapshot histogram dropped the mergeable buckets")
+	}
+
+	var buf bytes.Buffer
+	if err := snap.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("snapshot JSON does not round-trip: %v", err)
+	}
+	if back.Counters["squads_total"] != 4 || back.Histograms["latency"].Count != 3 {
+		t.Fatalf("round-tripped snapshot wrong: %+v", back)
+	}
+
+	names := r.Names()
+	want := []string{"latency", "squads_total", "utilization"}
+	if len(names) != len(want) {
+		t.Fatalf("names = %v, want %v", names, want)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("names = %v, want %v", names, want)
+		}
+	}
+}
+
+func TestRegistrySnapshotDeterministic(t *testing.T) {
+	build := func() string {
+		r := NewRegistry()
+		r.Counter("b").Add(2)
+		r.Counter("a").Add(1)
+		r.Gauge("z").Set(1.5)
+		r.Histogram("lat").Observe(5 * sim.Microsecond)
+		var buf bytes.Buffer
+		if err := r.Snapshot().WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	if build() != build() {
+		t.Fatal("snapshot JSON is not deterministic")
+	}
+}

@@ -1,0 +1,220 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"bless/internal/metrics"
+	"bless/internal/sim"
+)
+
+// Counter is a monotonically increasing int64, safe for concurrent use.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a settable float64, safe for concurrent use.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram is a concurrent wrapper around the log-bucketed streaming
+// metrics.Digest: O(1) observation, constant memory, mergeable snapshots.
+type Histogram struct {
+	mu sync.Mutex
+	d  metrics.Digest
+}
+
+// Observe records one sample (typically a latency in virtual nanoseconds).
+func (h *Histogram) Observe(v sim.Time) {
+	h.mu.Lock()
+	h.d.Observe(v)
+	h.mu.Unlock()
+}
+
+// Digest returns a copy of the underlying digest; copies merge losslessly
+// with Digest.Merge, which is how per-run or per-shard histograms aggregate.
+func (h *Histogram) Digest() metrics.Digest {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.d
+}
+
+// Registry is a named collection of counters, gauges and histograms —
+// the streaming metrics substrate shared by the harness, blessbench exports
+// and the blessd debug endpoints. Get-or-create accessors make metric
+// registration implicit; all methods are safe for concurrent use.
+type Registry struct {
+	mu        sync.Mutex
+	counters  map[string]*Counter
+	gauges    map[string]*Gauge
+	histogram map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:  make(map[string]*Counter),
+		gauges:    make(map[string]*Gauge),
+		histogram: make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.histogram[name]
+	if !ok {
+		h = &Histogram{}
+		r.histogram[name] = h
+	}
+	return h
+}
+
+// HistogramSnapshot is one histogram's point-in-time distillation. Buckets
+// carries the raw log2 histogram (trailing zero buckets trimmed), so
+// external consumers can merge snapshots exactly; the quantiles are the
+// digest approximations.
+type HistogramSnapshot struct {
+	Count  int64   `json:"count"`
+	SumNS  int64   `json:"sum_ns"`
+	MinNS  int64   `json:"min_ns"`
+	MaxNS  int64   `json:"max_ns"`
+	MeanNS int64   `json:"mean_ns"`
+	P50NS  int64   `json:"p50_ns"`
+	P95NS  int64   `json:"p95_ns"`
+	P99NS  int64   `json:"p99_ns"`
+	Bucket []int64 `json:"buckets_log2,omitempty"`
+}
+
+// Snapshot is a JSON-serializable point-in-time view of a Registry.
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters,omitempty"`
+	Gauges     map[string]float64           `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// Snapshot captures the registry's current state.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for k, v := range r.counters {
+		counters[k] = v
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	hists := make(map[string]*Histogram, len(r.histogram))
+	for k, v := range r.histogram {
+		hists[k] = v
+	}
+	r.mu.Unlock()
+
+	s := Snapshot{
+		Counters:   make(map[string]int64, len(counters)),
+		Gauges:     make(map[string]float64, len(gauges)),
+		Histograms: make(map[string]HistogramSnapshot, len(hists)),
+	}
+	for k, c := range counters {
+		s.Counters[k] = c.Value()
+	}
+	for k, g := range gauges {
+		s.Gauges[k] = g.Value()
+	}
+	for k, h := range hists {
+		d := h.Digest()
+		hs := HistogramSnapshot{
+			Count:  d.Count,
+			SumNS:  int64(d.Sum),
+			MinNS:  int64(d.Min),
+			MaxNS:  int64(d.Max),
+			MeanNS: int64(d.Mean()),
+			P50NS:  int64(d.Quantile(0.50)),
+			P95NS:  int64(d.Quantile(0.95)),
+			P99NS:  int64(d.Quantile(0.99)),
+		}
+		last := -1
+		for i, n := range d.Buckets {
+			if n != 0 {
+				last = i
+			}
+		}
+		if last >= 0 {
+			hs.Bucket = append([]int64(nil), d.Buckets[:last+1]...)
+		}
+		s.Histograms[k] = hs
+	}
+	return s
+}
+
+// WriteJSON renders the snapshot as indented JSON. Map keys are emitted in
+// sorted order by encoding/json, so output is deterministic.
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// Names lists all registered metric names, sorted — handy for introspection
+// and tests.
+func (r *Registry) Names() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []string
+	for k := range r.counters {
+		out = append(out, k)
+	}
+	for k := range r.gauges {
+		out = append(out, k)
+	}
+	for k := range r.histogram {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -221,7 +221,7 @@ type GPU struct {
 	kernelsDone    int64
 	memUsed        int64
 
-	tracer Tracer
+	tracers []Tracer
 }
 
 // NewGPU creates a device with the given configuration, scheduled on eng.
@@ -312,7 +312,7 @@ func (g *GPU) MemUsed() int64 { return g.memUsed }
 // ErrOutOfMemory indicates a device memory allocation could not be satisfied.
 var ErrOutOfMemory = fmt.Errorf("sim: out of device memory")
 
-// Tracer observes kernel execution on the device; attach one with SetTracer
+// Tracer observes kernel execution on the device; attach one with AddTracer
 // to reconstruct timelines (Gantt charts, utilization traces). Callbacks run
 // synchronously inside the simulation loop and must not mutate device state.
 type Tracer interface {
@@ -324,8 +324,35 @@ type Tracer interface {
 	KernelEnd(at Time, queue *Queue, k *Kernel, avgSMs float64)
 }
 
-// SetTracer attaches a tracer (nil detaches). Only one tracer is supported.
-func (g *GPU) SetTracer(t Tracer) { g.tracer = t }
+// AddTracer attaches a tracer alongside any already attached; all tracers
+// observe every kernel, in attachment order. nil tracers are ignored. With no
+// tracers attached, the kernel hot path performs no tracing work and no
+// allocations.
+func (g *GPU) AddTracer(t Tracer) {
+	if t != nil {
+		g.tracers = append(g.tracers, t)
+	}
+}
+
+// RemoveTracer detaches a previously attached tracer (a no-op if absent).
+func (g *GPU) RemoveTracer(t Tracer) {
+	for i, have := range g.tracers {
+		if have == t {
+			g.tracers = append(g.tracers[:i], g.tracers[i+1:]...)
+			return
+		}
+	}
+}
+
+// SetTracer replaces ALL attached tracers with t (nil detaches everything).
+//
+// Deprecated: SetTracer silently dropped any previously attached tracer,
+// which prevented the timeline recorder and other observers from coexisting.
+// Use AddTracer instead; SetTracer is kept as a shim for older callers.
+func (g *GPU) SetTracer(t Tracer) {
+	g.tracers = g.tracers[:0]
+	g.AddTracer(t)
+}
 
 // Enqueue submits a kernel to the queue at virtual time at (>= now; the
 // caller charges host-side launch latency itself, typically via Host). onDone
@@ -363,8 +390,8 @@ func (g *GPU) runningExecs() []*exec {
 				e.remaining = float64(rec.k.Bytes)
 			}
 			q.run = e
-			if g.tracer != nil {
-				g.tracer.KernelStart(e.started, q, rec.k)
+			for _, t := range g.tracers {
+				t.KernelStart(e.started, q, rec.k)
 			}
 		}
 		if q.run != nil {
@@ -422,12 +449,14 @@ func (g *GPU) reschedule() {
 			if e.remaining <= 0.5 {
 				e.q.run = nil
 				g.kernelsDone++
-				if g.tracer != nil {
+				if len(g.tracers) > 0 {
 					avg := 0.0
 					if dur := g.eng.Now() - e.started; dur > 0 {
 						avg = e.allocIntg / float64(dur)
 					}
-					g.tracer.KernelEnd(g.eng.Now(), e.q, e.rec.k, avg)
+					for _, t := range g.tracers {
+						t.KernelEnd(g.eng.Now(), e.q, e.rec.k, avg)
+					}
 				}
 				if e.rec.onDone != nil {
 					callbacks = append(callbacks, e.rec)

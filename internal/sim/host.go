@@ -14,7 +14,32 @@ package sim
 type Host struct {
 	gpu  *GPU
 	free Time // host thread is busy until this instant
+
+	acct HostOverhead
 }
+
+// HostOverhead is the host thread's time accounting by §6.9 category: how
+// much host time was charged for kernel launches, squad-boundary syncs and
+// scheduler computation, with the corresponding operation counts. It is the
+// measured side against which decision-level overhead accounting (counts x
+// unit costs) is verified.
+type HostOverhead struct {
+	// LaunchTime is total kernel-launch time charged (Launches x
+	// Config.KernelLaunch).
+	LaunchTime Time
+	// SyncTime is total squad-boundary synchronization time charged.
+	SyncTime Time
+	// SpendTime is total scheduler computation charged through Spend.
+	SpendTime Time
+	// Launches and Syncs count the charged operations.
+	Launches, Syncs int64
+}
+
+// Total sums the charged host time across categories.
+func (o HostOverhead) Total() Time { return o.LaunchTime + o.SyncTime + o.SpendTime }
+
+// Overhead returns the host time accounting accumulated so far.
+func (h *Host) Overhead() HostOverhead { return h.acct }
 
 // NewHost creates a host thread bound to the device.
 func NewHost(gpu *GPU) *Host {
@@ -36,6 +61,7 @@ func (h *Host) Now() Time {
 // Spend charges d nanoseconds of host computation (e.g. scheduler work).
 func (h *Host) Spend(d Time) {
 	h.free = h.Now() + d
+	h.acct.SpendTime += d
 }
 
 // Launch charges one kernel-launch latency and enqueues k so that it reaches
@@ -43,6 +69,8 @@ func (h *Host) Spend(d Time) {
 func (h *Host) Launch(q *Queue, k *Kernel, onDone func(at Time)) {
 	start := h.Now()
 	h.free = start + h.gpu.cfg.KernelLaunch
+	h.acct.LaunchTime += h.gpu.cfg.KernelLaunch
+	h.acct.Launches++
 	q.Enqueue(h.free, k, onDone)
 }
 
@@ -52,6 +80,8 @@ func (h *Host) Launch(q *Queue, k *Kernel, onDone func(at Time)) {
 func (h *Host) LaunchAt(q *Queue, k *Kernel, notBefore Time, onDone func(at Time)) {
 	start := h.Now()
 	h.free = start + h.gpu.cfg.KernelLaunch
+	h.acct.LaunchTime += h.gpu.cfg.KernelLaunch
+	h.acct.Launches++
 	at := h.free
 	if notBefore > at {
 		at = notBefore
@@ -61,5 +91,7 @@ func (h *Host) LaunchAt(q *Queue, k *Kernel, notBefore Time, onDone func(at Time
 
 // Sync charges one squad-boundary synchronization cost (§6.9).
 func (h *Host) Sync() {
-	h.Spend(h.gpu.cfg.SquadSync)
+	h.free = h.Now() + h.gpu.cfg.SquadSync
+	h.acct.SyncTime += h.gpu.cfg.SquadSync
+	h.acct.Syncs++
 }

@@ -62,6 +62,72 @@ func TestRecorderLaneOverride(t *testing.T) {
 	}
 }
 
+func TestRecorderOverlappingKernelsSameQueue(t *testing.T) {
+	// When two kernels of one queue overlap in time (starts before ends),
+	// the recorder must match ends to starts FIFO — the device delivers
+	// per-queue events in launch order.
+	eng := sim.NewEngine()
+	gpu := sim.NewGPU(eng, sim.DefaultConfig())
+	rec := NewRecorder()
+	ctx, err := gpu.NewContext(sim.ContextOptions{Label: "c", NoMemCharge: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := ctx.NewQueue("q")
+	k1 := &sim.Kernel{Name: "first"}
+	k2 := &sim.Kernel{Name: "second"}
+
+	rec.KernelStart(0, q, k1)
+	rec.KernelStart(5*sim.Microsecond, q, k2)
+	rec.KernelEnd(10*sim.Microsecond, q, k1, 54)
+	rec.KernelEnd(20*sim.Microsecond, q, k2, 27)
+
+	if len(rec.Spans) != 2 {
+		t.Fatalf("%d spans, want 2", len(rec.Spans))
+	}
+	s1, s2 := rec.Spans[0], rec.Spans[1]
+	if s1.Kernel != "first" || s1.Start != 0 || s1.End != 10*sim.Microsecond {
+		t.Errorf("first span wrong: %+v", s1)
+	}
+	if s2.Kernel != "second" || s2.Start != 5*sim.Microsecond || s2.End != 20*sim.Microsecond {
+		t.Errorf("second span wrong: %+v", s2)
+	}
+	if s1.AvgSMs != 54 || s2.AvgSMs != 27 {
+		t.Errorf("avg SMs misattributed: %v / %v", s1.AvgSMs, s2.AvgSMs)
+	}
+
+	// An unmatched end must be ignored, not panic or fabricate a span.
+	rec.KernelEnd(30*sim.Microsecond, q, k1, 1)
+	if len(rec.Spans) != 2 {
+		t.Errorf("unmatched end fabricated a span: %d spans", len(rec.Spans))
+	}
+}
+
+func TestRecorderLaneOfMergesQueues(t *testing.T) {
+	// A LaneOf override can collapse several queues (e.g. a client's
+	// default and SM-restricted contexts) into one display lane.
+	eng := sim.NewEngine()
+	gpu := sim.NewGPU(eng, sim.DefaultConfig())
+	rec := NewRecorder()
+	rec.LaneOf = func(*sim.Queue) string { return "merged" }
+	gpu.SetTracer(rec)
+	for _, name := range []string{"a/default", "a/sm54"} {
+		ctx, err := gpu.NewContext(sim.ContextOptions{Label: name, NoMemCharge: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx.NewQueue(name+"/q").Enqueue(0,
+			&sim.Kernel{Name: "k", Kind: sim.Compute, Work: sim.Millisecond, SaturationSMs: 1}, nil)
+	}
+	eng.Run()
+	if len(rec.Spans) != 2 {
+		t.Fatalf("%d spans, want 2", len(rec.Spans))
+	}
+	if got := rec.Lanes(); len(got) != 1 || got[0] != "merged" {
+		t.Errorf("lanes = %v, want [merged]", got)
+	}
+}
+
 func TestGanttRendersLanesAndBusy(t *testing.T) {
 	r := NewRecorder()
 	r.Spans = []Span{
