@@ -1,0 +1,34 @@
+# Makefile — developer entry points, mirroring the CI pipeline
+# (.github/workflows/ci.yml). `make check` is the full local gate;
+# `make check SHORT=1` is the fast pre-push variant.
+
+GO ?= go
+
+.PHONY: check test test-sim-nondeterminism bench bench-smoke fmt
+
+## check: formatting, vet, build, race tests, invariant + determinism stages
+check:
+	SHORT=$(SHORT) ./scripts/check.sh
+
+## test: the tier-1 gate (build + full test suite)
+test:
+	$(GO) build ./...
+	$(GO) test ./...
+
+## test-sim-nondeterminism: the multi-seed determinism & metamorphic suite.
+## INVARIANT_SEEDS widens the metamorphic sweep (CI long mode uses 12).
+test-sim-nondeterminism:
+	INVARIANT_SEEDS=$(or $(INVARIANT_SEEDS),8) $(GO) test -race -count=1 \
+		-run 'TestDeterminismDigest|TestMetamorphicInvariantVerdicts|TestRandomDeploymentsInvariants' \
+		./internal/harness/
+
+## bench: the repository-root micro/macro benchmarks
+bench:
+	$(GO) test -bench . -benchtime 1x -run '^$$' .
+
+## bench-smoke: run the smoke workload and gate against the committed baseline
+bench-smoke:
+	$(GO) run ./cmd/blessbench -smoke BENCH_smoke.json -baseline scripts/bench_baseline.json
+
+fmt:
+	gofmt -w .

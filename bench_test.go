@@ -21,9 +21,13 @@ import (
 	"bless/internal/sim"
 )
 
-// benchExperiment runs one registered experiment per iteration.
+// benchExperiment runs one registered experiment per iteration. Skipped in
+// -short mode so `go test -short -bench .` stays within the fast-gate budget.
 func benchExperiment(b *testing.B, id string) {
 	b.Helper()
+	if testing.Short() {
+		b.Skipf("skipping experiment %s in short mode", id)
+	}
 	e, err := harness.Lookup(id)
 	if err != nil {
 		b.Fatal(err)

@@ -6,15 +6,23 @@
 // fig13-style pair run (resnet50+vgg11, even quotas, workload B) and export
 // its Chrome trace-event JSON (loadable in Perfetto or chrome://tracing) and
 // streaming-metrics snapshot. They combine freely with -exp.
+//
+// Verification: -invariants attaches the internal/invariant checker to every
+// harness run an experiment performs and fails on any universal violation.
+// -smoke FILE runs the fixed benchmark-smoke pair and writes its JSON
+// summary; -baseline FILE additionally compares against a committed summary
+// and fails on a >10% mean-latency regression (the CI perf gate).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"bless/internal/harness"
+	"bless/internal/invariant"
 	"bless/internal/sim"
 )
 
@@ -24,7 +32,25 @@ func main() {
 	quick := flag.Bool("quick", false, "reduced-scale smoke run")
 	tracePath := flag.String("trace", "", "write Chrome trace JSON of an instrumented pair run to this file")
 	metricsPath := flag.String("metrics", "", "write a metrics snapshot JSON of an instrumented pair run to this file")
+	invariants := flag.Bool("invariants", false, "verify simulator invariants on every run; fail on violation")
+	smokePath := flag.String("smoke", "", "run the benchmark-smoke pair and write its JSON summary to this file")
+	baselinePath := flag.String("baseline", "", "with -smoke: committed summary to compare against (>10% mean-latency regression fails)")
 	flag.Parse()
+
+	if *invariants {
+		repro := "go run ./cmd/blessbench " + strings.Join(os.Args[1:], " ")
+		harness.EnableInvariants(invariant.Options{FailOnViolation: true, Repro: repro})
+	}
+
+	if *smokePath != "" {
+		if err := runSmoke(*smokePath, *baselinePath); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if *exp == "" && !*list && *tracePath == "" && *metricsPath == "" {
+			return
+		}
+	}
 
 	observed := *tracePath != "" || *metricsPath != ""
 	if *list || (*exp == "" && !observed) {

@@ -1,0 +1,99 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"bless/internal/harness"
+	"bless/internal/invariant"
+	"bless/internal/sim"
+	"bless/internal/trace"
+)
+
+// smokeSummary is the benchmark-smoke artifact committed as the CI perf
+// baseline (scripts/bench_baseline.json) and regenerated on every run.
+type smokeSummary struct {
+	System       string  `json:"system"`
+	AvgLatencyNS int64   `json:"avg_latency_ns"`
+	DeviationNS  int64   `json:"deviation_ns"`
+	Utilization  float64 `json:"utilization"`
+	Kernels      int64   `json:"kernels"`
+	Digest       string  `json:"digest"`
+}
+
+// regressionTolerance is the allowed relative mean-latency growth over the
+// committed baseline before the smoke gate fails CI.
+const regressionTolerance = 0.10
+
+// runSmoke executes the fixed smoke workload — BLESS on the canonical
+// resnet50+vgg11 pair, workload-B pacing, even quotas — writes its summary to
+// outPath, and compares against the committed baseline when given one. The
+// workload is small (200ms horizon) so the gate adds seconds, not minutes,
+// and fully deterministic so the digest doubles as a cross-platform
+// determinism probe.
+func runSmoke(outPath, baselinePath string) error {
+	sched, err := harness.NewSystem("BLESS")
+	if err != nil {
+		return err
+	}
+	prof, err := harness.ProfileFor("resnet50", sim.DefaultConfig())
+	if err != nil {
+		return err
+	}
+	res, err := harness.Run(harness.RunConfig{
+		Scheduler: sched,
+		Clients: []harness.ClientSpec{
+			{App: "resnet50", Quota: 0.5, Pattern: trace.Closed(prof.IsoAtQuota(0.5), 0)},
+			{App: "vgg11", Quota: 0.5, Pattern: trace.Closed(0, 0)},
+		},
+		Horizon: 200 * sim.Millisecond,
+		Invariants: &invariant.Options{
+			FailOnViolation: true,
+			Repro:           "go run ./cmd/blessbench -smoke " + outPath,
+		},
+	})
+	if err != nil {
+		return fmt.Errorf("smoke run: %w", err)
+	}
+	cur := smokeSummary{
+		System:       res.System,
+		AvgLatencyNS: int64(res.AvgLatency),
+		DeviationNS:  int64(res.Deviation),
+		Utilization:  res.Utilization,
+		Kernels:      res.Invariants.Kernels,
+		Digest:       fmt.Sprintf("%016x", res.Invariants.Digest),
+	}
+
+	data, err := json.MarshalIndent(cur, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("smoke: %s avg latency %v, deviation %v, utilization %.3f -> %s\n",
+		cur.System, sim.Time(cur.AvgLatencyNS), sim.Time(cur.DeviationNS), cur.Utilization, outPath)
+
+	if baselinePath == "" {
+		return nil
+	}
+	raw, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return fmt.Errorf("smoke baseline: %w", err)
+	}
+	var base smokeSummary
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("smoke baseline %s: %w", baselinePath, err)
+	}
+	if base.AvgLatencyNS <= 0 {
+		return fmt.Errorf("smoke baseline %s: non-positive avg_latency_ns %d", baselinePath, base.AvgLatencyNS)
+	}
+	growth := float64(cur.AvgLatencyNS-base.AvgLatencyNS) / float64(base.AvgLatencyNS)
+	fmt.Printf("smoke: mean latency %+.2f%% vs baseline %s\n", growth*100, baselinePath)
+	if growth > regressionTolerance {
+		return fmt.Errorf("smoke: mean latency regressed %.1f%% over baseline (%v -> %v, tolerance %.0f%%)",
+			growth*100, sim.Time(base.AvgLatencyNS), sim.Time(cur.AvgLatencyNS), regressionTolerance*100)
+	}
+	return nil
+}

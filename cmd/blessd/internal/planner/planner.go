@@ -6,12 +6,14 @@
 package planner
 
 import (
+	"encoding/json"
 	"fmt"
 	"net/http"
 	"sync"
 
 	"bless/internal/core"
 	"bless/internal/harness"
+	"bless/internal/invariant"
 	"bless/internal/obs"
 	"bless/internal/sim"
 	"bless/internal/trace"
@@ -74,8 +76,9 @@ type PlanReply struct {
 type Planner struct {
 	reg *obs.Registry
 
-	mu        sync.Mutex
-	lastTrace []byte
+	mu            sync.Mutex
+	lastTrace     []byte
+	lastInvariant *invariant.Report
 }
 
 // New returns a Planner.
@@ -151,7 +154,16 @@ func (p *Planner) Plan(req PlanRequest, reply *PlanReply) error {
 		Tracers:   []sim.Tracer{col.Recorder},
 		Bus:       bus,
 		Registry:  p.reg,
+		// Every plan is verified: universal violations fail the plan, quota
+		// and bubble assessments surface on /debug/bless/invariants.
+		Invariants: &invariant.Options{FailOnViolation: true},
 	})
+	if res != nil && res.Invariants != nil {
+		p.mu.Lock()
+		p.lastInvariant = res.Invariants
+		p.mu.Unlock()
+		p.reg.Counter("invariant_violations_total").Add(int64(len(res.Invariants.Violations)))
+	}
 	if err != nil {
 		p.reg.Counter("plan_errors_total").Inc()
 		return err
@@ -204,6 +216,52 @@ func (p *Planner) ServeMetrics(w http.ResponseWriter, _ *http.Request) {
 	if err := p.reg.Snapshot().WriteJSON(w); err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 	}
+}
+
+// ServeInvariants handles GET /debug/bless/invariants: the most recent
+// plan's invariant report — violations, per-client quota attainment, bubble
+// accounting and the determinism digest — as JSON. 404 until a plan has run.
+func (p *Planner) ServeInvariants(w http.ResponseWriter, _ *http.Request) {
+	p.mu.Lock()
+	rep := p.lastInvariant
+	p.mu.Unlock()
+	if rep == nil {
+		http.Error(w, "no plan verified yet; call Planner.Plan first", http.StatusNotFound)
+		return
+	}
+	type violation struct {
+		Class string `json:"class"`
+		AtNS  int64  `json:"at_ns"`
+		Msg   string `json:"msg"`
+		Repro string `json:"repro,omitempty"`
+	}
+	conv := func(vs []invariant.Violation) []violation {
+		out := make([]violation, 0, len(vs))
+		for _, v := range vs {
+			out = append(out, violation{Class: v.Class.String(), AtNS: int64(v.At), Msg: v.Msg, Repro: v.Repro})
+		}
+		return out
+	}
+	type client struct {
+		App      string  `json:"app"`
+		Quota    float64 `json:"quota"`
+		Share    float64 `json:"share"`
+		Violated bool    `json:"violated"`
+	}
+	clients := make([]client, 0, len(rep.Clients))
+	for _, cr := range rep.Clients {
+		clients = append(clients, client{App: cr.Client.Name, Quota: cr.Client.Quota, Share: cr.Share, Violated: cr.Violated})
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{
+		"violations":      conv(rep.Violations),
+		"observations":    conv(rep.Observations),
+		"clients":         clients,
+		"bubble_fraction": rep.BubbleFraction,
+		"kernels":         rep.Kernels,
+		"samples":         rep.Samples,
+		"digest":          fmt.Sprintf("%016x", rep.Digest),
+	})
 }
 
 // ServeTrace handles GET /debug/bless/trace: the most recent plan's Chrome

@@ -25,6 +25,9 @@
 //	                          accounting of the latest BLESS plan)
 //	GET /debug/bless/trace    Chrome trace-event JSON of the most recent
 //	                          plan (load in Perfetto or chrome://tracing)
+//	GET /debug/bless/invariants  invariant report of the most recent plan
+//	                          (violations, quota attainment, bubble
+//	                          accounting, determinism digest)
 package main
 
 import (
@@ -56,11 +59,12 @@ func main() {
 		mux := http.NewServeMux()
 		mux.HandleFunc("/debug/bless/metrics", p.ServeMetrics)
 		mux.HandleFunc("/debug/bless/trace", p.ServeTrace)
+		mux.HandleFunc("/debug/bless/invariants", p.ServeInvariants)
 		dl, err := net.Listen("tcp", *debug)
 		if err != nil {
 			log.Fatal(err)
 		}
-		log.Printf("blessd: debug endpoints on http://%s/debug/bless/{metrics,trace}", dl.Addr())
+		log.Printf("blessd: debug endpoints on http://%s/debug/bless/{metrics,trace,invariants}", dl.Addr())
 		go func() {
 			if err := http.Serve(dl, mux); err != nil {
 				log.Printf("blessd: debug server: %v", err)

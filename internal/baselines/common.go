@@ -47,6 +47,7 @@ func deployPerClient(env *sharing.Env, sys string, limitFor func(c *sharing.Clie
 			Isolated: isolated,
 			Priority: prio,
 			Label:    fmt.Sprintf("%s/%s", sys, c.App.Name),
+			Owner:    sim.OwnerTag(c.ID),
 		})
 		if err != nil {
 			return fail(c, err)

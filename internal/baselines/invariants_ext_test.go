@@ -1,0 +1,130 @@
+// External-package invariant coverage for the baseline schedulers: the
+// universal simulator invariants (SM conservation, event order/FIFO) must
+// hold for every system on the seed workloads, and the checker must detect
+// the real bubbles ISO-style partitioning leaves (positive control). Lives in
+// baselines_test so it can drive the schedulers through internal/harness
+// without an import cycle.
+package baselines_test
+
+import (
+	"testing"
+
+	"bless/internal/harness"
+	"bless/internal/invariant"
+	"bless/internal/sim"
+	"bless/internal/trace"
+)
+
+// seedPair is the repository's canonical co-location workload: a paced
+// resnet50 against a dense vgg11 on an even quota split.
+func seedPair() []harness.ClientSpec {
+	return []harness.ClientSpec{
+		{App: "resnet50", Quota: 0.5, Pattern: trace.Closed(2*sim.Millisecond, 0)},
+		{App: "vgg11", Quota: 0.5, Pattern: trace.Closed(0, 0)},
+	}
+}
+
+// TestBaselinesUniversalInvariants: every scheduler — the six baselines and
+// BLESS itself — must keep SM accounting conserved and queue execution
+// FIFO-ordered on the seed workloads. Violations fail the run directly.
+func TestBaselinesUniversalInvariants(t *testing.T) {
+	systems := []string{"STATIC", "UNBOUND", "TEMPORAL", "MIG", "GSLICE", "REEF+", "ZICO", "BLESS"}
+	for _, sys := range systems {
+		t.Run(sys, func(t *testing.T) {
+			sched, err := harness.NewSystem(sys)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := harness.Run(harness.RunConfig{
+				Scheduler: sched,
+				Clients:   seedPair(),
+				Horizon:   120 * sim.Millisecond,
+				Invariants: &invariant.Options{
+					Enforce:         invariant.Universal(),
+					FailOnViolation: true,
+				},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			rep := res.Invariants
+			if rep.Kernels == 0 || rep.Samples == 0 {
+				t.Fatalf("checker observed nothing: %d kernels, %d samples", rep.Kernels, rep.Samples)
+			}
+			for _, v := range rep.Violations {
+				t.Errorf("%s: %v", sys, v)
+			}
+		})
+	}
+}
+
+// TestISOBubbleViolationPositiveControl proves the checker detects real
+// bubbles: ISO-style static partitioning (STATIC with one busy client and an
+// idle partner) pins the busy client to its 50% partition while the partner's
+// SMs sit idle — exactly the bubble BLESS eliminates (PAPER.md §3). The
+// universal classes stay clean; the Bubble class must be breached.
+func TestISOBubbleViolationPositiveControl(t *testing.T) {
+	sched, err := harness.NewSystem("STATIC")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := harness.Run(harness.RunConfig{
+		Scheduler: sched,
+		Clients: []harness.ClientSpec{
+			// Saturating client, capped at its 54-SM partition.
+			{App: "resnet50", Quota: 0.5, Pattern: trace.Closed(0, 0)},
+			// Partner submits one request and then leaves its partition idle.
+			{App: "vgg11", Quota: 0.5, Pattern: trace.Burst(1, 0)},
+		},
+		Horizon: 120 * sim.Millisecond,
+		Invariants: &invariant.Options{
+			Enforce:         invariant.Universal(),
+			FailOnViolation: true,
+		},
+	})
+	if err != nil {
+		t.Fatal(err) // universal classes must stay clean
+	}
+	rep := res.Invariants
+	if rep.BubbleFraction <= 0.10 {
+		t.Fatalf("ISO partitioning shows bubble fraction %.3f, expected well above the 0.10 tolerance (bubble %v of %v demand)",
+			rep.BubbleFraction, rep.BubbleTime, rep.DemandTime)
+	}
+	found := false
+	for _, v := range rep.Observations {
+		if v.Class == invariant.Bubble {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("bubble breach missing from observations: %+v", rep.Observations)
+	}
+}
+
+// TestBLESSBubbleLessOnISOControl is the matching negative control: BLESS on
+// the identical workload lends the idle partner's SMs to the busy client, so
+// the bubble fraction must stay inside tolerance.
+func TestBLESSBubbleLessOnISOControl(t *testing.T) {
+	sched, err := harness.NewSystem("BLESS")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := harness.Run(harness.RunConfig{
+		Scheduler: sched,
+		Clients: []harness.ClientSpec{
+			{App: "resnet50", Quota: 0.5, Pattern: trace.Closed(0, 0)},
+			{App: "vgg11", Quota: 0.5, Pattern: trace.Burst(1, 0)},
+		},
+		Horizon: 120 * sim.Millisecond,
+		Invariants: &invariant.Options{
+			Enforce:         invariant.All(),
+			FailOnViolation: true,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f := res.Invariants.BubbleFraction; f > 0.10 {
+		t.Errorf("BLESS left bubbles for %.1f%% of the demand window", f*100)
+	}
+}

@@ -173,7 +173,10 @@ func (rt *Runtime) Deploy(env *sharing.Env) error {
 			return fail(c, err)
 		}
 		reserved += c.App.MemoryBytes
-		ctx, err := env.GPU.NewContext(sim.ContextOptions{Label: c.App.Name + "/default"})
+		ctx, err := env.GPU.NewContext(sim.ContextOptions{
+			Label: c.App.Name + "/default",
+			Owner: sim.OwnerTag(c.ID),
+		})
 		if err != nil {
 			return fail(c, err)
 		}
@@ -650,6 +653,7 @@ func (rt *Runtime) restrictedSlot(cs *clientState, sms int) (*restrictedSlot, er
 	ctx, err := rt.env.GPU.NewContext(sim.ContextOptions{
 		SMLimit: sms,
 		Label:   fmt.Sprintf("%s/sm%d", cs.c.App.Name, sms),
+		Owner:   sim.OwnerTag(cs.c.ID),
 	})
 	if err != nil {
 		if errors.Is(err, sim.ErrOutOfMemory) {

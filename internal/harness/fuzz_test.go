@@ -4,6 +4,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"bless/internal/invariant"
 	"bless/internal/sim"
 	"bless/internal/trace"
 )
@@ -11,13 +12,19 @@ import (
 // TestRandomDeploymentsInvariants throws randomized deployments and workloads
 // at every scheduler and checks the invariants no configuration may break:
 // every submitted request completes exactly once, completions are FIFO per
-// client, and a repeated run is bit-identical.
+// client, the universal simulator invariants (SM conservation, event order)
+// hold, and a repeated run folds to a bit-identical event digest.
 func TestRandomDeploymentsInvariants(t *testing.T) {
+	defer EnableInvariants(invariant.Options{FailOnViolation: true})()
 	systems := []string{"BLESS", "STATIC", "GSLICE", "UNBOUND", "TEMPORAL", "REEF+"}
 	models := []string{"vgg11", "resnet50", "resnet101", "bert"}
 	rng := rand.New(rand.NewSource(2024))
 
-	for trial := 0; trial < 12; trial++ {
+	trials := 12
+	if testing.Short() {
+		trials = 6
+	}
+	for trial := 0; trial < trials; trial++ {
 		// Random deployment: 2-4 clients, random quota split.
 		n := 2 + rng.Intn(3)
 		cuts := make([]float64, n-1)
@@ -79,11 +86,15 @@ func TestRandomDeploymentsInvariants(t *testing.T) {
 			t.Errorf("trial %d (%s): utilization %g out of range", trial, sys, r1.Utilization)
 		}
 
-		// Determinism.
+		// Determinism: aggregate metrics and the full event digest agree.
 		r2 := run()
 		if r1.AvgLatency != r2.AvgLatency || r1.Elapsed != r2.Elapsed {
 			t.Errorf("trial %d (%s): repeat run diverged (%v/%v vs %v/%v)",
 				trial, sys, r1.AvgLatency, r1.Elapsed, r2.AvgLatency, r2.Elapsed)
+		}
+		if r1.Invariants.Digest != r2.Invariants.Digest {
+			t.Errorf("trial %d (%s): event digests diverged: %016x vs %016x",
+				trial, sys, r1.Invariants.Digest, r2.Invariants.Digest)
 		}
 	}
 }
@@ -94,7 +105,11 @@ func TestRandomDeploymentsInvariants(t *testing.T) {
 // quota splits.
 func TestBLESSQuotaPaceUnderPressure(t *testing.T) {
 	rng := rand.New(rand.NewSource(7))
-	for trial := 0; trial < 6; trial++ {
+	trials := 6
+	if testing.Short() {
+		trials = 3
+	}
+	for trial := 0; trial < trials; trial++ {
 		q := 0.3 + 0.5*rng.Float64()
 		sched, err := NewSystem("BLESS")
 		if err != nil {

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"sync"
 
+	"bless/internal/invariant"
 	"bless/internal/metrics"
 	"bless/internal/model"
 	"bless/internal/obs"
@@ -54,6 +55,11 @@ type RunConfig struct {
 	// device utilization gauge. Observations stream during the run instead
 	// of being post-processed from stored samples.
 	Registry *obs.Registry
+	// Invariants, if set, attaches an invariant.Checker to the run; the
+	// report lands in Result.Invariants and, with FailOnViolation, enforced
+	// breaches fail the run. When nil, the process-wide EnableInvariants
+	// setting applies.
+	Invariants *invariant.Options
 }
 
 // ClientResult aggregates one client's outcome.
@@ -86,6 +92,9 @@ type Result struct {
 	Utilization float64
 	// Elapsed is the virtual time at drain.
 	Elapsed sim.Time
+	// Invariants is the checker's report when invariant checking was on
+	// (RunConfig.Invariants or EnableInvariants), nil otherwise.
+	Invariants *invariant.Report
 }
 
 // profileCache memoizes offline profiles per (app, device-SMs, partitions);
@@ -142,9 +151,20 @@ func Run(cfg RunConfig) (*Result, error) {
 	for _, tr := range cfg.Tracers {
 		gpu.AddTracer(tr)
 	}
-	if cfg.Bus != nil {
+	bus := cfg.Bus
+	checker, checkerOpts := newRunChecker(&cfg, gpuCfg, horizon)
+	if checker != nil {
+		gpu.AddTracer(checker)
+		if bus == nil {
+			// The checker's digest covers decision events too; give the
+			// scheduler a bus even when the caller wanted none.
+			bus = obs.NewBus()
+		}
+		bus.Subscribe(checker)
+	}
+	if bus != nil {
 		if o, ok := cfg.Scheduler.(obs.Observable); ok {
-			o.Observe(cfg.Bus)
+			o.Observe(bus)
 		}
 	}
 	clients := make([]*sharing.Client, len(cfg.Clients))
@@ -242,6 +262,13 @@ func Run(cfg RunConfig) (*Result, error) {
 		return nil, err
 	}
 	res.Deviation = dev
+	if checker != nil {
+		rep := checker.Report()
+		res.Invariants = rep
+		if checkerOpts.FailOnViolation && rep.Err() != nil {
+			return res, fmt.Errorf("harness: %s: %w", sched.Name(), rep.Err())
+		}
+	}
 	return res, nil
 }
 

@@ -1,0 +1,94 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+
+	"bless/internal/invariant"
+	"bless/internal/sim"
+)
+
+// globalInvariants, when set, attaches an invariant checker to every Run that
+// does not configure its own. It is the always-on switch: the test suite and
+// `blessbench -invariants` flip it so every experiment they execute is
+// verified without threading options through each call site.
+var globalInvariants atomic.Pointer[invariant.Options]
+
+// EnableInvariants turns on invariant checking for every subsequent Run
+// without an explicit RunConfig.Invariants. Returns a restore function for
+// scoped use (defer it in tests).
+func EnableInvariants(opts invariant.Options) func() {
+	prev := globalInvariants.Swap(&opts)
+	return func() { globalInvariants.Store(prev) }
+}
+
+// reproSummary composes the replay description attached to violations when
+// the caller supplied none: the exact run configuration in one line.
+func reproSummary(cfg *RunConfig, gpuCfg sim.Config, horizon sim.Time) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "harness.Run system=%s horizon=%v sms=%d clients=", cfg.Scheduler.Name(), horizon, gpuCfg.SMs)
+	for i, s := range cfg.Clients {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s:%.3f", s.App, s.Quota)
+	}
+	return b.String()
+}
+
+// newRunChecker resolves the effective invariant options for a run and builds
+// the checker, or returns nil when checking is off. The returned options are
+// the resolved copy (repro filled in).
+func newRunChecker(cfg *RunConfig, gpuCfg sim.Config, horizon sim.Time) (*invariant.Checker, *invariant.Options) {
+	opts := cfg.Invariants
+	if opts == nil {
+		opts = globalInvariants.Load()
+	}
+	if opts == nil {
+		return nil, nil
+	}
+	o := *opts
+	if o.Repro == "" {
+		o.Repro = reproSummary(cfg, gpuCfg, horizon)
+	}
+	ics := make([]invariant.Client, len(cfg.Clients))
+	for i, s := range cfg.Clients {
+		ics[i] = invariant.Client{ID: i, Name: s.App, Quota: s.Quota}
+	}
+	return invariant.New(ics, gpuCfg, o), &o
+}
+
+// VerifyDeterminism runs the configuration produced by mk twice and compares
+// the invariant digests: any divergence means the simulation is leaking
+// nondeterminism (map iteration order, host time, data races). mk must build
+// a fresh scheduler each call — schedulers are stateful. Returns the agreed
+// digest.
+func VerifyDeterminism(mk func() (RunConfig, error)) (uint64, error) {
+	one := func() (uint64, error) {
+		cfg, err := mk()
+		if err != nil {
+			return 0, err
+		}
+		if cfg.Invariants == nil {
+			cfg.Invariants = &invariant.Options{}
+		}
+		res, err := Run(cfg)
+		if err != nil {
+			return 0, err
+		}
+		return res.Invariants.Digest, nil
+	}
+	d1, err := one()
+	if err != nil {
+		return 0, err
+	}
+	d2, err := one()
+	if err != nil {
+		return 0, err
+	}
+	if d1 != d2 {
+		return 0, fmt.Errorf("harness: nondeterminism detected: same configuration produced digests %016x and %016x", d1, d2)
+	}
+	return d1, nil
+}

@@ -1,0 +1,164 @@
+package harness
+
+import (
+	"math/rand"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"bless/internal/invariant"
+	"bless/internal/sim"
+	"bless/internal/trace"
+)
+
+// TestDeterminismDigest is the determinism invariant end-to-end: the same
+// configuration run twice folds to one digest, and a different workload folds
+// to a different one.
+func TestDeterminismDigest(t *testing.T) {
+	mk := func(think sim.Time) func() (RunConfig, error) {
+		return func() (RunConfig, error) {
+			sched, err := NewSystem("BLESS")
+			if err != nil {
+				return RunConfig{}, err
+			}
+			return RunConfig{
+				Scheduler: sched,
+				Clients: []ClientSpec{
+					{App: "resnet50", Quota: 0.5, Pattern: trace.Closed(think, 0)},
+					{App: "vgg11", Quota: 0.5, Pattern: trace.Closed(0, 0)},
+				},
+				Horizon: 100 * sim.Millisecond,
+			}, nil
+		}
+	}
+	d1, err := VerifyDeterminism(mk(2 * sim.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := VerifyDeterminism(mk(3 * sim.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1 == d2 {
+		t.Errorf("distinct workloads folded to the same digest %016x", d1)
+	}
+}
+
+// metamorphicSeeds returns how many random base workloads the metamorphic
+// suite explores: INVARIANT_SEEDS overrides (the CI long job raises it),
+// -short halves the default.
+func metamorphicSeeds(t *testing.T) int {
+	if s := os.Getenv("INVARIANT_SEEDS"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil || n <= 0 {
+			t.Fatalf("INVARIANT_SEEDS=%q: want a positive integer", s)
+		}
+		return n
+	}
+	if testing.Short() {
+		return 2
+	}
+	return 4
+}
+
+// verdictClasses reduces a report to its invariant verdict: the sorted set of
+// classes with any breach (enforced or observed). Universal classes must
+// never appear; policy classes characterize the schedule.
+func verdictClasses(rep *invariant.Report) string {
+	set := map[string]bool{}
+	for _, v := range rep.Violations {
+		set[v.Class.String()] = true
+	}
+	for _, v := range rep.Observations {
+		set[v.Class.String()] = true
+	}
+	out := make([]string, 0, len(set))
+	for c := range set {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return strings.Join(out, ",")
+}
+
+// TestMetamorphicInvariantVerdicts checks the two metamorphic relations from
+// the issue across randomized multi-seed workloads:
+//
+//  1. Permuting client deployment order relabels IDs but must not change
+//     which invariant classes the schedule breaches.
+//  2. Uniformly scaling every quota down (x0.9 leaves 10% of the device
+//     unprovisioned) must not introduce breaches of classes that were clean —
+//     looser quotas only make the guarantees easier.
+//
+// Universal classes (conservation, order) must stay clean under every
+// transform.
+func TestMetamorphicInvariantVerdicts(t *testing.T) {
+	systems := []string{"BLESS", "STATIC", "TEMPORAL"}
+	models := []string{"vgg11", "resnet50", "bert"}
+	seeds := metamorphicSeeds(t)
+
+	runVerdict := func(sys string, specs []ClientSpec) (string, *invariant.Report) {
+		sched, err := NewSystem(sys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Run(RunConfig{
+			Scheduler:  sched,
+			Clients:    specs,
+			Horizon:    120 * sim.Millisecond,
+			Invariants: &invariant.Options{FailOnViolation: true}, // universal enforcement
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", sys, err) // a universal breach is an immediate failure
+		}
+		return verdictClasses(res.Invariants), res.Invariants
+	}
+
+	for seed := 0; seed < seeds; seed++ {
+		rng := rand.New(rand.NewSource(int64(100 + seed)))
+		sys := systems[seed%len(systems)]
+		n := 2 + rng.Intn(2)
+		specs := make([]ClientSpec, n)
+		rem := 1.0
+		for i := range specs {
+			q := rem / float64(n-i)
+			if i < n-1 {
+				q *= 0.7 + 0.6*rng.Float64()
+			}
+			rem -= q
+			specs[i] = ClientSpec{
+				App:     models[rng.Intn(len(models))],
+				Quota:   q,
+				Pattern: trace.Closed(sim.Time(1+rng.Intn(6))*sim.Millisecond, 0),
+			}
+		}
+
+		base, _ := runVerdict(sys, specs)
+
+		// Relation 1: permutation preserves the verdict exactly.
+		perm := make([]ClientSpec, n)
+		for i, j := range rng.Perm(n) {
+			perm[i] = specs[j]
+		}
+		permuted, _ := runVerdict(sys, perm)
+		if permuted != base {
+			t.Errorf("seed %d (%s): permuting clients changed the verdict %q -> %q",
+				seed, sys, base, permuted)
+		}
+
+		// Relation 2: uniformly loosening quotas never breaches a clean class.
+		scaled := make([]ClientSpec, n)
+		copy(scaled, specs)
+		for i := range scaled {
+			scaled[i].Quota *= 0.9
+		}
+		looser, _ := runVerdict(sys, scaled)
+		for _, c := range strings.Split(looser, ",") {
+			if c != "" && !strings.Contains(base, c) {
+				t.Errorf("seed %d (%s): scaling quotas x0.9 introduced a %q breach (base verdict %q, scaled %q)",
+					seed, sys, c, base, looser)
+			}
+		}
+	}
+}

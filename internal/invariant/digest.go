@@ -1,0 +1,41 @@
+package invariant
+
+// The determinism digest is a running FNV-1a 64 fold over every observed
+// event: kernel enqueues, starts and ends, allocation snapshots, and decision
+// bus events. Each record is tagged so reordering across record kinds cannot
+// cancel out. Two runs of the same configuration must agree bit-for-bit; the
+// first divergence is nondeterminism (map iteration order, host time leakage,
+// data races) made visible as a one-word mismatch.
+
+const (
+	fnvOffset uint64 = 14695981039346656037
+	fnvPrime  uint64 = 1099511628211
+
+	tagEnqueue  uint64 = 0xe1
+	tagStart    uint64 = 0x51
+	tagEnd      uint64 = 0xed
+	tagSample   uint64 = 0xa5
+	tagDecision uint64 = 0xdc
+	tagFloat    uint64 = 0xf0
+)
+
+// mix folds a tagged 64-bit word into the digest, byte by byte.
+func (c *Checker) mix(tag, v uint64) {
+	h := c.digest
+	h = (h ^ tag) * fnvPrime
+	for i := 0; i < 8; i++ {
+		h = (h ^ (v & 0xff)) * fnvPrime
+		v >>= 8
+	}
+	c.digest = h
+}
+
+// mixString folds a length-prefixed string into the digest.
+func (c *Checker) mixString(s string) {
+	h := c.digest
+	h = (h ^ uint64(len(s))) * fnvPrime
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint64(s[i])) * fnvPrime
+	}
+	c.digest = h
+}

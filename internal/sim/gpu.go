@@ -104,10 +104,26 @@ type Context struct {
 	Priority int
 
 	label string
+	owner int // OwnerTag-encoded client slot, 0 = unowned
 }
 
 // ID returns the context's device-unique identifier.
 func (c *Context) ID() int { return c.id }
+
+// OwnerTag encodes a deploying client's slot ID for ContextOptions.Owner.
+// The encoding reserves 0 (the field's zero value) for "unowned", so
+// schedulers can tag contexts without a sentinel colliding with client 0.
+func OwnerTag(clientID int) int { return clientID + 1 }
+
+// Owner decodes the context's owner tag: the deploying client's slot ID and
+// whether the context is owned at all. Invariant checkers use it to attribute
+// SM allocations to clients without parsing debug labels.
+func (c *Context) Owner() (clientID int, ok bool) {
+	if c.owner == 0 {
+		return -1, false
+	}
+	return c.owner - 1, true
+}
 
 // SetSMLimit re-restricts the context to limit SMs (0 = unrestricted),
 // taking effect immediately for queued and future kernels (a running kernel
@@ -221,7 +237,10 @@ type GPU struct {
 	kernelsDone    int64
 	memUsed        int64
 
-	tracers []Tracer
+	tracers      []Tracer
+	allocTracers []AllocationTracer
+	enqTracers   []EnqueueTracer
+	loadBuf      []QueueLoad
 }
 
 // NewGPU creates a device with the given configuration, scheduled on eng.
@@ -252,6 +271,10 @@ type ContextOptions struct {
 	// NoMemCharge skips the per-context device-memory charge (used by
 	// tests and by schedulers that account for context memory themselves).
 	NoMemCharge bool
+	// Owner tags the context with the deploying client's slot, encoded with
+	// OwnerTag (the zero value means unowned). Invariant checkers rely on the
+	// tag to attribute allocations and quotas per client.
+	Owner int
 }
 
 // NewContext creates a GPU context. Each context consumes ContextMemBytes of
@@ -273,6 +296,7 @@ func (g *GPU) NewContext(opts ContextOptions) (*Context, error) {
 		Isolated: opts.Isolated,
 		Priority: opts.Priority,
 		label:    opts.Label,
+		owner:    opts.Owner,
 	}
 	g.contexts = append(g.contexts, c)
 	return c, nil
@@ -324,13 +348,70 @@ type Tracer interface {
 	KernelEnd(at Time, queue *Queue, k *Kernel, avgSMs float64)
 }
 
+// QueueLoad is one queue's instantaneous state in an allocation snapshot:
+// what is running, the SMs it was granted and wanted, and the backlog behind
+// it. Snapshots are handed to AllocationTracer subscribers; the slice and its
+// entries are only valid for the duration of the callback (the device reuses
+// the buffer), so observers must copy what they keep.
+type QueueLoad struct {
+	// Queue is the observed queue (its Context carries SMLimit and Owner).
+	Queue *Queue
+	// Running is the executing kernel, nil when the queue head is idle.
+	Running *Kernel
+	// Alloc is the SMs granted to the running compute kernel (0 for memcpy
+	// or idle queues).
+	Alloc float64
+	// Demand is the SMs the running compute kernel wants under its context's
+	// SM cap.
+	Demand float64
+	// Want is the unrestricted SM appetite of the queue's head — the running
+	// kernel's saturation-bounded demand ignoring context caps, or the next
+	// pending kernel's when the queue is idle or paused with a backlog. It is
+	// what the queue could use if every restriction were lifted, the quantity
+	// quota and bubble invariants compare allocations against.
+	Want float64
+	// Pending counts kernels queued behind the running one.
+	Pending int
+	// Paused reports whether dispatch from the queue is suspended.
+	Paused bool
+}
+
+// AllocationTracer extends Tracer: implementations are additionally notified
+// every time the device recomputes SM allocations (enqueue, completion,
+// pause/resume, SM-limit changes), with a snapshot of every queue's load.
+// Between notifications allocations are piecewise-constant, so integrating
+// the snapshots reconstructs the exact allocation history — the substrate of
+// the invariant checker's conservation, quota and bubble accounting. The
+// callback runs synchronously inside the simulation loop; it must not mutate
+// device state and must copy any load it retains.
+type AllocationTracer interface {
+	Tracer
+	AllocationsChanged(at Time, loads []QueueLoad)
+}
+
+// EnqueueTracer extends Tracer: implementations additionally observe every
+// kernel joining a device queue, which makes per-queue FIFO order checkable
+// (a started kernel must be the oldest enqueued-but-unstarted one).
+type EnqueueTracer interface {
+	Tracer
+	KernelEnqueued(at Time, queue *Queue, k *Kernel)
+}
+
 // AddTracer attaches a tracer alongside any already attached; all tracers
-// observe every kernel, in attachment order. nil tracers are ignored. With no
-// tracers attached, the kernel hot path performs no tracing work and no
-// allocations.
+// observe every kernel, in attachment order. Tracers also implementing
+// AllocationTracer or EnqueueTracer receive the extended notifications. nil
+// tracers are ignored. With no tracers attached, the kernel hot path performs
+// no tracing work and no allocations.
 func (g *GPU) AddTracer(t Tracer) {
-	if t != nil {
-		g.tracers = append(g.tracers, t)
+	if t == nil {
+		return
+	}
+	g.tracers = append(g.tracers, t)
+	if at, ok := t.(AllocationTracer); ok {
+		g.allocTracers = append(g.allocTracers, at)
+	}
+	if et, ok := t.(EnqueueTracer); ok {
+		g.enqTracers = append(g.enqTracers, et)
 	}
 }
 
@@ -339,7 +420,23 @@ func (g *GPU) RemoveTracer(t Tracer) {
 	for i, have := range g.tracers {
 		if have == t {
 			g.tracers = append(g.tracers[:i], g.tracers[i+1:]...)
-			return
+			break
+		}
+	}
+	if at, ok := t.(AllocationTracer); ok {
+		for i, have := range g.allocTracers {
+			if have == at {
+				g.allocTracers = append(g.allocTracers[:i], g.allocTracers[i+1:]...)
+				break
+			}
+		}
+	}
+	if et, ok := t.(EnqueueTracer); ok {
+		for i, have := range g.enqTracers {
+			if have == et {
+				g.enqTracers = append(g.enqTracers[:i], g.enqTracers[i+1:]...)
+				break
+			}
 		}
 	}
 }
@@ -351,7 +448,40 @@ func (g *GPU) RemoveTracer(t Tracer) {
 // Use AddTracer instead; SetTracer is kept as a shim for older callers.
 func (g *GPU) SetTracer(t Tracer) {
 	g.tracers = g.tracers[:0]
+	g.allocTracers = g.allocTracers[:0]
+	g.enqTracers = g.enqTracers[:0]
 	g.AddTracer(t)
+}
+
+// notifyEnqueued tells enqueue tracers a kernel joined q's pending list.
+func (g *GPU) notifyEnqueued(q *Queue, k *Kernel) {
+	for _, t := range g.enqTracers {
+		t.KernelEnqueued(g.eng.Now(), q, k)
+	}
+}
+
+// Loads snapshots every queue's instantaneous load into buf (reused when
+// capacity allows). The Want field covers the running kernel or, for idle and
+// paused queues with a backlog, the head pending kernel.
+func (g *GPU) Loads(buf []QueueLoad) []QueueLoad {
+	buf = buf[:0]
+	for _, q := range g.queues {
+		ql := QueueLoad{Queue: q, Pending: len(q.pending), Paused: q.paused}
+		if e := q.run; e != nil {
+			ql.Running = e.rec.k
+			ql.Alloc = e.alloc
+			ql.Demand = e.demand
+			if e.rec.k.IsCompute() {
+				ql.Want = float64(e.rec.k.SMDemand(0, g.cfg.SMs))
+			}
+		} else if len(q.pending) > 0 {
+			if head := q.pending[0].k; head.IsCompute() {
+				ql.Want = float64(head.SMDemand(0, g.cfg.SMs))
+			}
+		}
+		buf = append(buf, ql)
+	}
+	return buf
 }
 
 // Enqueue submits a kernel to the queue at virtual time at (>= now; the
@@ -366,11 +496,13 @@ func (q *Queue) Enqueue(at Time, k *Kernel, onDone func(at Time)) {
 	g := q.ctx.gpu
 	if at <= g.eng.Now() {
 		q.pending = append(q.pending, launchRecord{k: k, onDone: onDone})
+		g.notifyEnqueued(q, k)
 		g.reschedule()
 		return
 	}
 	g.eng.Schedule(at, func() {
 		q.pending = append(q.pending, launchRecord{k: k, onDone: onDone})
+		g.notifyEnqueued(q, k)
 		g.reschedule()
 	})
 }
@@ -501,6 +633,16 @@ func (g *GPU) reschedule() {
 			g.completion = nil
 			g.reschedule()
 		})
+	}
+
+	// With the device in a consistent state, publish the new allocation
+	// picture before completion callbacks run (they may re-enter reschedule
+	// and publish again at the same instant — a zero-width interval).
+	if len(g.allocTracers) > 0 {
+		g.loadBuf = g.Loads(g.loadBuf)
+		for _, t := range g.allocTracers {
+			t.AllocationsChanged(g.eng.Now(), g.loadBuf)
+		}
 	}
 
 	for _, rec := range callbacks {

@@ -1,0 +1,118 @@
+package sim
+
+import "testing"
+
+// loadTracer records allocation snapshots and enqueue events.
+type loadTracer struct {
+	countingTracer
+	samples  []Time
+	enqueues []Time
+	// lastTotal is the total compute-SM allocation of the latest snapshot.
+	lastTotal float64
+	// maxTotal tracks the largest total allocation observed.
+	maxTotal float64
+}
+
+func (l *loadTracer) AllocationsChanged(at Time, loads []QueueLoad) {
+	l.samples = append(l.samples, at)
+	total := 0.0
+	for _, ql := range loads {
+		total += ql.Alloc
+	}
+	l.lastTotal = total
+	if total > l.maxTotal {
+		l.maxTotal = total
+	}
+}
+
+func (l *loadTracer) KernelEnqueued(at Time, q *Queue, k *Kernel) {
+	l.enqueues = append(l.enqueues, at)
+}
+
+func TestAllocationTracerObservesEveryReschedule(t *testing.T) {
+	eng := NewEngine()
+	gpu := NewGPU(eng, DefaultConfig())
+	lt := &loadTracer{}
+	gpu.AddTracer(lt)
+
+	ctx, err := gpu.NewContext(ContextOptions{NoMemCharge: true, SMLimit: 54})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := ctx.NewQueue("q")
+	k := &Kernel{Name: "k", Kind: Compute, Work: 108 * Microsecond, SaturationSMs: 108}
+	q.Enqueue(0, k, nil)
+	q.Enqueue(10*Microsecond, k, nil)
+	eng.Run()
+
+	if len(lt.enqueues) != 2 {
+		t.Fatalf("enqueue events = %d, want 2", len(lt.enqueues))
+	}
+	if len(lt.samples) < 3 {
+		t.Fatalf("allocation samples = %d, want >= 3 (two starts + final drain)", len(lt.samples))
+	}
+	for i := 1; i < len(lt.samples); i++ {
+		if lt.samples[i] < lt.samples[i-1] {
+			t.Fatalf("sample times regress: %v after %v", lt.samples[i], lt.samples[i-1])
+		}
+	}
+	// The context cap must bound every observed allocation, and the device
+	// must end quiescent with nothing allocated.
+	if lt.maxTotal > 54+1e-9 {
+		t.Errorf("allocation %g exceeded the 54-SM context cap", lt.maxTotal)
+	}
+	if lt.maxTotal < 53 {
+		t.Errorf("allocation never approached the 54-SM cap: max %g", lt.maxTotal)
+	}
+	if lt.lastTotal != 0 {
+		t.Errorf("final snapshot still shows %g SMs allocated", lt.lastTotal)
+	}
+}
+
+func TestLoadsSnapshotWantCoversPendingHeads(t *testing.T) {
+	eng := NewEngine()
+	gpu := NewGPU(eng, DefaultConfig())
+	ctx, err := gpu.NewContext(ContextOptions{NoMemCharge: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := ctx.NewQueue("q")
+	q.Pause()
+	k := &Kernel{Name: "k", Kind: Compute, Work: Microsecond, SaturationSMs: 40}
+	q.Enqueue(0, k, nil)
+	eng.Run() // paused: nothing executes
+
+	loads := gpu.Loads(nil)
+	if len(loads) != 1 {
+		t.Fatalf("loads = %d entries, want 1", len(loads))
+	}
+	ql := loads[0]
+	if !ql.Paused || ql.Pending != 1 || ql.Running != nil {
+		t.Fatalf("paused queue load = %+v, want paused with 1 pending", ql)
+	}
+	if ql.Want != 40 {
+		t.Errorf("paused head Want = %g, want 40 (saturation-bounded appetite)", ql.Want)
+	}
+	if ql.Alloc != 0 {
+		t.Errorf("paused queue Alloc = %g, want 0", ql.Alloc)
+	}
+}
+
+func TestContextOwnerTag(t *testing.T) {
+	eng := NewEngine()
+	gpu := NewGPU(eng, DefaultConfig())
+	owned, err := gpu.NewContext(ContextOptions{NoMemCharge: true, Owner: OwnerTag(0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id, ok := owned.Owner(); !ok || id != 0 {
+		t.Errorf("Owner() = (%d, %v), want (0, true)", id, ok)
+	}
+	anon, err := gpu.NewContext(ContextOptions{NoMemCharge: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id, ok := anon.Owner(); ok || id != -1 {
+		t.Errorf("unowned Owner() = (%d, %v), want (-1, false)", id, ok)
+	}
+}

@@ -1,10 +1,21 @@
 #!/bin/sh
-# check.sh — the repository's CI gate: formatting, vet, build, and the full
-# test suite under the race detector (which also runs the harness fuzz test's
-# seed corpus). Run from anywhere inside the repo.
+# check.sh — the repository's CI gate: formatting, vet, build, the full test
+# suite under the race detector (which also runs the harness fuzz test's seed
+# corpus), the simulator invariant stage (every experiment verified by
+# internal/invariant) and the determinism stage (same-configuration runs must
+# fold to identical event digests). Run from anywhere inside the repo.
+#
+# SHORT=1 keeps the local gate fast: tests run with -short (reduced trial
+# counts) and the invariant stage covers one experiment instead of three.
 set -eu
 
 cd "$(dirname "$0")/.."
+
+SHORT="${SHORT:-}"
+short_flag=""
+if [ -n "$SHORT" ]; then
+    short_flag="-short"
+fi
 
 echo "== gofmt =="
 unformatted=$(gofmt -l .)
@@ -21,6 +32,22 @@ echo "== go build =="
 go build ./...
 
 echo "== go test -race =="
-go test -race ./...
+go test -race $short_flag ./...
+
+echo "== invariants =="
+# Replay representative experiments with the invariant checker enforcing the
+# universal classes (SM conservation, event order/FIFO) on every run.
+if [ -n "$SHORT" ]; then
+    go run ./cmd/blessbench -invariants -quick -exp fig1
+else
+    for e in fig1 fig12 fig16; do
+        go run ./cmd/blessbench -invariants -quick -exp "$e"
+    done
+fi
+
+echo "== determinism =="
+# Same-seed runs must produce byte-identical event digests, and the
+# metamorphic relations (client permutation, quota scaling) must hold.
+go test -run 'TestDeterminismDigest|TestMetamorphicInvariantVerdicts' -count=1 $short_flag ./internal/harness/
 
 echo "OK"
