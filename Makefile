@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check test test-sim-nondeterminism bench bench-smoke fmt
+.PHONY: check test test-race test-sim-nondeterminism bench bench-smoke fmt
 
 ## check: formatting, vet, build, race tests, invariant + determinism stages
 check:
@@ -14,6 +14,11 @@ check:
 test:
 	$(GO) build ./...
 	$(GO) test ./...
+
+## test-race: the full test suite (chaos/churn suites included) under the
+## race detector, with caching disabled so every push re-exercises the races
+test-race:
+	$(GO) test -race -count=1 ./...
 
 ## test-sim-nondeterminism: the multi-seed determinism & metamorphic suite.
 ## INVARIANT_SEEDS widens the metamorphic sweep (CI long mode uses 12).

@@ -13,12 +13,14 @@ package bless
 import (
 	"testing"
 
+	"bless/internal/chaos"
 	"bless/internal/core"
 	"bless/internal/harness"
 	"bless/internal/model"
 	"bless/internal/profiler"
 	"bless/internal/sharing"
 	"bless/internal/sim"
+	"bless/internal/trace"
 )
 
 // benchExperiment runs one registered experiment per iteration. Skipped in
@@ -225,4 +227,58 @@ func seq(from, n int) []int {
 		out[i] = from + i
 	}
 	return out
+}
+
+// --- Fault-path benchmarks (see the "Fault model" section in DESIGN.md).
+// The no-fault and zero-rate variants must stay indistinguishable: the
+// zero-rate injector exercises every fault-path hook without injecting, so a
+// gap between them is pure recovery-machinery overhead on the hot path. The
+// bench-smoke gate enforces the same property in virtual time (digest
+// identity plus the >10% mean-latency ceiling against the committed
+// baseline). ---
+
+// benchFaultPath runs the smoke pair for 100ms of virtual time per iteration
+// under the given fault plan.
+func benchFaultPath(b *testing.B, fp *harness.FaultPlan) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		sched, err := harness.NewSystem("BLESS")
+		if err != nil {
+			b.Fatal(err)
+		}
+		_, err = harness.Run(harness.RunConfig{
+			Scheduler: sched,
+			Clients: []harness.ClientSpec{
+				{App: "resnet50", Quota: 0.5, Pattern: trace.Closed(2*sim.Millisecond, 0)},
+				{App: "vgg11", Quota: 0.5, Pattern: trace.Closed(2*sim.Millisecond, 0)},
+			},
+			Horizon: 100 * sim.Millisecond,
+			Faults:  fp,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFaultPathBaseline is the untouched hot path: no injector attached.
+func BenchmarkFaultPathBaseline(b *testing.B) {
+	b.ReportAllocs()
+	benchFaultPath(b, nil)
+}
+
+// BenchmarkFaultPathZeroRate attaches an inert injector: every launch
+// consults the fault hooks, none fire.
+func BenchmarkFaultPathZeroRate(b *testing.B) {
+	b.ReportAllocs()
+	benchFaultPath(b, &harness.FaultPlan{ForceInjector: true})
+}
+
+// BenchmarkFaultPathOnePercent runs degraded: 1% kernel faults, each
+// recovered through the capped-backoff retry path.
+func BenchmarkFaultPathOnePercent(b *testing.B) {
+	b.ReportAllocs()
+	benchFaultPath(b, &harness.FaultPlan{
+		Plan: chaos.Plan{Seed: 11, KernelFaultRate: 0.01},
+	})
 }

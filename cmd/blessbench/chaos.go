@@ -1,0 +1,92 @@
+package main
+
+import (
+	"fmt"
+
+	"bless/internal/chaos"
+	"bless/internal/harness"
+	"bless/internal/invariant"
+	"bless/internal/sim"
+	"bless/internal/trace"
+)
+
+// chaosScenario builds the canonical degraded-mode demonstration: the
+// fig13-style resnet50+vgg11 pair under a 1% kernel-fault rate and a transient
+// device stall, with vgg11 crashing mid-run and resnet101 admitted afterwards.
+func chaosScenario(horizon sim.Time) harness.RunConfig {
+	return harness.RunConfig{
+		Clients: []harness.ClientSpec{
+			{App: "resnet50", Quota: 0.5, Pattern: trace.Closed(2*sim.Millisecond, 0)},
+			{App: "vgg11", Quota: 0.5, Pattern: trace.Closed(2*sim.Millisecond, 0)},
+		},
+		Horizon: horizon,
+		Invariants: &invariant.Options{
+			FailOnViolation: true,
+			Enforce: []invariant.Class{
+				invariant.Conservation, invariant.Order, invariant.Delivery,
+			},
+			Repro: "go run ./cmd/blessbench -chaos",
+		},
+		Faults: &harness.FaultPlan{
+			Plan: chaos.Plan{
+				Seed:            1,
+				KernelFaultRate: 0.01,
+				Stalls:          []chaos.Stall{{At: horizon / 5, Dur: 2 * sim.Millisecond}},
+				Crashes:         []chaos.ClientEvent{{Client: 1, At: 2 * horizon / 5}},
+			},
+			Joins: []harness.Join{{
+				At: 3 * horizon / 5,
+				Spec: harness.ClientSpec{
+					App: "resnet101", Quota: 0.5,
+					Pattern: trace.Closed(2*sim.Millisecond, 0),
+				},
+			}},
+		},
+	}
+}
+
+// runChaos executes the chaos scenario twice and reports the degraded-mode
+// outcome: injected faults, retries, churn, per-client delivery accounting and
+// the completion digest — which must be identical across the two same-seed
+// runs, or the fault path itself is non-deterministic.
+func runChaos(quick bool) error {
+	horizon := 200 * sim.Millisecond
+	if quick {
+		horizon = 100 * sim.Millisecond
+	}
+	once := func() (*harness.Result, error) {
+		sched, err := harness.NewSystem("BLESS")
+		if err != nil {
+			return nil, err
+		}
+		cfg := chaosScenario(horizon)
+		cfg.Scheduler = sched
+		return harness.Run(cfg)
+	}
+	res, err := once()
+	if err != nil {
+		return fmt.Errorf("chaos run: %w", err)
+	}
+	res2, err := once()
+	if err != nil {
+		return fmt.Errorf("chaos rerun: %w", err)
+	}
+	d1, d2 := harness.CompletionDigest(res), harness.CompletionDigest(res2)
+	if d1 != d2 {
+		return fmt.Errorf("chaos: same-seed runs diverged: completion digest %016x != %016x", d1, d2)
+	}
+
+	ch := res.Chaos
+	fmt.Printf("chaos: %s over %v, seed %d\n", res.System, horizon, chaosScenario(horizon).Faults.Plan.Seed)
+	fmt.Printf("  injected: %d kernel faults, %d ctx faults, %d stalled launches\n",
+		ch.Injector.KernelFaults, ch.Injector.CtxFaults, ch.Injector.StallDelays)
+	fmt.Printf("  recovered: %d retries, %d retry aborts, %d deadline aborts, %d kernels cancelled\n",
+		ch.Runtime.Retries, ch.Runtime.RetryAborts, ch.Runtime.DeadlineAborts, ch.Runtime.CancelledKernels)
+	fmt.Printf("  churn: %d crash, %d leave, %d join\n", ch.Crashes, ch.Leaves, ch.Joins)
+	for _, cs := range res.PerClient {
+		fmt.Printf("  %-10s quota %.2f: %d submitted, %d completed, %d failed, mean %v\n",
+			cs.App, cs.Quota, cs.Submitted, cs.Completed, cs.Failed, cs.Summary.Mean)
+	}
+	fmt.Printf("  completion digest %016x (reproducible)\n", d1)
+	return nil
+}

@@ -11,7 +11,15 @@
 // harness run an experiment performs and fails on any universal violation.
 // -smoke FILE runs the fixed benchmark-smoke pair and writes its JSON
 // summary; -baseline FILE additionally compares against a committed summary
-// and fails on a >10% mean-latency regression (the CI perf gate).
+// and fails on a >10% mean-latency regression (the CI perf gate). The smoke
+// run also re-executes with a zero-rate fault injector attached and fails if
+// the digest shifts — the fault path must be transparent when inert.
+//
+// Fault injection: -chaos runs the canonical degraded-mode scenario — the
+// smoke pair under a 1% kernel-fault rate and a transient device stall, with
+// vgg11 crashing mid-run and resnet101 admitted afterwards — twice, verifies
+// the two same-seed runs produce identical completion digests, and prints the
+// recovery accounting (retries, aborts, churn, per-client delivery).
 package main
 
 import (
@@ -35,6 +43,7 @@ func main() {
 	invariants := flag.Bool("invariants", false, "verify simulator invariants on every run; fail on violation")
 	smokePath := flag.String("smoke", "", "run the benchmark-smoke pair and write its JSON summary to this file")
 	baselinePath := flag.String("baseline", "", "with -smoke: committed summary to compare against (>10% mean-latency regression fails)")
+	chaosFlag := flag.Bool("chaos", false, "run the chaos scenario (faults, stall, crash, join) twice and verify determinism")
 	flag.Parse()
 
 	if *invariants {
@@ -44,6 +53,16 @@ func main() {
 
 	if *smokePath != "" {
 		if err := runSmoke(*smokePath, *baselinePath); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if *exp == "" && !*list && *tracePath == "" && *metricsPath == "" && !*chaosFlag {
+			return
+		}
+	}
+
+	if *chaosFlag {
+		if err := runChaos(*quick); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

@@ -33,28 +33,42 @@ const regressionTolerance = 0.10
 // and fully deterministic so the digest doubles as a cross-platform
 // determinism probe.
 func runSmoke(outPath, baselinePath string) error {
-	sched, err := harness.NewSystem("BLESS")
-	if err != nil {
-		return err
-	}
 	prof, err := harness.ProfileFor("resnet50", sim.DefaultConfig())
 	if err != nil {
 		return err
 	}
-	res, err := harness.Run(harness.RunConfig{
-		Scheduler: sched,
-		Clients: []harness.ClientSpec{
-			{App: "resnet50", Quota: 0.5, Pattern: trace.Closed(prof.IsoAtQuota(0.5), 0)},
-			{App: "vgg11", Quota: 0.5, Pattern: trace.Closed(0, 0)},
-		},
-		Horizon: 200 * sim.Millisecond,
-		Invariants: &invariant.Options{
-			FailOnViolation: true,
-			Repro:           "go run ./cmd/blessbench -smoke " + outPath,
-		},
-	})
+	run := func(fp *harness.FaultPlan) (*harness.Result, error) {
+		sched, err := harness.NewSystem("BLESS")
+		if err != nil {
+			return nil, err
+		}
+		return harness.Run(harness.RunConfig{
+			Scheduler: sched,
+			Clients: []harness.ClientSpec{
+				{App: "resnet50", Quota: 0.5, Pattern: trace.Closed(prof.IsoAtQuota(0.5), 0)},
+				{App: "vgg11", Quota: 0.5, Pattern: trace.Closed(0, 0)},
+			},
+			Horizon: 200 * sim.Millisecond,
+			Invariants: &invariant.Options{
+				FailOnViolation: true,
+				Repro:           "go run ./cmd/blessbench -smoke " + outPath,
+			},
+			Faults: fp,
+		})
+	}
+	res, err := run(nil)
 	if err != nil {
 		return fmt.Errorf("smoke run: %w", err)
+	}
+	// The fault path must cost nothing when inert: the same workload with a
+	// zero-rate injector attached must replay the exact simulated timeline.
+	inert, err := run(&harness.FaultPlan{ForceInjector: true})
+	if err != nil {
+		return fmt.Errorf("smoke zero-rate run: %w", err)
+	}
+	if inert.Invariants.Digest != res.Invariants.Digest {
+		return fmt.Errorf("smoke: zero-rate fault injector perturbed the run: digest %016x != %016x",
+			inert.Invariants.Digest, res.Invariants.Digest)
 	}
 	cur := smokeSummary{
 		System:       res.System,

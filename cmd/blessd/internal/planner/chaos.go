@@ -1,0 +1,224 @@
+package planner
+
+// Fault-plan plumbing and the Admit RPC: PlanRequest may carry a FaultConfig
+// (seeded kernel/context fault rates, stall windows, client churn) and
+// Planner.Admit answers the operator question behind dynamic admission —
+// "can this tenant join the running deployment without breaking the
+// incumbents' quotas?" — by simulating the join mid-run and inspecting the
+// invariant report.
+
+import (
+	"fmt"
+
+	"bless/internal/chaos"
+	"bless/internal/harness"
+	"bless/internal/invariant"
+	"bless/internal/sim"
+	"bless/internal/trace"
+)
+
+// StallConfig is one transient device-stall window.
+type StallConfig struct {
+	AtMS  float64
+	DurMS float64
+}
+
+// ChurnEvent removes a deployed client (by slot index) at a simulated instant.
+type ChurnEvent struct {
+	Client int
+	AtMS   float64
+}
+
+// JoinEvent admits a new tenant mid-run.
+type JoinEvent struct {
+	AtMS   float64
+	Client ClientPlan
+}
+
+// FaultConfig is the JSON/gob-friendly fault and churn plan of a PlanRequest.
+type FaultConfig struct {
+	// Seed keys every hashed fault decision.
+	Seed int64
+	// KernelFaultRate and CtxFaultRate are injection probabilities; see
+	// chaos.Plan.
+	KernelFaultRate float64
+	CtxFaultRate    float64
+	// MaxFaultsPerKernel bounds consecutive faults per kernel (default 2).
+	MaxFaultsPerKernel int
+	// DeadlineMS, when positive, sets the scheduler's per-request deadline.
+	DeadlineMS float64
+	// Stalls, Crashes, Leaves and Joins schedule device stalls and client
+	// churn.
+	Stalls  []StallConfig
+	Crashes []ChurnEvent
+	Leaves  []ChurnEvent
+	Joins   []JoinEvent
+}
+
+// ChaosOutcome summarizes a plan's degraded-mode activity in the reply.
+type ChaosOutcome struct {
+	KernelFaults   int64
+	CtxFaults      int64
+	StallDelays    int64
+	Retries        int64
+	RetryAborts    int64
+	DeadlineAborts int64
+	Crashes        int
+	Leaves         int
+	Joins          int
+}
+
+// ms converts a millisecond float to simulated time.
+func ms(v float64) sim.Time { return sim.Time(v * float64(sim.Millisecond)) }
+
+// specFor converts one ClientPlan to a harness spec.
+func specFor(c ClientPlan) (harness.ClientSpec, error) {
+	spec := harness.ClientSpec{
+		App:       c.App,
+		Quota:     c.Quota,
+		SLOTarget: ms(c.SLOTargetMS),
+	}
+	switch c.Workload {
+	case "", "closed":
+		spec.Pattern = trace.Closed(ms(c.ThinkMS), c.Requests)
+	case "burst":
+		n := c.Requests
+		if n <= 0 {
+			n = 1
+		}
+		spec.Pattern = trace.Burst(n, 0)
+	default:
+		return spec, fmt.Errorf("planner: unknown workload %q", c.Workload)
+	}
+	return spec, nil
+}
+
+// faultPlanOf converts a FaultConfig to the harness representation.
+func faultPlanOf(fc *FaultConfig) (*harness.FaultPlan, error) {
+	if fc == nil {
+		return nil, nil
+	}
+	fp := &harness.FaultPlan{
+		Plan: chaos.Plan{
+			Seed:               fc.Seed,
+			KernelFaultRate:    fc.KernelFaultRate,
+			CtxFaultRate:       fc.CtxFaultRate,
+			MaxFaultsPerKernel: fc.MaxFaultsPerKernel,
+		},
+		Deadline: ms(fc.DeadlineMS),
+	}
+	for _, s := range fc.Stalls {
+		fp.Plan.Stalls = append(fp.Plan.Stalls, chaos.Stall{At: ms(s.AtMS), Dur: ms(s.DurMS)})
+	}
+	for _, e := range fc.Crashes {
+		fp.Plan.Crashes = append(fp.Plan.Crashes, chaos.ClientEvent{Client: e.Client, At: ms(e.AtMS)})
+	}
+	for _, e := range fc.Leaves {
+		fp.Plan.Leaves = append(fp.Plan.Leaves, chaos.ClientEvent{Client: e.Client, At: ms(e.AtMS)})
+	}
+	for _, j := range fc.Joins {
+		spec, err := specFor(j.Client)
+		if err != nil {
+			return nil, err
+		}
+		fp.Joins = append(fp.Joins, harness.Join{At: ms(j.AtMS), Spec: spec})
+	}
+	return fp, nil
+}
+
+// chaosOutcome converts a harness chaos report for the reply.
+func chaosOutcome(rep *harness.ChaosReport) *ChaosOutcome {
+	if rep == nil {
+		return nil
+	}
+	return &ChaosOutcome{
+		KernelFaults:   rep.Injector.KernelFaults,
+		CtxFaults:      rep.Injector.CtxFaults,
+		StallDelays:    rep.Injector.StallDelays,
+		Retries:        rep.Runtime.Retries,
+		RetryAborts:    rep.Runtime.RetryAborts,
+		DeadlineAborts: rep.Runtime.DeadlineAborts,
+		Crashes:        rep.Crashes,
+		Leaves:         rep.Leaves,
+		Joins:          rep.Joins,
+	}
+}
+
+// AdmitRequest asks whether a new tenant can join a running deployment.
+type AdmitRequest struct {
+	// Base is the running deployment (System, Clients, HorizonMS, GPUSMs).
+	Base PlanRequest
+	// Candidate is the tenant that wants to join.
+	Candidate ClientPlan
+	// JoinAtMS is the admission instant (default: half the horizon).
+	JoinAtMS float64
+}
+
+// AdmitReply is the admission verdict with the projected outcome.
+type AdmitReply struct {
+	// Admit reports whether the join is safe; Reason explains a rejection.
+	Admit  bool
+	Reason string
+	// Outcome is the projected deployment including the candidate (the
+	// candidate is the last PerClient entry when the join landed).
+	Outcome PlanReply
+}
+
+// Admit forwards to Planner.Admit.
+func (s *PlanService) Admit(req AdmitRequest, reply *AdmitReply) error { return s.p.Admit(req, reply) }
+
+// Admit simulates the base deployment with the candidate joining mid-run and
+// rejects the admission if the scheduler cannot place it (resources) or if an
+// incumbent's quota attainment breaks after re-provisioning.
+func (p *Planner) Admit(req AdmitRequest, reply *AdmitReply) error {
+	base := req.Base
+	if len(base.Clients) == 0 {
+		p.reg.Counter("admit_errors_total").Inc()
+		return fmt.Errorf("planner: no incumbent clients in admission request")
+	}
+	joinAt := req.JoinAtMS
+	if joinAt <= 0 {
+		h := base.HorizonMS
+		if h <= 0 {
+			h = 1000
+		}
+		joinAt = h / 2
+	}
+	if base.Faults == nil {
+		base.Faults = &FaultConfig{}
+	} else {
+		fc := *base.Faults
+		base.Faults = &fc
+	}
+	base.Faults.Joins = append(append([]JoinEvent(nil), base.Faults.Joins...),
+		JoinEvent{AtMS: joinAt, Client: req.Candidate})
+
+	// Quota breaches must surface in the report without failing the run: the
+	// run is the admission probe.
+	res, err := p.plan(base, &invariant.Options{Enforce: invariant.Universal(), FailOnViolation: true}, &reply.Outcome)
+	if err != nil {
+		p.reg.Counter("admit_errors_total").Inc()
+		return err
+	}
+	p.reg.Counter("admissions_total").Inc()
+
+	if res.Chaos == nil || res.Chaos.Joins == 0 {
+		reply.Admit = false
+		reply.Reason = fmt.Sprintf("scheduler rejected the admission of %q (insufficient resources)", req.Candidate.App)
+		p.reg.Counter("admissions_rejected_total").Inc()
+		return nil
+	}
+	if rep := res.Invariants; rep != nil {
+		for i, cr := range rep.Clients {
+			if i < len(base.Clients) && cr.Active && cr.Violated {
+				reply.Admit = false
+				reply.Reason = fmt.Sprintf("incumbent %q would attain only %.0f%% of its quota share after the join",
+					cr.Client.Name, cr.Share*100)
+				p.reg.Counter("admissions_rejected_total").Inc()
+				return nil
+			}
+		}
+	}
+	reply.Admit = true
+	return nil
+}

@@ -1,0 +1,142 @@
+package planner
+
+import (
+	"net"
+	"net/rpc"
+	"testing"
+)
+
+// TestPlanWithFaults: a plan carrying a fault config reports its chaos
+// outcome and keeps incumbents' accounting exact.
+func TestPlanWithFaults(t *testing.T) {
+	var reply PlanReply
+	err := New().Plan(PlanRequest{
+		Clients: []ClientPlan{
+			{App: "resnet50", Quota: 0.5, ThinkMS: 2},
+			{App: "vgg11", Quota: 0.5, ThinkMS: 2},
+		},
+		HorizonMS: 200,
+		Faults: &FaultConfig{
+			Seed:            7,
+			KernelFaultRate: 0.01,
+			Crashes:         []ChurnEvent{{Client: 1, AtMS: 80}},
+		},
+	}, &reply)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply.Chaos == nil {
+		t.Fatal("fault config ran but reply.Chaos is nil")
+	}
+	if reply.Chaos.Crashes != 1 {
+		t.Errorf("crashes = %d, want 1", reply.Chaos.Crashes)
+	}
+	if reply.Chaos.KernelFaults == 0 || reply.Chaos.Retries == 0 {
+		t.Errorf("no fault activity reported: %+v", reply.Chaos)
+	}
+	if reply.PerClient[0].Completed == 0 {
+		t.Error("surviving client completed nothing")
+	}
+}
+
+// TestAdmitAccepts: joining a half-loaded deployment is safe and the reply
+// carries the candidate's projected outcome.
+func TestAdmitAccepts(t *testing.T) {
+	p := New()
+	var reply AdmitReply
+	err := p.Admit(AdmitRequest{
+		Base: PlanRequest{
+			Clients:   []ClientPlan{{App: "resnet50", Quota: 0.5, ThinkMS: 4}},
+			HorizonMS: 200,
+		},
+		Candidate: ClientPlan{App: "vgg11", Quota: 0.5, ThinkMS: 4},
+	}, &reply)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reply.Admit {
+		t.Fatalf("admission rejected: %s", reply.Reason)
+	}
+	if n := len(reply.Outcome.PerClient); n != 2 {
+		t.Fatalf("%d clients in outcome, want 2", n)
+	}
+	if cand := reply.Outcome.PerClient[1]; cand.Completed == 0 {
+		t.Error("admitted candidate completed nothing")
+	}
+	if reply.Outcome.Chaos == nil || reply.Outcome.Chaos.Joins != 1 {
+		t.Errorf("join not reflected in chaos outcome: %+v", reply.Outcome.Chaos)
+	}
+}
+
+// TestAdmitRejectsOnMemory: a candidate the device cannot fit is rejected
+// with a resources reason, not an error.
+func TestAdmitRejectsOnMemory(t *testing.T) {
+	p := New()
+	var reply AdmitReply
+	err := p.Admit(AdmitRequest{
+		Base: PlanRequest{
+			// Three 12 GB tenants nearly fill the 40 GB device; a fourth
+			// cannot fit.
+			Clients: []ClientPlan{
+				{App: "bert-train", Quota: 0.25, ThinkMS: 4},
+				{App: "bert-train", Quota: 0.25, ThinkMS: 4},
+				{App: "bert-train", Quota: 0.25, ThinkMS: 4},
+			},
+			HorizonMS: 120,
+		},
+		Candidate: ClientPlan{App: "bert-train", Quota: 0.25, ThinkMS: 4},
+		JoinAtMS:  60,
+	}, &reply)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply.Admit {
+		t.Fatal("admission accepted though the candidate cannot fit in device memory")
+	}
+	if reply.Reason == "" {
+		t.Error("rejection carries no reason")
+	}
+}
+
+// TestAdmitValidation: an admission request without incumbents errors.
+func TestAdmitValidation(t *testing.T) {
+	var reply AdmitReply
+	if err := New().Admit(AdmitRequest{Candidate: ClientPlan{App: "vgg11", Quota: 0.5}}, &reply); err == nil {
+		t.Error("incumbent-less admission accepted")
+	}
+}
+
+// TestAdmitOverRPC: Admit is reachable through the net/rpc surface.
+func TestAdmitOverRPC(t *testing.T) {
+	srv := rpc.NewServer()
+	if err := srv.RegisterName("Planner", New().RPC()); err != nil {
+		t.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go srv.Accept(l)
+
+	client, err := rpc.Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	var reply AdmitReply
+	err = client.Call("Planner.Admit", AdmitRequest{
+		Base: PlanRequest{
+			Clients:   []ClientPlan{{App: "resnet50", Quota: 0.5, ThinkMS: 4}},
+			HorizonMS: 150,
+		},
+		Candidate: ClientPlan{App: "vgg11", Quota: 0.5, ThinkMS: 4},
+	}, &reply)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reply.Admit {
+		t.Fatalf("RPC admission rejected: %s", reply.Reason)
+	}
+}

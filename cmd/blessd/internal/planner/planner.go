@@ -16,7 +16,6 @@ import (
 	"bless/internal/invariant"
 	"bless/internal/obs"
 	"bless/internal/sim"
-	"bless/internal/trace"
 )
 
 // ClientPlan describes one tenant in a planning request.
@@ -48,6 +47,9 @@ type PlanRequest struct {
 	HorizonMS float64
 	// GPUSMs overrides the device SM count (default 108).
 	GPUSMs int
+	// Faults, if set, runs the plan under a seeded fault and churn plan;
+	// the degraded-mode outcome lands in PlanReply.Chaos.
+	Faults *FaultConfig
 }
 
 // ClientOutcome is one tenant's projection.
@@ -55,6 +57,7 @@ type ClientOutcome struct {
 	App            string
 	Quota          float64
 	Completed      int
+	Failed         int
 	MeanLatencyMS  float64
 	P99LatencyMS   float64
 	ISOLatencyMS   float64
@@ -67,6 +70,9 @@ type PlanReply struct {
 	PerClient   []ClientOutcome
 	Utilization float64
 	ElapsedMS   float64
+	// Chaos summarizes fault injection and churn when the request carried a
+	// FaultConfig; nil otherwise.
+	Chaos *ChaosOutcome
 }
 
 // Planner is the RPC receiver. It accumulates observability state across
@@ -95,13 +101,23 @@ func (p *Planner) RPC() *PlanService { return &PlanService{p: p} }
 // Plan forwards to Planner.Plan.
 func (s *PlanService) Plan(req PlanRequest, reply *PlanReply) error { return s.p.Plan(req, reply) }
 
-// Plan simulates the requested deployment and fills the reply.
+// Plan simulates the requested deployment and fills the reply. Every plan is
+// verified: universal invariant violations fail the plan, quota and bubble
+// assessments surface on /debug/bless/invariants.
 func (p *Planner) Plan(req PlanRequest, reply *PlanReply) error {
+	_, err := p.plan(req, &invariant.Options{FailOnViolation: true}, reply)
+	return err
+}
+
+// plan is the shared run path behind Plan and Admit: it converts the request,
+// runs the simulation fully instrumented, accumulates observability state,
+// and fills the reply.
+func (p *Planner) plan(req PlanRequest, inv *invariant.Options, reply *PlanReply) (*harness.Result, error) {
 	if len(req.Clients) == 0 {
 		p.reg.Counter("plan_errors_total").Inc()
-		return fmt.Errorf("planner: no clients in request")
+		return nil, fmt.Errorf("planner: no clients in request")
 	}
-	horizon := sim.Time(req.HorizonMS * float64(sim.Millisecond))
+	horizon := ms(req.HorizonMS)
 	if horizon <= 0 {
 		horizon = sim.Second
 	}
@@ -117,29 +133,21 @@ func (p *Planner) Plan(req PlanRequest, reply *PlanReply) error {
 	sched, err := harness.NewSystem(system)
 	if err != nil {
 		p.reg.Counter("plan_errors_total").Inc()
-		return err
+		return nil, err
 	}
 	specs := make([]harness.ClientSpec, len(req.Clients))
 	for i, c := range req.Clients {
-		spec := harness.ClientSpec{
-			App:       c.App,
-			Quota:     c.Quota,
-			SLOTarget: sim.Time(c.SLOTargetMS * float64(sim.Millisecond)),
-		}
-		switch c.Workload {
-		case "", "closed":
-			spec.Pattern = trace.Closed(sim.Time(c.ThinkMS*float64(sim.Millisecond)), c.Requests)
-		case "burst":
-			n := c.Requests
-			if n <= 0 {
-				n = 1
-			}
-			spec.Pattern = trace.Burst(n, 0)
-		default:
+		spec, err := specFor(c)
+		if err != nil {
 			p.reg.Counter("plan_errors_total").Inc()
-			return fmt.Errorf("planner: unknown workload %q", c.Workload)
+			return nil, err
 		}
 		specs[i] = spec
+	}
+	fp, err := faultPlanOf(req.Faults)
+	if err != nil {
+		p.reg.Counter("plan_errors_total").Inc()
+		return nil, err
 	}
 
 	col := obs.NewCollector()
@@ -147,16 +155,15 @@ func (p *Planner) Plan(req PlanRequest, reply *PlanReply) error {
 	bus := obs.NewBus()
 	bus.Subscribe(col)
 	res, err := harness.Run(harness.RunConfig{
-		Scheduler: sched,
-		Clients:   specs,
-		Horizon:   horizon,
-		GPU:       gpuCfg,
-		Tracers:   []sim.Tracer{col.Recorder},
-		Bus:       bus,
-		Registry:  p.reg,
-		// Every plan is verified: universal violations fail the plan, quota
-		// and bubble assessments surface on /debug/bless/invariants.
-		Invariants: &invariant.Options{FailOnViolation: true},
+		Scheduler:  sched,
+		Clients:    specs,
+		Horizon:    horizon,
+		GPU:        gpuCfg,
+		Tracers:    []sim.Tracer{col.Recorder},
+		Bus:        bus,
+		Registry:   p.reg,
+		Invariants: inv,
+		Faults:     fp,
 	})
 	if res != nil && res.Invariants != nil {
 		p.mu.Lock()
@@ -166,7 +173,7 @@ func (p *Planner) Plan(req PlanRequest, reply *PlanReply) error {
 	}
 	if err != nil {
 		p.reg.Counter("plan_errors_total").Inc()
-		return err
+		return nil, err
 	}
 	p.reg.Counter("plans_total").Inc()
 	p.reg.Counter("plans/" + res.System).Inc()
@@ -178,18 +185,20 @@ func (p *Planner) Plan(req PlanRequest, reply *PlanReply) error {
 	reply.System = res.System
 	reply.Utilization = res.Utilization
 	reply.ElapsedMS = float64(res.Elapsed) / float64(sim.Millisecond)
+	reply.Chaos = chaosOutcome(res.Chaos)
 	for _, cs := range res.PerClient {
 		reply.PerClient = append(reply.PerClient, ClientOutcome{
 			App:            cs.App,
 			Quota:          cs.Quota,
 			Completed:      cs.Completed,
+			Failed:         cs.Failed,
 			MeanLatencyMS:  float64(cs.Summary.Mean) / float64(sim.Millisecond),
 			P99LatencyMS:   float64(cs.Summary.P99) / float64(sim.Millisecond),
 			ISOLatencyMS:   float64(cs.ISO) / float64(sim.Millisecond),
 			MeetsISOTarget: cs.Summary.Mean <= cs.ISO,
 		})
 	}
-	return nil
+	return res, nil
 }
 
 // captureTrace renders and stores the plan's Chrome trace for ServeTrace.

@@ -18,9 +18,18 @@
 //	var reply blessd.PlanReply
 //	client.Call("Planner.Plan", req, &reply)
 //
+// A PlanRequest may carry a FaultConfig: the plan then runs under a seeded
+// fault and churn plan (kernel faults, device stalls, client crashes and
+// leaves) and the reply's Chaos field reports the degraded-mode accounting.
+// The Planner.Admit RPC builds on it for dynamic admission — "can this
+// tenant join the running deployment?" — by simulating the join mid-run and
+// rejecting if the candidate cannot be placed or an incumbent's quota
+// attainment would break (see AdmitRequest/AdmitReply).
+//
 // With -debug set, the daemon also serves live introspection over HTTP:
 //
-//	GET /debug/bless/metrics  streaming-metrics snapshot (plan counters,
+//	GET /debug/bless/metrics  streaming-metrics snapshot (plan and admission
+//	                          counters, chaos_* fault/churn counters,
 //	                          per-app latency histograms, §6.9 overhead
 //	                          accounting of the latest BLESS plan)
 //	GET /debug/bless/trace    Chrome trace-event JSON of the most recent

@@ -1,0 +1,286 @@
+package baselines
+
+// Client churn for the wholesale baselines: Static, Unbound and Temporal
+// implement sharing.Dynamic (mid-run admission, graceful leave, crash) and
+// sharing.QuotaReporter. On churn each scheme re-normalizes the survivors'
+// effective quotas over the live provisioned sum — Static resizes its SM
+// partitions, Temporal rescales its time slices, Unbound (which cannot
+// express quotas) only updates the reported shares. A graceful leave drains
+// the client's outstanding requests before releasing its memory; a crash
+// cancels its queued kernel launches immediately (cancelled wholesale
+// launches simply vanish — the dead client's requests never complete).
+
+import (
+	"fmt"
+
+	"bless/internal/sharing"
+	"bless/internal/sim"
+)
+
+// dynState is the churn bookkeeping shared by the wholesale baselines.
+type dynState struct {
+	prov        []float64 // provisioned quotas, fixed at deploy/admission
+	live        []bool
+	leaving     []bool
+	outstanding []int // unfinished requests per client
+}
+
+// deployed initializes the state for the initial client set.
+func (d *dynState) deployed(clients []*sharing.Client) {
+	n := len(clients)
+	d.prov = make([]float64, n)
+	d.live = make([]bool, n)
+	d.leaving = make([]bool, n)
+	d.outstanding = make([]int, n)
+	for i, c := range clients {
+		d.prov[i] = c.Quota
+		d.live[i] = true
+	}
+}
+
+// add appends a joining client's slot.
+func (d *dynState) add(c *sharing.Client) {
+	d.prov = append(d.prov, c.Quota)
+	d.live = append(d.live, true)
+	d.leaving = append(d.leaving, false)
+	d.outstanding = append(d.outstanding, 0)
+}
+
+// accepts reports whether the client may submit new work.
+func (d *dynState) accepts(id int) bool {
+	return id >= 0 && id < len(d.live) && d.live[id] && !d.leaving[id]
+}
+
+// removable validates a RemoveClient target.
+func (d *dynState) removable(sys string, id int) error {
+	if id < 0 || id >= len(d.live) {
+		return fmt.Errorf("baselines: %s: unknown client %d", sys, id)
+	}
+	if !d.live[id] {
+		return fmt.Errorf("baselines: %s: client %d already removed", sys, id)
+	}
+	if d.leaving[id] {
+		return fmt.Errorf("baselines: %s: client %d already leaving", sys, id)
+	}
+	return nil
+}
+
+// renormalize updates the live clients' effective quotas to their share of
+// the live provisioned sum and returns whether anything changed.
+func (d *dynState) renormalize(cqs []*clientQueues) bool {
+	sum := 0.0
+	for i := range cqs {
+		if d.live[i] {
+			sum += d.prov[i]
+		}
+	}
+	if sum <= 0 {
+		return false
+	}
+	changed := false
+	for i, cq := range cqs {
+		if !d.live[i] {
+			continue
+		}
+		eff := d.prov[i] / sum
+		if eff > 1 {
+			eff = 1
+		}
+		if eff != cq.c.Quota {
+			cq.c.Quota = eff
+			changed = true
+		}
+	}
+	return changed
+}
+
+// effective lists the live clients' current effective quotas.
+func (d *dynState) effective(cqs []*clientQueues) []sharing.ClientQuota {
+	out := make([]sharing.ClientQuota, 0, len(cqs))
+	for i, cq := range cqs {
+		if d.live[i] {
+			out = append(out, sharing.ClientQuota{ID: cq.c.ID, Quota: cq.c.Quota})
+		}
+	}
+	return out
+}
+
+// admit validates a joining client and provisions its memory, context and
+// queue; on failure everything is rolled back.
+func admit(env *sharing.Env, sys string, c *sharing.Client, limit, next int) (*clientQueues, error) {
+	if env == nil {
+		return nil, fmt.Errorf("baselines: %s: AddClient before Deploy", sys)
+	}
+	if c.ID != next {
+		return nil, fmt.Errorf("baselines: %s: client ID %d is not the next slot %d", sys, c.ID, next)
+	}
+	if c.Quota <= 0 || c.Quota > 1 {
+		return nil, fmt.Errorf("baselines: %s: client %q quota %g outside (0,1]", sys, c.App.Name, c.Quota)
+	}
+	if err := env.GPU.AllocMemory(c.App.MemoryBytes); err != nil {
+		return nil, fmt.Errorf("baselines: %s admitting %q: %w", sys, c.App.Name, err)
+	}
+	ctx, err := env.GPU.NewContext(sim.ContextOptions{
+		SMLimit: limit,
+		Label:   fmt.Sprintf("%s/%s", sys, c.App.Name),
+		Owner:   sim.OwnerTag(c.ID),
+	})
+	if err != nil {
+		env.GPU.FreeMemory(c.App.MemoryBytes)
+		return nil, fmt.Errorf("baselines: %s admitting %q: %w", sys, c.App.Name, err)
+	}
+	return &clientQueues{c: c, ctx: ctx, q: ctx.NewQueue(c.App.Name)}, nil
+}
+
+// releaseMem returns a departed client's memory (application footprint plus
+// its context).
+func releaseMem(env *sharing.Env, c *sharing.Client) {
+	env.GPU.FreeMemory(c.App.MemoryBytes + env.GPU.Config().ContextMemBytes)
+}
+
+// --- Static ---
+
+// reprovision renormalizes effective quotas and resizes the surviving SM
+// partitions accordingly: a departed client's SMs fold back into the
+// survivors' partitions instead of idling.
+func (s *Static) reprovision() {
+	if !s.dyn.renormalize(s.clients) {
+		return
+	}
+	sms := s.env.GPU.Config().SMs
+	for i, cq := range s.clients {
+		if s.dyn.live[i] {
+			_ = cq.ctx.SetSMLimit(cq.c.QuotaSMs(sms))
+		}
+	}
+}
+
+// retire releases a drained or departed client and re-provisions.
+func (s *Static) retire(id int) {
+	s.dyn.live[id] = false
+	s.dyn.leaving[id] = false
+	releaseMem(s.env, s.clients[id].c)
+	s.reprovision()
+}
+
+// AddClient implements sharing.Dynamic.
+func (s *Static) AddClient(c *sharing.Client) error {
+	cq, err := admit(s.env, "static", c, c.QuotaSMs(s.env.GPU.Config().SMs), len(s.clients))
+	if err != nil {
+		return err
+	}
+	s.clients = append(s.clients, cq)
+	s.dyn.add(c)
+	s.reprovision()
+	return nil
+}
+
+// RemoveClient implements sharing.Dynamic.
+func (s *Static) RemoveClient(id int, crashed bool) error {
+	if err := s.dyn.removable("static", id); err != nil {
+		return err
+	}
+	if !crashed && s.dyn.outstanding[id] > 0 {
+		s.dyn.leaving[id] = true
+		return nil
+	}
+	if crashed {
+		s.clients[id].q.CancelPending()
+		s.dyn.outstanding[id] = 0
+	}
+	s.retire(id)
+	return nil
+}
+
+// EffectiveQuotas implements sharing.QuotaReporter.
+func (s *Static) EffectiveQuotas() []sharing.ClientQuota { return s.dyn.effective(s.clients) }
+
+// --- Unbound ---
+
+// AddClient implements sharing.Dynamic.
+func (u *Unbound) AddClient(c *sharing.Client) error {
+	cq, err := admit(u.env, "unbound", c, 0, len(u.clients))
+	if err != nil {
+		return err
+	}
+	u.clients = append(u.clients, cq)
+	u.dyn.add(c)
+	u.dyn.renormalize(u.clients)
+	return nil
+}
+
+// retire releases a drained or departed client and re-provisions.
+func (u *Unbound) retire(id int) {
+	u.dyn.live[id] = false
+	u.dyn.leaving[id] = false
+	releaseMem(u.env, u.clients[id].c)
+	u.dyn.renormalize(u.clients)
+}
+
+// RemoveClient implements sharing.Dynamic.
+func (u *Unbound) RemoveClient(id int, crashed bool) error {
+	if err := u.dyn.removable("unbound", id); err != nil {
+		return err
+	}
+	if !crashed && u.dyn.outstanding[id] > 0 {
+		u.dyn.leaving[id] = true
+		return nil
+	}
+	if crashed {
+		u.clients[id].q.CancelPending()
+		u.dyn.outstanding[id] = 0
+	}
+	u.retire(id)
+	return nil
+}
+
+// EffectiveQuotas implements sharing.QuotaReporter.
+func (u *Unbound) EffectiveQuotas() []sharing.ClientQuota { return u.dyn.effective(u.clients) }
+
+// --- Temporal ---
+
+// AddClient implements sharing.Dynamic: the joiner's queue starts paused and
+// enters the rotation at the next slice boundary.
+func (t *Temporal) AddClient(c *sharing.Client) error {
+	cq, err := admit(t.env, "temporal", c, 0, len(t.clients))
+	if err != nil {
+		return err
+	}
+	cq.q.Pause()
+	t.clients = append(t.clients, cq)
+	t.dyn.add(c)
+	t.dyn.renormalize(t.clients)
+	return nil
+}
+
+// retire releases a drained or departed client; its reserved slice share
+// folds back into the survivors' slices.
+func (t *Temporal) retire(id int) {
+	t.dyn.live[id] = false
+	t.dyn.leaving[id] = false
+	releaseMem(t.env, t.clients[id].c)
+	t.dyn.renormalize(t.clients)
+}
+
+// RemoveClient implements sharing.Dynamic. A crashed client's pending
+// launches are cancelled and its queue paused; if it held the GPU, the slice
+// runs out and the rotation skips it from then on.
+func (t *Temporal) RemoveClient(id int, crashed bool) error {
+	if err := t.dyn.removable("temporal", id); err != nil {
+		return err
+	}
+	if !crashed && t.dyn.outstanding[id] > 0 {
+		t.dyn.leaving[id] = true
+		return nil
+	}
+	if crashed {
+		t.clients[id].q.CancelPending()
+		t.clients[id].q.Pause()
+		t.dyn.outstanding[id] = 0
+	}
+	t.retire(id)
+	return nil
+}
+
+// EffectiveQuotas implements sharing.QuotaReporter.
+func (t *Temporal) EffectiveQuotas() []sharing.ClientQuota { return t.dyn.effective(t.clients) }

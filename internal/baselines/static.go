@@ -18,6 +18,7 @@ type Static struct {
 	env     *sharing.Env
 	host    *sim.Host
 	clients []*clientQueues
+	dyn     dynState
 }
 
 // NewStatic returns a STATIC scheduler.
@@ -38,10 +39,21 @@ func (s *Static) Deploy(env *sharing.Env) error {
 		return err
 	}
 	s.env, s.host, s.clients = env, sim.NewHost(env.GPU), cqs
+	s.dyn.deployed(env.Clients)
 	return nil
 }
 
 // Submit implements sharing.Scheduler.
 func (s *Static) Submit(r *sharing.Request) {
-	launchWholesale(s.env, s.host, s.clients[r.Client.ID], r, nil)
+	id := r.Client.ID
+	if !s.dyn.accepts(id) {
+		return
+	}
+	s.dyn.outstanding[id]++
+	launchWholesale(s.env, s.host, s.clients[id], r, func() {
+		s.dyn.outstanding[id]--
+		if s.dyn.leaving[id] && s.dyn.outstanding[id] == 0 {
+			s.retire(id)
+		}
+	})
 }

@@ -23,13 +23,13 @@ type Temporal struct {
 	env     *sharing.Env
 	host    *sim.Host
 	clients []*clientQueues
-
-	// outstanding counts unfinished requests per client; queue emptiness is
+	// dyn tracks churn and per-client unfinished requests; queue emptiness is
 	// not enough because launched kernels arrive a launch-latency later.
-	outstanding []int
-	cur         int
-	rotating    bool
-	sliceEnd    *sim.Event
+	dyn dynState
+
+	cur      int
+	rotating bool
+	sliceEnd *sim.Event
 }
 
 // NewTemporal returns a TEMPORAL scheduler.
@@ -55,7 +55,7 @@ func (t *Temporal) Deploy(env *sharing.Env) error {
 		t.RoundLen = DefaultRoundLen
 	}
 	t.env, t.host, t.clients = env, sim.NewHost(env.GPU), cqs
-	t.outstanding = make([]int, len(cqs))
+	t.dyn.deployed(env.Clients)
 	t.cur = -1
 	return nil
 }
@@ -63,9 +63,15 @@ func (t *Temporal) Deploy(env *sharing.Env) error {
 // Submit implements sharing.Scheduler.
 func (t *Temporal) Submit(r *sharing.Request) {
 	id := r.Client.ID
-	t.outstanding[id]++
+	if !t.dyn.accepts(id) {
+		return
+	}
+	t.dyn.outstanding[id]++
 	launchWholesale(t.env, t.host, t.clients[id], r, func() {
-		t.outstanding[id]--
+		t.dyn.outstanding[id]--
+		if t.dyn.leaving[id] && t.dyn.outstanding[id] == 0 {
+			t.retire(id)
+		}
 	})
 	if !t.rotating {
 		t.rotating = true
@@ -85,7 +91,7 @@ func (t *Temporal) advance(delay sim.Time) {
 	}
 	any := false
 	for i := range t.clients {
-		if t.outstanding[i] > 0 {
+		if t.dyn.live[i] && t.dyn.outstanding[i] > 0 {
 			any = true
 			break
 		}
@@ -95,7 +101,21 @@ func (t *Temporal) advance(delay sim.Time) {
 		t.cur = -1
 		return
 	}
-	next := (t.cur + 1) % len(t.clients)
+	// Departed clients drop out of the rotation; their reserved share folds
+	// into the survivors' (renormalized) slices instead of burning idle.
+	next := -1
+	for step := 1; step <= len(t.clients); step++ {
+		cand := (t.cur + step) % len(t.clients)
+		if t.dyn.live[cand] {
+			next = cand
+			break
+		}
+	}
+	if next < 0 {
+		t.rotating = false
+		t.cur = -1
+		return
+	}
 	t.env.Eng.After(delay, func() {
 		t.cur = next
 		cq := t.clients[next]

@@ -15,6 +15,7 @@ type Unbound struct {
 	env     *sharing.Env
 	host    *sim.Host
 	clients []*clientQueues
+	dyn     dynState
 }
 
 // NewUnbound returns an UNBOUND scheduler.
@@ -33,10 +34,21 @@ func (u *Unbound) Deploy(env *sharing.Env) error {
 		return err
 	}
 	u.env, u.host, u.clients = env, sim.NewHost(env.GPU), cqs
+	u.dyn.deployed(env.Clients)
 	return nil
 }
 
 // Submit implements sharing.Scheduler.
 func (u *Unbound) Submit(r *sharing.Request) {
-	launchWholesale(u.env, u.host, u.clients[r.Client.ID], r, nil)
+	id := r.Client.ID
+	if !u.dyn.accepts(id) {
+		return
+	}
+	u.dyn.outstanding[id]++
+	launchWholesale(u.env, u.host, u.clients[id], r, func() {
+		u.dyn.outstanding[id]--
+		if u.dyn.leaving[id] && u.dyn.outstanding[id] == 0 {
+			u.retire(id)
+		}
+	})
 }

@@ -1,0 +1,226 @@
+// Package chaos provides seeded, deterministic fault injection for the
+// simulated GPU-sharing stack.
+//
+// A Plan declares what goes wrong and when: kernel executions that fault on
+// completion, restricted-context creations that fail, transient device
+// stalls that defer launches, and client crash/leave events at simulated
+// timestamps. An Injector turns the plan into per-decision answers that the
+// BLESS runtime consults at well-defined points (kernel completion, context
+// establishment, launch admission).
+//
+// Every decision is a pure hash of (seed, identifiers) — no live RNG state —
+// so two runs of the same plan fault identically regardless of call order,
+// and the simulator's determinism digest stays reproducible under chaos. The
+// Injector also implements sim.Tracer, so it plugs into the GPU's existing
+// tracer fan-out to observe the kernel stream it is perturbing.
+package chaos
+
+import (
+	"sort"
+
+	"bless/internal/sim"
+)
+
+// ClientEvent schedules one client-lifecycle fault: the client (by deployed
+// ID) crashes or leaves at the simulated instant At.
+type ClientEvent struct {
+	Client int
+	At     sim.Time
+}
+
+// Stall is a transient device stall: launches landing inside [At, At+Dur)
+// are deferred to the window's end, modeling a driver hiccup or ECC scrub
+// during which the device accepts no new work. Running kernels are not
+// affected (they are un-preemptable and already resident).
+type Stall struct {
+	At  sim.Time
+	Dur sim.Time
+}
+
+// ForcedFault faults one specific kernel launch deterministically,
+// independent of KernelFaultRate — the handle metamorphic tests use to
+// inject a single, precisely-placed fault and verify it is fully masked.
+type ForcedFault struct {
+	// Client and Seq identify the request; Kernel is the kernel index
+	// within it.
+	Client int
+	Seq    int
+	Kernel int
+	// Times is how many consecutive attempts fault before the retry
+	// succeeds (default 1).
+	Times int
+}
+
+// Plan is a declarative, seeded fault plan. The zero value injects nothing.
+type Plan struct {
+	// Seed keys every hashed fault decision.
+	Seed int64
+	// KernelFaultRate is the probability that a kernel execution faults on
+	// completion (the runtime then retries it with capped exponential
+	// backoff). Applied per (client, request, kernel, attempt).
+	KernelFaultRate float64
+	// MaxFaultsPerKernel bounds consecutive faults of one kernel so retries
+	// always converge (default 2). Forced faults are bounded by their own
+	// Times instead.
+	MaxFaultsPerKernel int
+	// CtxFaultRate is the probability that the first attempt to establish a
+	// given SM-restricted context fails; re-establishment succeeds, and the
+	// runtime degrades to an existing slot or the default context meanwhile.
+	CtxFaultRate float64
+	// Stalls are transient device-stall windows, any order.
+	Stalls []Stall
+	// Crashes and Leaves remove deployed clients mid-run: a crash is abrupt
+	// (queued kernels cancelled, quota released immediately), a leave is
+	// graceful (backlog drains first). Interpreted by the harness runner.
+	Crashes []ClientEvent
+	Leaves  []ClientEvent
+	// Forced are precisely-placed kernel faults (see ForcedFault).
+	Forced []ForcedFault
+}
+
+// DeviceFaults reports whether the plan perturbs device execution at all —
+// i.e. whether an Injector needs to be attached. Client churn alone does not
+// require one.
+func (p *Plan) DeviceFaults() bool {
+	return p.KernelFaultRate > 0 || p.CtxFaultRate > 0 ||
+		len(p.Stalls) > 0 || len(p.Forced) > 0
+}
+
+// Stats counts the injector's decisions and observations.
+type Stats struct {
+	// KernelFaults, CtxFaults and StallDelays count injected faults by kind.
+	KernelFaults int64
+	CtxFaults    int64
+	StallDelays  int64
+	// KernelsStarted/KernelsRetired count the device kernel stream observed
+	// through the tracer fan-out (retries included).
+	KernelsStarted int64
+	KernelsRetired int64
+}
+
+// Injector answers fault queries for one run. It is not safe for concurrent
+// use — the simulator is single-threaded and so is the injector.
+type Injector struct {
+	plan    Plan
+	stalls  []Stall // sorted by At
+	ctxSeen map[uint64]bool
+	stats   Stats
+}
+
+// NewInjector compiles a plan. The plan is copied; defaults are applied
+// (MaxFaultsPerKernel=2) and stall windows sorted.
+func NewInjector(p Plan) *Injector {
+	if p.MaxFaultsPerKernel <= 0 {
+		p.MaxFaultsPerKernel = 2
+	}
+	in := &Injector{plan: p, ctxSeen: make(map[uint64]bool)}
+	in.stalls = append(in.stalls, p.Stalls...)
+	sort.Slice(in.stalls, func(i, j int) bool { return in.stalls[i].At < in.stalls[j].At })
+	return in
+}
+
+// Plan returns the compiled plan (with defaults applied).
+func (in *Injector) Plan() Plan { return in.plan }
+
+// Stats returns the decision counters so far.
+func (in *Injector) Stats() Stats { return in.stats }
+
+// Hash domains keep the decision families independent under one seed.
+const (
+	domainKernel = 0x6b65726e
+	domainCtx    = 0x63747820
+)
+
+// splitmix64 finalizer: a cheap, well-distributed 64-bit mixer.
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// roll maps (seed, domain, a, b, c, d) to a uniform float in [0, 1).
+func (in *Injector) roll(domain uint64, a, b, c, d int) float64 {
+	h := mix64(uint64(in.plan.Seed) ^ domain)
+	h = mix64(h ^ uint64(a))
+	h = mix64(h ^ uint64(b))
+	h = mix64(h ^ uint64(c))
+	h = mix64(h ^ uint64(d))
+	return float64(h>>11) / float64(1<<53)
+}
+
+// KernelFault reports whether the attempt-th execution (0-based) of kernel
+// index kernel of request seq from client faults on completion. Pure in its
+// arguments apart from the fault counter.
+func (in *Injector) KernelFault(client, seq, kernel, attempt int) bool {
+	for _, f := range in.plan.Forced {
+		if f.Client == client && f.Seq == seq && f.Kernel == kernel {
+			times := f.Times
+			if times <= 0 {
+				times = 1
+			}
+			if attempt < times {
+				in.stats.KernelFaults++
+				return true
+			}
+			return false
+		}
+	}
+	if in.plan.KernelFaultRate <= 0 || attempt >= in.plan.MaxFaultsPerKernel {
+		return false
+	}
+	if in.roll(domainKernel, client, seq, kernel, attempt) < in.plan.KernelFaultRate {
+		in.stats.KernelFaults++
+		return true
+	}
+	return false
+}
+
+// ContextFault reports whether establishing an SM-restricted context of the
+// given size fails for the client. Only the first establishment attempt per
+// (client, sms) can fault; later attempts succeed, so degradation is
+// transient.
+func (in *Injector) ContextFault(client, sms int) bool {
+	if in.plan.CtxFaultRate <= 0 {
+		return false
+	}
+	key := uint64(uint32(client))<<32 | uint64(uint32(sms))
+	if in.ctxSeen[key] {
+		return false
+	}
+	in.ctxSeen[key] = true
+	if in.roll(domainCtx, client, sms, 0, 0) < in.plan.CtxFaultRate {
+		in.stats.CtxFaults++
+		return true
+	}
+	return false
+}
+
+// ReleaseAfter maps a launch instant to the earliest instant the device
+// accepts the launch: identity outside stall windows, the window end inside
+// one. Overlapping/chained windows compound.
+func (in *Injector) ReleaseAfter(at sim.Time) sim.Time {
+	out := at
+	for _, s := range in.stalls {
+		if s.At > out {
+			break
+		}
+		if end := s.At + s.Dur; out < end {
+			out = end
+		}
+	}
+	if out > at {
+		in.stats.StallDelays++
+	}
+	return out
+}
+
+// KernelStart implements sim.Tracer.
+func (in *Injector) KernelStart(at sim.Time, q *sim.Queue, k *sim.Kernel) {
+	in.stats.KernelsStarted++
+}
+
+// KernelEnd implements sim.Tracer.
+func (in *Injector) KernelEnd(at sim.Time, q *sim.Queue, k *sim.Kernel, avgSMs float64) {
+	in.stats.KernelsRetired++
+}

@@ -1,0 +1,151 @@
+package chaos
+
+import (
+	"testing"
+
+	"bless/internal/sim"
+)
+
+// TestKernelFaultDeterminism: two injectors compiled from the same plan must
+// answer every query identically — decisions are pure hashes, not RNG state.
+func TestKernelFaultDeterminism(t *testing.T) {
+	plan := Plan{Seed: 42, KernelFaultRate: 0.3}
+	a, b := NewInjector(plan), NewInjector(plan)
+	for client := 0; client < 3; client++ {
+		for seq := 0; seq < 20; seq++ {
+			for k := 0; k < 5; k++ {
+				for attempt := 0; attempt < 3; attempt++ {
+					if a.KernelFault(client, seq, k, attempt) != b.KernelFault(client, seq, k, attempt) {
+						t.Fatalf("divergent decision at client=%d seq=%d kernel=%d attempt=%d", client, seq, k, attempt)
+					}
+				}
+			}
+		}
+	}
+	// Query order must not matter either: a fresh injector queried in reverse
+	// agrees with the forward pass.
+	c := NewInjector(plan)
+	for seq := 19; seq >= 0; seq-- {
+		if c.KernelFault(1, seq, 0, 0) != b.KernelFault(1, seq, 0, 0) {
+			t.Fatalf("decision for seq %d depends on query order", seq)
+		}
+	}
+}
+
+// TestKernelFaultRate: the empirical fault rate over many first attempts must
+// track the configured probability.
+func TestKernelFaultRate(t *testing.T) {
+	const rate, n = 0.1, 20000
+	in := NewInjector(Plan{Seed: 7, KernelFaultRate: rate})
+	faults := 0
+	for i := 0; i < n; i++ {
+		if in.KernelFault(0, i, 0, 0) {
+			faults++
+		}
+	}
+	got := float64(faults) / n
+	if got < rate*0.7 || got > rate*1.3 {
+		t.Fatalf("empirical fault rate %.4f far from configured %.2f", got, rate)
+	}
+	if in.Stats().KernelFaults != int64(faults) {
+		t.Fatalf("stats count %d != observed %d", in.Stats().KernelFaults, faults)
+	}
+}
+
+// TestMaxFaultsPerKernel: attempts at or past the bound never fault, so
+// retries always converge.
+func TestMaxFaultsPerKernel(t *testing.T) {
+	in := NewInjector(Plan{Seed: 1, KernelFaultRate: 1.0, MaxFaultsPerKernel: 2})
+	if !in.KernelFault(0, 0, 0, 0) || !in.KernelFault(0, 0, 0, 1) {
+		t.Fatal("rate 1.0 must fault attempts below the bound")
+	}
+	for attempt := 2; attempt < 6; attempt++ {
+		if in.KernelFault(0, 0, 0, attempt) {
+			t.Fatalf("attempt %d faulted past MaxFaultsPerKernel=2", attempt)
+		}
+	}
+}
+
+// TestForcedFault: a forced fault fires for exactly its Times first attempts
+// of exactly its placement, regardless of the rate.
+func TestForcedFault(t *testing.T) {
+	in := NewInjector(Plan{Seed: 3, Forced: []ForcedFault{{Client: 1, Seq: 4, Kernel: 2, Times: 2}}})
+	if !in.KernelFault(1, 4, 2, 0) || !in.KernelFault(1, 4, 2, 1) {
+		t.Fatal("forced fault must fire for its first Times attempts")
+	}
+	if in.KernelFault(1, 4, 2, 2) {
+		t.Fatal("forced fault fired past Times")
+	}
+	for _, q := range [][3]int{{0, 4, 2}, {1, 3, 2}, {1, 4, 1}} {
+		if in.KernelFault(q[0], q[1], q[2], 0) {
+			t.Fatalf("unforced placement %v faulted with zero rate", q)
+		}
+	}
+	if got := in.Stats().KernelFaults; got != 2 {
+		t.Fatalf("stats count %d, want 2", got)
+	}
+}
+
+// TestContextFaultOnce: only the first establishment attempt per (client,
+// sms) pair can fault — degradation is transient by construction.
+func TestContextFaultOnce(t *testing.T) {
+	in := NewInjector(Plan{Seed: 11, CtxFaultRate: 1.0})
+	if !in.ContextFault(0, 30) {
+		t.Fatal("rate 1.0 must fault the first establishment")
+	}
+	if in.ContextFault(0, 30) {
+		t.Fatal("re-establishment of the same (client, sms) faulted again")
+	}
+	if !in.ContextFault(0, 60) {
+		t.Fatal("a different SM size is a fresh establishment")
+	}
+	if !in.ContextFault(1, 30) {
+		t.Fatal("a different client is a fresh establishment")
+	}
+}
+
+// TestReleaseAfter: stall windows defer launches to their end, and chained /
+// overlapping windows compound.
+func TestReleaseAfter(t *testing.T) {
+	in := NewInjector(Plan{Stalls: []Stall{
+		{At: 100, Dur: 50},  // [100,150)
+		{At: 140, Dur: 60},  // [140,200) — overlaps the first
+		{At: 300, Dur: 10},  // separate window
+		{At: 200, Dur: 100}, // [200,300) — chains into the 300 window
+	}})
+	cases := []struct{ at, want sim.Time }{
+		{50, 50},     // before any stall
+		{100, 310},   // 100→150→200→300→310 through the chain
+		{145, 310},   // inside the overlap, same chain
+		{250, 310},   // mid third window
+		{305, 310},   // inside the last window
+		{310, 310},   // at the boundary: accepted
+		{1000, 1000}, // after everything
+	}
+	for _, c := range cases {
+		if got := in.ReleaseAfter(c.at); got != c.want {
+			t.Fatalf("ReleaseAfter(%d) = %d, want %d", c.at, got, c.want)
+		}
+	}
+}
+
+// TestZeroPlanInjectsNothing: the zero plan is inert and reports no device
+// faults to attach for.
+func TestZeroPlanInjectsNothing(t *testing.T) {
+	var p Plan
+	if p.DeviceFaults() {
+		t.Fatal("zero plan claims device faults")
+	}
+	in := NewInjector(p)
+	for i := 0; i < 100; i++ {
+		if in.KernelFault(0, i, 0, 0) || in.ContextFault(0, i+1) {
+			t.Fatal("zero plan injected a fault")
+		}
+		if got := in.ReleaseAfter(sim.Time(i)); got != sim.Time(i) {
+			t.Fatalf("zero plan stalled a launch: %d → %d", i, got)
+		}
+	}
+	if s := in.Stats(); s != (Stats{}) {
+		t.Fatalf("zero plan accumulated stats %+v", s)
+	}
+}

@@ -1,0 +1,427 @@
+package core
+
+// Fault handling and graceful degradation for the BLESS runtime: kernel
+// retry with capped exponential backoff, per-request deadline timeouts,
+// crash teardown that releases a dead client's resources, and dynamic
+// admission (sharing.Dynamic) with bubble-free quota re-provisioning over
+// the live client set. All hooks are consulted at deterministic points of
+// the simulation, so runs under a seeded fault plan replay bit-identically.
+
+import (
+	"fmt"
+	"sort"
+
+	"bless/internal/obs"
+	"bless/internal/sharing"
+	"bless/internal/sim"
+)
+
+// FaultInjector supplies the runtime's fault decisions; *chaos.Injector
+// satisfies it. Implementations must be deterministic in their arguments
+// (plus internal state that evolves deterministically), so two runs of the
+// same plan fault identically.
+type FaultInjector interface {
+	// KernelFault reports whether the attempt-th execution (0-based) of
+	// kernel index kernel of request seq from client faults on completion.
+	// Implementations bound consecutive faults so retries converge.
+	KernelFault(client, seq, kernel, attempt int) bool
+	// ContextFault reports whether establishing an SM-restricted context of
+	// the given size fails for the client.
+	ContextFault(client, sms int) bool
+	// ReleaseAfter maps a launch instant to the earliest instant the device
+	// accepts the launch (transient stalls); identity when no stall holds.
+	ReleaseAfter(at sim.Time) sim.Time
+}
+
+// FaultStats counts the runtime's degraded-mode activity.
+type FaultStats struct {
+	// KernelFaults counts injected kernel-execution faults observed.
+	KernelFaults int64
+	// Retries counts relaunches of faulted kernels.
+	Retries int64
+	// RetryAborts counts requests failed after exhausting the retry budget;
+	// DeadlineAborts counts requests failed by the per-request deadline.
+	RetryAborts    int64
+	DeadlineAborts int64
+	// CtxFaults counts injected context-establishment failures.
+	CtxFaults int64
+	// StallDelays counts launches deferred past a transient device stall.
+	StallDelays int64
+	// Crashes, Leaves and Joins count client churn handled.
+	Crashes int64
+	Leaves  int64
+	Joins   int64
+	// CancelledKernels counts launches dropped or skipped in crash teardown.
+	CancelledKernels int64
+}
+
+// FaultStats returns a snapshot of the degraded-mode counters.
+func (rt *Runtime) FaultStats() FaultStats { return rt.faults }
+
+// SetFaultInjector attaches (or clears) the fault injector. Call before the
+// first Submit; with a nil injector the launch hot path is unchanged.
+func (rt *Runtime) SetFaultInjector(inj FaultInjector) { rt.opts.Injector = inj }
+
+// SetRequestDeadline sets the per-request deadline (see
+// Options.RequestDeadline); zero disables it.
+func (rt *Runtime) SetRequestDeadline(d sim.Time) { rt.opts.RequestDeadline = d }
+
+// maxRetries returns the per-kernel relaunch budget.
+func (rt *Runtime) maxRetries() int {
+	if rt.opts.MaxRetries > 0 {
+		return rt.opts.MaxRetries
+	}
+	return 8
+}
+
+// backoff returns the capped exponential retry delay before the attempt-th
+// relaunch (1-based).
+func (rt *Runtime) backoff(attempt int) sim.Time {
+	base := rt.opts.RetryBackoff
+	if base <= 0 {
+		base = 20 * sim.Microsecond
+	}
+	limit := rt.opts.RetryBackoffCap
+	if limit <= 0 {
+		limit = sim.Millisecond
+	}
+	d := base
+	for i := 1; i < attempt && d < limit; i++ {
+		d *= 2
+	}
+	if d > limit {
+		d = limit
+	}
+	return d
+}
+
+// withRetry wraps a kernel-completion callback with the fault/retry
+// protocol: a faulted execution is relaunched after capped exponential
+// backoff; exhausting the budget aborts the owning request. With no
+// injector the callback is returned unwrapped, keeping the fault-free hot
+// path byte-identical. done must only be invoked once the kernel's
+// execution finally counts (success or terminal abort) — it carries the
+// Semi-SP gate arrival and squad bookkeeping.
+func (rt *Runtime) withRetry(cs *clientState, q *sim.Queue, k *sim.Kernel, seq, kIdx int, done func(sim.Time)) func(sim.Time) {
+	inj := rt.opts.Injector
+	if inj == nil {
+		return done
+	}
+	attempt := 0
+	kLaunch := rt.env.GPU.Config().KernelLaunch
+	var cb func(sim.Time)
+	cb = func(at sim.Time) {
+		if cs.dead || !inj.KernelFault(cs.c.ID, seq, kIdx, attempt) {
+			done(at)
+			return
+		}
+		rt.faults.KernelFaults++
+		attempt++
+		if rt.bus.Enabled() {
+			rt.bus.Emit(obs.Event{
+				At: at, Kind: obs.KindKernelFault, Squad: rt.curSquad,
+				Client: cs.c.App.Name, Reason: fmt.Sprintf("k%d attempt %d", kIdx, attempt),
+			})
+		}
+		if attempt > rt.maxRetries() {
+			rt.faults.RetryAborts++
+			if rt.bus.Enabled() {
+				// One abort event per terminal fault, even when the request
+				// was already aborted by a sibling kernel — the Delivery
+				// invariant balances faults against retries plus aborts.
+				rt.bus.Emit(obs.Event{
+					At: at, Kind: obs.KindRequestAbort, Squad: rt.curSquad,
+					Client: cs.c.App.Name, Reason: "retries-exhausted",
+				})
+			}
+			rt.abortActive(cs)
+			done(at) // terminal: the gate and squad bookkeeping must advance
+			return
+		}
+		rt.faults.Retries++
+		relaunch := at + rt.backoff(attempt)
+		if s := inj.ReleaseAfter(relaunch); s > relaunch {
+			rt.faults.StallDelays++
+			relaunch = s
+		}
+		if rt.bus.Enabled() {
+			rt.bus.Emit(obs.Event{
+				At: at, Kind: obs.KindKernelRetry, Squad: rt.curSquad,
+				Client: cs.c.App.Name, Reason: fmt.Sprintf("k%d attempt %d", kIdx, attempt),
+				Predicted: relaunch,
+			})
+		}
+		rt.host.LaunchAt(q, k, relaunch, cb)
+		cs.ovh.Launches++
+		cs.ovh.LaunchTime += kLaunch
+	}
+	return cb
+}
+
+// stallFloor defers a launch instant past any active injected device stall.
+func (rt *Runtime) stallFloor(at sim.Time) sim.Time {
+	if inj := rt.opts.Injector; inj != nil {
+		if s := inj.ReleaseAfter(at); s > at {
+			rt.faults.StallDelays++
+			return s
+		}
+	}
+	return at
+}
+
+// abortActive fails the client's active request: its unscheduled kernels
+// are skipped and it completes, marked Failed, once nothing of it remains
+// in flight (immediately when idle). Callers emit the KindRequestAbort
+// event themselves, with the triggering reason.
+func (rt *Runtime) abortActive(cs *clientState) {
+	a := cs.active
+	if a == nil || a.aborted {
+		return
+	}
+	a.aborted = true
+	a.req.Failed = true
+	if a.inFlight == 0 {
+		rt.completeRequest(cs, a.req)
+	}
+}
+
+// enforceDeadlines aborts overdue active requests at a squad boundary — the
+// only deterministic preemption point, since kernels are un-preemptable.
+func (rt *Runtime) enforceDeadlines() {
+	d := rt.opts.RequestDeadline
+	if d <= 0 {
+		return
+	}
+	now := rt.env.Eng.Now()
+	for _, cs := range rt.clients {
+		if !cs.live() {
+			continue
+		}
+		a := cs.active
+		if a == nil || a.aborted || a.inFlight > 0 {
+			continue
+		}
+		if now-a.serviceStart() > d {
+			rt.faults.DeadlineAborts++
+			if rt.bus.Enabled() {
+				rt.bus.Emit(obs.Event{
+					At: now, Kind: obs.KindRequestAbort, Squad: rt.curSquad,
+					Client: cs.c.App.Name, Reason: "deadline",
+				})
+			}
+			rt.abortActive(cs)
+		}
+	}
+}
+
+// skipKernel settles squad bookkeeping for a kernel that will never launch
+// (its client crashed, or its request aborted, between planning and launch).
+func (rt *Runtime) skipKernel(at sim.Time) {
+	rt.faults.CancelledKernels++
+	rt.squadPendings--
+	if rt.squadPendings == 0 {
+		rt.squadDone(at)
+	}
+}
+
+// queues returns the client's device queues in deterministic order (default
+// first, then restricted slots by ascending SM grant).
+func (cs *clientState) queues() []*sim.Queue {
+	out := []*sim.Queue{cs.defaultQ}
+	sms := make([]int, 0, len(cs.restricted))
+	for s := range cs.restricted {
+		sms = append(sms, s)
+	}
+	sort.Ints(sms)
+	for _, s := range sms {
+		out = append(out, cs.restricted[s].q)
+	}
+	return out
+}
+
+// releaseClient hands the client's device memory back (application
+// footprint plus every context it established).
+func (rt *Runtime) releaseClient(cs *clientState) {
+	if cs.released {
+		return
+	}
+	cs.released = true
+	mem := cs.c.App.MemoryBytes +
+		rt.env.GPU.Config().ContextMemBytes*int64(1+len(cs.restricted))
+	rt.env.GPU.FreeMemory(mem)
+}
+
+// reprovision re-normalizes effective quotas over the live clients: each
+// keeps its provisioned share of the live provisioned sum, so survivors
+// absorb a departed client's quota (no bubbles) and a joiner squeezes the
+// incumbents proportionally. Active requests re-derive their quota
+// partition and pace so the next squad forms — and its Semi-SP split ratios
+// are selected — against the new quotas.
+func (rt *Runtime) reprovision(at sim.Time) {
+	sum := 0.0
+	for _, cs := range rt.clients {
+		if cs.live() {
+			sum += cs.prov
+		}
+	}
+	if sum <= 0 {
+		return
+	}
+	for _, cs := range rt.clients {
+		if !cs.live() {
+			continue
+		}
+		eff := cs.prov / sum
+		if eff > 1 {
+			eff = 1
+		}
+		if eff == cs.c.Quota {
+			continue
+		}
+		cs.c.Quota = eff
+		if a := cs.active; a != nil {
+			a.partIdx = cs.c.Profile.QuotaPartition(eff)
+			if cs.c.SLOTarget > 0 {
+				if iso := cs.c.Profile.Iso[a.partIdx]; iso > 0 {
+					a.pace = float64(cs.c.SLOTarget) / float64(iso)
+				}
+			}
+		}
+		if rt.bus.Enabled() {
+			rt.bus.Emit(obs.Event{
+				At: at, Kind: obs.KindQuotaReprovision, Squad: rt.curSquad,
+				Client: cs.c.App.Name, Reason: fmt.Sprintf("quota %.4f", eff),
+			})
+		}
+	}
+}
+
+// EffectiveQuotas implements sharing.QuotaReporter: the current effective
+// quota of every live client.
+func (rt *Runtime) EffectiveQuotas() []sharing.ClientQuota {
+	out := make([]sharing.ClientQuota, 0, len(rt.clients))
+	for _, cs := range rt.clients {
+		if cs.live() {
+			out = append(out, sharing.ClientQuota{ID: cs.c.ID, Quota: cs.c.Quota})
+		}
+	}
+	return out
+}
+
+// AddClient implements sharing.Dynamic: it admits a new client mid-run,
+// provisioning its memory and default context, and re-normalizes effective
+// quotas so the device stays fully subscribed. The client's ID must be the
+// next dense slot. On resource exhaustion the admission is rejected with
+// everything rolled back.
+func (rt *Runtime) AddClient(c *sharing.Client) error {
+	if rt.env == nil {
+		return fmt.Errorf("core: AddClient before Deploy")
+	}
+	if c.ID != len(rt.clients) {
+		return fmt.Errorf("core: AddClient: client ID %d is not the next slot %d", c.ID, len(rt.clients))
+	}
+	if c.Quota <= 0 || c.Quota > 1 {
+		return fmt.Errorf("core: AddClient: client %q quota %g outside (0,1]", c.App.Name, c.Quota)
+	}
+	if c.Profile == nil {
+		return fmt.Errorf("core: AddClient: client %q has no offline profile", c.App.Name)
+	}
+	if err := rt.env.GPU.AllocMemory(c.App.MemoryBytes); err != nil {
+		return fmt.Errorf("core: admitting %q: %w", c.App.Name, err)
+	}
+	ctx, err := rt.env.GPU.NewContext(sim.ContextOptions{
+		Label: c.App.Name + "/default",
+		Owner: sim.OwnerTag(c.ID),
+	})
+	if err != nil {
+		rt.env.GPU.FreeMemory(c.App.MemoryBytes)
+		return fmt.Errorf("core: admitting %q: %w", c.App.Name, err)
+	}
+	now := rt.env.Eng.Now()
+	rt.clients = append(rt.clients, &clientState{
+		c:          c,
+		prov:       c.Quota,
+		defaultCtx: ctx,
+		defaultQ:   ctx.NewQueue(c.App.Name + "/q"),
+		restricted: make(map[int]*restrictedSlot),
+		ovh:        ClientOverhead{Client: c.App.Name},
+	})
+	rt.env.Clients = append(rt.env.Clients, c)
+	rt.faults.Joins++
+	if rt.bus.Enabled() {
+		rt.bus.Emit(obs.Event{
+			At: now, Kind: obs.KindClientJoin, Squad: rt.curSquad,
+			Client: c.App.Name,
+		})
+	}
+	rt.reprovision(now)
+	rt.kick()
+	return nil
+}
+
+// RemoveClient implements sharing.Dynamic. A graceful leave (crashed false)
+// stops admitting new work and releases the client's resources once its
+// backlog drains. A crash tears the client down immediately: queued kernel
+// launches are cancelled (the running one completes — kernels are
+// un-preemptable), its memory and quota release, and squad formation plus
+// Semi-SP split-ratio selection re-run over the survivors at the next
+// boundary.
+func (rt *Runtime) RemoveClient(id int, crashed bool) error {
+	if rt.env == nil {
+		return fmt.Errorf("core: RemoveClient before Deploy")
+	}
+	if id < 0 || id >= len(rt.clients) {
+		return fmt.Errorf("core: RemoveClient: unknown client %d", id)
+	}
+	cs := rt.clients[id]
+	if !cs.live() {
+		return fmt.Errorf("core: RemoveClient: client %d already removed", id)
+	}
+	now := rt.env.Eng.Now()
+	if !crashed {
+		if cs.leaving {
+			return fmt.Errorf("core: RemoveClient: client %d already leaving", id)
+		}
+		rt.faults.Leaves++
+		if rt.bus.Enabled() {
+			rt.bus.Emit(obs.Event{
+				At: now, Kind: obs.KindClientLeave, Squad: rt.curSquad,
+				Client: cs.c.App.Name, Reason: "drain",
+			})
+		}
+		if cs.active == nil && len(cs.queue) == 0 {
+			rt.releaseClient(cs)
+			rt.reprovision(now)
+		} else {
+			cs.leaving = true
+		}
+		return nil
+	}
+	rt.faults.Crashes++
+	if rt.bus.Enabled() {
+		rt.bus.Emit(obs.Event{
+			At: now, Kind: obs.KindClientCrash, Squad: rt.curSquad,
+			Client: cs.c.App.Name,
+		})
+	}
+	cs.dead = true
+	cs.leaving = false
+	cs.active = nil
+	cs.queue = nil
+	// Cancel every queued launch. The cancelled records' completion
+	// callbacks are invoked now: with cs.dead set they flow through the
+	// dead-client guards and settle the running squad's bookkeeping, so
+	// the squad cycle survives losing a member mid-flight.
+	for _, q := range cs.queues() {
+		for _, pk := range q.CancelPending() {
+			rt.faults.CancelledKernels++
+			if pk.OnDone != nil {
+				pk.OnDone(now)
+			}
+		}
+	}
+	rt.releaseClient(cs)
+	rt.reprovision(now)
+	rt.kick()
+	return nil
+}

@@ -49,6 +49,26 @@ type Options struct {
 	// execution configuration — the hook behind the fine-grained timeline
 	// analysis (Fig 18) and debugging.
 	TraceSquad func(at sim.Time, squad *Squad, cfg ExecConfig)
+
+	// Injector, when non-nil, supplies fault decisions (see FaultInjector):
+	// kernel executions may fault and be retried with capped exponential
+	// backoff, restricted-context establishment may fail, and launches may
+	// be deferred past transient device stalls. *chaos.Injector satisfies
+	// it; nil keeps the hot path byte-identical to the fault-free build.
+	Injector FaultInjector
+	// RetryBackoff is the base delay before relaunching a faulted kernel
+	// (default 20us), doubling per consecutive attempt up to
+	// RetryBackoffCap (default 1ms).
+	RetryBackoff    sim.Time
+	RetryBackoffCap sim.Time
+	// MaxRetries caps relaunch attempts per kernel (default 8); exhausting
+	// it aborts the owning request, which completes marked Failed.
+	MaxRetries int
+	// RequestDeadline, when positive, bounds a request's time in service:
+	// requests still unfinished past it are aborted at the next squad
+	// boundary (the only deterministic preemption point — kernels are
+	// un-preemptable) and their remaining kernels skipped.
+	RequestDeadline sim.Time
 }
 
 // DefaultOptions returns the paper's testbed settings.
@@ -88,7 +108,23 @@ type clientState struct {
 	// ovh accumulates this client's share of the host-side overheads
 	// (§6.9), attributed at the decision points that incur them.
 	ovh ClientOverhead
+
+	// prov is the provisioned (deploy-time) quota; c.Quota holds the
+	// effective quota, re-normalized over live clients after churn.
+	prov float64
+	// leaving marks a graceful departure: no new work is admitted and the
+	// client's resources release once its backlog drains.
+	leaving bool
+	// dead marks an abrupt crash: queued kernels were cancelled and the
+	// client no longer participates in squads.
+	dead bool
+	// released records that the client's memory was given back.
+	released bool
 }
+
+// live reports whether the client still participates in scheduling (a
+// leaving client does, until its backlog drains).
+func (cs *clientState) live() bool { return !cs.dead && !cs.released }
 
 type restrictedSlot struct {
 	ctx *sim.Context
@@ -126,6 +162,9 @@ type Runtime struct {
 	spatialSquads    int64
 	kernelsScheduled int64
 	configsEvaluated int64
+
+	// faults counts degraded-mode activity (see faults.go).
+	faults FaultStats
 }
 
 // New creates a BLESS runtime with the given options.
@@ -183,6 +222,7 @@ func (rt *Runtime) Deploy(env *sharing.Env) error {
 		reserved += env.GPU.Config().ContextMemBytes
 		rt.clients[i] = &clientState{
 			c:          c,
+			prov:       c.Quota,
 			defaultCtx: ctx,
 			defaultQ:   ctx.NewQueue(c.App.Name + "/q"),
 			restricted: make(map[int]*restrictedSlot),
@@ -195,6 +235,11 @@ func (rt *Runtime) Deploy(env *sharing.Env) error {
 // Submit implements sharing.Scheduler.
 func (rt *Runtime) Submit(r *sharing.Request) {
 	cs := rt.clients[r.Client.ID]
+	if !cs.live() || cs.leaving {
+		// The client is gone or draining out; the request is dropped. The
+		// harness stops counting a removed client's submissions itself.
+		return
+	}
 	if cs.active == nil {
 		cs.active = rt.newActive(r)
 	} else {
@@ -241,10 +286,16 @@ func (rt *Runtime) newActive(r *sharing.Request) *activeRequest {
 // execution configuration, and launch it through the kernel manager. The
 // cycle re-arms itself from the squad-completion callback.
 func (rt *Runtime) startSquad() {
+	rt.enforceDeadlines()
 	actives := make([]*activeRequest, len(rt.clients))
 	clients := make([]*sharing.Client, len(rt.clients))
 	for i, cs := range rt.clients {
-		actives[i] = cs.active
+		if !cs.live() {
+			continue // departed: generation sees a nil slot
+		}
+		if a := cs.active; a != nil && !a.aborted {
+			actives[i] = a
+		}
 		clients[i] = cs.c
 	}
 	squad, gen := generateSquadInfo(actives, clients, rt.host.Now(), GenerateOptions{
@@ -383,11 +434,23 @@ func (rt *Runtime) launchSquad(squad *Squad, cfg ExecConfig) {
 		req := e.Request
 		return func(at sim.Time) {
 			cs := rt.clients[e.Client.ID]
-			if cs.active != nil {
-				cs.active.inFlight--
+			if cs.dead {
+				// Crash teardown already settled the request; only the
+				// squad bookkeeping remains.
+				rt.squadPendings--
+				if rt.squadPendings == 0 {
+					rt.squadDone(at)
+				}
+				return
 			}
-			if last {
-				rt.completeRequest(cs, req)
+			if a := cs.active; a != nil && a.req == req {
+				a.inFlight--
+				// An aborted request completes (Failed) when its last
+				// launched kernel drains; a healthy one when its final
+				// kernel retires.
+				if last || (a.aborted && a.inFlight == 0) {
+					rt.completeRequest(cs, req)
+				}
 			}
 			rt.squadPendings--
 			if rt.squadPendings == 0 {
@@ -508,11 +571,31 @@ func (rt *Runtime) launchSquad(squad *Squad, cfg ExecConfig) {
 				done(at)
 			}
 		}
+		// The retry wrapper goes outermost: a faulted head kernel must not
+		// open its Semi-SP gate (or advance squad bookkeeping) until a
+		// relaunch actually succeeds.
+		wrapped = rt.withRetry(cs, pl.q, k, pl.entry.Request.Seq, pl.kIdx, wrapped)
 
 		if pl.after != nil {
 			// Tail kernel: defer the launch until the gate opens. The gate
 			// open time already includes the context-redirection vacuum.
 			pl.after.then(func(openAt sim.Time) {
+				if cs.dead {
+					// The client crashed between planning and gate open:
+					// the kernel never launches, settle its bookkeeping.
+					rt.skipKernel(openAt)
+					return
+				}
+				if a := cs.active; a != nil && a.req == pl.entry.Request && a.aborted {
+					// The request was aborted while its head ran: skip the
+					// tail outright instead of burning device time on it.
+					a.inFlight--
+					if a.inFlight == 0 {
+						rt.completeRequest(cs, a.req)
+					}
+					rt.skipKernel(openAt)
+					return
+				}
 				if cs.lastCtxSMs != 0 {
 					// First tail launch redirects this client back to its
 					// unrestricted context: one switch per gate trip.
@@ -526,7 +609,7 @@ func (rt *Runtime) launchSquad(squad *Squad, cfg ExecConfig) {
 						})
 					}
 				}
-				rt.host.LaunchAt(pl.q, k, openAt, wrapped)
+				rt.host.LaunchAt(pl.q, k, rt.stallFloor(openAt), wrapped)
 				cs.lastLaunchAt = rt.host.Now()
 				cs.ovh.Launches++
 				cs.ovh.LaunchTime += kLaunch
@@ -573,9 +656,11 @@ func (rt *Runtime) launchSquad(squad *Squad, cfg ExecConfig) {
 			if cs.lastArrival > at {
 				at = cs.lastArrival
 			}
+			at = rt.stallFloor(at)
 			pl.q.Enqueue(at, k, wrapped)
 			cs.lastArrival = at
 		case notBefore > 0:
+			notBefore = rt.stallFloor(notBefore)
 			rt.host.LaunchAt(pl.q, k, notBefore, wrapped)
 			cs.lastArrival = notBefore
 			if hf := rt.host.Now(); hf > cs.lastArrival {
@@ -584,8 +669,17 @@ func (rt *Runtime) launchSquad(squad *Squad, cfg ExecConfig) {
 			cs.ovh.Launches++
 			cs.ovh.LaunchTime += kLaunch
 		default:
-			rt.host.Launch(pl.q, k, wrapped)
-			cs.lastArrival = rt.host.Now()
+			if nb := rt.stallFloor(rt.host.Now()); nb > rt.host.Now() {
+				// A device stall holds the launch; the host moves on.
+				rt.host.LaunchAt(pl.q, k, nb, wrapped)
+				cs.lastArrival = nb
+				if hf := rt.host.Now(); hf > cs.lastArrival {
+					cs.lastArrival = hf
+				}
+			} else {
+				rt.host.Launch(pl.q, k, wrapped)
+				cs.lastArrival = rt.host.Now()
+			}
 			cs.ovh.Launches++
 			cs.ovh.LaunchTime += kLaunch
 		}
@@ -650,6 +744,22 @@ func (rt *Runtime) restrictedSlot(cs *clientState, sms int) (*restrictedSlot, er
 	if slot, ok := cs.restricted[sms]; ok {
 		return slot, nil
 	}
+	if inj := rt.opts.Injector; inj != nil && inj.ContextFault(cs.c.ID, sms) {
+		// Injected establishment failure: degrade to the nearest existing
+		// restricted slot, or (via the error path) the default context. The
+		// next establishment attempt for this size succeeds.
+		rt.faults.CtxFaults++
+		if rt.bus.Enabled() {
+			rt.bus.Emit(obs.Event{
+				At: rt.host.Now(), Kind: obs.KindContextFault, Squad: rt.curSquad,
+				Client: cs.c.App.Name, Reason: fmt.Sprintf("sm%d", sms),
+			})
+		}
+		if slot := cs.nearestSlot(sms); slot != nil {
+			return slot, nil
+		}
+		return nil, fmt.Errorf("core: injected context fault for %q at %d SMs", cs.c.App.Name, sms)
+	}
 	ctx, err := rt.env.GPU.NewContext(sim.ContextOptions{
 		SMLimit: sms,
 		Label:   fmt.Sprintf("%s/sm%d", cs.c.App.Name, sms),
@@ -693,6 +803,12 @@ func (rt *Runtime) completeRequest(cs *clientState, r *sharing.Request) {
 		next := cs.queue[0]
 		cs.queue = cs.queue[1:]
 		cs.active = rt.newActive(next)
+	} else if cs.leaving {
+		// Graceful departure: the backlog just drained, hand the client's
+		// resources back and re-provision the survivors.
+		cs.leaving = false
+		rt.releaseClient(cs)
+		rt.reprovision(rt.env.Eng.Now())
 	}
 }
 

@@ -85,6 +85,10 @@ type activeRequest struct {
 	// SLO mode (§6.5) sets it: a QoS target is end-to-end, so queueing
 	// delay must count as lag and be compensated.
 	fromArrival bool
+	// aborted marks a request the fault layer failed (retry budget or
+	// deadline); its unscheduled kernels are skipped and it completes —
+	// Failed — once nothing of it remains in flight.
+	aborted bool
 }
 
 // expectedCum returns the expected time from request arrival to the end of

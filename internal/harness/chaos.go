@@ -1,0 +1,192 @@
+package harness
+
+// Chaos experiments: a RunConfig may carry a FaultPlan that injects seeded
+// device faults (via internal/chaos) and schedules client churn — crashes,
+// graceful leaves, and mid-run joins — against schedulers implementing
+// sharing.Dynamic. The harness wires the injector into the device tracer
+// fan-out and the scheduler's fault hooks, keeps the invariant checker's
+// churn/delivery accounting in sync, and reports the degraded-mode activity
+// in Result.Chaos. Everything is driven by the simulation clock, so a chaos
+// run replays bit-identically from its plan.
+
+import (
+	"fmt"
+
+	"bless/internal/chaos"
+	"bless/internal/core"
+	"bless/internal/obs"
+	"bless/internal/sharing"
+	"bless/internal/sim"
+)
+
+// Join schedules one mid-run client admission.
+type Join struct {
+	// At is the admission instant.
+	At sim.Time
+	// Spec declares the joining client. Open-loop arrival offsets in
+	// Spec.Pattern are relative to the join instant; a closed loop seeds its
+	// first request at the join instant.
+	Spec ClientSpec
+}
+
+// FaultPlan configures fault injection and client churn for one run.
+type FaultPlan struct {
+	// Plan is the seeded device-fault plan (kernel faults, context faults,
+	// transient stalls). Its Crashes and Leaves entries schedule client
+	// departures by slot index.
+	Plan chaos.Plan
+	// Joins schedules mid-run admissions, in time order. Joined clients take
+	// the next dense slot indices after the initial deployment.
+	Joins []Join
+	// Deadline, when nonzero, sets the scheduler's per-request deadline
+	// (schedulers without deadline support ignore it).
+	Deadline sim.Time
+	// SettleWindow overrides the invariant checker's churn settle window.
+	SettleWindow sim.Time
+	// ForceInjector attaches the fault injector even when the plan injects
+	// nothing (all rates zero). A zero-rate injector must leave the run's
+	// digest unchanged; the benchmark gate and metamorphic tests rely on it.
+	ForceInjector bool
+}
+
+// churns reports whether the plan schedules any client churn.
+func (fp *FaultPlan) churns() bool {
+	return len(fp.Plan.Crashes) > 0 || len(fp.Plan.Leaves) > 0 || len(fp.Joins) > 0
+}
+
+// ChaosReport summarizes a chaos run's degraded-mode activity.
+type ChaosReport struct {
+	// Injector counts the device-side injections (zero value when the plan
+	// attached no injector).
+	Injector chaos.Stats
+	// Runtime counts the scheduler's degraded-mode handling, when the
+	// scheduler exposes core.FaultStats.
+	Runtime core.FaultStats
+	// Crashes, Leaves and Joins count the churn events the harness delivered.
+	Crashes, Leaves, Joins int
+}
+
+// faultStater is implemented by schedulers exposing degraded-mode counters.
+type faultStater interface{ FaultStats() core.FaultStats }
+
+// injectable is implemented by schedulers accepting a fault injector.
+type injectable interface{ SetFaultInjector(core.FaultInjector) }
+
+// deadliner is implemented by schedulers with per-request deadlines.
+type deadliner interface{ SetRequestDeadline(sim.Time) }
+
+// CompletionDigest folds a run's per-client completion orders and failure
+// counts into one word. Unlike the invariant digest it ignores timing, so a
+// fully masked fault (every retry succeeded, nothing aborted) must reproduce
+// the fault-free digest even though latencies shifted — the metamorphic
+// property the chaos suite checks.
+func CompletionDigest(res *Result) uint64 {
+	const offset, prime = 14695981039346656037, 1099511628211
+	h := uint64(offset)
+	word := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h = (h ^ (v & 0xff)) * prime
+			v >>= 8
+		}
+	}
+	for _, cr := range res.PerClient {
+		h = (h ^ uint64(len(cr.App))) * prime
+		for i := 0; i < len(cr.App); i++ {
+			h = (h ^ uint64(cr.App[i])) * prime
+		}
+		word(uint64(len(cr.Order)))
+		for _, seq := range cr.Order {
+			word(uint64(seq))
+		}
+		word(uint64(cr.Failed))
+	}
+	return h
+}
+
+// RecordChaos publishes a chaos report's counters to a metrics registry
+// (cmd/blessd surfaces them on /debug/bless).
+func RecordChaos(reg *obs.Registry, rep *ChaosReport) {
+	if reg == nil || rep == nil {
+		return
+	}
+	reg.Counter("chaos_kernel_faults_total").Add(rep.Injector.KernelFaults)
+	reg.Counter("chaos_ctx_faults_total").Add(rep.Injector.CtxFaults)
+	reg.Counter("chaos_stall_delays_total").Add(rep.Injector.StallDelays)
+	reg.Counter("chaos_retries_total").Add(rep.Runtime.Retries)
+	reg.Counter("chaos_retry_aborts_total").Add(rep.Runtime.RetryAborts)
+	reg.Counter("chaos_deadline_aborts_total").Add(rep.Runtime.DeadlineAborts)
+	reg.Counter("chaos_cancelled_kernels_total").Add(rep.Runtime.CancelledKernels)
+	reg.Counter("chaos_client_crashes_total").Add(int64(rep.Crashes))
+	reg.Counter("chaos_client_leaves_total").Add(int64(rep.Leaves))
+	reg.Counter("chaos_client_joins_total").Add(int64(rep.Joins))
+}
+
+// chaosRun is the per-run churn machinery Run delegates to.
+type chaosRun struct {
+	fp    *FaultPlan
+	inj   *chaos.Injector
+	alive []bool
+	// crashes, leaves and joins count churn events actually delivered (an
+	// admission the scheduler rejected, e.g. on memory exhaustion, does not
+	// count as a join).
+	crashes, leaves, joins int
+}
+
+// setupChaos validates the plan against the scheduler, attaches the injector
+// and deadline, and returns the churn state. nInitial is the initially
+// deployed client count; nTotal includes joiners.
+func setupChaos(fp *FaultPlan, sched sharing.Scheduler, gpu *sim.GPU, nInitial, nTotal int) (*chaosRun, error) {
+	cr := &chaosRun{fp: fp, alive: make([]bool, nTotal)}
+	for i := 0; i < nInitial; i++ {
+		cr.alive[i] = true
+	}
+	if fp == nil {
+		return cr, nil
+	}
+	if fp.churns() {
+		if _, ok := sched.(sharing.Dynamic); !ok {
+			return nil, fmt.Errorf("harness: fault plan schedules churn but %s does not implement sharing.Dynamic", sched.Name())
+		}
+		for _, ev := range fp.Plan.Crashes {
+			if ev.Client < 0 || ev.Client >= nTotal {
+				return nil, fmt.Errorf("harness: fault plan crashes unknown client %d", ev.Client)
+			}
+		}
+		for _, ev := range fp.Plan.Leaves {
+			if ev.Client < 0 || ev.Client >= nTotal {
+				return nil, fmt.Errorf("harness: fault plan removes unknown client %d", ev.Client)
+			}
+		}
+	}
+	if fp.Plan.DeviceFaults() || fp.ForceInjector {
+		cr.inj = chaos.NewInjector(fp.Plan)
+		gpu.AddTracer(cr.inj)
+		if in, ok := sched.(injectable); ok {
+			in.SetFaultInjector(cr.inj)
+		} else if fp.Plan.KernelFaultRate > 0 || fp.Plan.CtxFaultRate > 0 || len(fp.Plan.Forced) > 0 {
+			return nil, fmt.Errorf("harness: fault plan injects faults but %s accepts no injector", sched.Name())
+		}
+	}
+	if fp.Deadline > 0 {
+		if d, ok := sched.(deadliner); ok {
+			d.SetRequestDeadline(fp.Deadline)
+		}
+	}
+	return cr, nil
+}
+
+// report assembles the run's ChaosReport.
+func (cr *chaosRun) report(sched sharing.Scheduler) *ChaosReport {
+	if cr.fp == nil && cr.inj == nil {
+		return nil
+	}
+	rep := &ChaosReport{}
+	if cr.inj != nil {
+		rep.Injector = cr.inj.Stats()
+	}
+	if fs, ok := sched.(faultStater); ok {
+		rep.Runtime = fs.FaultStats()
+	}
+	rep.Crashes, rep.Leaves, rep.Joins = cr.crashes, cr.leaves, cr.joins
+	return rep
+}

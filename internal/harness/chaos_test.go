@@ -1,0 +1,357 @@
+package harness
+
+// Chaos suite: end-to-end fault injection, client churn and graceful
+// degradation against the BLESS runtime and the dynamic baselines, verified
+// by the invariant checker (universal classes plus Delivery) and by digest
+// equality across same-seed runs.
+
+import (
+	"testing"
+
+	"bless/internal/chaos"
+	"bless/internal/invariant"
+	"bless/internal/sim"
+	"bless/internal/trace"
+)
+
+// chaosEnforce is the enforcement set for chaos runs: everything a fault or
+// churn bug would break deterministically.
+func chaosEnforce() *invariant.Options {
+	return &invariant.Options{
+		Enforce:         []invariant.Class{invariant.Conservation, invariant.Order, invariant.Delivery},
+		FailOnViolation: true,
+	}
+}
+
+// TestChaosAcceptance is the issue's acceptance scenario: a seeded fault plan
+// with a client crash at a fixed timestamp, a 1% kernel fault rate, a
+// transient stall, and a mid-run join. The run must pass the universal
+// invariants plus Delivery, the surviving client must re-attain its
+// (re-provisioned) quota outside the settle windows, and two runs of the
+// same seed must produce identical digests.
+func TestChaosAcceptance(t *testing.T) {
+	mk := func() (RunConfig, error) {
+		sched, err := NewSystem("BLESS")
+		if err != nil {
+			return RunConfig{}, err
+		}
+		return RunConfig{
+			Scheduler: sched,
+			Clients: []ClientSpec{
+				{App: "resnet50", Quota: 0.5, Pattern: trace.Closed(2*sim.Millisecond, 0)},
+				{App: "vgg11", Quota: 0.5, Pattern: trace.Closed(2*sim.Millisecond, 0)},
+			},
+			Horizon:    200 * sim.Millisecond,
+			Invariants: chaosEnforce(),
+			Faults: &FaultPlan{
+				Plan: chaos.Plan{
+					Seed:            1,
+					KernelFaultRate: 0.01,
+					Stalls:          []chaos.Stall{{At: 40 * sim.Millisecond, Dur: 200 * sim.Microsecond}},
+					Crashes:         []chaos.ClientEvent{{Client: 1, At: 80 * sim.Millisecond}},
+				},
+				Joins: []Join{{
+					At:   120 * sim.Millisecond,
+					Spec: ClientSpec{App: "resnet101", Quota: 0.5, Pattern: trace.Closed(2*sim.Millisecond, 0)},
+				}},
+			},
+		}, nil
+	}
+
+	cfg, err := mk()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Chaos == nil {
+		t.Fatal("fault plan ran but Result.Chaos is nil")
+	}
+	if res.Chaos.Crashes != 1 || res.Chaos.Joins != 1 {
+		t.Fatalf("churn delivered: crashes=%d joins=%d, want 1 and 1", res.Chaos.Crashes, res.Chaos.Joins)
+	}
+	if res.Chaos.Injector.KernelFaults == 0 {
+		t.Error("1% fault rate over a 200ms closed loop injected no kernel faults")
+	}
+	if res.Chaos.Runtime.Retries == 0 {
+		t.Error("runtime recorded no retries despite injected faults")
+	}
+	rep := res.Invariants
+	if rep == nil {
+		t.Fatal("no invariant report")
+	}
+	if rep.Faults != rep.Retries+res.Chaos.Runtime.RetryAborts {
+		t.Errorf("fault conservation: %d faults vs %d retries + %d aborts",
+			rep.Faults, rep.Retries, res.Chaos.Runtime.RetryAborts)
+	}
+	// The survivor's quota is re-provisioned upward after the crash (0.5 →
+	// ~0.5/0.5 of the live sum, then squeezed by the joiner); outside the
+	// settle windows it must attain that share.
+	if cr := rep.Clients[0]; !cr.Active || cr.Violated {
+		t.Errorf("surviving client did not re-attain its quota: active=%v violated=%v share=%.2f",
+			cr.Active, cr.Violated, cr.Share)
+	}
+	if cr := rep.Clients[1]; cr.Active {
+		t.Error("crashed client still marked active")
+	}
+	if jr := res.PerClient[2]; jr.Completed == 0 {
+		t.Error("joined client completed no requests")
+	}
+	// The crashed client's already-submitted work must not inflate the
+	// survivor's accounting; its own lost requests are exempt (inactive).
+	if cr := res.PerClient[0]; cr.Submitted != cr.Completed+cr.Failed {
+		t.Errorf("survivor submitted %d but finished %d+%d", cr.Submitted, cr.Completed, cr.Failed)
+	}
+
+	// Same seed, same digest — chaos does not break replay.
+	if _, err := VerifyDeterminism(mk); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestChaosMetamorphicMaskedFault is the metamorphic check: a single forced
+// kernel fault whose retry succeeds (fully masked) must reproduce the
+// fault-free run's completion order and failure counts exactly — only
+// latencies may shift.
+func TestChaosMetamorphicMaskedFault(t *testing.T) {
+	base := func(fp *FaultPlan) *Result {
+		t.Helper()
+		sched, err := NewSystem("BLESS")
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Run(RunConfig{
+			Scheduler: sched,
+			Clients: []ClientSpec{
+				{App: "resnet50", Quota: 0.5, Pattern: trace.Closed(2*sim.Millisecond, 8)},
+				{App: "vgg11", Quota: 0.5, Pattern: trace.Closed(2*sim.Millisecond, 8)},
+			},
+			Horizon:    300 * sim.Millisecond,
+			Invariants: chaosEnforce(),
+			Faults:     fp,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	clean := base(nil)
+	masked := base(&FaultPlan{Plan: chaos.Plan{
+		Forced: []chaos.ForcedFault{{Client: 0, Seq: 2, Kernel: 1, Times: 1}},
+	}})
+
+	if got := masked.Chaos.Runtime.Retries; got != 1 {
+		t.Fatalf("masked run retried %d times, want exactly 1", got)
+	}
+	if masked.Chaos.Runtime.RetryAborts != 0 {
+		t.Fatal("masked fault must not abort")
+	}
+	for i, cr := range masked.PerClient {
+		if cr.Failed != 0 {
+			t.Fatalf("client %d failed %d requests under a masked fault", i, cr.Failed)
+		}
+	}
+	if a, b := CompletionDigest(clean), CompletionDigest(masked); a != b {
+		t.Fatalf("masked fault changed the completion digest: %016x vs %016x", a, b)
+	}
+}
+
+// TestChaosZeroRateInjectorIsTransparent: attaching an injector with an inert
+// plan must not move the invariant digest — the fault hooks sit outside the
+// fault-free hot path.
+func TestChaosZeroRateInjectorIsTransparent(t *testing.T) {
+	digest := func(fp *FaultPlan) uint64 {
+		t.Helper()
+		sched, err := NewSystem("BLESS")
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Run(RunConfig{
+			Scheduler: sched,
+			Clients: []ClientSpec{
+				{App: "resnet50", Quota: 0.5, Pattern: trace.Closed(3*sim.Millisecond, 0)},
+				{App: "vgg11", Quota: 0.5, Pattern: trace.Closed(3*sim.Millisecond, 0)},
+			},
+			Horizon:    60 * sim.Millisecond,
+			Invariants: chaosEnforce(),
+			Faults:     fp,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Invariants.Digest
+	}
+	without := digest(nil)
+	with := digest(&FaultPlan{ForceInjector: true})
+	if without != with {
+		t.Fatalf("zero-rate injector moved the digest: %016x vs %016x", without, with)
+	}
+}
+
+// TestChaosRetryExhaustionAborts: a kernel forced to fault past the retry
+// budget must fail its request — counted, Delivery-balanced, and without
+// wedging the squad cycle (later requests still complete).
+func TestChaosRetryExhaustionAborts(t *testing.T) {
+	sched, err := NewSystem("BLESS")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(RunConfig{
+		Scheduler: sched,
+		Clients: []ClientSpec{
+			{App: "resnet50", Quota: 0.5, Pattern: trace.Closed(2*sim.Millisecond, 6)},
+			{App: "vgg11", Quota: 0.5, Pattern: trace.Closed(2*sim.Millisecond, 6)},
+		},
+		Horizon:    300 * sim.Millisecond,
+		Invariants: chaosEnforce(),
+		Faults: &FaultPlan{Plan: chaos.Plan{
+			Forced: []chaos.ForcedFault{{Client: 0, Seq: 1, Kernel: 0, Times: 64}},
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Chaos.Runtime.RetryAborts != 1 {
+		t.Fatalf("retry aborts = %d, want 1", res.Chaos.Runtime.RetryAborts)
+	}
+	cr := res.PerClient[0]
+	if cr.Failed != 1 {
+		t.Fatalf("client 0 failed %d requests, want 1", cr.Failed)
+	}
+	if cr.Completed != 5 || cr.Submitted != 6 {
+		t.Fatalf("client 0 submitted=%d completed=%d, want 6 and 5 (one aborted)", cr.Submitted, cr.Completed)
+	}
+	if other := res.PerClient[1]; other.Completed != 6 || other.Failed != 0 {
+		t.Fatalf("client 1 completed=%d failed=%d, want 6 and 0", other.Completed, other.Failed)
+	}
+}
+
+// TestChaosDeadlineAborts: a sub-service-time deadline must fail requests at
+// squad boundaries while keeping Delivery exact.
+func TestChaosDeadlineAborts(t *testing.T) {
+	sched, err := NewSystem("BLESS")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(RunConfig{
+		Scheduler: sched,
+		Clients: []ClientSpec{
+			{App: "resnet50", Quota: 0.5, Pattern: trace.Closed(sim.Millisecond, 10)},
+			{App: "vgg11", Quota: 0.5, Pattern: trace.Closed(sim.Millisecond, 10)},
+		},
+		Horizon:    400 * sim.Millisecond,
+		Invariants: chaosEnforce(),
+		Faults:     &FaultPlan{Deadline: 10 * sim.Microsecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Chaos.Runtime.DeadlineAborts == 0 {
+		t.Fatal("a 10µs deadline aborted nothing")
+	}
+	for i, cr := range res.PerClient {
+		if cr.Submitted != cr.Completed+cr.Failed {
+			t.Errorf("client %d: submitted %d != completed %d + failed %d", i, cr.Submitted, cr.Completed, cr.Failed)
+		}
+	}
+}
+
+// TestChaosGracefulLeaveDrains: a graceful leave finishes the backlog before
+// releasing resources; nothing is lost.
+func TestChaosGracefulLeaveDrains(t *testing.T) {
+	sched, err := NewSystem("BLESS")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(RunConfig{
+		Scheduler: sched,
+		Clients: []ClientSpec{
+			{App: "resnet50", Quota: 0.5, Pattern: trace.Closed(2*sim.Millisecond, 0)},
+			{App: "vgg11", Quota: 0.5, Pattern: trace.Closed(2*sim.Millisecond, 0)},
+		},
+		Horizon:    150 * sim.Millisecond,
+		Invariants: chaosEnforce(),
+		Faults: &FaultPlan{Plan: chaos.Plan{
+			Leaves: []chaos.ClientEvent{{Client: 1, At: 60 * sim.Millisecond}},
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Chaos.Leaves != 1 {
+		t.Fatalf("leaves = %d, want 1", res.Chaos.Leaves)
+	}
+	// The leaver's accepted requests all complete — graceful means drained.
+	if cr := res.PerClient[1]; cr.Completed != cr.Submitted || cr.Failed != 0 {
+		t.Fatalf("leaver submitted=%d completed=%d failed=%d; backlog not drained",
+			cr.Submitted, cr.Completed, cr.Failed)
+	}
+	if cr := res.PerClient[0]; cr.Completed == 0 || cr.Submitted != cr.Completed+cr.Failed {
+		t.Fatalf("survivor accounting off: %+v", cr)
+	}
+}
+
+// TestChaosBaselinesChurn: the dynamic baselines survive a crash with the
+// universal invariants and Delivery intact, and keep serving the survivor.
+func TestChaosBaselinesChurn(t *testing.T) {
+	for _, sys := range []string{"STATIC", "UNBOUND", "TEMPORAL"} {
+		sys := sys
+		t.Run(sys, func(t *testing.T) {
+			sched, err := NewSystem(sys)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := Run(RunConfig{
+				Scheduler: sched,
+				Clients: []ClientSpec{
+					{App: "resnet50", Quota: 0.5, Pattern: trace.Closed(2*sim.Millisecond, 0)},
+					{App: "vgg11", Quota: 0.5, Pattern: trace.Closed(2*sim.Millisecond, 0)},
+				},
+				Horizon:    150 * sim.Millisecond,
+				Invariants: chaosEnforce(),
+				Faults: &FaultPlan{Plan: chaos.Plan{
+					Crashes: []chaos.ClientEvent{{Client: 1, At: 50 * sim.Millisecond}},
+				}},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Chaos.Crashes != 1 {
+				t.Fatalf("crashes = %d, want 1", res.Chaos.Crashes)
+			}
+			cr := res.PerClient[0]
+			if cr.Completed < 10 {
+				t.Errorf("survivor completed only %d requests", cr.Completed)
+			}
+			if cr.Submitted != cr.Completed+cr.Failed {
+				t.Errorf("survivor submitted %d != completed %d + failed %d", cr.Submitted, cr.Completed, cr.Failed)
+			}
+		})
+	}
+}
+
+// TestChaosChurnRequiresDynamic: a churn plan against a scheduler without
+// sharing.Dynamic is a configuration error, not a silent no-op.
+func TestChaosChurnRequiresDynamic(t *testing.T) {
+	sched, err := NewSystem("MIG")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = Run(RunConfig{
+		Scheduler: sched,
+		Clients: []ClientSpec{
+			{App: "resnet50", Quota: 0.5, Pattern: trace.Closed(2*sim.Millisecond, 0)},
+			{App: "vgg11", Quota: 0.5, Pattern: trace.Closed(2*sim.Millisecond, 0)},
+		},
+		Horizon: 50 * sim.Millisecond,
+		Faults: &FaultPlan{Plan: chaos.Plan{
+			Crashes: []chaos.ClientEvent{{Client: 1, At: 20 * sim.Millisecond}},
+		}},
+	})
+	if err == nil {
+		t.Fatal("churn plan against a non-Dynamic scheduler was accepted")
+	}
+}

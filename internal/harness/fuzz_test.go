@@ -4,6 +4,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"bless/internal/chaos"
 	"bless/internal/invariant"
 	"bless/internal/sim"
 	"bless/internal/trace"
@@ -95,6 +96,110 @@ func TestRandomDeploymentsInvariants(t *testing.T) {
 		if r1.Invariants.Digest != r2.Invariants.Digest {
 			t.Errorf("trial %d (%s): event digests diverged: %016x vs %016x",
 				trial, sys, r1.Invariants.Digest, r2.Invariants.Digest)
+		}
+	}
+}
+
+// TestRandomChurnFaultInvariants extends the randomized sweep to degraded
+// mode: every dynamic-capable scheduler is run under a seeded random fault
+// plan (kernel faults, a transient stall) plus random client churn (a crash
+// or graceful leave, sometimes a mid-run join), and must keep the delivery
+// accounting exact — no request lost or duplicated, every injected fault
+// either retried or aborted — while staying deterministic under replay.
+func TestRandomChurnFaultInvariants(t *testing.T) {
+	systems := []string{"BLESS", "STATIC", "UNBOUND", "TEMPORAL"}
+	models := []string{"vgg11", "resnet50", "resnet101"}
+	rng := rand.New(rand.NewSource(4025))
+
+	trials := 12
+	if testing.Short() {
+		trials = 6
+	}
+	horizon := 150 * sim.Millisecond
+	for trial := 0; trial < trials; trial++ {
+		n := 2 + rng.Intn(2)
+		specs := make([]ClientSpec, n)
+		for i := range specs {
+			specs[i] = ClientSpec{
+				App:     models[rng.Intn(len(models))],
+				Quota:   1.0 / float64(n),
+				Pattern: trace.Closed(sim.Time(2+rng.Intn(10))*sim.Millisecond, 0),
+			}
+		}
+
+		sys := systems[trial%len(systems)]
+		fp := &FaultPlan{Plan: chaos.Plan{Seed: int64(1000 + trial)}}
+		rate := 0.02 * rng.Float64()
+		stall := chaos.Stall{
+			At:  sim.Time(rng.Int63n(int64(horizon / 2))),
+			Dur: sim.Time(rng.Int63n(int64(2 * sim.Millisecond))),
+		}
+		if sys == "BLESS" {
+			// Only the BLESS runtime has a retry path; the baselines take
+			// churn but accept no device-fault injector.
+			fp.Plan.KernelFaultRate = rate
+			fp.Plan.Stalls = []chaos.Stall{stall}
+		}
+		victim := rng.Intn(n)
+		churnAt := horizon/4 + sim.Time(rng.Int63n(int64(horizon/2)))
+		if rng.Intn(2) == 0 {
+			fp.Plan.Crashes = []chaos.ClientEvent{{Client: victim, At: churnAt}}
+		} else {
+			fp.Plan.Leaves = []chaos.ClientEvent{{Client: victim, At: churnAt}}
+		}
+		if rng.Intn(2) == 0 {
+			fp.Joins = []Join{{
+				At: churnAt + 10*sim.Millisecond,
+				Spec: ClientSpec{
+					App:     models[rng.Intn(len(models))],
+					Quota:   1.0 / float64(n),
+					Pattern: trace.Closed(4*sim.Millisecond, 0),
+				},
+			}}
+		}
+
+		run := func() *Result {
+			sched, err := NewSystem(sys)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := Run(RunConfig{
+				Scheduler: sched,
+				Clients:   specs,
+				Horizon:   horizon,
+				Faults:    fp,
+				Invariants: &invariant.Options{
+					FailOnViolation: true,
+					Enforce: []invariant.Class{
+						invariant.Conservation, invariant.Order, invariant.Delivery,
+					},
+				},
+			})
+			if err != nil {
+				t.Fatalf("trial %d (%s): %v", trial, sys, err)
+			}
+			return res
+		}
+		r1 := run()
+		for i, cr := range r1.PerClient {
+			if cr.Completed+cr.Failed > cr.Submitted {
+				t.Errorf("trial %d (%s) client %d: %d submitted but %d completed + %d failed",
+					trial, sys, i, cr.Submitted, cr.Completed, cr.Failed)
+			}
+		}
+		if ch := r1.Chaos; ch == nil {
+			t.Fatalf("trial %d (%s): fault plan ran but no chaos report", trial, sys)
+		} else if ch.Crashes+ch.Leaves != 1 {
+			t.Errorf("trial %d (%s): churn event not delivered: %+v", trial, sys, ch)
+		}
+
+		r2 := run()
+		if r1.Invariants.Digest != r2.Invariants.Digest {
+			t.Errorf("trial %d (%s): degraded-mode replay diverged: %016x vs %016x",
+				trial, sys, r1.Invariants.Digest, r2.Invariants.Digest)
+		}
+		if CompletionDigest(r1) != CompletionDigest(r2) {
+			t.Errorf("trial %d (%s): completion digests diverged under replay", trial, sys)
 		}
 	}
 }

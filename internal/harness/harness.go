@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"sync"
 
+	"bless/internal/chaos"
 	"bless/internal/invariant"
 	"bless/internal/metrics"
 	"bless/internal/model"
@@ -60,6 +61,9 @@ type RunConfig struct {
 	// breaches fail the run. When nil, the process-wide EnableInvariants
 	// setting applies.
 	Invariants *invariant.Options
+	// Faults, if set, runs the experiment under a seeded fault and churn
+	// plan (see FaultPlan); the degraded-mode activity lands in Result.Chaos.
+	Faults *FaultPlan
 }
 
 // ClientResult aggregates one client's outcome.
@@ -74,8 +78,13 @@ type ClientResult struct {
 	Summary metrics.Summary
 	// ISO is the isolated-quota latency target T[n%] from the profile.
 	ISO sim.Time
-	// Submitted and Completed count requests.
-	Submitted, Completed int
+	// Submitted and Completed count requests; Failed counts requests the
+	// scheduler aborted (retry budget or deadline) — they are excluded from
+	// Latencies.
+	Submitted, Completed, Failed int
+	// Order lists successful completions' request sequence numbers in
+	// completion order (see CompletionDigest).
+	Order []int
 }
 
 // Result is one experiment run's outcome.
@@ -95,6 +104,9 @@ type Result struct {
 	// Invariants is the checker's report when invariant checking was on
 	// (RunConfig.Invariants or EnableInvariants), nil otherwise.
 	Invariants *invariant.Report
+	// Chaos summarizes fault injection and churn when the run carried a
+	// FaultPlan, nil otherwise.
+	Chaos *ChaosReport
 }
 
 // profileCache memoizes offline profiles per (app, device-SMs, partitions);
@@ -167,9 +179,18 @@ func Run(cfg RunConfig) (*Result, error) {
 			o.Observe(bus)
 		}
 	}
-	clients := make([]*sharing.Client, len(cfg.Clients))
-	results := make([]ClientResult, len(cfg.Clients))
-	for i, spec := range cfg.Clients {
+	// The full client roster: the initial deployment plus any mid-run
+	// joiners, at the next dense slot indices.
+	nInitial := len(cfg.Clients)
+	specs := append([]ClientSpec(nil), cfg.Clients...)
+	if cfg.Faults != nil {
+		for _, j := range cfg.Faults.Joins {
+			specs = append(specs, j.Spec)
+		}
+	}
+	clients := make([]*sharing.Client, len(specs))
+	results := make([]ClientResult, len(specs))
+	for i, spec := range specs {
 		app, err := model.Get(spec.App)
 		if err != nil {
 			return nil, fmt.Errorf("harness: %w", err)
@@ -192,22 +213,42 @@ func Run(cfg RunConfig) (*Result, error) {
 		}
 	}
 
-	env := &sharing.Env{Eng: eng, GPU: gpu, Clients: clients}
+	env := &sharing.Env{Eng: eng, GPU: gpu, Clients: clients[:nInitial:nInitial]}
 	sched := cfg.Scheduler
+	chs, err := setupChaos(cfg.Faults, sched, gpu, nInitial, len(specs))
+	if err != nil {
+		return nil, err
+	}
 
-	// Completion hook: record latency and keep closed loops spinning.
+	// Completion hook: record latency and keep closed loops spinning. Failed
+	// (aborted) requests count separately — their latency is not a service
+	// latency — but still respin a closed loop.
 	seqs := make([]int, len(clients))
+	submit := func(id int, at sim.Time) {
+		submitAt(env, sched, clients[id], &seqs[id], at, &results[id], chs, checker)
+	}
 	env.OnComplete = func(r *sharing.Request) {
-		cr := &results[r.Client.ID]
-		cr.Latencies = append(cr.Latencies, r.Latency())
-		cr.Completed++
-		if cfg.Registry != nil {
-			cfg.Registry.Histogram("latency/" + r.Client.App.Name).Observe(r.Latency())
-			cfg.Registry.Counter("requests_completed_total").Inc()
+		id := r.Client.ID
+		cr := &results[id]
+		if checker != nil {
+			checker.RequestCompleted(r.Done, id, r.Failed)
 		}
-		p := &cfg.Clients[r.Client.ID].Pattern
+		if r.Failed {
+			cr.Failed++
+			if cfg.Registry != nil {
+				cfg.Registry.Counter("requests_failed_total").Inc()
+			}
+		} else {
+			cr.Latencies = append(cr.Latencies, r.Latency())
+			cr.Order = append(cr.Order, r.Seq)
+			cr.Completed++
+			if cfg.Registry != nil {
+				cfg.Registry.Histogram("latency/" + r.Client.App.Name).Observe(r.Latency())
+				cfg.Registry.Counter("requests_completed_total").Inc()
+			}
+		}
+		p := &specs[id].Pattern
 		if p.ClosedLoop() {
-			id := r.Client.ID
 			if p.Limit > 0 && seqs[id] >= p.Limit {
 				return
 			}
@@ -215,26 +256,28 @@ func Run(cfg RunConfig) (*Result, error) {
 			if at > horizon {
 				return
 			}
-			submitAt(env, sched, clients[id], &seqs[id], at, &results[id])
+			submit(id, at)
 		}
 	}
 
 	if err := sched.Deploy(env); err != nil {
 		return nil, fmt.Errorf("harness: deploy %s: %w", sched.Name(), err)
 	}
+	scheduleChurn(cfg.Faults, chs, eng, sched, clients, specs, checker, horizon, submit)
 
-	// Seed arrivals.
-	for i := range cfg.Clients {
-		p := &cfg.Clients[i].Pattern
+	// Seed arrivals for the initial deployment (joiners seed at their join
+	// instant).
+	for i := 0; i < nInitial; i++ {
+		p := &specs[i].Pattern
 		if p.ClosedLoop() {
-			submitAt(env, sched, clients[i], &seqs[i], 0, &results[i])
+			submit(i, 0)
 			continue
 		}
 		for _, at := range p.Arrivals {
 			if at > horizon {
 				break
 			}
-			submitAt(env, sched, clients[i], &seqs[i], at, &results[i])
+			submit(i, at)
 		}
 	}
 
@@ -243,8 +286,10 @@ func Run(cfg RunConfig) (*Result, error) {
 	eng.Run()
 
 	res := &Result{System: sched.Name(), Elapsed: eng.Now(), Utilization: gpu.Utilization()}
+	res.Chaos = chs.report(sched)
 	if cfg.Registry != nil {
 		cfg.Registry.Gauge("sm_utilization").Set(res.Utilization)
+		RecordChaos(cfg.Registry, res.Chaos)
 	}
 	perApp := make([][]sim.Time, len(results))
 	sys := make([]sim.Time, len(results))
@@ -272,10 +317,98 @@ func Run(cfg RunConfig) (*Result, error) {
 	return res, nil
 }
 
-// submitAt schedules one request submission.
-func submitAt(env *sharing.Env, s sharing.Scheduler, c *sharing.Client, seq *int, at sim.Time, cr *ClientResult) {
+// submitAt schedules one request submission. The accounting happens inside
+// the scheduled closure, gated on the client still being present: requests of
+// crashed or departed clients are dropped, not counted.
+func submitAt(env *sharing.Env, s sharing.Scheduler, c *sharing.Client, seq *int, at sim.Time, cr *ClientResult, chs *chaosRun, checker *invariant.Checker) {
 	r := &sharing.Request{Client: c, Seq: *seq, Arrival: at}
 	*seq++
-	cr.Submitted++
-	env.Eng.Schedule(at, func() { s.Submit(r) })
+	env.Eng.Schedule(at, func() {
+		if !chs.alive[c.ID] {
+			return
+		}
+		cr.Submitted++
+		if checker != nil {
+			checker.RequestSubmitted(at, c.ID)
+		}
+		s.Submit(r)
+	})
+}
+
+// scheduleChurn registers the fault plan's churn events with the engine:
+// crashes and graceful leaves from the chaos plan, and admissions from the
+// join schedule. Each event updates the scheduler, the liveness gates, and
+// the invariant checker's churn accounting in one engine instant.
+func scheduleChurn(fp *FaultPlan, chs *chaosRun, eng *sim.Engine, sched sharing.Scheduler,
+	clients []*sharing.Client, specs []ClientSpec, checker *invariant.Checker,
+	horizon sim.Time, submit func(id int, at sim.Time)) {
+	if fp == nil || !fp.churns() {
+		return
+	}
+	dyn := sched.(sharing.Dynamic) // validated in setupChaos
+	refresh := func(at sim.Time) {
+		if checker == nil {
+			return
+		}
+		if qr, ok := sched.(sharing.QuotaReporter); ok {
+			for _, cq := range qr.EffectiveQuotas() {
+				checker.SetClientQuota(at, cq.ID, cq.Quota)
+			}
+		}
+	}
+	remove := func(ev chaos.ClientEvent, crashed bool) {
+		eng.Schedule(ev.At, func() {
+			if !chs.alive[ev.Client] {
+				return
+			}
+			// Gate liveness first: crash teardown completes cancelled work
+			// synchronously, and those completions must not respin the loop.
+			chs.alive[ev.Client] = false
+			if err := dyn.RemoveClient(ev.Client, crashed); err != nil {
+				return
+			}
+			if crashed {
+				chs.crashes++
+			} else {
+				chs.leaves++
+			}
+			if checker != nil {
+				checker.SetClientActive(ev.At, ev.Client, false)
+			}
+			refresh(ev.At)
+		})
+	}
+	for _, ev := range fp.Plan.Crashes {
+		remove(ev, true)
+	}
+	for _, ev := range fp.Plan.Leaves {
+		remove(ev, false)
+	}
+	for ji, j := range fp.Joins {
+		id := len(specs) - len(fp.Joins) + ji
+		at := j.At
+		eng.Schedule(at, func() {
+			if err := dyn.AddClient(clients[id]); err != nil {
+				return // rejected admission (e.g. memory exhaustion)
+			}
+			chs.alive[id] = true
+			chs.joins++
+			if checker != nil {
+				checker.SetClientActive(at, id, true)
+			}
+			refresh(at)
+			p := &specs[id].Pattern
+			if p.ClosedLoop() {
+				submit(id, at)
+				return
+			}
+			for _, off := range p.Arrivals {
+				t := at + off
+				if t > horizon {
+					break
+				}
+				submit(id, t)
+			}
+		})
+	}
 }

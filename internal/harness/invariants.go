@@ -56,6 +56,18 @@ func newRunChecker(cfg *RunConfig, gpuCfg sim.Config, horizon sim.Time) (*invari
 	for i, s := range cfg.Clients {
 		ics[i] = invariant.Client{ID: i, Name: s.App, Quota: s.Quota}
 	}
+	if fp := cfg.Faults; fp != nil {
+		// Joiners occupy the next dense slots and start inactive: no quota
+		// or delivery accounting until their admission lands.
+		for _, j := range fp.Joins {
+			ics = append(ics, invariant.Client{
+				ID: len(ics), Name: j.Spec.App, Quota: j.Spec.Quota, StartsInactive: true,
+			})
+		}
+		if o.SettleWindow == 0 && fp.SettleWindow > 0 {
+			o.SettleWindow = fp.SettleWindow
+		}
+	}
 	return invariant.New(ics, gpuCfg, o), &o
 }
 

@@ -1,0 +1,125 @@
+package invariant
+
+// Churn and delivery accounting. The harness notifies the checker of client
+// lifecycle transitions (join, leave, crash), effective-quota changes from
+// re-provisioning, and the request lifecycle (submit / complete). The checker
+// uses these to (a) suspend quota and bubble accrual for a settle window
+// around each reconfiguration — attainment is only judged in steady state —
+// and (b) verify the Delivery invariant: no request of a present client is
+// lost or completed twice, and injected kernel faults are conserved as
+// retries plus aborts.
+//
+// Every notification is folded into the determinism digest, so churn
+// schedules are part of the replayable fingerprint.
+
+import (
+	"math"
+
+	"bless/internal/sim"
+)
+
+// churn integrates history up to at, mutates state via f, and opens a settle
+// window. Integration must run before the mutation (the old rates applied up
+// to this instant), and lastSample must advance so the elapsed interval is
+// not integrated a second time at the next allocation snapshot.
+func (c *Checker) churn(at sim.Time, f func()) {
+	c.integrate(at)
+	f()
+	if at > c.lastSample {
+		c.lastSample = at
+	}
+	if until := at + c.opts.SettleWindow; until > c.suspendUntil {
+		c.suspendUntil = until
+	}
+	c.churnEvents++
+}
+
+// SetClientActive marks a declared client present (joined) or absent (left or
+// crashed) from at onward. Inactive clients accrue no quota entitlement and
+// are exempt from the end-of-run quota and delivery verdicts — the guarantees
+// cover surviving clients.
+func (c *Checker) SetClientActive(at sim.Time, id int, active bool) {
+	if id < 0 || id >= len(c.active) {
+		return
+	}
+	c.churn(at, func() { c.active[id] = active })
+	c.mix(tagChurn, uint64(at))
+	c.mix(tagChurn, uint64(id))
+	v := uint64(0)
+	if active {
+		v = 1
+	}
+	c.mix(tagChurn, v)
+}
+
+// SetClientQuota updates a client's effective quota after re-provisioning
+// (see sharing.QuotaReporter). Attainment from at onward is judged against
+// the new share.
+func (c *Checker) SetClientQuota(at sim.Time, id int, quota float64) {
+	if id < 0 || id >= len(c.quotaSMs) {
+		return
+	}
+	c.churn(at, func() {
+		c.quotaSMs[id] = quota * float64(c.cfg.SMs)
+		c.clients[id].Quota = quota
+	})
+	c.mix(tagChurn, uint64(at))
+	c.mix(tagChurn, uint64(id))
+	c.mix(tagFloat, math.Float64bits(quota))
+}
+
+// RequestSubmitted records one request handed to the scheduler for client id.
+func (c *Checker) RequestSubmitted(at sim.Time, id int) {
+	if id < 0 || id >= len(c.submitted) {
+		return
+	}
+	c.submitted[id]++
+	c.mix(tagRequest, uint64(at))
+	c.mix(tagRequest, uint64(id))
+}
+
+// RequestCompleted records one request finishing for client id — successfully
+// (failed false) or aborted by the scheduler (failed true). A completion
+// count exceeding the submission count is an immediate Delivery violation
+// (a duplicated completion); lost requests are detected at Report time.
+func (c *Checker) RequestCompleted(at sim.Time, id int, failed bool) {
+	if id < 0 || id >= len(c.submitted) {
+		return
+	}
+	if failed {
+		c.failedReq[id]++
+	} else {
+		c.completedReq[id]++
+	}
+	if done := c.completedReq[id] + c.failedReq[id]; done > c.submitted[id] {
+		c.violate(Delivery, at,
+			"client %d completed %d requests but only %d were submitted: a completion was duplicated",
+			id, done, c.submitted[id])
+	}
+	c.mix(tagRequest, uint64(at))
+	c.mix(tagRequest, uint64(id))
+	v := uint64(0)
+	if failed {
+		v = 1
+	}
+	c.mix(tagRequest, v)
+}
+
+// KernelsRemoved implements sim.RemovalTracer: crash teardown cancels a dead
+// client's pending launches, so the checker drops them from its FIFO model
+// (they will never start) and folds the cancellation into the digest.
+func (c *Checker) KernelsRemoved(at sim.Time, q *sim.Queue, ks []*sim.Kernel) {
+	c.monotonic(at, "kernel removal", q)
+	s := c.qs(q)
+	for _, k := range ks {
+		for i, fk := range s.fifo {
+			if fk == k {
+				s.fifo = append(s.fifo[:i], s.fifo[i+1:]...)
+				break
+			}
+		}
+		c.mix(tagRemoved, uint64(at))
+		c.mixString(q.Label())
+		c.mixString(k.Name)
+	}
+}

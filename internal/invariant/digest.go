@@ -17,6 +17,9 @@ const (
 	tagSample   uint64 = 0xa5
 	tagDecision uint64 = 0xdc
 	tagFloat    uint64 = 0xf0
+	tagChurn    uint64 = 0xc4
+	tagRequest  uint64 = 0x4e
+	tagRemoved  uint64 = 0xde
 )
 
 // mix folds a tagged 64-bit word into the digest, byte by byte.

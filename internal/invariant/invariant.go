@@ -53,6 +53,12 @@ const (
 	// checker computes the digest; comparing two runs is the caller's step
 	// (see harness.VerifyDeterminism).
 	Determinism
+	// Delivery covers request and kernel conservation under faults and
+	// churn: every submitted request of a still-present client completes
+	// exactly once (lost or duplicated completions are breaches), and every
+	// injected kernel fault is answered by exactly one retry or abort — no
+	// kernel is lost or double-counted across the retry path.
+	Delivery
 )
 
 // String names the class for messages and exports.
@@ -68,6 +74,8 @@ func (c Class) String() string {
 		return "bubble"
 	case Determinism:
 		return "determinism"
+	case Delivery:
+		return "delivery"
 	default:
 		return fmt.Sprintf("class(%d)", int(c))
 	}
@@ -79,7 +87,7 @@ func Universal() []Class { return []Class{Conservation, Order} }
 
 // All lists every enforceable class (Determinism is verified across runs, not
 // within one, so it is not part of the in-run enforcement sets).
-func All() []Class { return []Class{Conservation, Order, Quota, Bubble} }
+func All() []Class { return []Class{Conservation, Order, Quota, Bubble, Delivery} }
 
 // Violation is one detected invariant breach.
 type Violation struct {
@@ -112,6 +120,10 @@ type Client struct {
 	Name string
 	// Quota is the provisioned GPU fraction in (0, 1].
 	Quota float64
+	// StartsInactive declares a client that joins mid-run (dynamic
+	// admission): no quota or delivery accounting accrues until
+	// SetClientActive marks it present.
+	StartsInactive bool
 }
 
 // Options tunes the checker. The zero value enables the universal classes
@@ -148,6 +160,12 @@ type Options struct {
 	// MaxViolations caps stored violations; further breaches only increment
 	// the dropped counter. Default 16.
 	MaxViolations int
+	// SettleWindow pauses quota and bubble accrual for this long after every
+	// churn or re-provisioning notification: reconfiguration is not instant
+	// (in-flight kernels are un-preemptable), so attainment is only judged
+	// outside the transition windows — the bounded re-attainment window of
+	// the churn guarantee. Default 25ms.
+	SettleWindow sim.Time
 }
 
 // withDefaults fills unset tuning knobs.
@@ -173,6 +191,9 @@ func (o Options) withDefaults() Options {
 	if o.MaxViolations <= 0 {
 		o.MaxViolations = 16
 	}
+	if o.SettleWindow <= 0 {
+		o.SettleWindow = 25 * sim.Millisecond
+	}
 	return o
 }
 
@@ -194,6 +215,13 @@ type ClientReport struct {
 	// Violated reports whether the quota invariant flagged this client
 	// (regardless of whether Quota was enforced).
 	Violated bool
+	// Active reports whether the client was present at the end of the run;
+	// departed (crashed or left) clients are exempt from the quota and
+	// delivery verdicts.
+	Active bool
+	// Submitted, Completed and Failed count the client's request lifecycle
+	// as reported via RequestSubmitted / RequestCompleted.
+	Submitted, Completed, Failed int64
 }
 
 // Report is the checker's complete end-of-run assessment.
@@ -215,6 +243,9 @@ type Report struct {
 	// Kernels counts retired kernels; Samples counts allocation snapshots;
 	// Events counts decision-bus events.
 	Kernels, Samples, Events int64
+	// Faults, Retries and Aborts count the fault-path events observed on the
+	// decision bus; ChurnEvents counts churn/re-provisioning notifications.
+	Faults, Retries, Aborts, ChurnEvents int64
 	// Digest folds the complete observed event stream; equal configurations
 	// must produce equal digests (the Determinism invariant).
 	Digest uint64
@@ -284,6 +315,21 @@ type Checker struct {
 	bubbleNS   float64
 	demandNS   float64
 
+	// churn state: which clients are present, and until when accrual is
+	// suspended after the latest churn notification (see churn.go).
+	active       []bool
+	suspendUntil sim.Time
+	churnEvents  int64
+
+	// delivery accounting (see churn.go).
+	submitted    []int64
+	completedReq []int64
+	failedReq    []int64
+	faultsSeen   int64
+	retriesSeen  int64
+	retryAborts  int64
+	abortsSeen   int64
+
 	finishedClients []ClientReport
 	finished        *Report
 }
@@ -306,8 +352,13 @@ func New(clients []Client, cfg sim.Config, opts Options) *Checker {
 		c.enforce[cl] = true
 	}
 	c.quotaSMs = make([]float64, len(clients))
+	c.active = make([]bool, len(clients))
+	c.submitted = make([]int64, len(clients))
+	c.completedReq = make([]int64, len(clients))
+	c.failedReq = make([]int64, len(clients))
 	for i, cl := range clients {
 		c.quotaSMs[i] = cl.Quota * float64(cfg.SMs)
+		c.active[i] = !cl.StartsInactive
 	}
 	return c
 }
@@ -408,6 +459,17 @@ func (c *Checker) KernelEnd(at sim.Time, q *sim.Queue, k *sim.Kernel, avgSMs flo
 // monotonicity check.
 func (c *Checker) Publish(ev obs.Event) {
 	c.events++
+	switch ev.Kind {
+	case obs.KindKernelFault:
+		c.faultsSeen++
+	case obs.KindKernelRetry:
+		c.retriesSeen++
+	case obs.KindRequestAbort:
+		c.abortsSeen++
+		if ev.Reason == "retries-exhausted" {
+			c.retryAborts++
+		}
+	}
 	c.mix(tagDecision, uint64(ev.At))
 	c.mix(tagDecision, uint64(ev.Kind))
 	c.mix(tagDecision, uint64(ev.Squad))
@@ -449,7 +511,18 @@ func (c *Checker) integrate(at sim.Time) {
 	if !c.haveSample || at <= c.lastSample {
 		return
 	}
-	dt := float64(at - c.lastSample)
+	// Inside a churn settle window neither quota nor bubble accrual runs:
+	// the device is legitimately reconfiguring. Integration resumes from
+	// the window's end (rates are piecewise-constant, so the partial
+	// interval integrates exactly).
+	start := c.lastSample
+	if start < c.suspendUntil {
+		if at <= c.suspendUntil {
+			return
+		}
+		start = c.suspendUntil
+	}
+	dt := float64(at - start)
 
 	// Deferred demand is measured against each kernel's unrestricted appetite
 	// (Want ignores context SM caps): an ISO partition starving behind its cap
@@ -479,6 +552,9 @@ func (c *Checker) integrate(at sim.Time) {
 	}
 
 	for id := range c.accum {
+		if !c.active[id] {
+			continue // departed or not-yet-joined: no quota entitlement
+		}
 		want := perClientWant[id]
 		if want <= 0 {
 			continue
@@ -554,11 +630,24 @@ func (c *Checker) Report() *Report {
 			ExpectedSMTime: a.expectedIn,
 			AttainedSMTime: a.attainedIn,
 			Share:          1,
+			Active:         c.active[i],
+			Submitted:      c.submitted[i],
+			Completed:      c.completedReq[i],
+			Failed:         c.failedReq[i],
 		}
 		if a.expectedIn > 0 {
 			cr.Share = a.attainedIn / a.expectedIn
 		}
-		if cr.DemandTime >= c.opts.MinDemandTime && cr.Share < 1-c.opts.QuotaTolerance {
+		// Departed clients are exempt: the quota and delivery guarantees
+		// cover the surviving set (their in-flight work was cancelled).
+		if cr.Active {
+			if done := cr.Completed + cr.Failed; done != cr.Submitted {
+				c.violate(Delivery, end,
+					"client %q submitted %d requests but %d completed (%d ok, %d failed): requests were lost or duplicated",
+					cl.Name, cr.Submitted, done, cr.Completed, cr.Failed)
+			}
+		}
+		if cr.Active && cr.DemandTime >= c.opts.MinDemandTime && cr.Share < 1-c.opts.QuotaTolerance {
 			cr.Violated = true
 			c.violate(Quota, end,
 				"client %q attained %.1f%% of its demand-capped quota share (quota %.2f = %.1f SMs, demand time %v, tolerance %.0f%%)",
@@ -577,7 +666,19 @@ func (c *Checker) Report() *Report {
 		Kernels:      c.kernels,
 		Samples:      c.samples,
 		Events:       c.events,
+		Faults:       c.faultsSeen,
+		Retries:      c.retriesSeen,
+		Aborts:       c.abortsSeen,
+		ChurnEvents:  c.churnEvents,
 		Digest:       c.digest,
+	}
+	// Fault conservation: every injected kernel fault is answered by exactly
+	// one retry or one terminal retry-abort — no fault vanishes on the retry
+	// path and none is handled twice.
+	if c.faultsSeen != c.retriesSeen+c.retryAborts {
+		c.violate(Delivery, end,
+			"%d kernel faults but %d retries + %d retry-aborts: the retry path lost or duplicated a fault",
+			c.faultsSeen, c.retriesSeen, c.retryAborts)
 	}
 	if c.demandNS > 0 {
 		rep.BubbleFraction = c.bubbleNS / c.demandNS

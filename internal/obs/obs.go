@@ -48,6 +48,26 @@ const (
 	// KindSquadDone fires when the squad's last kernel retires, carrying the
 	// actual measured duration next to the determiner's prediction.
 	KindSquadDone
+	// KindKernelFault fires when fault injection fails a kernel execution;
+	// Reason carries the kernel index and attempt number.
+	KindKernelFault
+	// KindKernelRetry fires when the runtime relaunches a faulted kernel
+	// after backoff; Predicted carries the relaunch instant.
+	KindKernelRetry
+	// KindRequestAbort fires when the runtime fails a request outright;
+	// Reason distinguishes "retries-exhausted" from "deadline".
+	KindRequestAbort
+	// KindContextFault fires when establishing an SM-restricted context
+	// fails and the squad entry degrades to another context.
+	KindContextFault
+	// KindClientCrash, KindClientJoin and KindClientLeave mark client churn:
+	// abrupt teardown, mid-run admission, and graceful drain respectively.
+	KindClientCrash
+	KindClientJoin
+	KindClientLeave
+	// KindQuotaReprovision fires per client whose effective quota changed
+	// when quotas re-normalized over the live client set after churn.
+	KindQuotaReprovision
 )
 
 // String names the kind for exports and logs.
@@ -65,6 +85,22 @@ func (k Kind) String() string {
 		return "endgame_flush"
 	case KindSquadDone:
 		return "squad_done"
+	case KindKernelFault:
+		return "kernel_fault"
+	case KindKernelRetry:
+		return "kernel_retry"
+	case KindRequestAbort:
+		return "request_abort"
+	case KindContextFault:
+		return "context_fault"
+	case KindClientCrash:
+		return "client_crash"
+	case KindClientJoin:
+		return "client_join"
+	case KindClientLeave:
+		return "client_leave"
+	case KindQuotaReprovision:
+		return "quota_reprovision"
 	default:
 		return fmt.Sprintf("kind(%d)", int(k))
 	}

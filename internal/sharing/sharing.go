@@ -55,6 +55,10 @@ type Request struct {
 	Arrival sim.Time
 	// Done is the completion instant; zero until completed.
 	Done sim.Time
+	// Failed marks a request the scheduler aborted instead of finishing
+	// (retry budget exhausted or deadline exceeded). Failed requests still
+	// complete exactly once, but their latency is not a service latency.
+	Failed bool
 }
 
 // Latency returns Done-Arrival; call only after completion.
@@ -101,6 +105,32 @@ type Scheduler interface {
 	// Submit hands a request to the scheduler. The request's Arrival is
 	// already set; Submit is called at that virtual time.
 	Submit(r *Request)
+}
+
+// Dynamic is implemented by schedulers that support client churn after
+// Deploy. AddClient admits a new client mid-run (its ID must be the next
+// dense slot); RemoveClient retires an existing one — gracefully (crashed
+// false: the backlog drains, then resources release) or abruptly (crashed
+// true: queued work is cancelled, resources release immediately). Both
+// re-provision the surviving clients' effective quotas so the device stays
+// fully subscribed.
+type Dynamic interface {
+	Scheduler
+	AddClient(c *Client) error
+	RemoveClient(id int, crashed bool) error
+}
+
+// ClientQuota is one client's current effective quota.
+type ClientQuota struct {
+	ID    int
+	Quota float64
+}
+
+// QuotaReporter is implemented by schedulers whose effective quotas can
+// drift from the provisioned ones (churn re-normalization); observers use it
+// to keep quota-attainment accounting in sync.
+type QuotaReporter interface {
+	EffectiveQuotas() []ClientQuota
 }
 
 // ValidateDeployment checks the common preconditions every scheduler shares:

@@ -204,6 +204,41 @@ func (q *Queue) Resume() {
 // Paused reports whether the queue is paused.
 func (q *Queue) Paused() bool { return q.paused }
 
+// PendingKernel is one launch record removed from a queue before execution.
+type PendingKernel struct {
+	K      *Kernel
+	OnDone func(at Time)
+}
+
+// CancelPending drops every pending (not yet executing) kernel from the
+// queue and returns the removed records so the caller can settle their
+// completion bookkeeping — crash teardown for a departed client. The running
+// kernel, if any, is not preempted (GPU kernels are un-preemptable) and
+// completes normally. Removal is reported to RemovalTracer subscribers.
+func (q *Queue) CancelPending() []PendingKernel {
+	if len(q.pending) == 0 {
+		return nil
+	}
+	g := q.ctx.gpu
+	out := make([]PendingKernel, len(q.pending))
+	var ks []*Kernel
+	if len(g.removalTracers) > 0 {
+		ks = make([]*Kernel, len(q.pending))
+	}
+	for i, rec := range q.pending {
+		out[i] = PendingKernel{K: rec.k, OnDone: rec.onDone}
+		if ks != nil {
+			ks[i] = rec.k
+		}
+	}
+	q.pending = q.pending[:0]
+	for _, t := range g.removalTracers {
+		t.KernelsRemoved(g.eng.Now(), q, ks)
+	}
+	g.reschedule()
+	return out
+}
+
 // exec is a kernel in flight.
 type exec struct {
 	q         *Queue
@@ -237,10 +272,11 @@ type GPU struct {
 	kernelsDone    int64
 	memUsed        int64
 
-	tracers      []Tracer
-	allocTracers []AllocationTracer
-	enqTracers   []EnqueueTracer
-	loadBuf      []QueueLoad
+	tracers        []Tracer
+	allocTracers   []AllocationTracer
+	enqTracers     []EnqueueTracer
+	removalTracers []RemovalTracer
+	loadBuf        []QueueLoad
 }
 
 // NewGPU creates a device with the given configuration, scheduled on eng.
@@ -397,6 +433,15 @@ type EnqueueTracer interface {
 	KernelEnqueued(at Time, queue *Queue, k *Kernel)
 }
 
+// RemovalTracer extends Tracer: implementations additionally observe kernels
+// removed from a queue's pending backlog without executing (client-crash
+// teardown via Queue.CancelPending), which keeps FIFO and conservation
+// bookkeeping exact across client churn.
+type RemovalTracer interface {
+	Tracer
+	KernelsRemoved(at Time, queue *Queue, ks []*Kernel)
+}
+
 // AddTracer attaches a tracer alongside any already attached; all tracers
 // observe every kernel, in attachment order. Tracers also implementing
 // AllocationTracer or EnqueueTracer receive the extended notifications. nil
@@ -412,6 +457,9 @@ func (g *GPU) AddTracer(t Tracer) {
 	}
 	if et, ok := t.(EnqueueTracer); ok {
 		g.enqTracers = append(g.enqTracers, et)
+	}
+	if rt, ok := t.(RemovalTracer); ok {
+		g.removalTracers = append(g.removalTracers, rt)
 	}
 }
 
@@ -439,6 +487,14 @@ func (g *GPU) RemoveTracer(t Tracer) {
 			}
 		}
 	}
+	if rt, ok := t.(RemovalTracer); ok {
+		for i, have := range g.removalTracers {
+			if have == rt {
+				g.removalTracers = append(g.removalTracers[:i], g.removalTracers[i+1:]...)
+				break
+			}
+		}
+	}
 }
 
 // SetTracer replaces ALL attached tracers with t (nil detaches everything).
@@ -450,6 +506,7 @@ func (g *GPU) SetTracer(t Tracer) {
 	g.tracers = g.tracers[:0]
 	g.allocTracers = g.allocTracers[:0]
 	g.enqTracers = g.enqTracers[:0]
+	g.removalTracers = g.removalTracers[:0]
 	g.AddTracer(t)
 }
 
