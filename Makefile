@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check test test-race test-sim-nondeterminism bench bench-smoke fmt
+.PHONY: check test test-race test-sim-nondeterminism bench bench-smoke bench-compare fmt
 
 ## check: formatting, vet, build, race tests, invariant + determinism stages
 check:
@@ -20,11 +20,13 @@ test:
 test-race:
 	$(GO) test -race -count=1 ./...
 
-## test-sim-nondeterminism: the multi-seed determinism & metamorphic suite.
+## test-sim-nondeterminism: the multi-seed determinism & metamorphic suite,
+## including the digest-corpus serial-vs-parallel identity check (the suites
+## fan their runs out through internal/harness's parallel executor).
 ## INVARIANT_SEEDS widens the metamorphic sweep (CI long mode uses 12).
 test-sim-nondeterminism:
 	INVARIANT_SEEDS=$(or $(INVARIANT_SEEDS),8) $(GO) test -race -count=1 \
-		-run 'TestDeterminismDigest|TestMetamorphicInvariantVerdicts|TestRandomDeploymentsInvariants' \
+		-run 'TestDeterminismDigest|TestMetamorphicInvariantVerdicts|TestRandomDeploymentsInvariants|TestDigestCorpus' \
 		./internal/harness/
 
 ## bench: the repository-root micro/macro benchmarks
@@ -34,6 +36,11 @@ bench:
 ## bench-smoke: run the smoke workload and gate against the committed baseline
 bench-smoke:
 	$(GO) run ./cmd/blessbench -smoke BENCH_smoke.json -baseline scripts/bench_baseline.json
+
+## bench-compare: run the hot-path/executor benchmarks and gate against the
+## committed envelope in BENCH_sim.json (RECORD=1 refreshes it)
+bench-compare:
+	./scripts/bench_compare.sh
 
 fmt:
 	gofmt -w .

@@ -44,6 +44,7 @@ func main() {
 	smokePath := flag.String("smoke", "", "run the benchmark-smoke pair and write its JSON summary to this file")
 	baselinePath := flag.String("baseline", "", "with -smoke: committed summary to compare against (>10% mean-latency regression fails)")
 	chaosFlag := flag.Bool("chaos", false, "run the chaos scenario (faults, stall, crash, join) twice and verify determinism")
+	parallel := flag.Int("parallel", 0, "worker count for independent experiment runs (0 = GOMAXPROCS, 1 = serial); output is identical at any setting")
 	flag.Parse()
 
 	if *invariants {
@@ -52,7 +53,7 @@ func main() {
 	}
 
 	if *smokePath != "" {
-		if err := runSmoke(*smokePath, *baselinePath); err != nil {
+		if err := runSmoke(*smokePath, *baselinePath, *parallel); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -83,7 +84,7 @@ func main() {
 		return
 	}
 
-	opt := harness.Options{Quick: *quick}
+	opt := harness.Options{Quick: *quick, Parallel: *parallel}
 	run := func(e harness.Experiment) {
 		start := time.Now()
 		table, err := e.Run(opt)

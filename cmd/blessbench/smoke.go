@@ -32,40 +32,45 @@ const regressionTolerance = 0.10
 // workload is small (200ms horizon) so the gate adds seconds, not minutes,
 // and fully deterministic so the digest doubles as a cross-platform
 // determinism probe.
-func runSmoke(outPath, baselinePath string) error {
+func runSmoke(outPath, baselinePath string, parallel int) error {
 	prof, err := harness.ProfileFor("resnet50", sim.DefaultConfig())
 	if err != nil {
 		return err
 	}
-	run := func(fp *harness.FaultPlan) (*harness.Result, error) {
-		sched, err := harness.NewSystem("BLESS")
-		if err != nil {
-			return nil, err
+	mk := func(fp *harness.FaultPlan) func() (harness.RunConfig, error) {
+		return func() (harness.RunConfig, error) {
+			sched, err := harness.NewSystem("BLESS")
+			if err != nil {
+				return harness.RunConfig{}, err
+			}
+			return harness.RunConfig{
+				Scheduler: sched,
+				Clients: []harness.ClientSpec{
+					{App: "resnet50", Quota: 0.5, Pattern: trace.Closed(prof.IsoAtQuota(0.5), 0)},
+					{App: "vgg11", Quota: 0.5, Pattern: trace.Closed(0, 0)},
+				},
+				Horizon: 200 * sim.Millisecond,
+				Invariants: &invariant.Options{
+					FailOnViolation: true,
+					Repro:           "go run ./cmd/blessbench -smoke " + outPath,
+				},
+				Faults: fp,
+			}, nil
 		}
-		return harness.Run(harness.RunConfig{
-			Scheduler: sched,
-			Clients: []harness.ClientSpec{
-				{App: "resnet50", Quota: 0.5, Pattern: trace.Closed(prof.IsoAtQuota(0.5), 0)},
-				{App: "vgg11", Quota: 0.5, Pattern: trace.Closed(0, 0)},
-			},
-			Horizon: 200 * sim.Millisecond,
-			Invariants: &invariant.Options{
-				FailOnViolation: true,
-				Repro:           "go run ./cmd/blessbench -smoke " + outPath,
-			},
-			Faults: fp,
-		})
 	}
-	res, err := run(nil)
+	// The two smoke runs — the measured one and its zero-rate fault-injector
+	// twin — are independent, so they fan out across the worker pool; results
+	// come back in input order regardless of which finishes first.
+	results, err := harness.RunParallel(parallel, []func() (harness.RunConfig, error){
+		mk(nil),
+		mk(&harness.FaultPlan{ForceInjector: true}),
+	})
 	if err != nil {
 		return fmt.Errorf("smoke run: %w", err)
 	}
+	res, inert := results[0], results[1]
 	// The fault path must cost nothing when inert: the same workload with a
 	// zero-rate injector attached must replay the exact simulated timeline.
-	inert, err := run(&harness.FaultPlan{ForceInjector: true})
-	if err != nil {
-		return fmt.Errorf("smoke zero-rate run: %w", err)
-	}
 	if inert.Invariants.Digest != res.Invariants.Digest {
 		return fmt.Errorf("smoke: zero-rate fault injector perturbed the run: digest %016x != %016x",
 			inert.Invariants.Digest, res.Invariants.Digest)

@@ -1,0 +1,51 @@
+package core
+
+import (
+	"testing"
+)
+
+// TestDetermineCacheEquivalence checks the memoized path returns exactly what
+// a fresh search returns — decision, grants, estimate AND the Considered
+// count (which feeds overhead accounting and decision traces) — on both the
+// miss and the hit, and that a hit's SMs slice is not aliased to the cache.
+func TestDetermineCacheEquivalence(t *testing.T) {
+	clients := testClients(t, []float64{0.5, 0.5}, "vgg11", "resnet50")
+	opts := DetermineOptions{Partitions: 18}
+	quotas := []float64{0.5, 0.5}
+
+	var cache determineCache
+	shapes := [][]int{{8, 8}, {8, 12}, {3, 20}}
+	for round := 0; round < 2; round++ { // round 0 misses, round 1 hits
+		for _, sh := range shapes {
+			s := squadOf(clients, sh...)
+			want := Determine(s, 108, quotas, opts)
+			got := cache.determine(s, 108, quotas, opts)
+			if got.Spatial != want.Spatial || got.Estimate != want.Estimate || got.Considered != want.Considered {
+				t.Fatalf("round %d: cached = %+v, direct = %+v", round, got, want)
+			}
+			if len(got.SMs) != len(want.SMs) {
+				t.Fatalf("round %d: SMs %v != %v", round, got.SMs, want.SMs)
+			}
+			for i := range got.SMs {
+				if got.SMs[i] != want.SMs[i] {
+					t.Fatalf("round %d: SMs %v != %v", round, got.SMs, want.SMs)
+				}
+			}
+			// Mutating the returned grant must not poison future hits.
+			if got.SMs != nil {
+				got.SMs[0] = -1
+			}
+		}
+	}
+	if cache.hits != 3 || cache.misses != 3 {
+		t.Fatalf("hits=%d misses=%d, want 3/3", cache.hits, cache.misses)
+	}
+
+	// Distinct inputs that a sloppy key would conflate must miss.
+	if cfg := cache.determine(squadOf(clients, 8, 8), 108, quotas, DetermineOptions{Partitions: 18, QuotaGuard: true}); cfg.Considered == 0 {
+		t.Fatal("quota-guard variant returned empty config")
+	}
+	if cache.misses != 4 {
+		t.Fatalf("option variant should miss the cache, misses=%d", cache.misses)
+	}
+}

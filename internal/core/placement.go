@@ -2,7 +2,6 @@ package core
 
 import (
 	"fmt"
-	"sort"
 
 	"bless/internal/profiler"
 	"bless/internal/sim"
@@ -69,17 +68,24 @@ func Place(apps []PlacementApp, gpus []PlacementGPU, opts PlacementOptions) (Pla
 		_ = i
 	}
 
-	// Largest memory footprint first.
+	// Largest memory footprint first. The index sorts run over buffers
+	// allocated once per call and a stable insertion sort — identical order
+	// to the sort.SliceStable formulation this replaces, without its
+	// reflection and per-comparison closure costs.
 	order := make([]int, len(apps))
+	memKey := make([]int64, len(apps))
 	for i := range order {
 		order[i] = i
+		memKey[i] = apps[i].Profile.MemoryBytes
 	}
-	sort.SliceStable(order, func(x, y int) bool {
-		return apps[order[x]].Profile.MemoryBytes > apps[order[y]].Profile.MemoryBytes
-	})
+	sortIdxByKeyDesc(order, memKey)
 
 	assigned := make([][]int, len(gpus)) // app indices per GPU
 	placement := Placement{}
+	// Per-depth candidate scratch: the recursion in place() nests inside the
+	// candidate loop, so each depth owns a fixed slice of the shared buffers.
+	candBuf := make([]int, len(order)*len(gpus))
+	freeBuf := make([]int64, len(order)*len(gpus))
 
 	var place func(step int) error
 	place = func(step int) error {
@@ -89,15 +95,17 @@ func Place(apps []PlacementApp, gpus []PlacementGPU, opts PlacementOptions) (Pla
 		ai := order[step]
 		app := apps[ai]
 
-		// Try GPUs with the most free memory first.
-		cand := make([]int, len(gpus))
+		// Try GPUs with the most free memory first. Free memory is computed
+		// once per GPU per step (the comparison-driven sort recomputed it per
+		// comparison), which cannot change the order: it is deterministic in
+		// the current assignment.
+		cand := candBuf[step*len(gpus) : (step+1)*len(gpus)]
+		free := freeBuf[step*len(gpus) : (step+1)*len(gpus)]
 		for i := range cand {
 			cand[i] = i
+			free[i] = freeMemory(gpus[i], apps, assigned[i], lim)
 		}
-		sort.SliceStable(cand, func(x, y int) bool {
-			return freeMemory(gpus[cand[x]], apps, assigned[cand[x]], lim) >
-				freeMemory(gpus[cand[y]], apps, assigned[cand[y]], lim)
-		})
+		sortIdxByKeyDesc(cand, free)
 
 		var lastErr error
 		for _, gi := range cand {
@@ -124,6 +132,21 @@ func Place(apps []PlacementApp, gpus []PlacementGPU, opts PlacementOptions) (Pla
 		return nil, err
 	}
 	return placement, nil
+}
+
+// sortIdxByKeyDesc stable-sorts idx in place so that key[idx[i]] descends,
+// preserving original order among equal keys (elements move only on a strict
+// comparison) — the same order sort.SliceStable with a ">" less-func yields.
+func sortIdxByKeyDesc(idx []int, key []int64) {
+	for i := 1; i < len(idx); i++ {
+		v := idx[i]
+		j := i - 1
+		for j >= 0 && key[idx[j]] < key[v] {
+			idx[j+1] = idx[j]
+			j--
+		}
+		idx[j+1] = v
+	}
 }
 
 // fits checks whether adding app ai to the GPU's current assignment keeps the

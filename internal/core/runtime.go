@@ -157,6 +157,10 @@ type Runtime struct {
 	curPredicted sim.Time
 	curMembers   []int // client IDs of the running squad's entries
 
+	// detCache memoizes execution-configuration decisions by squad
+	// signature (see determineCache); per-Runtime, so per-run.
+	detCache determineCache
+
 	// stats
 	squadsExecuted   int64
 	spatialSquads    int64
@@ -343,7 +347,7 @@ func (rt *Runtime) startSquad() {
 	for i := range squad.Entries {
 		quotas[i] = squad.Entries[i].Client.Quota
 	}
-	cfg := Determine(squad, rt.env.GPU.Config().SMs, quotas, DetermineOptions{
+	cfg := rt.detCache.determine(squad, rt.env.GPU.Config().SMs, quotas, DetermineOptions{
 		Partitions:        rt.partitions(squad),
 		ForceSpatialQuota: rt.opts.DisableDeterminer,
 		InterferenceBeta:  rt.env.GPU.Config().InterferenceBeta,

@@ -7,6 +7,8 @@ package core
 
 import (
 	"fmt"
+	"math"
+	"strconv"
 
 	"bless/internal/sharing"
 	"bless/internal/sim"
@@ -59,6 +61,86 @@ func (s *Squad) Validate() error {
 		}
 	}
 	return nil
+}
+
+// determineCache memoizes the execution-configuration search per squad
+// signature. Closed-loop workloads re-form the same squad shapes over and
+// over (same apps, same kernel windows, same quotas), so the C(N-1,K-1)
+// configuration enumeration repeats with identical inputs; caching the
+// decision removes that cost from the scheduling path.
+//
+// The cache lives on a Runtime, never across runs, so it is confined to one
+// single-threaded simulation. The key is an exact spelling of every input
+// Determine reads — the device SM count, the search options, and each
+// entry's profile identity (app name), kernel window and quota — not a hash:
+// a colliding key would replay the wrong configuration and silently corrupt
+// determinism digests. A cached hit returns the identical ExecConfig a fresh
+// search would produce, including the Considered count the overhead
+// accounting and decision tracing publish.
+type determineCache struct {
+	m      map[string]ExecConfig
+	keyBuf []byte
+	hits   int64
+	misses int64
+}
+
+// appendKey appends the exact cache key for one Determine call.
+func (c *determineCache) appendKey(buf []byte, s *Squad, deviceSMs int, quotas []float64, opts DetermineOptions) []byte {
+	buf = strconv.AppendInt(buf, int64(deviceSMs), 10)
+	buf = append(buf, '|')
+	buf = strconv.AppendInt(buf, int64(opts.Partitions), 10)
+	buf = append(buf, '|')
+	buf = strconv.AppendInt(buf, int64(opts.MaxEnumerate), 10)
+	buf = append(buf, '|')
+	if opts.ForceSpatialQuota {
+		buf = append(buf, 'F')
+	}
+	if opts.QuotaGuard {
+		buf = append(buf, 'G')
+	}
+	buf = append(buf, '|')
+	buf = strconv.AppendUint(buf, math.Float64bits(opts.InterferenceBeta), 16)
+	for i := range s.Entries {
+		e := &s.Entries[i]
+		buf = append(buf, ';')
+		buf = append(buf, e.Client.App.Name...)
+		buf = append(buf, ':')
+		buf = strconv.AppendInt(buf, int64(e.Kernels[0]), 10)
+		buf = append(buf, '+')
+		buf = strconv.AppendInt(buf, int64(len(e.Kernels)), 10)
+		buf = append(buf, '@')
+		buf = strconv.AppendUint(buf, math.Float64bits(e.Client.Quota), 16)
+	}
+	for _, q := range quotas {
+		buf = append(buf, ',')
+		buf = strconv.AppendUint(buf, math.Float64bits(q), 16)
+	}
+	return buf
+}
+
+// determine answers from the cache or falls through to Determine. The SMs
+// slice is copied on both store and hit so neither the caller nor the cache
+// can alias the other's grant vector.
+func (c *determineCache) determine(s *Squad, deviceSMs int, quotas []float64, opts DetermineOptions) ExecConfig {
+	c.keyBuf = c.appendKey(c.keyBuf[:0], s, deviceSMs, quotas, opts)
+	if cfg, ok := c.m[string(c.keyBuf)]; ok {
+		c.hits++
+		if cfg.SMs != nil {
+			cfg.SMs = append([]int(nil), cfg.SMs...)
+		}
+		return cfg
+	}
+	c.misses++
+	cfg := Determine(s, deviceSMs, quotas, opts)
+	stored := cfg
+	if stored.SMs != nil {
+		stored.SMs = append([]int(nil), stored.SMs...)
+	}
+	if c.m == nil {
+		c.m = make(map[string]ExecConfig)
+	}
+	c.m[string(c.keyBuf)] = stored
+	return cfg
 }
 
 // activeRequest tracks the scheduling progress of one client's in-service

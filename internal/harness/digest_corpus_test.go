@@ -1,0 +1,169 @@
+package harness
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"strings"
+	"testing"
+
+	"bless/internal/chaos"
+	"bless/internal/invariant"
+	"bless/internal/sim"
+	"bless/internal/trace"
+)
+
+// corpusCase is one deterministic workload of the digest corpus: mk builds a
+// fresh RunConfig (schedulers are stateful, so every execution needs its own).
+type corpusCase struct {
+	name string
+	mk   func() (RunConfig, error)
+}
+
+// digestCorpus generates the fixed workload corpus the determinism acceptance
+// criteria are checked over: every scheduler, mixed arrival patterns, and a
+// sprinkling of fault/churn plans. Generation is pure in the seed — the same
+// corpus index always yields the same workload, so digests recorded before an
+// optimization can be compared bit-for-bit after it.
+func digestCorpus(n int) []corpusCase {
+	systems := []string{"BLESS", "STATIC", "GSLICE", "UNBOUND", "TEMPORAL", "REEF+"}
+	models := []string{"vgg11", "resnet50", "resnet101", "bert"}
+	horizon := 120 * sim.Millisecond
+
+	out := make([]corpusCase, 0, n)
+	for seed := 0; seed < n; seed++ {
+		rng := rand.New(rand.NewSource(int64(9000 + seed)))
+		sys := systems[seed%len(systems)]
+		nc := 2 + rng.Intn(2)
+		specs := make([]ClientSpec, nc)
+		rem := 1.0
+		for i := range specs {
+			q := rem / float64(nc-i)
+			if i < nc-1 {
+				q *= 0.7 + 0.6*rng.Float64()
+			}
+			rem -= q
+			var pat trace.Pattern
+			switch rng.Intn(3) {
+			case 0:
+				pat = trace.Closed(sim.Time(1+rng.Intn(8))*sim.Millisecond, 0)
+			case 1:
+				pat = trace.Poisson(10+15*rng.Float64(), horizon, int64(seed*10+i))
+			default:
+				pat = trace.Burst(1+rng.Intn(3), sim.Time(rng.Intn(10))*sim.Millisecond)
+			}
+			specs[i] = ClientSpec{App: models[rng.Intn(len(models))], Quota: q, Pattern: pat}
+		}
+
+		var fp *FaultPlan
+		dynamicCapable := sys == "BLESS" || sys == "STATIC" || sys == "UNBOUND" || sys == "TEMPORAL"
+		if seed%3 == 2 && dynamicCapable {
+			fp = &FaultPlan{Plan: chaos.Plan{Seed: int64(500 + seed)}}
+			if sys == "BLESS" {
+				fp.Plan.KernelFaultRate = 0.01 * rng.Float64()
+			}
+			victim := rng.Intn(nc)
+			churnAt := horizon/4 + sim.Time(rng.Int63n(int64(horizon/2)))
+			if rng.Intn(2) == 0 {
+				fp.Plan.Crashes = []chaos.ClientEvent{{Client: victim, At: churnAt}}
+			} else {
+				fp.Plan.Leaves = []chaos.ClientEvent{{Client: victim, At: churnAt}}
+			}
+		}
+
+		out = append(out, corpusCase{
+			name: fmt.Sprintf("seed%02d-%s", seed, sys),
+			mk: func() (RunConfig, error) {
+				sched, err := NewSystem(sys)
+				if err != nil {
+					return RunConfig{}, err
+				}
+				return RunConfig{
+					Scheduler:  sched,
+					Clients:    specs,
+					Horizon:    horizon,
+					Faults:     fp,
+					Invariants: &invariant.Options{},
+				}, nil
+			},
+		})
+	}
+	return out
+}
+
+// corpusSize is the corpus cardinality: INVARIANT_SEEDS scales it (the CI
+// long job raises it), -short halves the default.
+func corpusSize(t *testing.T) int {
+	n := metamorphicSeeds(t)
+	if n < 6 {
+		n = 6 // at least one workload per scheduler
+	}
+	return n
+}
+
+// runCorpusCase executes one corpus workload and returns its digest.
+func runCorpusCase(c corpusCase) (uint64, error) {
+	cfg, err := c.mk()
+	if err != nil {
+		return 0, err
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		return 0, err
+	}
+	return res.Invariants.Digest, nil
+}
+
+// TestDigestCorpusSerial runs the corpus serially and, when DIGEST_DUMP names
+// a file, records "name digest" lines — the capture side of the pre- vs.
+// post-optimization bit-identity check (diff two dumps taken at different
+// commits of the simulator).
+func TestDigestCorpusSerial(t *testing.T) {
+	cases := digestCorpus(corpusSize(t))
+	var dump strings.Builder
+	for _, c := range cases {
+		d, err := runCorpusCase(c)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		fmt.Fprintf(&dump, "%s %016x\n", c.name, d)
+	}
+	if path := os.Getenv("DIGEST_DUMP"); path != "" {
+		if err := os.WriteFile(path, []byte(dump.String()), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("digest corpus written to %s", path)
+	}
+}
+
+// TestDigestCorpusParallel runs the same corpus through the parallel executor
+// at several worker counts and requires every digest to match its serial run
+// bit-for-bit — the executor's core guarantee: worker count changes wall
+// clock, never output.
+func TestDigestCorpusParallel(t *testing.T) {
+	cases := digestCorpus(corpusSize(t))
+	serial := make([]uint64, len(cases))
+	for i, c := range cases {
+		d, err := runCorpusCase(c)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		serial[i] = d
+	}
+	for _, workers := range []int{2, 4} {
+		mks := make([]func() (RunConfig, error), len(cases))
+		for i := range cases {
+			mks[i] = cases[i].mk
+		}
+		results, err := RunParallel(workers, mks)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, res := range results {
+			if got := res.Invariants.Digest; got != serial[i] {
+				t.Errorf("workers=%d: %s: parallel digest %016x != serial %016x",
+					workers, cases[i].name, got, serial[i])
+			}
+		}
+	}
+}

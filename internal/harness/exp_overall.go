@@ -47,21 +47,61 @@ func runFig13(opt Options) (*Table, error) {
 		models = models[:2]
 	}
 
+	// The (workload x model x system) grid plus the training comparison is a
+	// set of fully independent runs: fan them out across the worker pool and
+	// fold the results in input order, which reproduces the serial artifact
+	// exactly.
 	workloads := []string{"A", "B", "C"}
+	type fig13Job struct {
+		workload, model, sys string
+		training             bool
+	}
+	var jobs []fig13Job
+	for _, w := range workloads {
+		for _, m := range models {
+			for _, sys := range InferenceSystems {
+				jobs = append(jobs, fig13Job{workload: w, model: m, sys: sys})
+			}
+		}
+	}
+	// Training: two models evenly sharing, closed-loop back-to-back
+	// iterations (training runs continuously).
+	trainPair := [2]string{"vgg11-train", "resnet50-train"}
+	for _, sys := range TrainingSystems {
+		jobs = append(jobs, fig13Job{workload: "train", sys: sys, training: true})
+	}
+	runs, err := ForEachParallel(opt.Parallel, jobs, func(_ int, j fig13Job) (*Result, error) {
+		if j.training {
+			pats := [2]trace.Pattern{trace.Closed(0, 0), trace.Closed(0, 0)}
+			res, err := runPairSystem(j.sys, trainPair, [2]float64{0.5, 0.5}, pats, horizon, cfg)
+			if err != nil {
+				return nil, fmt.Errorf("fig13 training/%s: %w", j.sys, err)
+			}
+			return res, nil
+		}
+		pat, err := closedLoadPattern(j.model, j.workload, cfg)
+		if err != nil {
+			return nil, err
+		}
+		res, err := runPairSystem(j.sys, [2]string{j.model, j.model}, [2]float64{0.5, 0.5},
+			[2]trace.Pattern{pat, pat}, horizon, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("fig13 %s/%s/%s: %w", j.workload, j.model, j.sys, err)
+		}
+		return res, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	idx := 0
 	for _, w := range workloads {
 		avgs := map[string][]sim.Time{}
 		utils := map[string][]float64{}
-		for _, m := range models {
-			pat, err := closedLoadPattern(m, w, cfg)
-			if err != nil {
-				return nil, err
-			}
+		for range models {
 			for _, sys := range InferenceSystems {
-				res, err := runPairSystem(sys, [2]string{m, m}, [2]float64{0.5, 0.5},
-					[2]trace.Pattern{pat, pat}, horizon, cfg)
-				if err != nil {
-					return nil, fmt.Errorf("fig13 %s/%s/%s: %w", w, m, sys, err)
-				}
+				res := runs[idx]
+				idx++
 				avgs[sys] = append(avgs[sys], res.AvgLatency)
 				utils[sys] = append(utils[sys], res.Utilization)
 			}
@@ -79,21 +119,14 @@ func runFig13(opt Options) (*Table, error) {
 			})
 		}
 	}
-
-	// Training: two models evenly sharing, closed-loop back-to-back
-	// iterations (training runs continuously).
-	trainPair := [2]string{"vgg11-train", "resnet50-train"}
 	type trainOutcome struct {
 		avg  sim.Time
 		util float64
 	}
 	outcomes := map[string]trainOutcome{}
 	for _, sys := range TrainingSystems {
-		pats := [2]trace.Pattern{trace.Closed(0, 0), trace.Closed(0, 0)}
-		res, err := runPairSystem(sys, trainPair, [2]float64{0.5, 0.5}, pats, horizon, cfg)
-		if err != nil {
-			return nil, fmt.Errorf("fig13 training/%s: %w", sys, err)
-		}
+		res := runs[idx]
+		idx++
 		outcomes[sys] = trainOutcome{avg: res.AvgLatency, util: res.Utilization}
 	}
 	blessTrain := outcomes["BLESS"].avg
@@ -132,28 +165,59 @@ func runFig14(opt Options) (*Table, error) {
 		quotaSet = [][2]float64{{1.0 / 3, 2.0 / 3}, {0.5, 0.5}}
 	}
 
+	// The (system x pair x quota) sweep fans out in parallel. A run may be
+	// unsupported (e.g. MIG with an inexpressible quota) without failing the
+	// sweep, so the per-cell outcome carries its own error and the fold —
+	// in input order — skips those cells exactly as the serial loop did.
 	systems := []string{"TEMPORAL", "MIG", "GSLICE", "UNBOUND", "REEF+", "BLESS"}
+	type fig14Job struct {
+		sys  string
+		pair [2]string
+		q    [2]float64
+	}
+	var jobs []fig14Job
+	for _, sys := range systems {
+		for _, pair := range pairs {
+			for _, q := range quotaSet {
+				jobs = append(jobs, fig14Job{sys: sys, pair: pair, q: q})
+			}
+		}
+	}
+	type fig14Cell struct {
+		res *Result
+		err error
+	}
+	cells, err := ForEachParallel(opt.Parallel, jobs, func(_ int, j fig14Job) (fig14Cell, error) {
+		p0, err := closedLoadPattern(j.pair[0], "B", cfg)
+		if err != nil {
+			return fig14Cell{}, err
+		}
+		p1, err := closedLoadPattern(j.pair[1], "B", cfg)
+		if err != nil {
+			return fig14Cell{}, err
+		}
+		res, err := runPairSystem(j.sys, j.pair, j.q, [2]trace.Pattern{p0, p1}, horizon, cfg)
+		return fig14Cell{res: res, err: err}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	idx := 0
 	for _, sys := range systems {
 		var devs []sim.Time
 		supported := 0
 		total := 0
-		for _, pair := range pairs {
-			for _, q := range quotaSet {
+		for range pairs {
+			for range quotaSet {
+				cell := cells[idx]
+				idx++
 				total++
-				p0, err := closedLoadPattern(pair[0], "B", cfg)
-				if err != nil {
-					return nil, err
-				}
-				p1, err := closedLoadPattern(pair[1], "B", cfg)
-				if err != nil {
-					return nil, err
-				}
-				res, err := runPairSystem(sys, pair, q, [2]trace.Pattern{p0, p1}, horizon, cfg)
-				if err != nil {
+				if cell.err != nil {
 					continue // unsupported (e.g. MIG quota)
 				}
 				supported++
-				devs = append(devs, res.Deviation)
+				devs = append(devs, cell.res.Deviation)
 			}
 		}
 		row := []string{sys, "n/a", fmt.Sprintf("%d/%d", supported, total)}
@@ -195,32 +259,45 @@ func runFig12(opt Options) (*Table, error) {
 		{"c:R50+R101/B", [2]string{"resnet50", "resnet101"}, "B"},
 		{"d:VGG+BERT/B", [2]string{"vgg11", "bert"}, "B"},
 	}
+	type fig12Job struct {
+		name     string
+		apps     [2]string
+		workload string
+		q        [2]float64
+	}
+	var jobs []fig12Job
 	for _, c := range cases {
 		for _, q := range quotaSet {
-			p0, err := closedLoadPattern(c.apps[0], c.workload, cfg)
-			if err != nil {
-				return nil, err
-			}
-			p1, err := closedLoadPattern(c.apps[1], c.workload, cfg)
-			if err != nil {
-				return nil, err
-			}
-			res, err := runPairSystem("BLESS", c.apps, q, [2]trace.Pattern{p0, p1}, horizon, cfg)
-			if err != nil {
-				return nil, err
-			}
-			l1, l2 := res.PerClient[0].Summary.Mean, res.PerClient[1].Summary.Mean
-			i1, i2 := res.PerClient[0].ISO, res.PerClient[1].ISO
-			inside := "yes"
-			if l1 > i1 || l2 > i2 {
-				inside = "no"
-			}
-			t.Rows = append(t.Rows, []string{
-				c.name,
-				fmt.Sprintf("%.2f/%.2f", q[0], q[1]),
-				ms(l1), ms(i1), ms(l2), ms(i2), inside,
-			})
+			jobs = append(jobs, fig12Job{name: c.name, apps: c.apps, workload: c.workload, q: q})
 		}
+	}
+	runs, err := ForEachParallel(opt.Parallel, jobs, func(_ int, j fig12Job) (*Result, error) {
+		p0, err := closedLoadPattern(j.apps[0], j.workload, cfg)
+		if err != nil {
+			return nil, err
+		}
+		p1, err := closedLoadPattern(j.apps[1], j.workload, cfg)
+		if err != nil {
+			return nil, err
+		}
+		return runPairSystem("BLESS", j.apps, j.q, [2]trace.Pattern{p0, p1}, horizon, cfg)
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, j := range jobs {
+		res := runs[i]
+		l1, l2 := res.PerClient[0].Summary.Mean, res.PerClient[1].Summary.Mean
+		i1, i2 := res.PerClient[0].ISO, res.PerClient[1].ISO
+		inside := "yes"
+		if l1 > i1 || l2 > i2 {
+			inside = "no"
+		}
+		t.Rows = append(t.Rows, []string{
+			j.name,
+			fmt.Sprintf("%.2f/%.2f", j.q[0], j.q[1]),
+			ms(l1), ms(i1), ms(l2), ms(i2), inside,
+		})
 	}
 	return t, nil
 }

@@ -64,6 +64,11 @@ type Options struct {
 	// Quick shrinks horizons and sweep densities for tests and smoke runs;
 	// the shapes remain, absolute statistics get noisier.
 	Quick bool
+	// Parallel is the worker count for an experiment's independent runs:
+	// 0 = GOMAXPROCS, 1 = serial. Outputs are always folded in input order
+	// (see ForEachParallel), so the rendered artifact is identical at every
+	// setting.
+	Parallel int
 }
 
 // Experiment is one reproducible paper artifact.

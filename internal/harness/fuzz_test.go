@@ -10,6 +10,18 @@ import (
 	"bless/internal/trace"
 )
 
+// The randomized suites follow one structure so the seeded rng stays
+// deterministic while the runs themselves fan out:
+//
+//  1. Generate every trial's configuration serially from the shared rng —
+//     draw order is part of the seed contract, so generation cannot move.
+//  2. Execute all runs (including each trial's determinism repeat) through
+//     the parallel executor; results come back slotted by input index.
+//  3. Assert per trial in input order.
+//
+// Worker functions must not touch *testing.T — failures surface as errors
+// from RunParallel and as assertions in phase 3.
+
 // TestRandomDeploymentsInvariants throws randomized deployments and workloads
 // at every scheduler and checks the invariants no configuration may break:
 // every submitted request completes exactly once, completions are FIFO per
@@ -25,7 +37,12 @@ func TestRandomDeploymentsInvariants(t *testing.T) {
 	if testing.Short() {
 		trials = 6
 	}
-	for trial := 0; trial < trials; trial++ {
+	type trialCase struct {
+		sys   string
+		specs []ClientSpec
+	}
+	cases := make([]trialCase, trials)
+	for trial := range cases {
 		// Random deployment: 2-4 clients, random quota split.
 		n := 2 + rng.Intn(3)
 		cuts := make([]float64, n-1)
@@ -58,20 +75,30 @@ func TestRandomDeploymentsInvariants(t *testing.T) {
 			}
 			specs[i] = ClientSpec{App: app, Quota: quotas[i], Pattern: pat}
 		}
-		sys := systems[trial%len(systems)]
+		cases[trial] = trialCase{sys: systems[trial%len(systems)], specs: specs}
+	}
 
-		run := func() *Result {
-			sched, err := NewSystem(sys)
+	// Each trial runs twice (the determinism repeat); run r of trial i lands
+	// at results[2*i+r].
+	mks := make([]func() (RunConfig, error), 0, 2*trials)
+	for _, c := range cases {
+		mk := func() (RunConfig, error) {
+			sched, err := NewSystem(c.sys)
 			if err != nil {
-				t.Fatal(err)
+				return RunConfig{}, err
 			}
-			res, err := Run(RunConfig{Scheduler: sched, Clients: specs, Horizon: 150 * sim.Millisecond})
-			if err != nil {
-				t.Fatalf("trial %d (%s): %v", trial, sys, err)
-			}
-			return res
+			return RunConfig{Scheduler: sched, Clients: c.specs, Horizon: 150 * sim.Millisecond}, nil
 		}
-		r1 := run()
+		mks = append(mks, mk, mk)
+	}
+	results, err := RunParallel(0, mks)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for trial, c := range cases {
+		sys := c.sys
+		r1, r2 := results[2*trial], results[2*trial+1]
 		for i, cr := range r1.PerClient {
 			if cr.Completed != cr.Submitted {
 				t.Errorf("trial %d (%s) client %d: %d submitted, %d completed",
@@ -88,7 +115,6 @@ func TestRandomDeploymentsInvariants(t *testing.T) {
 		}
 
 		// Determinism: aggregate metrics and the full event digest agree.
-		r2 := run()
 		if r1.AvgLatency != r2.AvgLatency || r1.Elapsed != r2.Elapsed {
 			t.Errorf("trial %d (%s): repeat run diverged (%v/%v vs %v/%v)",
 				trial, sys, r1.AvgLatency, r1.Elapsed, r2.AvgLatency, r2.Elapsed)
@@ -116,7 +142,13 @@ func TestRandomChurnFaultInvariants(t *testing.T) {
 		trials = 6
 	}
 	horizon := 150 * sim.Millisecond
-	for trial := 0; trial < trials; trial++ {
+	type trialCase struct {
+		sys   string
+		specs []ClientSpec
+		fp    *FaultPlan
+	}
+	cases := make([]trialCase, trials)
+	for trial := range cases {
 		n := 2 + rng.Intn(2)
 		specs := make([]ClientSpec, n)
 		for i := range specs {
@@ -157,30 +189,39 @@ func TestRandomChurnFaultInvariants(t *testing.T) {
 				},
 			}}
 		}
+		cases[trial] = trialCase{sys: sys, specs: specs, fp: fp}
+	}
 
-		run := func() *Result {
-			sched, err := NewSystem(sys)
+	mks := make([]func() (RunConfig, error), 0, 2*trials)
+	for _, c := range cases {
+		mk := func() (RunConfig, error) {
+			sched, err := NewSystem(c.sys)
 			if err != nil {
-				t.Fatal(err)
+				return RunConfig{}, err
 			}
-			res, err := Run(RunConfig{
+			return RunConfig{
 				Scheduler: sched,
-				Clients:   specs,
+				Clients:   c.specs,
 				Horizon:   horizon,
-				Faults:    fp,
+				Faults:    c.fp,
 				Invariants: &invariant.Options{
 					FailOnViolation: true,
 					Enforce: []invariant.Class{
 						invariant.Conservation, invariant.Order, invariant.Delivery,
 					},
 				},
-			})
-			if err != nil {
-				t.Fatalf("trial %d (%s): %v", trial, sys, err)
-			}
-			return res
+			}, nil
 		}
-		r1 := run()
+		mks = append(mks, mk, mk)
+	}
+	results, err := RunParallel(0, mks)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for trial, c := range cases {
+		sys := c.sys
+		r1, r2 := results[2*trial], results[2*trial+1]
 		for i, cr := range r1.PerClient {
 			if cr.Completed+cr.Failed > cr.Submitted {
 				t.Errorf("trial %d (%s) client %d: %d submitted but %d completed + %d failed",
@@ -193,7 +234,6 @@ func TestRandomChurnFaultInvariants(t *testing.T) {
 			t.Errorf("trial %d (%s): churn event not delivered: %+v", trial, sys, ch)
 		}
 
-		r2 := run()
 		if r1.Invariants.Digest != r2.Invariants.Digest {
 			t.Errorf("trial %d (%s): degraded-mode replay diverged: %016x vs %016x",
 				trial, sys, r1.Invariants.Digest, r2.Invariants.Digest)
@@ -214,29 +254,41 @@ func TestBLESSQuotaPaceUnderPressure(t *testing.T) {
 	if testing.Short() {
 		trials = 3
 	}
-	for trial := 0; trial < trials; trial++ {
-		q := 0.3 + 0.5*rng.Float64()
-		sched, err := NewSystem("BLESS")
-		if err != nil {
-			t.Fatal(err)
+	qs := make([]float64, trials)
+	for trial := range qs {
+		qs[trial] = 0.3 + 0.5*rng.Float64()
+	}
+
+	mks := make([]func() (RunConfig, error), trials)
+	for trial, q := range qs {
+		mks[trial] = func() (RunConfig, error) {
+			sched, err := NewSystem("BLESS")
+			if err != nil {
+				return RunConfig{}, err
+			}
+			prof, err := ProfileFor("resnet50", sim.DefaultConfig())
+			if err != nil {
+				return RunConfig{}, err
+			}
+			return RunConfig{
+				Scheduler: sched,
+				Clients: []ClientSpec{
+					// Protected client: closed loop at its quota-isolated pace.
+					{App: "resnet50", Quota: q, Pattern: trace.Closed(prof.IsoAtQuota(q), 0)},
+					// Dense aggressor.
+					{App: "bert", Quota: 1 - q, Pattern: trace.Closed(0, 0)},
+				},
+				Horizon: 500 * sim.Millisecond,
+			}, nil
 		}
-		prof, err := ProfileFor("resnet50", sim.DefaultConfig())
-		if err != nil {
-			t.Fatal(err)
-		}
-		res, err := Run(RunConfig{
-			Scheduler: sched,
-			Clients: []ClientSpec{
-				// Protected client: closed loop at its quota-isolated pace.
-				{App: "resnet50", Quota: q, Pattern: trace.Closed(prof.IsoAtQuota(q), 0)},
-				// Dense aggressor.
-				{App: "bert", Quota: 1 - q, Pattern: trace.Closed(0, 0)},
-			},
-			Horizon: 500 * sim.Millisecond,
-		})
-		if err != nil {
-			t.Fatal(err)
-		}
+	}
+	results, err := RunParallel(0, mks)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for trial, q := range qs {
+		res := results[trial]
 		iso := res.PerClient[0].ISO
 		mean := res.PerClient[0].Summary.Mean
 		// The flush gate bounds per-request harm at ~1.15x the quota target
@@ -257,28 +309,37 @@ func TestLoadCQuotaSweepInsideISO(t *testing.T) {
 		t.Fatal(err)
 	}
 	solo := prof.Iso[prof.Partitions-1]
-	for _, q := range []float64{1.0 / 3, 0.5, 2.0 / 3} {
-		sched, err := NewSystem("BLESS")
-		if err != nil {
-			t.Fatal(err)
+	qs := []float64{1.0 / 3, 0.5, 2.0 / 3}
+
+	mks := make([]func() (RunConfig, error), len(qs))
+	for i, q := range qs {
+		mks[i] = func() (RunConfig, error) {
+			sched, err := NewSystem("BLESS")
+			if err != nil {
+				return RunConfig{}, err
+			}
+			pat := trace.Closed(solo, 0) // workload C
+			return RunConfig{
+				Scheduler: sched,
+				Clients: []ClientSpec{
+					{App: "resnet50", Quota: q, Pattern: pat},
+					{App: "resnet50", Quota: 1 - q, Pattern: pat},
+				},
+				Horizon: 500 * sim.Millisecond,
+				GPU:     cfg,
+			}, nil
 		}
-		pat := trace.Closed(solo, 0) // workload C
-		res, err := Run(RunConfig{
-			Scheduler: sched,
-			Clients: []ClientSpec{
-				{App: "resnet50", Quota: q, Pattern: pat},
-				{App: "resnet50", Quota: 1 - q, Pattern: pat},
-			},
-			Horizon: 500 * sim.Millisecond,
-			GPU:     cfg,
-		})
-		if err != nil {
-			t.Fatal(err)
-		}
-		for i, cr := range res.PerClient {
+	}
+	results, err := RunParallel(0, mks)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for i, q := range qs {
+		for j, cr := range results[i].PerClient {
 			if cr.Summary.Mean > cr.ISO {
 				t.Errorf("quota %.2f client %d: mean %v above ISO %v (outside the Fig 12 region)",
-					q, i, cr.Summary.Mean, cr.ISO)
+					q, j, cr.Summary.Mean, cr.ISO)
 			}
 		}
 	}

@@ -98,23 +98,14 @@ func TestMetamorphicInvariantVerdicts(t *testing.T) {
 	models := []string{"vgg11", "resnet50", "bert"}
 	seeds := metamorphicSeeds(t)
 
-	runVerdict := func(sys string, specs []ClientSpec) (string, *invariant.Report) {
-		sched, err := NewSystem(sys)
-		if err != nil {
-			t.Fatal(err)
-		}
-		res, err := Run(RunConfig{
-			Scheduler:  sched,
-			Clients:    specs,
-			Horizon:    120 * sim.Millisecond,
-			Invariants: &invariant.Options{FailOnViolation: true}, // universal enforcement
-		})
-		if err != nil {
-			t.Fatalf("%s: %v", sys, err) // a universal breach is an immediate failure
-		}
-		return verdictClasses(res.Invariants), res.Invariants
+	// Phase 1 (serial): draw every seed's base workload and its two
+	// transforms from the per-seed rng. Each seed contributes three runs —
+	// base, permuted, quota-scaled — at job indices 3*seed+{0,1,2}.
+	type metaJob struct {
+		sys   string
+		specs []ClientSpec
 	}
-
+	jobs := make([]metaJob, 0, 3*seeds)
 	for seed := 0; seed < seeds; seed++ {
 		rng := rand.New(rand.NewSource(int64(100 + seed)))
 		sys := systems[seed%len(systems)]
@@ -134,26 +125,58 @@ func TestMetamorphicInvariantVerdicts(t *testing.T) {
 			}
 		}
 
-		base, _ := runVerdict(sys, specs)
-
-		// Relation 1: permutation preserves the verdict exactly.
+		// Relation 1 input: permutation relabels IDs only.
 		perm := make([]ClientSpec, n)
 		for i, j := range rng.Perm(n) {
 			perm[i] = specs[j]
 		}
-		permuted, _ := runVerdict(sys, perm)
+		// Relation 2 input: uniformly loosened quotas.
+		scaled := make([]ClientSpec, n)
+		copy(scaled, specs)
+		for i := range scaled {
+			scaled[i].Quota *= 0.9
+		}
+		jobs = append(jobs, metaJob{sys, specs}, metaJob{sys, perm}, metaJob{sys, scaled})
+	}
+
+	// Phase 2 (parallel): the runs are independent; a universal breach is an
+	// immediate failure (FailOnViolation surfaces it as the run's error).
+	results, err := RunParallel(0, func() []func() (RunConfig, error) {
+		mks := make([]func() (RunConfig, error), len(jobs))
+		for i, j := range jobs {
+			mks[i] = func() (RunConfig, error) {
+				sched, err := NewSystem(j.sys)
+				if err != nil {
+					return RunConfig{}, err
+				}
+				return RunConfig{
+					Scheduler:  sched,
+					Clients:    j.specs,
+					Horizon:    120 * sim.Millisecond,
+					Invariants: &invariant.Options{FailOnViolation: true}, // universal enforcement
+				}, nil
+			}
+		}
+		return mks
+	}())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Phase 3 (serial): check both metamorphic relations per seed.
+	for seed := 0; seed < seeds; seed++ {
+		sys := jobs[3*seed].sys
+		base := verdictClasses(results[3*seed].Invariants)
+		permuted := verdictClasses(results[3*seed+1].Invariants)
+		looser := verdictClasses(results[3*seed+2].Invariants)
+
+		// Relation 1: permutation preserves the verdict exactly.
 		if permuted != base {
 			t.Errorf("seed %d (%s): permuting clients changed the verdict %q -> %q",
 				seed, sys, base, permuted)
 		}
 
 		// Relation 2: uniformly loosening quotas never breaches a clean class.
-		scaled := make([]ClientSpec, n)
-		copy(scaled, specs)
-		for i := range scaled {
-			scaled[i].Quota *= 0.9
-		}
-		looser, _ := runVerdict(sys, scaled)
 		for _, c := range strings.Split(looser, ",") {
 			if c != "" && !strings.Contains(base, c) {
 				t.Errorf("seed %d (%s): scaling quotas x0.9 introduced a %q breach (base verdict %q, scaled %q)",

@@ -1,0 +1,87 @@
+package harness
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// This file implements the deterministic parallel experiment executor.
+//
+// Simulation runs are embarrassingly parallel: each one owns a fresh engine,
+// device and scheduler, and the only process-global state on the run path is
+// read-mostly and race-safe (the profile cache is a sync.Map, the invariant
+// toggle an atomic pointer, the model catalog and experiment registry are
+// init-time constant). What parallelism must NOT change is any observable
+// output, so the executor enforces one rule: results are slotted by input
+// index, never by completion order. A caller that feeds inputs in a
+// deterministic order and folds outputs in slice order gets bit-identical
+// artifacts — the same tables, the same digests — at any worker count,
+// including 1.
+
+// Parallelism resolves a worker-count setting: n when positive, otherwise
+// GOMAXPROCS (the blessbench -parallel default).
+func Parallelism(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// ForEachParallel applies fn to every input across a pool of `workers`
+// goroutines (resolved via Parallelism) and returns the outputs ordered by
+// input index. Every input is attempted even after a failure; the returned
+// error is the lowest-indexed one, so the error, like the outputs, does not
+// depend on goroutine scheduling. fn must confine itself to its own run
+// state: it is called concurrently with other indices.
+func ForEachParallel[I, O any](workers int, inputs []I, fn func(idx int, in I) (O, error)) ([]O, error) {
+	out := make([]O, len(inputs))
+	errs := make([]error, len(inputs))
+	workers = Parallelism(workers)
+	if workers > len(inputs) {
+		workers = len(inputs)
+	}
+	if workers <= 1 {
+		for i := range inputs {
+			out[i], errs[i] = fn(i, inputs[i])
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(inputs) {
+						return
+					}
+					out[i], errs[i] = fn(i, inputs[i])
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	for i, err := range errs {
+		if err != nil {
+			return out, fmt.Errorf("parallel input %d: %w", i, err)
+		}
+	}
+	return out, nil
+}
+
+// RunParallel executes independent experiment runs across a worker pool.
+// Each element of mks constructs one complete RunConfig — schedulers are
+// stateful, so construction happens inside the worker, giving every run a
+// private world. Results are ordered by input index.
+func RunParallel(workers int, mks []func() (RunConfig, error)) ([]*Result, error) {
+	return ForEachParallel(workers, mks, func(_ int, mk func() (RunConfig, error)) (*Result, error) {
+		cfg, err := mk()
+		if err != nil {
+			return nil, err
+		}
+		return Run(cfg)
+	})
+}

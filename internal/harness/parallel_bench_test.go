@@ -1,0 +1,31 @@
+package harness
+
+import "testing"
+
+// benchCorpusBatch measures one executor pass over the fixed six-case digest
+// corpus (one workload per scheduler). The serial and parallel variants run
+// the identical batch, so their ns/op ratio is the executor's wall-clock win;
+// digests are identical by construction (see TestDigestCorpusParallel).
+func benchCorpusBatch(b *testing.B, workers int) {
+	b.Helper()
+	cases := digestCorpus(6)
+	mks := make([]func() (RunConfig, error), len(cases))
+	for i := range cases {
+		mks[i] = cases[i].mk
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := RunParallel(workers, mks); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExperimentBatchSerial pins the one-worker cost of the batch.
+func BenchmarkExperimentBatchSerial(b *testing.B) { benchCorpusBatch(b, 1) }
+
+// BenchmarkExperimentBatchParallel runs the same batch at GOMAXPROCS workers;
+// on an N-core machine ns/op should approach the serial time divided by
+// min(N, 6).
+func BenchmarkExperimentBatchParallel(b *testing.B) { benchCorpusBatch(b, 0) }

@@ -55,6 +55,13 @@ func (t Time) Microseconds() float64 { return float64(t) / float64(Microsecond) 
 
 // Event is a scheduled callback. The zero Event is invalid; events are
 // created through Engine.Schedule and may be revoked with Cancel.
+//
+// Event objects are pooled: once an event has fired (its callback returned)
+// or has been canceled and subsequently discarded by the engine, its handle
+// is dead and the object may back a future Schedule call. Holding a handle
+// past that point and calling Cancel on it would revoke an unrelated later
+// event — release (nil out) stored handles no later than inside the firing
+// callback, as GPU.completion and the temporal baseline's slice timer do.
 type Event struct {
 	at       Time
 	seq      uint64
@@ -112,6 +119,7 @@ type Engine struct {
 	seq     uint64
 	events  eventHeap
 	stopped bool
+	free    []*Event // recycled events backing future Schedule calls
 }
 
 // NewEngine returns an engine with the clock at zero and no pending events.
@@ -129,10 +137,24 @@ func (e *Engine) Schedule(at Time, fn func()) *Event {
 	if at < e.now {
 		at = e.now
 	}
-	ev := &Event{at: at, seq: e.seq, fn: fn}
+	var ev *Event
+	if n := len(e.free); n > 0 {
+		ev = e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		ev.at, ev.seq, ev.fn, ev.canceled = at, e.seq, fn, false
+	} else {
+		ev = &Event{at: at, seq: e.seq, fn: fn}
+	}
 	e.seq++
 	heap.Push(&e.events, ev)
 	return ev
+}
+
+// recycle returns a dead (fired or canceled-and-popped) event to the pool.
+func (e *Engine) recycle(ev *Event) {
+	ev.fn = nil // release the closure
+	e.free = append(e.free, ev)
 }
 
 // After registers fn to run d nanoseconds from now.
@@ -153,10 +175,12 @@ func (e *Engine) Step() bool {
 	for len(e.events) > 0 {
 		ev := heap.Pop(&e.events).(*Event)
 		if ev.canceled {
+			e.recycle(ev)
 			continue
 		}
 		e.now = ev.at
 		ev.fn()
+		e.recycle(ev)
 		return true
 	}
 	return false
@@ -178,7 +202,7 @@ func (e *Engine) RunUntil(deadline Time) {
 		// Peek at the earliest live event.
 		idx := -1
 		for len(e.events) > 0 && e.events[0].canceled {
-			heap.Pop(&e.events)
+			e.recycle(heap.Pop(&e.events).(*Event))
 		}
 		if len(e.events) > 0 {
 			idx = 0

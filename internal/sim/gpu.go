@@ -3,7 +3,6 @@ package sim
 import (
 	"fmt"
 	"math"
-	"sort"
 )
 
 // Config holds the simulated device parameters. DefaultConfig models the
@@ -189,7 +188,13 @@ func (q *Queue) Label() string { return q.label }
 func (q *Queue) Pause() {
 	if !q.paused {
 		q.paused = true
-		q.ctx.gpu.reschedule()
+		// A queue that is mid-kernel or has nothing queued dispatches nothing
+		// either way: pausing it leaves the runnable set untouched.
+		if q.run != nil || len(q.pending) == 0 {
+			q.ctx.gpu.rescheduleLight()
+		} else {
+			q.ctx.gpu.reschedule()
+		}
 	}
 }
 
@@ -197,7 +202,13 @@ func (q *Queue) Pause() {
 func (q *Queue) Resume() {
 	if q.paused {
 		q.paused = false
-		q.ctx.gpu.reschedule()
+		// Only a resumable head (idle queue with a backlog) can change the
+		// runnable set.
+		if q.run != nil || len(q.pending) == 0 {
+			q.ctx.gpu.rescheduleLight()
+		} else {
+			q.ctx.gpu.reschedule()
+		}
 	}
 }
 
@@ -235,11 +246,15 @@ func (q *Queue) CancelPending() []PendingKernel {
 	for _, t := range g.removalTracers {
 		t.KernelsRemoved(g.eng.Now(), q, ks)
 	}
-	g.reschedule()
+	// Dropping pending (never-started) kernels leaves every running kernel
+	// and rate untouched: the light pass replays the snapshot and completion
+	// re-arm without recomputation.
+	g.rescheduleLight()
 	return out
 }
 
-// exec is a kernel in flight.
+// exec is a kernel in flight. exec objects are pooled by the owning GPU:
+// retirement recycles them, so holding one past its KernelEnd is invalid.
 type exec struct {
 	q         *Queue
 	rec       launchRecord
@@ -249,6 +264,7 @@ type exec struct {
 	demand    float64 // compute: SMs wanted under the context cap
 	started   Time
 	allocIntg float64 // integral of alloc over time, for avg-SM tracing
+	grpIdx    int     // assignRates scratch: context-group rank within a tier
 }
 
 // GPU is the simulated device. Create one per experiment with NewGPU, create
@@ -262,8 +278,9 @@ type GPU struct {
 	contexts []*Context
 	queues   []*Queue
 
-	completion *Event
-	lastAcct   Time
+	completion   *Event
+	onCompletion func() // cached completion callback (one closure per device)
+	lastAcct     Time
 
 	// accounting
 	busySMIntegral float64 // integral of allocated compute SMs over time (SM*ns)
@@ -277,6 +294,26 @@ type GPU struct {
 	enqTracers     []EnqueueTracer
 	removalTracers []RemovalTracer
 	loadBuf        []QueueLoad
+
+	// Hot-path scratch, reused across reschedule passes so the steady-state
+	// event loop allocates nothing. execBuf and cbBuf are taken (swapped to
+	// nil) for the duration of a pass because completion callbacks re-enter
+	// reschedule; the assignRates buffers below them never live across a
+	// callback and are reused directly.
+	execBuf  []*exec
+	cbBuf    []launchRecord
+	execPool []*exec // recycled exec records
+
+	computeBuf []*exec
+	dmaBuf     []*exec
+	tierBuf    []*exec
+	groupBuf   []ctxGroup
+	demandBuf  []float64
+	grantBuf   []float64
+	kdBuf      []float64
+	kgBuf      []float64
+	unsatBuf   []int
+	isoBuf     []float64 // per-context isolated-bandwidth demand, by ctx id
 }
 
 // NewGPU creates a device with the given configuration, scheduled on eng.
@@ -552,27 +589,67 @@ func (q *Queue) Enqueue(at Time, k *Kernel, onDone func(at Time)) {
 	}
 	g := q.ctx.gpu
 	if at <= g.eng.Now() {
-		q.pending = append(q.pending, launchRecord{k: k, onDone: onDone})
-		g.notifyEnqueued(q, k)
-		g.reschedule()
+		q.enqueueNow(launchRecord{k: k, onDone: onDone})
 		return
 	}
 	g.eng.Schedule(at, func() {
-		q.pending = append(q.pending, launchRecord{k: k, onDone: onDone})
-		g.notifyEnqueued(q, k)
-		g.reschedule()
+		q.enqueueNow(launchRecord{k: k, onDone: onDone})
 	})
 }
 
-// runningExecs returns the execs currently eligible to run, starting queued
-// heads as needed.
-func (g *GPU) runningExecs() []*exec {
-	var out []*exec
+// enqueueNow appends the record and brings the device up to date. When the
+// queue is already executing a kernel (or is paused), the new arrival cannot
+// change the runnable set or any rate, so the cheap light pass suffices.
+func (q *Queue) enqueueNow(rec launchRecord) {
+	g := q.ctx.gpu
+	blocked := q.run != nil || q.paused
+	q.pending = append(q.pending, rec)
+	g.notifyEnqueued(q, rec.k)
+	if blocked {
+		g.rescheduleLight()
+	} else {
+		g.reschedule()
+	}
+}
+
+// newExec takes a zeroed exec record from the pool (or allocates one).
+func (g *GPU) newExec() *exec {
+	if n := len(g.execPool); n > 0 {
+		e := g.execPool[n-1]
+		g.execPool[n-1] = nil
+		g.execPool = g.execPool[:n-1]
+		return e
+	}
+	return &exec{}
+}
+
+// freeExec recycles a retired exec. The record must no longer be reachable
+// from any queue (q.run cleared) and its launchRecord already copied out.
+func (g *GPU) freeExec(e *exec) {
+	*e = exec{}
+	g.execPool = append(g.execPool, e)
+}
+
+// popPending removes and returns the queue's head record, sliding the backlog
+// down so the slice keeps its capacity (a [1:] reslice would leak the front
+// and re-allocate on every enqueue/dispatch cycle).
+func (q *Queue) popPending() launchRecord {
+	rec := q.pending[0]
+	copy(q.pending, q.pending[1:])
+	q.pending[len(q.pending)-1] = launchRecord{}
+	q.pending = q.pending[:len(q.pending)-1]
+	return rec
+}
+
+// runningExecs appends the execs currently eligible to run to buf (reused
+// when capacity allows), starting queued heads as needed.
+func (g *GPU) runningExecs(buf []*exec) []*exec {
+	out := buf[:0]
 	for _, q := range g.queues {
 		if q.run == nil && !q.paused && len(q.pending) > 0 {
-			rec := q.pending[0]
-			q.pending = q.pending[1:]
-			e := &exec{q: q, rec: rec, started: g.eng.Now()}
+			rec := q.popPending()
+			e := g.newExec()
+			e.q, e.rec, e.started = q, rec, g.eng.Now()
 			if rec.k.IsCompute() {
 				e.remaining = float64(rec.k.Work)
 			} else {
@@ -628,10 +705,19 @@ func (g *GPU) advance() {
 func (g *GPU) reschedule() {
 	g.advance()
 
-	var callbacks []launchRecord
+	// Take the shared buffers for this pass; completion callbacks re-enter
+	// reschedule, so nested passes must not see them (they allocate fresh
+	// ones on first use instead). Both are handed back before the callbacks
+	// run, once this pass no longer touches them.
+	callbacks := g.cbBuf[:0]
+	g.cbBuf = nil
+	execBuf := g.execBuf
+	g.execBuf = nil
+
 	var execs []*exec
 	for {
-		execs = g.runningExecs()
+		execs = g.runningExecs(execBuf)
+		execBuf = execs
 		g.assignRates(execs)
 		finished := false
 		for _, e := range execs {
@@ -651,6 +737,7 @@ func (g *GPU) reschedule() {
 					callbacks = append(callbacks, e.rec)
 				}
 				finished = true
+				g.freeExec(e)
 			}
 		}
 		if !finished {
@@ -667,14 +754,59 @@ func (g *GPU) reschedule() {
 		}
 	}
 
-	// Arm the earliest next completion.
+	g.armCompletion()
+	g.execBuf = execBuf[:0] // last use of execs: hand the buffer back
+
+	// With the device in a consistent state, publish the new allocation
+	// picture before completion callbacks run (they may re-enter reschedule
+	// and publish again at the same instant — a zero-width interval).
+	g.publishAllocations()
+
+	for _, rec := range callbacks {
+		rec.onDone(g.eng.Now())
+	}
+	g.cbBuf = callbacks[:0]
+}
+
+// rescheduleLight is the coalescing fast path for events that provably leave
+// the runnable set and every rate unchanged: an enqueue onto a busy or paused
+// queue, pausing/resuming a queue that cannot dispatch, or dropping pending
+// kernels. Recomputing allocations would reproduce the exact same values, so
+// the pass skips runningExecs/assignRates entirely — but it must remain
+// bit-identical to the full pass in every observable: it integrates elapsed
+// work at the same instants (floating-point trajectories are digest-visible),
+// re-arms the completion event with the same arithmetic (consuming exactly
+// one engine sequence number, like the full pass), and publishes the same
+// allocation snapshot. A literal "defer the reschedule behind a dirty flag"
+// would drop snapshots and shift event sequence numbers, moving determinism
+// digests; this formulation coalesces the O(queues * kernels) recomputation
+// while replaying the event-schedule side effects exactly.
+func (g *GPU) rescheduleLight() {
+	g.advance()
+	// If any in-flight kernel has already crossed the retirement threshold,
+	// the full pass must retire it (and start successors) now.
+	for _, q := range g.queues {
+		if e := q.run; e != nil && e.remaining <= 0.5 {
+			g.reschedule() // advance again is a no-op (dt = 0)
+			return
+		}
+	}
+	// The runnable set is unchanged, so lastAnyBusy keeps its value.
+	g.armCompletion()
+	g.publishAllocations()
+}
+
+// armCompletion cancels and re-arms the earliest next completion event from
+// the running kernels (in queue order, matching the full pass's exec order).
+func (g *GPU) armCompletion() {
 	if g.completion != nil {
 		g.completion.Cancel()
 		g.completion = nil
 	}
 	next := Time(math.MaxInt64)
-	for _, e := range execs {
-		if e.rate <= 0 {
+	for _, q := range g.queues {
+		e := q.run
+		if e == nil || e.rate <= 0 {
 			continue
 		}
 		d := Time(math.Ceil(e.remaining / e.rate))
@@ -686,32 +818,80 @@ func (g *GPU) reschedule() {
 		}
 	}
 	if next != Time(math.MaxInt64) {
-		g.completion = g.eng.Schedule(next, func() {
-			g.completion = nil
-			g.reschedule()
-		})
-	}
-
-	// With the device in a consistent state, publish the new allocation
-	// picture before completion callbacks run (they may re-enter reschedule
-	// and publish again at the same instant — a zero-width interval).
-	if len(g.allocTracers) > 0 {
-		g.loadBuf = g.Loads(g.loadBuf)
-		for _, t := range g.allocTracers {
-			t.AllocationsChanged(g.eng.Now(), g.loadBuf)
+		if g.onCompletion == nil {
+			g.onCompletion = func() {
+				g.completion = nil
+				g.reschedule()
+			}
 		}
+		g.completion = g.eng.Schedule(next, g.onCompletion)
 	}
+}
 
-	for _, rec := range callbacks {
-		rec.onDone(g.eng.Now())
+// publishAllocations snapshots every queue's load to allocation tracers.
+func (g *GPU) publishAllocations() {
+	if len(g.allocTracers) == 0 {
+		return
+	}
+	g.loadBuf = g.Loads(g.loadBuf)
+	for _, t := range g.allocTracers {
+		t.AllocationsChanged(g.eng.Now(), g.loadBuf)
+	}
+}
+
+// ctxGroup is assignRates scratch: one context's kernels within a priority
+// tier, as a contiguous [start,end) range of the tier slice after the group
+// sort, with the context's summed SM demand.
+type ctxGroup struct {
+	ctx    *Context
+	start  int
+	end    int
+	demand float64
+}
+
+// insertionSortByPrioDesc stable-sorts execs by context priority, highest
+// first, preserving original order among equal priorities (moves only on a
+// strict comparison). Tiers are tiny and the hot path must not allocate, so
+// an insertion sort beats sort.SliceStable's closure and reflection costs.
+func insertionSortByPrioDesc(a []*exec) {
+	for i := 1; i < len(a); i++ {
+		e := a[i]
+		j := i - 1
+		for j >= 0 && a[j].q.ctx.Priority < e.q.ctx.Priority {
+			a[j+1] = a[j]
+			j--
+		}
+		a[j+1] = e
+	}
+}
+
+// insertionSortByGroup stable-sorts a tier range by group rank, making each
+// context's kernels contiguous while preserving their relative order.
+func insertionSortByGroup(a []*exec) {
+	for i := 1; i < len(a); i++ {
+		e := a[i]
+		j := i - 1
+		for j >= 0 && a[j].grpIdx > e.grpIdx {
+			a[j+1] = a[j]
+			j--
+		}
+		a[j+1] = e
 	}
 }
 
 // assignRates computes, for the current runnable set, each kernel's SM
 // allocation (priority tiers, per-context caps, proportional sharing of the
 // remainder) and contention slowdown, then each memcpy's PCIe share.
+//
+// The pass is allocation-free in steady state: partitioning, tier ordering
+// and per-context grouping run over buffers reused across passes. Ordering
+// works on a copy (tierBuf) so the bandwidth loops below still walk kernels
+// in original queue order — floating-point accumulation order is visible in
+// determinism digests — and the stable sorts reproduce exactly the first-
+// appearance grouping of the map-based formulation they replace.
 func (g *GPU) assignRates(execs []*exec) {
-	var compute, dma []*exec
+	compute := g.computeBuf[:0]
+	dma := g.dmaBuf[:0]
 	for _, e := range execs {
 		if e.rec.k.IsCompute() {
 			compute = append(compute, e)
@@ -721,17 +901,9 @@ func (g *GPU) assignRates(execs []*exec) {
 	}
 
 	// --- SM allocation ---
-	// Group compute kernels by priority tier, highest first.
-	byPrio := map[int][]*exec{}
-	var prios []int
-	for _, e := range compute {
-		p := e.q.ctx.Priority
-		if _, ok := byPrio[p]; !ok {
-			prios = append(prios, p)
-		}
-		byPrio[p] = append(byPrio[p], e)
-	}
-	sort.Sort(sort.Reverse(sort.IntSlice(prios)))
+	// Order a copy of the compute set by priority tier, highest first.
+	tier := append(g.tierBuf[:0], compute...)
+	insertionSortByPrioDesc(tier)
 
 	// Within each priority tier, SMs are assigned by hierarchical max-min
 	// fairness, modeling the hardware scheduler's fair block dispatch across
@@ -740,47 +912,66 @@ func (g *GPU) assignRates(execs []*exec) {
 	// kernels expand into whatever capacity is left — the property the
 	// Semi-SP execution mode (§4.4.1) relies on.
 	available := float64(g.cfg.SMs)
-	for _, p := range prios {
-		tier := byPrio[p]
-		// Group kernels by context: the context's demand is the sum of its
-		// kernels' demands, capped by its SM limit.
-		type ctxGroup struct {
-			ctx     *Context
-			kernels []*exec
-			demand  float64
+	groups := g.groupBuf[:0]
+	for lo := 0; lo < len(tier); {
+		hi := lo + 1
+		for hi < len(tier) && tier[hi].q.ctx.Priority == tier[lo].q.ctx.Priority {
+			hi++
 		}
-		var groups []*ctxGroup
-		byCtx := map[*Context]*ctxGroup{}
-		for _, e := range tier {
-			grp := byCtx[e.q.ctx]
-			if grp == nil {
-				grp = &ctxGroup{ctx: e.q.ctx}
-				byCtx[e.q.ctx] = grp
-				groups = append(groups, grp)
+		// Group kernels by context (first-appearance order): the context's
+		// demand is the sum of its kernels' demands, capped by its SM limit.
+		groups = groups[:0]
+		for _, e := range tier[lo:hi] {
+			gi := -1
+			for i := range groups {
+				if groups[i].ctx == e.q.ctx {
+					gi = i
+					break
+				}
 			}
-			grp.kernels = append(grp.kernels, e)
+			if gi < 0 {
+				gi = len(groups)
+				groups = append(groups, ctxGroup{ctx: e.q.ctx})
+			}
+			e.grpIdx = gi
 			e.demand = float64(e.rec.k.SMDemand(e.q.ctx.SMLimit, g.cfg.SMs))
-			grp.demand += e.demand
+			groups[gi].demand += e.demand
 		}
-		demands := make([]float64, len(groups))
-		for i, grp := range groups {
-			d := grp.demand
-			if grp.ctx.SMLimit > 0 && d > float64(grp.ctx.SMLimit) {
-				d = float64(grp.ctx.SMLimit)
+		insertionSortByGroup(tier[lo:hi])
+		pos := lo
+		for i := range groups {
+			groups[i].start = pos
+			for pos < hi && tier[pos].grpIdx == i {
+				pos++
 			}
-			demands[i] = d
+			groups[i].end = pos
 		}
-		grants := waterFill(demands, available)
+
+		demands := g.demandBuf[:0]
+		for i := range groups {
+			d := groups[i].demand
+			if groups[i].ctx.SMLimit > 0 && d > float64(groups[i].ctx.SMLimit) {
+				d = float64(groups[i].ctx.SMLimit)
+			}
+			demands = append(demands, d)
+		}
+		g.demandBuf = demands
+		var grants []float64
+		grants, g.unsatBuf = waterFillInto(g.grantBuf, demands, available, g.unsatBuf)
+		g.grantBuf = grants
 		granted := 0.0
-		for i, grp := range groups {
+		for i := range groups {
 			granted += grants[i]
 			// Within the context, max-min across its kernels.
-			kd := make([]float64, len(grp.kernels))
-			for j, e := range grp.kernels {
-				kd[j] = float64(e.rec.k.SMDemand(e.q.ctx.SMLimit, g.cfg.SMs))
+			kd := g.kdBuf[:0]
+			for _, e := range tier[groups[i].start:groups[i].end] {
+				kd = append(kd, float64(e.rec.k.SMDemand(e.q.ctx.SMLimit, g.cfg.SMs)))
 			}
-			kg := waterFill(kd, grants[i])
-			for j, e := range grp.kernels {
+			g.kdBuf = kd
+			var kg []float64
+			kg, g.unsatBuf = waterFillInto(g.kgBuf, kd, grants[i], g.unsatBuf)
+			g.kgBuf = kg
+			for j, e := range tier[groups[i].start:groups[i].end] {
 				e.alloc = kg[j]
 			}
 		}
@@ -788,17 +979,28 @@ func (g *GPU) assignRates(execs []*exec) {
 		if available < 0 {
 			available = 0
 		}
+		lo = hi
 	}
 
 	// --- Bandwidth contention ---
 	// Shared pool: all non-isolated contexts contend on budget 1.0. Each
-	// isolated context has a private budget proportional to its SM share.
+	// isolated context has a private budget proportional to its SM share,
+	// accumulated in isoBuf by context ID (only touched entries are zeroed).
+	if n := len(g.contexts); cap(g.isoBuf) < n {
+		g.isoBuf = make([]float64, n)
+	} else {
+		g.isoBuf = g.isoBuf[:n]
+	}
+	for _, e := range compute {
+		if e.q.ctx.Isolated {
+			g.isoBuf[e.q.ctx.id] = 0
+		}
+	}
 	sharedDemand := 0.0
-	isoDemand := map[*Context]float64{}
 	for _, e := range compute {
 		d := e.demandBW(g.cfg.BWSatOccupancy)
 		if e.q.ctx.Isolated {
-			isoDemand[e.q.ctx] += d
+			g.isoBuf[e.q.ctx.id] += d
 		} else {
 			sharedDemand += d
 		}
@@ -810,7 +1012,7 @@ func (g *GPU) assignRates(execs []*exec) {
 			if budget <= 0 {
 				budget = 1
 			}
-			over = isoDemand[e.q.ctx]/budget - 1
+			over = g.isoBuf[e.q.ctx.id]/budget - 1
 		} else {
 			over = sharedDemand - 1
 		}
@@ -852,18 +1054,42 @@ func (g *GPU) assignRates(execs []*exec) {
 			e.alloc = 0
 		}
 	}
+
+	// Hand the partition/ordering buffers back for the next pass.
+	g.computeBuf = compute[:0]
+	g.dmaBuf = dma[:0]
+	g.tierBuf = tier[:0]
+	g.groupBuf = groups[:0]
 }
 
 // waterFill distributes capacity across demands by max-min fairness: demands
 // at or below the fair share are fully satisfied; the remainder is split
 // equally among the rest. The returned grants sum to min(capacity,
-// sum(demands)).
+// sum(demands)). This allocating form is the reference used by tests; the
+// hot path calls waterFillInto with reused scratch.
 func waterFill(demands []float64, capacity float64) []float64 {
-	grants := make([]float64, len(demands))
-	if capacity <= 0 {
-		return grants
+	grants, _ := waterFillInto(make([]float64, len(demands)), demands, capacity, nil)
+	return grants
+}
+
+// waterFillInto is waterFill over caller-provided scratch: grants receives
+// one grant per demand (grown only if under-capacity) and unsat is the
+// round-robin worklist. Both are returned for reuse. The arithmetic is
+// identical to the allocating form — the grants are bit-for-bit the same,
+// which determinism digests depend on.
+func waterFillInto(grants, demands []float64, capacity float64, unsat []int) ([]float64, []int) {
+	if cap(grants) < len(demands) {
+		grants = make([]float64, len(demands))
+	} else {
+		grants = grants[:len(demands)]
+		for i := range grants {
+			grants[i] = 0
+		}
 	}
-	unsat := make([]int, 0, len(demands))
+	if capacity <= 0 {
+		return grants, unsat
+	}
+	unsat = unsat[:0]
 	for i := range demands {
 		unsat = append(unsat, i)
 	}
@@ -891,7 +1117,7 @@ func waterFill(demands []float64, capacity float64) []float64 {
 			break
 		}
 	}
-	return grants
+	return grants, unsat
 }
 
 // demandBW is the kernel's bandwidth demand at its current allocation:

@@ -1,0 +1,158 @@
+package sim
+
+import (
+	"math"
+	"testing"
+)
+
+// TestWaterFill pins down the max-min fairness distribution the SM allocator
+// is built on: demands at or below the fair share are fully satisfied, the
+// remainder splits equally, and no capacity is invented or lost.
+func TestWaterFill(t *testing.T) {
+	cases := []struct {
+		name     string
+		demands  []float64
+		capacity float64
+		want     []float64
+	}{
+		{
+			name:     "zero capacity",
+			demands:  []float64{10, 20, 30},
+			capacity: 0,
+			want:     []float64{0, 0, 0},
+		},
+		{
+			name:     "negative capacity grants nothing",
+			demands:  []float64{5, 5},
+			capacity: -1,
+			want:     []float64{0, 0},
+		},
+		{
+			name:     "no demands",
+			demands:  nil,
+			capacity: 108,
+			want:     nil,
+		},
+		{
+			name:     "single demand below capacity",
+			demands:  []float64{40},
+			capacity: 108,
+			want:     []float64{40},
+		},
+		{
+			name:     "single saturated demand",
+			demands:  []float64{200},
+			capacity: 108,
+			want:     []float64{108},
+		},
+		{
+			name:     "all demands fit",
+			demands:  []float64{10, 20, 30},
+			capacity: 108,
+			want:     []float64{10, 20, 30},
+		},
+		{
+			name:     "equal-demand tie splits equally",
+			demands:  []float64{100, 100, 100},
+			capacity: 108,
+			want:     []float64{36, 36, 36},
+		},
+		{
+			name:     "small demand satisfied, rest split remainder",
+			demands:  []float64{8, 100, 100},
+			capacity: 108,
+			want:     []float64{8, 50, 50},
+		},
+		{
+			name:     "zero demand entry",
+			demands:  []float64{0, 60, 60},
+			capacity: 100,
+			want:     []float64{0, 50, 50},
+		},
+		{
+			name:     "multi-round fill",
+			demands:  []float64{10, 30, 200, 200},
+			capacity: 120,
+			want:     []float64{10, 30, 40, 40},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := waterFill(tc.demands, tc.capacity)
+			if len(got) != len(tc.want) {
+				t.Fatalf("waterFill(%v, %g) = %v, want %v", tc.demands, tc.capacity, got, tc.want)
+			}
+			for i := range got {
+				if math.Abs(got[i]-tc.want[i]) > 1e-9 {
+					t.Errorf("waterFill(%v, %g)[%d] = %g, want %g", tc.demands, tc.capacity, i, got[i], tc.want[i])
+				}
+			}
+			// Conservation: grants sum to min(capacity, sum(demands)) and no
+			// grant exceeds its demand.
+			var sumD, sumG float64
+			for i := range got {
+				sumD += tc.demands[i]
+				sumG += got[i]
+				if got[i] > tc.demands[i]+1e-9 {
+					t.Errorf("grant %d (%g) exceeds demand %g", i, got[i], tc.demands[i])
+				}
+				if got[i] < 0 {
+					t.Errorf("negative grant %d: %g", i, got[i])
+				}
+			}
+			wantSum := sumD
+			if tc.capacity < wantSum {
+				wantSum = tc.capacity
+			}
+			if wantSum < 0 {
+				wantSum = 0
+			}
+			if math.Abs(sumG-wantSum) > 1e-9 {
+				t.Errorf("grants sum to %g, want min(capacity, sum demands) = %g", sumG, wantSum)
+			}
+		})
+	}
+}
+
+// TestWaterFillConservationRandomized sweeps structured demand grids and
+// checks the conservation property holds everywhere (distributed rate is
+// neither created nor destroyed).
+func TestWaterFillConservationRandomized(t *testing.T) {
+	// Deterministic pseudo-random demands (splitmix64), no global rand state.
+	x := uint64(0x9e3779b97f4a7c15)
+	next := func() float64 {
+		x += 0x9e3779b97f4a7c15
+		z := x
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		z ^= z >> 31
+		return float64(z%10000) / 50.0 // [0, 200)
+	}
+	for n := 1; n <= 8; n++ {
+		for trial := 0; trial < 50; trial++ {
+			demands := make([]float64, n)
+			var sumD float64
+			for i := range demands {
+				demands[i] = next()
+				sumD += demands[i]
+			}
+			capacity := next()
+			got := waterFill(demands, capacity)
+			var sumG float64
+			for i := range got {
+				sumG += got[i]
+				if got[i] > demands[i]+1e-9 || got[i] < 0 {
+					t.Fatalf("n=%d trial=%d: grant %g outside [0, demand %g]", n, trial, got[i], demands[i])
+				}
+			}
+			wantSum := math.Min(capacity, sumD)
+			if wantSum < 0 {
+				wantSum = 0
+			}
+			if math.Abs(sumG-wantSum) > 1e-6 {
+				t.Fatalf("n=%d trial=%d: grants sum %g, want %g (demands %v, capacity %g)",
+					n, trial, sumG, wantSum, demands, capacity)
+			}
+		}
+	}
+}

@@ -1,0 +1,29 @@
+#!/bin/sh
+# bench_compare.sh — the simulator performance gate: runs the hot-path and
+# executor benchmarks and compares them against the committed envelope in
+# BENCH_sim.json (see scripts/benchcmp for the exact rules — deterministic
+# allocation counts gate exactly, the frozen pre-optimization baseline
+# enforces the >=50% allocation drop, ns/op carries a noise tolerance).
+#
+#   ./scripts/bench_compare.sh              compare against BENCH_sim.json
+#   RECORD=1 ./scripts/bench_compare.sh     refresh the recorded values
+#   NSOP_TOL=0.25 ./scripts/bench_compare.sh   tighten the ns/op tolerance
+set -eu
+
+cd "$(dirname "$0")/.."
+
+out=$(mktemp)
+trap 'rm -f "$out"' EXIT
+
+echo "== bench: simulator hot path =="
+go test -run '^$' -bench 'BenchmarkReschedule$|BenchmarkKernelHotPathUntraced$' -benchmem ./internal/sim/ | tee -a "$out"
+echo "== bench: experiment batch (serial vs parallel executor) =="
+go test -run '^$' -bench 'BenchmarkExperimentBatch' -benchmem ./internal/harness/ | tee -a "$out"
+echo "== bench: end-to-end simulator throughput =="
+go test -run '^$' -bench 'BenchmarkSimulatorThroughput$' -benchmem . | tee -a "$out"
+
+mode=""
+if [ -n "${RECORD:-}" ]; then
+    mode="-record"
+fi
+go run ./scripts/benchcmp -baseline BENCH_sim.json -tolerance "${NSOP_TOL:-0.50}" $mode <"$out"

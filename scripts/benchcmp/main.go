@@ -1,0 +1,151 @@
+// Command benchcmp gates the simulator's recorded performance envelope. It
+// parses `go test -bench -benchmem` output on stdin and compares every
+// benchmark present in the baseline file (BENCH_sim.json):
+//
+//   - allocs/op may not exceed the recorded value by more than 1% — per-run
+//     allocation counts are deterministic (the slack only absorbs one-time
+//     setup amortized over a varying iteration count), so the zero-alloc
+//     hot-path benchmarks are gated exactly and any growth is a real
+//     regression, not noise;
+//   - when the entry records a pre-optimization baseline, allocs/op must stay
+//     at or below half of it (the issue's ">=50% allocation drop" acceptance
+//     criterion, enforced continuously rather than once);
+//   - ns/op may exceed the recorded value by at most -tolerance (default 50%,
+//     generous because shared CI runners are noisy; the deterministic
+//     virtual-time smoke gate is the tight latency check).
+//
+// With -record, the recorded values are instead rewritten from stdin (the
+// pre-optimization baselines are preserved) — run after an intentional
+// performance change.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+)
+
+type metrics struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+type entry struct {
+	// Package documents where the benchmark lives.
+	Package string `json:"package"`
+	// PreOpt is the frozen pre-optimization measurement the allocation-drop
+	// criterion is checked against; never rewritten by -record.
+	PreOpt *metrics `json:"baseline_pre_opt,omitempty"`
+	// Recorded is the committed post-optimization measurement.
+	Recorded metrics `json:"recorded"`
+}
+
+type baseline struct {
+	Note       string           `json:"note"`
+	Benchmarks map[string]entry `json:"benchmarks"`
+}
+
+// benchLine matches one -benchmem result row, e.g.
+// "BenchmarkReschedule-8  3049242  392.8 ns/op  0 B/op  0 allocs/op".
+var benchLine = regexp.MustCompile(
+	`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op(?:\s+([\d.]+) B/op\s+([\d.]+) allocs/op)?`)
+
+func main() {
+	basePath := flag.String("baseline", "BENCH_sim.json", "committed benchmark baseline")
+	tol := flag.Float64("tolerance", 0.50, "allowed relative ns/op growth over the recorded value")
+	record := flag.Bool("record", false, "rewrite recorded values from stdin instead of comparing")
+	flag.Parse()
+
+	raw, err := os.ReadFile(*basePath)
+	if err != nil {
+		fatal(err)
+	}
+	var base baseline
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fatal(fmt.Errorf("%s: %w", *basePath, err))
+	}
+
+	got := map[string]metrics{}
+	sc := bufio.NewScanner(os.Stdin)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		var cur metrics
+		cur.NsPerOp, _ = strconv.ParseFloat(m[2], 64)
+		if m[3] != "" {
+			cur.BytesPerOp, _ = strconv.ParseFloat(m[3], 64)
+			cur.AllocsPerOp, _ = strconv.ParseFloat(m[4], 64)
+		}
+		got[m[1]] = cur
+	}
+	if err := sc.Err(); err != nil {
+		fatal(err)
+	}
+
+	if *record {
+		for name, cur := range got {
+			e, ok := base.Benchmarks[name]
+			if !ok {
+				continue
+			}
+			e.Recorded = cur
+			base.Benchmarks[name] = e
+		}
+		out, err := json.MarshalIndent(&base, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*basePath, append(out, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("benchcmp: recorded %d benchmarks to %s\n", len(got), *basePath)
+		return
+	}
+
+	failed := false
+	for name, e := range base.Benchmarks {
+		cur, ok := got[name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "benchcmp: FAIL %s: not present in bench output (gate did not run it)\n", name)
+			failed = true
+			continue
+		}
+		entryOK := true
+		if cur.AllocsPerOp > e.Recorded.AllocsPerOp*1.01 {
+			fmt.Fprintf(os.Stderr, "benchcmp: FAIL %s: %g allocs/op exceeds recorded %g by more than 1%% (allocation counts are deterministic)\n",
+				name, cur.AllocsPerOp, e.Recorded.AllocsPerOp)
+			entryOK = false
+		}
+		if e.PreOpt != nil && cur.AllocsPerOp > 0.5*e.PreOpt.AllocsPerOp {
+			fmt.Fprintf(os.Stderr, "benchcmp: FAIL %s: %g allocs/op is not a >=50%% drop from the pre-optimization %g\n",
+				name, cur.AllocsPerOp, e.PreOpt.AllocsPerOp)
+			entryOK = false
+		}
+		if limit := e.Recorded.NsPerOp * (1 + *tol); cur.NsPerOp > limit {
+			fmt.Fprintf(os.Stderr, "benchcmp: FAIL %s: %.1f ns/op exceeds recorded %.1f by more than %.0f%%\n",
+				name, cur.NsPerOp, e.Recorded.NsPerOp, *tol*100)
+			entryOK = false
+		}
+		if entryOK {
+			fmt.Printf("benchcmp: ok %s: %.1f ns/op, %g allocs/op (recorded %.1f ns/op, %g allocs/op)\n",
+				name, cur.NsPerOp, cur.AllocsPerOp, e.Recorded.NsPerOp, e.Recorded.AllocsPerOp)
+		} else {
+			failed = true
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchcmp:", err)
+	os.Exit(1)
+}
