@@ -6,6 +6,7 @@ import (
 	"bless/internal/chaos"
 	"bless/internal/harness"
 	"bless/internal/invariant"
+	"bless/internal/obs"
 	"bless/internal/sim"
 	"bless/internal/trace"
 )
@@ -76,6 +77,29 @@ func runChaos(quick bool) error {
 		return fmt.Errorf("chaos: same-seed runs diverged: completion digest %016x != %016x", d1, d2)
 	}
 
+	// Third run, fully traced: a collector on the decision bus. Tracing is
+	// out-of-band, so the completion digest must stay bit-identical to the
+	// untraced runs — and the collected events must reconstruct every
+	// request's lifecycle, fault retries included.
+	col := obs.NewCollector()
+	sched3, err := harness.NewSystem("BLESS")
+	if err != nil {
+		return err
+	}
+	cfg3 := chaosScenario(horizon)
+	cfg3.Scheduler = sched3
+	bus := obs.NewBus()
+	bus.Subscribe(col)
+	cfg3.Bus = bus
+	res3, err := harness.Run(cfg3)
+	if err != nil {
+		return fmt.Errorf("chaos traced run: %w", err)
+	}
+	if d3 := harness.CompletionDigest(res3); d3 != d1 {
+		return fmt.Errorf("chaos: tracing perturbed the run: digest %016x != untraced %016x", d3, d1)
+	}
+	lifecycles := obs.Lifecycles(col.Events)
+
 	ch := res.Chaos
 	fmt.Printf("chaos: %s over %v, seed %d\n", res.System, horizon, chaosScenario(horizon).Faults.Plan.Seed)
 	fmt.Printf("  injected: %d kernel faults, %d ctx faults, %d stalled launches\n",
@@ -87,6 +111,37 @@ func runChaos(quick bool) error {
 		fmt.Printf("  %-10s quota %.2f: %d submitted, %d completed, %d failed, mean %v\n",
 			cs.App, cs.Quota, cs.Submitted, cs.Completed, cs.Failed, cs.Summary.Mean)
 	}
-	fmt.Printf("  completion digest %016x (reproducible)\n", d1)
+	fmt.Printf("  completion digest %016x (reproducible, identical traced/untraced)\n", d1)
+
+	// Reconstruct one request's full lifecycle from the exported spans:
+	// prefer the bumpiest one (most faults), so the printout demonstrates
+	// admission -> retries -> completion end to end.
+	var pick *obs.RequestLifecycle
+	var completed int
+	for i := range lifecycles {
+		l := &lifecycles[i]
+		if !l.Completed {
+			continue
+		}
+		completed++
+		if pick == nil || l.Faults > pick.Faults {
+			pick = l
+		}
+	}
+	if pick == nil {
+		return fmt.Errorf("chaos: no completed lifecycle reconstructed from %d events", len(col.Events))
+	}
+	fmt.Printf("  lifecycles: %d reconstructed, %d completed\n", len(lifecycles), completed)
+	fmt.Printf("  deepest: %s seq %d — admitted %v, done %v (%s), latency %v, %d faults, %d retries, squads %v, %d span events\n",
+		pick.Client, pick.Seq, pick.Admitted, pick.Done, outcome(pick), pick.Latency,
+		pick.Faults, pick.Retries, pick.Squads, len(pick.Events))
 	return nil
+}
+
+// outcome names a lifecycle's terminal state.
+func outcome(l *obs.RequestLifecycle) string {
+	if l.Failed {
+		return "failed: " + l.AbortReason
+	}
+	return "ok"
 }

@@ -47,6 +47,11 @@ type PlanRequest struct {
 	HorizonMS float64
 	// GPUSMs overrides the device SM count (default 108).
 	GPUSMs int
+	// GPUs, when > 1, evaluates the deployment across a multi-device pool:
+	// the §4.2.2 controller places tenants, every device runs observed, and
+	// the fleet-merged metrics and per-tenant SLO attainment land on the
+	// daemon's /debug/bless/prom and /debug/bless/slo endpoints.
+	GPUs int
 	// Faults, if set, runs the plan under a seeded fault and churn plan;
 	// the degraded-mode outcome lands in PlanReply.Chaos.
 	Faults *FaultConfig
@@ -73,6 +78,10 @@ type PlanReply struct {
 	// Chaos summarizes fault injection and churn when the request carried a
 	// FaultConfig; nil otherwise.
 	Chaos *ChaosOutcome
+	// GPUs echoes the pool size of a multi-device plan (0 single-device);
+	// Placement maps each client to its host device index.
+	GPUs      int
+	Placement []int
 }
 
 // Planner is the RPC receiver. It accumulates observability state across
@@ -81,14 +90,22 @@ type PlanReply struct {
 // Chrome trace of the most recent plan.
 type Planner struct {
 	reg *obs.Registry
+	// slo accumulates per-tenant SLO attainment across every plan served —
+	// single-device plans observe completions directly, cluster plans fold
+	// in their fleet-merged trackers.
+	slo *obs.SLOTracker
 
 	mu            sync.Mutex
 	lastTrace     []byte
 	lastInvariant *invariant.Report
+	// fleet is the merged registry view of every cluster plan served.
+	fleet obs.Snapshot
 }
 
 // New returns a Planner.
-func New() *Planner { return &Planner{reg: obs.NewRegistry()} }
+func New() *Planner {
+	return &Planner{reg: obs.NewRegistry(), slo: obs.NewSLOTracker()}
+}
 
 // PlanService is the net/rpc receiver: it exposes exactly the Plan method,
 // keeping the Planner's HTTP debug handlers out of the RPC surface (net/rpc
@@ -105,6 +122,9 @@ func (s *PlanService) Plan(req PlanRequest, reply *PlanReply) error { return s.p
 // verified: universal invariant violations fail the plan, quota and bubble
 // assessments surface on /debug/bless/invariants.
 func (p *Planner) Plan(req PlanRequest, reply *PlanReply) error {
+	if req.GPUs > 1 {
+		return p.planCluster(req, reply)
+	}
 	_, err := p.plan(req, &invariant.Options{FailOnViolation: true}, reply)
 	return err
 }
@@ -152,8 +172,10 @@ func (p *Planner) plan(req PlanRequest, inv *invariant.Options, reply *PlanReply
 
 	col := obs.NewCollector()
 	col.Recorder.LaneOf = obs.ClientLane
+	col.MaxEvents = maxPlanEvents // bounded: overflow is counted, never OOM
 	bus := obs.NewBus()
 	bus.Subscribe(col)
+	bus.SelfAccount(true) // meter the tracing layer's own cost (§6.9)
 	res, err := harness.Run(harness.RunConfig{
 		Scheduler:  sched,
 		Clients:    specs,
@@ -162,9 +184,11 @@ func (p *Planner) plan(req PlanRequest, inv *invariant.Options, reply *PlanReply
 		Tracers:    []sim.Tracer{col.Recorder},
 		Bus:        bus,
 		Registry:   p.reg,
+		SLO:        p.slo,
 		Invariants: inv,
 		Faults:     fp,
 	})
+	harness.RecordTracingCost(p.reg, bus, col)
 	if res != nil && res.Invariants != nil {
 		p.mu.Lock()
 		p.lastInvariant = res.Invariants
@@ -200,6 +224,11 @@ func (p *Planner) plan(req PlanRequest, inv *invariant.Options, reply *PlanReply
 	}
 	return res, nil
 }
+
+// maxPlanEvents bounds each plan's decision-event collector: long horizons
+// cannot grow the daemon without bound, and every refused event is counted
+// on obs/events_dropped_total.
+const maxPlanEvents = 1 << 20
 
 // captureTrace renders and stores the plan's Chrome trace for ServeTrace.
 func (p *Planner) captureTrace(col *obs.Collector) {
@@ -271,6 +300,28 @@ func (p *Planner) ServeInvariants(w http.ResponseWriter, _ *http.Request) {
 		"samples":         rep.Samples,
 		"digest":          fmt.Sprintf("%016x", rep.Digest),
 	})
+}
+
+// ServeProm handles GET /debug/bless/prom: the accumulated metrics — the
+// daemon registry merged with the fleet view of every cluster plan, followed
+// by per-tenant SLO attainment — in Prometheus text exposition format.
+func (p *Planner) ServeProm(w http.ResponseWriter, _ *http.Request) {
+	p.mu.Lock()
+	fleet := p.fleet
+	p.mu.Unlock()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	obs.WritePrometheus(w, obs.MergeSnapshots(p.reg.Snapshot(), fleet))
+	obs.WritePrometheusSLO(w, p.slo.Snapshot())
+}
+
+// ServeSLO handles GET /debug/bless/slo: per-tenant SLO attainment — target,
+// rolling attainment percentage, latency quantiles — accumulated across every
+// plan served (cluster plans fold in fleet-merged trackers), as JSON.
+func (p *Planner) ServeSLO(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := p.slo.Snapshot().WriteJSON(w); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
 }
 
 // ServeTrace handles GET /debug/bless/trace: the most recent plan's Chrome

@@ -37,13 +37,26 @@
 //	GET /debug/bless/invariants  invariant report of the most recent plan
 //	                          (violations, quota attainment, bubble
 //	                          accounting, determinism digest)
+//	GET /debug/bless/prom     accumulated metrics (daemon registry merged
+//	                          with the fleet view of every cluster plan) plus
+//	                          per-tenant SLO series, Prometheus text format
+//	GET /debug/bless/slo      per-tenant SLO attainment JSON, aggregated
+//	                          across every plan served
+//	GET /debug/pprof/         Go runtime profiles (net/http/pprof)
+//	GET /debug/vars           expvar JSON (memstats, cmdline)
+//
+// Multi-device plans (PlanRequest.GPUs > 1) run across a simulated GPU pool:
+// the §4.2.2 controller places the tenants, every device runs observed, and
+// the fleet-merged metrics and SLO attainment land on the endpoints above.
 package main
 
 import (
+	"expvar"
 	"flag"
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"net/rpc"
 
 	"bless/cmd/blessd/internal/planner"
@@ -69,11 +82,21 @@ func main() {
 		mux.HandleFunc("/debug/bless/metrics", p.ServeMetrics)
 		mux.HandleFunc("/debug/bless/trace", p.ServeTrace)
 		mux.HandleFunc("/debug/bless/invariants", p.ServeInvariants)
+		mux.HandleFunc("/debug/bless/prom", p.ServeProm)
+		mux.HandleFunc("/debug/bless/slo", p.ServeSLO)
+		// Standard Go introspection, kept off the default mux so the RPC
+		// surface stays clean: runtime profiles and expvar.
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		mux.Handle("/debug/vars", expvar.Handler())
 		dl, err := net.Listen("tcp", *debug)
 		if err != nil {
 			log.Fatal(err)
 		}
-		log.Printf("blessd: debug endpoints on http://%s/debug/bless/{metrics,trace,invariants}", dl.Addr())
+		log.Printf("blessd: debug endpoints on http://%s/debug/bless/{metrics,trace,invariants,prom,slo} and /debug/{pprof,vars}", dl.Addr())
 		go func() {
 			if err := http.Serve(dl, mux); err != nil {
 				log.Printf("blessd: debug server: %v", err)

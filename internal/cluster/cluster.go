@@ -24,6 +24,13 @@ type Config struct {
 	GPU sim.Config
 	// Runtime tunes the per-device BLESS runtimes.
 	Runtime core.Options
+	// Observe attaches per-device observability (bus, collector, registry,
+	// SLO tracker, device-stamped events) so the fleet views — FleetSnapshot,
+	// FleetSLO, Events, WriteChromeTrace — are available after the run.
+	Observe bool
+	// MaxEventsPerDevice bounds each device's event collector when Observe
+	// is set (0 = unbounded); overflow is counted, never silent.
+	MaxEventsPerDevice int
 }
 
 // Cluster is a deployed multi-GPU BLESS installation.
@@ -38,7 +45,8 @@ type device struct {
 	gpu   *sim.GPU
 	env   *sharing.Env
 	rt    *core.Runtime
-	appOf []int // device-local client ID -> cluster app index
+	appOf []int      // device-local client ID -> cluster app index
+	obs   *deviceObs // nil unless Config.Observe
 }
 
 // Deploy places the applications across the pool with the §4.2.2 controller
@@ -104,12 +112,18 @@ func Deploy(eng *sim.Engine, clients []*sharing.Client, cfg Config) (*Cluster, e
 		}
 		env := &sharing.Env{Eng: eng, GPU: gpu, Clients: locals}
 		rt := core.New(cfg.Runtime)
+		d := &device{gpu: gpu, env: env, rt: rt, appOf: perGPU[gi]}
+		if cfg.Observe {
+			// Instrument before Deploy so deployment-time decisions are
+			// captured too.
+			cl.observe(d, fmt.Sprintf("gpu%d", gi), cfg.MaxEventsPerDevice)
+		}
 		if len(locals) > 0 {
 			if err := rt.Deploy(env); err != nil {
 				return nil, fmt.Errorf("cluster: gpu%d: %w", gi, err)
 			}
 		}
-		cl.devices[gi] = &device{gpu: gpu, env: env, rt: rt, appOf: perGPU[gi]}
+		cl.devices[gi] = d
 	}
 	return cl, nil
 }

@@ -1,0 +1,186 @@
+package cluster
+
+import (
+	"io"
+	"sort"
+
+	"bless/internal/obs"
+	"bless/internal/sim"
+	"bless/internal/timeline"
+)
+
+// Fleet observability: with Config.Observe set, Deploy instruments every
+// device with its own bus, collector, registry and SLO tracker, all events
+// stamped with the device name ("gpu0", "gpu1", ...). The per-device views
+// merge into pool-wide ones — registries via obs.MergeSnapshots (lossless
+// histogram merge), SLO attainment via obs.MergeSLO — which is what blessd's
+// debug endpoints and the ROADMAP's fleet control plane read.
+
+// deviceObs is one device's observability attachment.
+type deviceObs struct {
+	name string
+	bus  *obs.Bus
+	col  *obs.Collector
+	reg  *obs.Registry
+	slo  *obs.SLOTracker
+}
+
+// observe instruments a device before its runtime deploys. targets maps each
+// local client to its SLO target for the online attainment tracker.
+func (cl *Cluster) observe(d *device, name string, maxEvents int) {
+	do := &deviceObs{
+		name: name,
+		bus:  obs.NewBus(),
+		col:  obs.NewCollector(),
+		reg:  obs.NewRegistry(),
+		slo:  obs.NewSLOTracker(),
+	}
+	do.col.Device = name
+	do.col.MaxEvents = maxEvents
+	do.col.Recorder.LaneOf = func(q *sim.Queue) string {
+		return name + "/" + obs.ClientLane(q)
+	}
+	targets := make(map[string]sim.Time, len(d.env.Clients))
+	for _, c := range d.env.Clients {
+		targets[c.App.Name] = c.SLOTarget
+		do.slo.SetTarget(c.App.Name, c.SLOTarget)
+	}
+	do.bus.Subscribe(do.col)
+	do.bus.Subscribe(obs.SubscriberFunc(func(ev obs.Event) {
+		switch ev.Kind {
+		case obs.KindRequestAdmitted:
+			do.reg.Counter("requests/admitted_total").Inc()
+		case obs.KindRequestDone:
+			if ev.Reason == "failed" {
+				do.reg.Counter("requests/failed_total").Inc()
+			} else {
+				do.reg.Counter("requests/completed_total").Inc()
+				do.reg.Histogram("latency/request_ns").Observe(ev.Actual)
+			}
+			do.slo.Observe(ev.Client, targets[ev.Client], ev.Actual, ev.Reason == "failed")
+		case obs.KindSquadFormed:
+			do.reg.Counter("squads/formed_total").Inc()
+		case obs.KindKernelFault:
+			do.reg.Counter("faults/kernel_total").Inc()
+		case obs.KindKernelRetry:
+			do.reg.Counter("faults/retry_total").Inc()
+		case obs.KindRequestAbort:
+			do.reg.Counter("faults/abort_total").Inc()
+		}
+	}))
+	d.gpu.AddTracer(do.col.Recorder)
+	d.rt.Observe(do.bus)
+	d.obs = do
+}
+
+// Observed reports whether the cluster was deployed with Config.Observe.
+func (cl *Cluster) Observed() bool {
+	return len(cl.devices) > 0 && cl.devices[0].obs != nil
+}
+
+// Events returns every device's collected decision events merged into one
+// stream, ordered by (At, Device) — the input obs.Lifecycles expects for a
+// whole-cluster reconstruction. Nil when unobserved.
+func (cl *Cluster) Events() []obs.Event {
+	if !cl.Observed() {
+		return nil
+	}
+	var out []obs.Event
+	for _, d := range cl.devices {
+		out = append(out, d.obs.col.Events...)
+	}
+	// Each device's stream is time-ordered; a stable sort by At preserves
+	// per-device publication order and breaks cross-device ties by device
+	// deterministically (devices are appended in index order).
+	sort.SliceStable(out, func(i, j int) bool { return out[i].At < out[j].At })
+	return out
+}
+
+// DeviceSnapshot is one device's registry view.
+type DeviceSnapshot struct {
+	Device   string
+	Snapshot obs.Snapshot
+}
+
+// DeviceSnapshots returns each device's registry snapshot, self-metrics
+// (events emitted/dropped, tracing wall time) included. Nil when unobserved.
+func (cl *Cluster) DeviceSnapshots() []DeviceSnapshot {
+	if !cl.Observed() {
+		return nil
+	}
+	out := make([]DeviceSnapshot, len(cl.devices))
+	for i, d := range cl.devices {
+		cost := d.obs.bus.Cost()
+		d.obs.reg.Counter("obs/events_total").Add(cost.Events - d.obs.reg.Counter("obs/events_total").Value())
+		d.obs.reg.Counter("obs/publish_wall_ns").Add(cost.WallNS - d.obs.reg.Counter("obs/publish_wall_ns").Value())
+		d.obs.reg.Counter("obs/events_dropped_total").Add(d.obs.col.Dropped() - d.obs.reg.Counter("obs/events_dropped_total").Value())
+		out[i] = DeviceSnapshot{Device: d.obs.name, Snapshot: d.obs.reg.Snapshot()}
+	}
+	return out
+}
+
+// FleetSnapshot merges every device's registry into the pool-wide view:
+// counters sum, histograms merge losslessly. Zero when unobserved.
+func (cl *Cluster) FleetSnapshot() obs.Snapshot {
+	snaps := cl.DeviceSnapshots()
+	parts := make([]obs.Snapshot, len(snaps))
+	for i, s := range snaps {
+		parts[i] = s.Snapshot
+	}
+	return obs.MergeSnapshots(parts...)
+}
+
+// FleetSLOTracker merges every device's SLO tracker into one pool-wide
+// tracker (losslessly — callers can fold it further, e.g. across plans).
+// Empty when unobserved.
+func (cl *Cluster) FleetSLOTracker() *obs.SLOTracker {
+	if !cl.Observed() {
+		return obs.NewSLOTracker()
+	}
+	trackers := make([]*obs.SLOTracker, len(cl.devices))
+	for i, d := range cl.devices {
+		trackers[i] = d.obs.slo
+	}
+	return obs.MergeSLO(trackers...)
+}
+
+// FleetSLO merges every device's SLO tracker into pool-wide per-tenant
+// attainment. Empty when unobserved.
+func (cl *Cluster) FleetSLO() obs.SLOSnapshot {
+	return cl.FleetSLOTracker().Snapshot()
+}
+
+// DeviceSLO returns one device's SLO attainment view. Empty when unobserved
+// or out of range.
+func (cl *Cluster) DeviceSLO(device int) obs.SLOSnapshot {
+	if !cl.Observed() || device < 0 || device >= len(cl.devices) {
+		return obs.SLOSnapshot{}
+	}
+	return cl.devices[device].obs.slo.Snapshot()
+}
+
+// DroppedEvents sums the bounded collectors' overflow counters.
+func (cl *Cluster) DroppedEvents() int64 {
+	if !cl.Observed() {
+		return 0
+	}
+	var n int64
+	for _, d := range cl.devices {
+		n += d.obs.col.Dropped()
+	}
+	return n
+}
+
+// WriteChromeTrace exports the whole cluster as one Chrome trace: kernel
+// spans on device-prefixed client lanes ("gpu0/resnet50"), decision events
+// on per-device scheduler lanes. Writes an empty trace when unobserved.
+func (cl *Cluster) WriteChromeTrace(w io.Writer) error {
+	var spans []timeline.Span
+	if cl.Observed() {
+		for _, d := range cl.devices {
+			spans = append(spans, d.obs.col.Recorder.Spans...)
+		}
+		sort.SliceStable(spans, func(i, j int) bool { return spans[i].Start < spans[j].Start })
+	}
+	return obs.WriteChromeTrace(w, spans, cl.Events())
+}

@@ -1,0 +1,225 @@
+package cluster
+
+import (
+	"bytes"
+	"testing"
+
+	"bless/internal/metrics"
+	"bless/internal/obs"
+	"bless/internal/sharing"
+	"bless/internal/sim"
+)
+
+// runObservedCluster deploys an observed 3-device cluster with six apps,
+// runs several requests per app, and returns the cluster plus per-app
+// completed requests.
+func runObservedCluster(t *testing.T, reqsPerApp int) (*Cluster, [][]*sharing.Request) {
+	t.Helper()
+	eng := sim.NewEngine()
+	// The duplicate vgg11 deployments carry 0.6 quotas so placement cannot
+	// co-locate them: request identity within a device is (client name,
+	// seq), so same-name deployments must sit on distinct devices to stay
+	// distinguishable in the event stream.
+	clients := clusterClients(t,
+		spec("vgg11", 0.6), spec("resnet50", 0.6),
+		spec("vgg11", 0.6), spec("bert", 0.3),
+		spec("resnet101", 0.3), spec("nasnet", 0.3),
+	)
+	// Per-deployment SLO targets so attainment is exercised.
+	for _, c := range clients {
+		c.SLOTarget = c.Profile.Iso[c.Profile.QuotaPartition(c.Quota)] * 2
+	}
+	cl, err := Deploy(eng, clients, Config{GPUs: 3, Observe: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cl.Devices() != 3 {
+		t.Fatalf("Devices = %d, want 3", cl.Devices())
+	}
+	reqs := make([][]*sharing.Request, len(clients))
+	for ai := range clients {
+		ai := ai
+		for s := 0; s < reqsPerApp; s++ {
+			s := s
+			eng.Schedule(sim.Time(s)*2*sim.Millisecond, func() {
+				r, err := cl.Submit(ai, s)
+				if err != nil {
+					t.Errorf("submit %d/%d: %v", ai, s, err)
+					return
+				}
+				reqs[ai] = append(reqs[ai], r)
+			})
+		}
+	}
+	eng.Run()
+	return cl, reqs
+}
+
+func TestClusterObservedLifecycles(t *testing.T) {
+	cl, reqs := runObservedCluster(t, 2)
+
+	events := cl.Events()
+	if len(events) == 0 {
+		t.Fatal("no events collected")
+	}
+	// Every event is device-stamped.
+	for _, ev := range events {
+		if ev.Device == "" {
+			t.Fatalf("unstamped event: %+v", ev)
+		}
+	}
+
+	// Every submitted request reconstructs into a complete lifecycle on its
+	// host device.
+	ls := obs.Lifecycles(events)
+	var total int
+	for ai, rs := range reqs {
+		dev := cl.devices[cl.Host(ai)].obs.name
+		for _, r := range rs {
+			total++
+			l := obs.FindLifecycle(ls, dev, r.Client.App.Name, r.Seq)
+			if l == nil {
+				t.Fatalf("no lifecycle for %s/%s/%d", dev, r.Client.App.Name, r.Seq)
+			}
+			if !l.Completed {
+				t.Errorf("%s/%s/%d not completed", dev, r.Client.App.Name, r.Seq)
+			}
+			if l.Latency != r.Latency() {
+				t.Errorf("%s/%s/%d lifecycle latency %v != request latency %v",
+					dev, r.Client.App.Name, r.Seq, l.Latency, r.Latency())
+			}
+		}
+	}
+	if len(ls) != total {
+		t.Errorf("lifecycles = %d, want %d", len(ls), total)
+	}
+
+	// The merged trace exports with device-prefixed lanes.
+	var buf bytes.Buffer
+	if err := cl.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(buf.Bytes(), []byte(`"gpu0/`)) {
+		t.Error("chrome trace lacks device-prefixed lanes")
+	}
+}
+
+// TestClusterFleetMergeLossless is the ≥3-device property test: the
+// fleet-merged histogram must match, bucket for bucket and quantile for
+// quantile, a single digest fed the combined per-device completion streams.
+func TestClusterFleetMergeLossless(t *testing.T) {
+	cl, reqs := runObservedCluster(t, 3)
+
+	var whole metrics.Digest
+	var completed int64
+	for _, rs := range reqs {
+		for _, r := range rs {
+			if r.Done > 0 && !r.Failed {
+				whole.Observe(r.Latency())
+				completed++
+			}
+		}
+	}
+	if completed == 0 {
+		t.Fatal("no completions")
+	}
+
+	fleet := cl.FleetSnapshot()
+	if got := fleet.Counters["requests/completed_total"]; got != completed {
+		t.Fatalf("fleet completed = %d, want %d", got, completed)
+	}
+	h := fleet.Histograms["latency/request_ns"]
+	if h.Count != whole.Count || h.SumNS != int64(whole.Sum) ||
+		h.MinNS != int64(whole.Min) || h.MaxNS != int64(whole.Max) {
+		t.Errorf("fleet histogram envelope %+v, want digest %v", h, whole.String())
+	}
+	if h.P50NS != int64(whole.Quantile(0.50)) ||
+		h.P95NS != int64(whole.Quantile(0.95)) ||
+		h.P99NS != int64(whole.Quantile(0.99)) {
+		t.Errorf("fleet quantiles %d/%d/%d diverge from combined-stream digest %d/%d/%d",
+			h.P50NS, h.P95NS, h.P99NS,
+			int64(whole.Quantile(0.50)), int64(whole.Quantile(0.95)), int64(whole.Quantile(0.99)))
+	}
+	for i, n := range h.Bucket {
+		if whole.Buckets[i] != n {
+			t.Errorf("bucket[%d] = %d, want %d", i, n, whole.Buckets[i])
+		}
+	}
+
+	// Fleet SLO folds both deployments of each app into one tenant.
+	slo := cl.FleetSLO()
+	byName := map[string]obs.TenantSLO{}
+	for _, ts := range slo.Tenants {
+		byName[ts.Tenant] = ts
+	}
+	if len(byName) != 5 { // vgg11, resnet50, bert, resnet101, nasnet
+		t.Fatalf("fleet tenants = %d, want 5: %+v", len(byName), slo.Tenants)
+	}
+	if vg := byName["vgg11"]; vg.Completed != 6 { // two deployments x 3 reqs
+		t.Errorf("vgg11 fleet completed = %d, want 6", vg.Completed)
+	}
+	var sumCompleted int64
+	for _, ts := range slo.Tenants {
+		sumCompleted += ts.Completed
+		if ts.Targeted != ts.Completed+ts.Failed {
+			t.Errorf("%s targeted %d != completed+failed %d", ts.Tenant, ts.Targeted, ts.Completed+ts.Failed)
+		}
+	}
+	if sumCompleted != completed {
+		t.Errorf("fleet SLO completions = %d, want %d", sumCompleted, completed)
+	}
+
+	if cl.DroppedEvents() != 0 {
+		t.Errorf("unbounded collectors dropped %d events", cl.DroppedEvents())
+	}
+	if fleet.Counters["obs/events_total"] == 0 {
+		t.Error("bus self-accounting missing from fleet snapshot")
+	}
+}
+
+func TestClusterObserveOffIsInert(t *testing.T) {
+	eng := sim.NewEngine()
+	clients := clusterClients(t, spec("vgg11", 0.8))
+	cl, err := Deploy(eng, clients, Config{GPUs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cl.Observed() {
+		t.Fatal("unobserved cluster reports observed")
+	}
+	if cl.Events() != nil || cl.DeviceSnapshots() != nil {
+		t.Error("unobserved cluster returned observability data")
+	}
+	if got := cl.FleetSLO(); len(got.Tenants) != 0 {
+		t.Errorf("unobserved FleetSLO = %+v", got)
+	}
+}
+
+func TestClusterBoundedCollectorsCountDrops(t *testing.T) {
+	eng := sim.NewEngine()
+	clients := clusterClients(t, spec("vgg11", 0.6), spec("resnet50", 0.4))
+	cl, err := Deploy(eng, clients, Config{GPUs: 1, Observe: true, MaxEventsPerDevice: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ai := range clients {
+		ai := ai
+		eng.Schedule(0, func() {
+			if _, err := cl.Submit(ai, 0); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+	eng.Run()
+	if len(cl.Events()) != 4 {
+		t.Fatalf("bounded collector kept %d events, want 4", len(cl.Events()))
+	}
+	if cl.DroppedEvents() == 0 {
+		t.Fatal("overflow not counted")
+	}
+	snap := cl.FleetSnapshot()
+	if snap.Counters["obs/events_dropped_total"] != cl.DroppedEvents() {
+		t.Errorf("registry drop counter %d != collector %d",
+			snap.Counters["obs/events_dropped_total"], cl.DroppedEvents())
+	}
+}

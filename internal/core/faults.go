@@ -120,7 +120,8 @@ func (rt *Runtime) withRetry(cs *clientState, q *sim.Queue, k *sim.Kernel, seq, 
 		if rt.bus.Enabled() {
 			rt.bus.Emit(obs.Event{
 				At: at, Kind: obs.KindKernelFault, Squad: rt.curSquad,
-				Client: cs.c.App.Name, Reason: fmt.Sprintf("k%d attempt %d", kIdx, attempt),
+				Client: cs.c.App.Name, Seq: seq,
+				Reason: fmt.Sprintf("k%d attempt %d", kIdx, attempt),
 			})
 		}
 		if attempt > rt.maxRetries() {
@@ -131,7 +132,7 @@ func (rt *Runtime) withRetry(cs *clientState, q *sim.Queue, k *sim.Kernel, seq, 
 				// invariant balances faults against retries plus aborts.
 				rt.bus.Emit(obs.Event{
 					At: at, Kind: obs.KindRequestAbort, Squad: rt.curSquad,
-					Client: cs.c.App.Name, Reason: "retries-exhausted",
+					Client: cs.c.App.Name, Seq: seq, Reason: "retries-exhausted",
 				})
 			}
 			rt.abortActive(cs)
@@ -147,7 +148,8 @@ func (rt *Runtime) withRetry(cs *clientState, q *sim.Queue, k *sim.Kernel, seq, 
 		if rt.bus.Enabled() {
 			rt.bus.Emit(obs.Event{
 				At: at, Kind: obs.KindKernelRetry, Squad: rt.curSquad,
-				Client: cs.c.App.Name, Reason: fmt.Sprintf("k%d attempt %d", kIdx, attempt),
+				Client: cs.c.App.Name, Seq: seq,
+				Reason:    fmt.Sprintf("k%d attempt %d", kIdx, attempt),
 				Predicted: relaunch,
 			})
 		}
@@ -206,7 +208,7 @@ func (rt *Runtime) enforceDeadlines() {
 			if rt.bus.Enabled() {
 				rt.bus.Emit(obs.Event{
 					At: now, Kind: obs.KindRequestAbort, Squad: rt.curSquad,
-					Client: cs.c.App.Name, Reason: "deadline",
+					Client: cs.c.App.Name, Seq: a.req.Seq, Reason: "deadline",
 				})
 			}
 			rt.abortActive(cs)

@@ -201,3 +201,56 @@ func TestRuntimeUnobservedStillAccounts(t *testing.T) {
 		t.Fatal("host overhead empty")
 	}
 }
+
+func TestRuntimeRequestLifecycleEvents(t *testing.T) {
+	_, events, clients := runObservedPair(t, DefaultOptions())
+
+	var admitted, done []obs.Event
+	for _, ev := range events {
+		switch ev.Kind {
+		case obs.KindRequestAdmitted:
+			admitted = append(admitted, ev)
+		case obs.KindRequestDone:
+			done = append(done, ev)
+		}
+	}
+	if len(admitted) != len(clients) {
+		t.Fatalf("request_admitted events = %d, want %d", len(admitted), len(clients))
+	}
+	if len(done) != len(clients) {
+		t.Fatalf("request_done events = %d, want %d", len(done), len(clients))
+	}
+	for i, ev := range done {
+		if ev.Reason != "ok" {
+			t.Errorf("request_done #%d reason = %q, want ok", i, ev.Reason)
+		}
+		if ev.Actual <= 0 {
+			t.Errorf("request_done #%d latency %v, want > 0", i, ev.Actual)
+		}
+	}
+
+	// Every request reconstructs into a complete lifecycle.
+	ls := obs.Lifecycles(events)
+	if len(ls) != len(clients) {
+		t.Fatalf("lifecycles = %d, want %d", len(ls), len(clients))
+	}
+	for _, c := range clients {
+		l := obs.FindLifecycle(ls, "", c.App.Name, 0)
+		if l == nil {
+			t.Fatalf("no lifecycle for %s/0", c.App.Name)
+		}
+		if !l.Completed || l.Failed {
+			t.Errorf("%s lifecycle completed/failed = %v/%v", c.App.Name, l.Completed, l.Failed)
+		}
+		if l.Done <= 0 || l.Latency <= 0 || l.Done != l.Arrival+l.Latency {
+			t.Errorf("%s lifecycle timing inconsistent: %+v", c.App.Name, l)
+		}
+		if len(l.Squads) == 0 {
+			t.Errorf("%s lifecycle names no squads", c.App.Name)
+		}
+		// Admission, at least one squad-scoped annotation, completion.
+		if len(l.Events) < 3 {
+			t.Errorf("%s lifecycle has only %d events", c.App.Name, len(l.Events))
+		}
+	}
+}

@@ -249,6 +249,15 @@ func (rt *Runtime) Submit(r *sharing.Request) {
 	} else {
 		cs.queue = append(cs.queue, r)
 	}
+	if rt.bus.Enabled() {
+		// Host-clock stamped (the admission decision happens on the host,
+		// which can run ahead of the engine clock); the exact arrival
+		// instant is recoverable from the completion event's latency.
+		rt.bus.Emit(obs.Event{
+			At: rt.host.Now(), Kind: obs.KindRequestAdmitted,
+			Client: r.Client.App.Name, Seq: r.Seq,
+		})
+	}
 	rt.kick()
 }
 
@@ -801,6 +810,21 @@ func (cs *clientState) nearestSlot(sms int) *restrictedSlot {
 // completeRequest retires a finished request and activates the client's next
 // queued one (FIFO, one active request per client — §4.3).
 func (rt *Runtime) completeRequest(cs *clientState, r *sharing.Request) {
+	if rt.bus.Enabled() {
+		// Emitted at the completion instant, before the harness callback
+		// fires, so subscribers see the span close ahead of any downstream
+		// bookkeeping. Actual carries the exact latency.
+		now := rt.env.Eng.Now()
+		reason := "ok"
+		if r.Failed {
+			reason = "failed"
+		}
+		rt.bus.Emit(obs.Event{
+			At: now, Kind: obs.KindRequestDone,
+			Client: r.Client.App.Name, Seq: r.Seq,
+			Reason: reason, Actual: now - r.Arrival,
+		})
+	}
 	rt.env.Complete(r)
 	cs.active = nil
 	if len(cs.queue) > 0 {

@@ -56,6 +56,9 @@ type RunConfig struct {
 	// device utilization gauge. Observations stream during the run instead
 	// of being post-processed from stored samples.
 	Registry *obs.Registry
+	// SLO, if set, tracks per-tenant latency-SLO attainment online: every
+	// completion is judged against its client's SLOTarget as it retires.
+	SLO *obs.SLOTracker
 	// Invariants, if set, attaches an invariant.Checker to the run; the
 	// report lands in Result.Invariants and, with FailOnViolation, enforced
 	// breaches fail the run. When nil, the process-wide EnableInvariants
@@ -232,6 +235,9 @@ func Run(cfg RunConfig) (*Result, error) {
 		cr := &results[id]
 		if checker != nil {
 			checker.RequestCompleted(r.Done, id, r.Failed)
+		}
+		if cfg.SLO != nil {
+			cfg.SLO.Observe(r.Client.App.Name, r.Client.SLOTarget, r.Latency(), r.Failed)
 		}
 		if r.Failed {
 			cr.Failed++

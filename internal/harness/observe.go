@@ -21,6 +21,8 @@ type ObservedRun struct {
 	// Registry holds the streaming metrics: latency histograms, counters,
 	// gauges, and the recorded overhead breakdown.
 	Registry *obs.Registry
+	// SLO is the per-tenant latency-SLO attainment, tracked online.
+	SLO *obs.SLOTracker
 	// Overheads is the per-client overhead attribution, deployment order.
 	Overheads []core.ClientOverhead
 	// Host is the simulated host's independent ground-truth accounting.
@@ -50,7 +52,9 @@ func ObservedPairRun(apps [2]string, quotas [2]float64, workload string, horizon
 	col.Recorder.LaneOf = obs.ClientLane // one lane per client, not per context
 	bus := obs.NewBus()
 	bus.Subscribe(col)
+	bus.SelfAccount(true) // measure the tracing layer's own cost (§6.9)
 	reg := obs.NewRegistry()
+	slo := obs.NewSLOTracker()
 
 	res, err := Run(RunConfig{
 		Scheduler: rt,
@@ -63,6 +67,7 @@ func ObservedPairRun(apps [2]string, quotas [2]float64, workload string, horizon
 		Tracers:  []sim.Tracer{col.Recorder},
 		Bus:      bus,
 		Registry: reg,
+		SLO:      slo,
 	})
 	if err != nil {
 		return nil, err
@@ -72,12 +77,32 @@ func ObservedPairRun(apps [2]string, quotas [2]float64, workload string, horizon
 		Result:    res,
 		Collector: col,
 		Registry:  reg,
+		SLO:       slo,
 		Overheads: rt.OverheadStats(),
 		Host:      rt.HostOverhead(),
 		Stats:     rt.Stats(),
 	}
 	RecordOverheads(reg, o.Stats, o.Overheads, o.Host)
+	RecordTracingCost(reg, bus, col)
 	return o, nil
+}
+
+// RecordTracingCost publishes the observability layer's self-accounting into
+// the registry: events delivered, real time spent inside subscriber fan-out
+// (only accrued while Bus.SelfAccount is on), and events refused by bounded
+// collectors. This extends the §6.9 overhead attribution to the tracing
+// layer itself — the cost of watching is measured like every other cost.
+func RecordTracingCost(reg *obs.Registry, bus *obs.Bus, cols ...*obs.Collector) {
+	cost := bus.Cost()
+	reg.Counter("obs/events_total").Add(cost.Events)
+	reg.Counter("obs/publish_wall_ns").Add(cost.WallNS)
+	var dropped int64
+	for _, c := range cols {
+		if c != nil {
+			dropped += c.Dropped()
+		}
+	}
+	reg.Counter("obs/events_dropped_total").Add(dropped)
 }
 
 // RecordOverheads publishes the scheduling counters and the per-client

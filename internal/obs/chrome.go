@@ -41,9 +41,29 @@ const (
 // usOf converts virtual nanoseconds to the trace format's microseconds.
 func usOf(t sim.Time) float64 { return float64(t) / 1e3 }
 
+// clientLaneOf names the lane of an event's client, prefixing the device in
+// cluster exports ("gpu0/resnet50") so each device gets its own lane group.
+func clientLaneOf(ev Event) string {
+	if ev.Device != "" {
+		return ev.Device + "/" + ev.Client
+	}
+	return ev.Client
+}
+
+// schedLaneOf names the scheduler lane an event's squad-wide decisions land
+// on: the shared lane on single-device exports, a per-device one
+// ("gpu1/scheduler") when the event is device-tagged.
+func schedLaneOf(ev Event) string {
+	if ev.Device != "" {
+		return ev.Device + "/scheduler"
+	}
+	return ""
+}
+
 // WriteChromeTrace writes kernel spans and decision events as Chrome
-// trace-event JSON. Lanes (one per distinct span lane, i.e. per client) are
-// announced with thread_name metadata so Perfetto labels them.
+// trace-event JSON. Lanes (one per distinct span lane, i.e. per client, with
+// device-prefixed lane names in cluster exports) are announced with
+// thread_name metadata so Perfetto labels them.
 func WriteChromeTrace(w io.Writer, spans []timeline.Span, events []Event) error {
 	// Assign lane tids: scheduler first, then client lanes in sorted order
 	// for determinism. Decision events may reference clients that never ran
@@ -54,7 +74,9 @@ func WriteChromeTrace(w io.Writer, spans []timeline.Span, events []Event) error 
 	}
 	for _, ev := range events {
 		if ev.Client != "" {
-			laneSet[ev.Client] = true
+			laneSet[clientLaneOf(ev)] = true
+		} else if l := schedLaneOf(ev); l != "" {
+			laneSet[l] = true
 		}
 	}
 	lanes := make([]string, 0, len(laneSet))
@@ -97,7 +119,9 @@ func WriteChromeTrace(w io.Writer, spans []timeline.Span, events []Event) error 
 	for _, ev := range events {
 		tid := schedulerTid
 		if ev.Client != "" {
-			tid = tidOf[ev.Client]
+			tid = tidOf[clientLaneOf(ev)]
+		} else if l := schedLaneOf(ev); l != "" {
+			tid = tidOf[l]
 		}
 		switch ev.Kind {
 		case KindSquadDone:
@@ -108,10 +132,26 @@ func WriteChromeTrace(w io.Writer, spans []timeline.Span, events []Event) error 
 				Name: fmt.Sprintf("squad %d (%s)", ev.Squad, ev.Mode),
 				Cat:  "squad", Ph: "X",
 				Ts: usOf(ev.At - ev.Actual), Dur: &dur,
-				Pid: chromePid, Tid: schedulerTid,
+				Pid: chromePid, Tid: tid,
 				Args: map[string]any{
 					"predicted_us": usOf(ev.Predicted),
 					"actual_us":    usOf(ev.Actual),
+				},
+			})
+		case KindRequestDone:
+			// Render the whole request lifecycle as a span on its client's
+			// lane: Actual is the exact latency, so the span runs from the
+			// arrival instant to completion.
+			dur := usOf(ev.Actual)
+			out = append(out, chromeEvent{
+				Name: fmt.Sprintf("request %d (%s)", ev.Seq, ev.Reason),
+				Cat:  "request", Ph: "X",
+				Ts: usOf(ev.At - ev.Actual), Dur: &dur,
+				Pid: chromePid, Tid: tid,
+				Args: map[string]any{
+					"seq":        ev.Seq,
+					"latency_us": usOf(ev.Actual),
+					"outcome":    ev.Reason,
 				},
 			})
 		case KindSquadFormed:
@@ -147,6 +187,9 @@ func WriteChromeTrace(w io.Writer, spans []timeline.Span, events []Event) error 
 			}
 			if ev.Squad != 0 {
 				args["squad"] = ev.Squad
+			}
+			if ev.Kind.RequestScoped() {
+				args["seq"] = ev.Seq
 			}
 			out = append(out, chromeEvent{
 				Name: ev.Kind.String(), Cat: "decision", Ph: "i",

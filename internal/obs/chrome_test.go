@@ -23,6 +23,7 @@ func fixtureTrace() ([]timeline.Span, []Event) {
 		{Lane: "resnet50", Kernel: "conv2", Queue: "resnet50/sm54", Start: 120 * sim.Microsecond, End: 300 * sim.Microsecond, AvgSMs: 40.5},
 	}
 	events := []Event{
+		{At: 4 * sim.Microsecond, Kind: KindRequestAdmitted, Client: "resnet50", Seq: 0},
 		{At: 5 * sim.Microsecond, Kind: KindSquadFormed, Squad: 1, Reason: "kernel-cap",
 			Members: []SquadMember{
 				{Client: "resnet50", From: 0, To: 2},
@@ -39,6 +40,11 @@ func fixtureTrace() ([]timeline.Span, []Event) {
 		{At: 200 * sim.Microsecond, Kind: KindEndgameFlush, Squad: 2, Client: "resnet50"},
 		{At: 300 * sim.Microsecond, Kind: KindSquadDone, Squad: 1, Mode: "Semi-SP",
 			Predicted: 290 * sim.Microsecond, Actual: 295 * sim.Microsecond},
+		{At: 310 * sim.Microsecond, Kind: KindRequestDone, Client: "resnet50", Seq: 0,
+			Reason: "ok", Actual: 306 * sim.Microsecond},
+		// A device-tagged event lands on its device's own lane group.
+		{At: 320 * sim.Microsecond, Kind: KindPaceGuardTrip, Device: "gpu1",
+			Client: "bert", Squad: 3, Reason: "duration-cap"},
 	}
 	return spans, events
 }
@@ -80,7 +86,7 @@ func TestChromeTraceIsValidTraceEventJSON(t *testing.T) {
 	}
 
 	lanes := map[float64]string{}
-	var kernelSpans, squadSpans, instants int
+	var kernelSpans, squadSpans, requestSpans, instants int
 	for _, ev := range out {
 		ph, _ := ev["ph"].(string)
 		switch ph {
@@ -98,6 +104,8 @@ func TestChromeTraceIsValidTraceEventJSON(t *testing.T) {
 				kernelSpans++
 			case "squad":
 				squadSpans++
+			case "request":
+				requestSpans++
 			}
 		case "i":
 			instants++
@@ -120,11 +128,15 @@ func TestChromeTraceIsValidTraceEventJSON(t *testing.T) {
 	if squadSpans != 1 {
 		t.Errorf("squad spans = %d, want 1", squadSpans)
 	}
-	if instants != 5 {
-		t.Errorf("instant events = %d, want 5", instants)
+	if requestSpans != 1 {
+		t.Errorf("request spans = %d, want 1", requestSpans)
 	}
-	// One lane per client plus the scheduler lane.
-	wantLanes := map[string]bool{"scheduler": true, "resnet50": true, "vgg11": true}
+	if instants != 7 {
+		t.Errorf("instant events = %d, want 7", instants)
+	}
+	// One lane per client plus the scheduler lane; device-tagged events get
+	// device-prefixed lanes.
+	wantLanes := map[string]bool{"scheduler": true, "resnet50": true, "vgg11": true, "gpu1/bert": true}
 	for _, name := range lanes {
 		delete(wantLanes, name)
 	}

@@ -22,15 +22,45 @@ type Collector struct {
 	Recorder *timeline.Recorder
 	// Events are the decision events in publication (time) order.
 	Events []Event
+	// Device, when set, stamps every collected event with the emitting
+	// device's name (cluster runs attach one collector per device).
+	Device string
+	// MaxEvents bounds the event buffer (0 = unbounded). A full collector
+	// drops further events and counts them in Dropped — bounded collectors
+	// never lose events silently; surface the counter in a registry
+	// ("obs/events_dropped_total") and on the debug endpoints.
+	MaxEvents int
+
+	dropped int64
 }
 
-// NewCollector returns an empty collector.
+// NewCollector returns an empty, unbounded collector.
 func NewCollector() *Collector {
 	return &Collector{Recorder: timeline.NewRecorder()}
 }
 
+// NewBoundedCollector returns a collector that keeps at most maxEvents
+// decision events and counts the overflow in Dropped.
+func NewBoundedCollector(maxEvents int) *Collector {
+	c := NewCollector()
+	c.MaxEvents = maxEvents
+	return c
+}
+
 // Publish implements Subscriber.
-func (c *Collector) Publish(ev Event) { c.Events = append(c.Events, ev) }
+func (c *Collector) Publish(ev Event) {
+	if c.MaxEvents > 0 && len(c.Events) >= c.MaxEvents {
+		c.dropped++
+		return
+	}
+	if c.Device != "" && ev.Device == "" {
+		ev.Device = c.Device
+	}
+	c.Events = append(c.Events, ev)
+}
+
+// Dropped reports how many events the bounded buffer refused.
+func (c *Collector) Dropped() int64 { return c.dropped }
 
 // WriteChromeTrace exports everything collected as Chrome trace-event JSON.
 func (c *Collector) WriteChromeTrace(w io.Writer) error {

@@ -1,0 +1,226 @@
+package obs
+
+import (
+	"sort"
+
+	"bless/internal/sim"
+)
+
+// Request-lifecycle reconstruction: the runtime stamps every request with
+// admission and completion events (plus faults, retries and aborts in
+// between), and squad-scoped decisions name their member clients — so a
+// collected event stream folds back into one span per request, from
+// admission through every squad, retry and context switch to completion.
+// This is the per-request view the paper's §6 claims (near-ideal latency
+// under sharing) are actually about, and the layer fleet-wide SLO
+// attainment is computed from.
+
+// RequestLifecycle is one request's reconstructed lifecycle.
+type RequestLifecycle struct {
+	// Device names the hosting device in cluster runs ("" single-device).
+	Device string
+	// Client is the owning application's name.
+	Client string
+	// Seq is the client-local request sequence number.
+	Seq int
+	// Admitted is the admission event's (host-clock) timestamp; zero when
+	// admission predates the collection window.
+	Admitted sim.Time
+	// Done is the completion instant; zero while the request is open.
+	Done sim.Time
+	// Latency is the exact request latency (Done - Arrival) carried by the
+	// completion event; valid when Completed.
+	Latency sim.Time
+	// Arrival is the exact arrival instant recovered from the completion
+	// event (Done - Latency); valid when Completed.
+	Arrival sim.Time
+	// Completed and Failed report the terminal state: a Failed request
+	// completed aborted (retries exhausted or deadline exceeded).
+	Completed, Failed bool
+	// Faults and Retries count injected kernel faults and relaunches
+	// attributed to this request.
+	Faults, Retries int
+	// Aborted marks an abort event seen; AbortReason carries its cause
+	// ("retries-exhausted" or "deadline").
+	Aborted     bool
+	AbortReason string
+	// Squads lists the squads (1-based per-device sequence numbers) that
+	// serviced this request, in order.
+	Squads []int64
+	// Events is the request's full annotated event stream in publication
+	// order: its request-scoped events plus the client- and squad-scoped
+	// decisions (squad formation, config choice, context switches,
+	// pace-guard trips, endgame flushes) that occurred while it was the
+	// client's active request.
+	Events []Event
+}
+
+// lifecycleKey identifies a request across devices. Within one device a
+// client is identified by its application name: two same-name deployments on
+// one device would alias (the runtime emits names, not client IDs) — the
+// cluster's placement keeps duplicate deployments on distinct devices when
+// their quotas forbid co-location, and harness runs use unique names.
+type lifecycleKey struct {
+	device, client string
+	seq            int
+}
+
+// clientKey identifies a client lane across devices.
+type clientKey struct {
+	device, client string
+}
+
+// Lifecycles reconstructs per-request lifecycles from a collected event
+// stream (publication order, as a Collector holds it). Events of requests
+// whose admission predates the stream still reconstruct — entries are
+// created lazily — so bounded collectors degrade to partial lifecycles, not
+// errors. The result is sorted by (Device, Client, Seq).
+func Lifecycles(events []Event) []RequestLifecycle {
+	reqs := map[lifecycleKey]*RequestLifecycle{}
+	// active tracks each client's in-service request: the lowest admitted,
+	// not-yet-completed Seq (the runtime services one request per client at
+	// a time, FIFO — §4.3).
+	active := map[clientKey][]*RequestLifecycle{}
+	// members remembers each squad's member clients so the member-less
+	// squad_done event still reaches the right requests.
+	members := map[string]map[int64][]string{} // device -> squad -> clients
+
+	get := func(k lifecycleKey) *RequestLifecycle {
+		r, ok := reqs[k]
+		if !ok {
+			r = &RequestLifecycle{Device: k.device, Client: k.client, Seq: k.seq}
+			reqs[k] = r
+		}
+		return r
+	}
+	open := func(r *RequestLifecycle) {
+		ck := clientKey{r.Device, r.Client}
+		active[ck] = append(active[ck], r)
+	}
+	closeReq := func(r *RequestLifecycle) {
+		ck := clientKey{r.Device, r.Client}
+		q := active[ck]
+		for i, o := range q {
+			if o == r {
+				active[ck] = append(q[:i], q[i+1:]...)
+				break
+			}
+		}
+	}
+	// current returns the client's in-service request, if any.
+	current := func(device, client string) *RequestLifecycle {
+		q := active[clientKey{device, client}]
+		if len(q) == 0 {
+			return nil
+		}
+		return q[0]
+	}
+	attachSquad := func(ev Event, client string) {
+		r := current(ev.Device, client)
+		if r == nil {
+			return
+		}
+		if n := len(r.Squads); ev.Squad > 0 && (n == 0 || r.Squads[n-1] != ev.Squad) {
+			r.Squads = append(r.Squads, ev.Squad)
+		}
+		r.Events = append(r.Events, ev)
+	}
+
+	for _, ev := range events {
+		switch {
+		case ev.Kind == KindRequestAdmitted:
+			r := get(lifecycleKey{ev.Device, ev.Client, ev.Seq})
+			r.Admitted = ev.At
+			r.Events = append(r.Events, ev)
+			open(r)
+		case ev.Kind == KindRequestDone:
+			r := get(lifecycleKey{ev.Device, ev.Client, ev.Seq})
+			r.Done = ev.At
+			r.Latency = ev.Actual
+			r.Arrival = ev.At - ev.Actual
+			r.Completed = true
+			r.Failed = ev.Reason == "failed"
+			r.Events = append(r.Events, ev)
+			closeReq(r)
+		case ev.Kind.RequestScoped():
+			r := get(lifecycleKey{ev.Device, ev.Client, ev.Seq})
+			switch ev.Kind {
+			case KindKernelFault:
+				r.Faults++
+			case KindKernelRetry:
+				r.Retries++
+			case KindRequestAbort:
+				r.Aborted = true
+				r.AbortReason = ev.Reason
+			}
+			if ev.Squad > 0 {
+				if n := len(r.Squads); n == 0 || r.Squads[n-1] != ev.Squad {
+					r.Squads = append(r.Squads, ev.Squad)
+				}
+			}
+			r.Events = append(r.Events, ev)
+		case len(ev.Members) > 0: // squad_formed, config_chosen
+			dev := members[ev.Device]
+			if dev == nil {
+				dev = map[int64][]string{}
+				members[ev.Device] = dev
+			}
+			if ev.Kind == KindSquadFormed {
+				names := make([]string, len(ev.Members))
+				for i, m := range ev.Members {
+					names[i] = m.Client
+				}
+				dev[ev.Squad] = names
+			}
+			for _, m := range ev.Members {
+				attachSquad(ev, m.Client)
+			}
+		case ev.Kind == KindSquadDone:
+			for _, c := range members[ev.Device][ev.Squad] {
+				attachSquad(ev, c)
+			}
+		case ev.Client != "":
+			switch ev.Kind {
+			case KindContextSwitch, KindPaceGuardTrip, KindEndgameFlush, KindContextFault:
+				attachSquad(ev, ev.Client)
+			}
+			// Churn events (crash/join/leave/reprovision) are client-level,
+			// not request-level; they stay out of lifecycles.
+		}
+	}
+
+	out := make([]RequestLifecycle, 0, len(reqs))
+	for _, r := range reqs {
+		out = append(out, *r)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := &out[i], &out[j]
+		if a.Device != b.Device {
+			return a.Device < b.Device
+		}
+		if a.Client != b.Client {
+			return a.Client < b.Client
+		}
+		return a.Seq < b.Seq
+	})
+	return out
+}
+
+// FindLifecycle returns the lifecycle of (device, client, seq) from a
+// Lifecycles result, or nil when absent.
+func FindLifecycle(ls []RequestLifecycle, device, client string, seq int) *RequestLifecycle {
+	i := sort.Search(len(ls), func(i int) bool {
+		l := &ls[i]
+		if l.Device != device {
+			return l.Device >= device
+		}
+		if l.Client != client {
+			return l.Client >= client
+		}
+		return l.Seq >= seq
+	})
+	if i < len(ls) && ls[i].Device == device && ls[i].Client == client && ls[i].Seq == seq {
+		return &ls[i]
+	}
+	return nil
+}

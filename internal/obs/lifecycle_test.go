@@ -1,0 +1,102 @@
+package obs
+
+import (
+	"testing"
+
+	"bless/internal/sim"
+)
+
+// fixtureLifecycleEvents is a hand-built stream for two devices: gpu0 runs
+// resnet50 through a fault/retry cycle; gpu1 aborts vgg11's request.
+func fixtureLifecycleEvents() []Event {
+	us := func(n int64) sim.Time { return sim.Time(n) * sim.Microsecond }
+	return []Event{
+		{At: us(1), Kind: KindRequestAdmitted, Device: "gpu0", Client: "resnet50", Seq: 0},
+		{At: us(2), Kind: KindSquadFormed, Device: "gpu0", Squad: 1, Reason: "kernel-cap",
+			Members: []SquadMember{{Client: "resnet50", From: 0, To: 4}}},
+		{At: us(3), Kind: KindConfigChosen, Device: "gpu0", Squad: 1, Mode: "NSP",
+			Members: []SquadMember{{Client: "resnet50", From: 0, To: 4}}},
+		{At: us(10), Kind: KindKernelFault, Device: "gpu0", Client: "resnet50", Seq: 0, Squad: 1, Reason: "kernel 2 attempt 1"},
+		{At: us(15), Kind: KindKernelRetry, Device: "gpu0", Client: "resnet50", Seq: 0, Squad: 1, Predicted: us(15)},
+		{At: us(20), Kind: KindContextSwitch, Device: "gpu0", Client: "resnet50", Squad: 1, Reason: "restrict"},
+		{At: us(30), Kind: KindSquadDone, Device: "gpu0", Squad: 1, Mode: "NSP", Actual: us(28)},
+		{At: us(40), Kind: KindRequestDone, Device: "gpu0", Client: "resnet50", Seq: 0, Reason: "ok", Actual: us(39)},
+
+		{At: us(5), Kind: KindRequestAdmitted, Device: "gpu1", Client: "vgg11", Seq: 0},
+		{At: us(25), Kind: KindRequestAbort, Device: "gpu1", Client: "vgg11", Seq: 0, Reason: "retries-exhausted"},
+		{At: us(25), Kind: KindRequestDone, Device: "gpu1", Client: "vgg11", Seq: 0, Reason: "failed", Actual: us(20)},
+
+		// Second resnet50 request, still open at collection time.
+		{At: us(50), Kind: KindRequestAdmitted, Device: "gpu0", Client: "resnet50", Seq: 1},
+	}
+}
+
+func TestLifecyclesReconstruct(t *testing.T) {
+	ls := Lifecycles(fixtureLifecycleEvents())
+	if len(ls) != 3 {
+		t.Fatalf("lifecycles = %d, want 3", len(ls))
+	}
+
+	r := FindLifecycle(ls, "gpu0", "resnet50", 0)
+	if r == nil {
+		t.Fatal("gpu0/resnet50/0 lifecycle missing")
+	}
+	if !r.Completed || r.Failed {
+		t.Errorf("completed/failed = %v/%v, want true/false", r.Completed, r.Failed)
+	}
+	if r.Admitted != 1*sim.Microsecond || r.Done != 40*sim.Microsecond {
+		t.Errorf("admitted/done = %v/%v", r.Admitted, r.Done)
+	}
+	if r.Latency != 39*sim.Microsecond || r.Arrival != 1*sim.Microsecond {
+		t.Errorf("latency/arrival = %v/%v", r.Latency, r.Arrival)
+	}
+	if r.Faults != 1 || r.Retries != 1 {
+		t.Errorf("faults/retries = %d/%d, want 1/1", r.Faults, r.Retries)
+	}
+	if len(r.Squads) != 1 || r.Squads[0] != 1 {
+		t.Errorf("squads = %v, want [1]", r.Squads)
+	}
+	// The full annotated stream: admission, squad formation, config choice,
+	// fault, retry, context switch, squad done, completion.
+	if len(r.Events) != 8 {
+		t.Errorf("events = %d, want 8", len(r.Events))
+	}
+	for i := 1; i < len(r.Events); i++ {
+		if r.Events[i].At < r.Events[i-1].At {
+			t.Errorf("event %d out of order: %v < %v", i, r.Events[i].At, r.Events[i-1].At)
+		}
+	}
+
+	v := FindLifecycle(ls, "gpu1", "vgg11", 0)
+	if v == nil {
+		t.Fatal("gpu1/vgg11/0 lifecycle missing")
+	}
+	if !v.Completed || !v.Failed || !v.Aborted || v.AbortReason != "retries-exhausted" {
+		t.Errorf("vgg11 terminal state = %+v", v)
+	}
+
+	open := FindLifecycle(ls, "gpu0", "resnet50", 1)
+	if open == nil {
+		t.Fatal("open request lifecycle missing")
+	}
+	if open.Completed || open.Done != 0 {
+		t.Errorf("open request should not be completed: %+v", open)
+	}
+
+	if FindLifecycle(ls, "gpu9", "nope", 0) != nil {
+		t.Error("FindLifecycle invented a lifecycle")
+	}
+}
+
+func TestLifecyclesPartialStream(t *testing.T) {
+	// A bounded collector may drop the admission; the completion alone must
+	// still reconstruct a (partial) lifecycle rather than be lost.
+	events := fixtureLifecycleEvents()[7:8] // only the request_done
+	ls := Lifecycles(events)
+	if len(ls) != 1 {
+		t.Fatalf("lifecycles = %d, want 1", len(ls))
+	}
+	if !ls[0].Completed || ls[0].Admitted != 0 {
+		t.Errorf("partial lifecycle = %+v", ls[0])
+	}
+}

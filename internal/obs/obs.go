@@ -14,6 +14,7 @@ package obs
 
 import (
 	"fmt"
+	"time"
 
 	"bless/internal/sim"
 )
@@ -68,6 +69,16 @@ const (
 	// KindQuotaReprovision fires per client whose effective quota changed
 	// when quotas re-normalized over the live client set after churn.
 	KindQuotaReprovision
+	// KindRequestAdmitted fires when the runtime accepts a request at
+	// Submit: the start of the request's lifecycle span. Seq identifies the
+	// request within its client. The timestamp is host-clock stamped (like
+	// every scheduler decision); the exact arrival instant is recoverable
+	// from the completion event's latency.
+	KindRequestAdmitted
+	// KindRequestDone fires when a request completes — successfully or
+	// aborted (Reason "ok" or "failed") — closing its lifecycle span.
+	// Actual carries the request's exact latency (Done - Arrival).
+	KindRequestDone
 )
 
 // String names the kind for exports and logs.
@@ -101,6 +112,10 @@ func (k Kind) String() string {
 		return "client_leave"
 	case KindQuotaReprovision:
 		return "quota_reprovision"
+	case KindRequestAdmitted:
+		return "request_admitted"
+	case KindRequestDone:
+		return "request_done"
 	default:
 		return fmt.Sprintf("kind(%d)", int(k))
 	}
@@ -140,8 +155,26 @@ type Event struct {
 	Predicted, Actual sim.Time
 	// Considered counts configurations evaluated (KindConfigChosen).
 	Considered int
+	// Seq is the client-local request sequence number for request-scoped
+	// events (admission, completion, kernel faults/retries, aborts). It is
+	// only meaningful when RequestScoped(Kind) is true — Seq 0 is a valid
+	// first request, so Kind, not Seq, decides request scope.
+	Seq int
+	// Device names the emitting device in multi-GPU (cluster) runs; empty
+	// on single-device runs. Exporters use it to split lanes per device.
+	Device string
 	// Members lists the squad composition (KindSquadFormed).
 	Members []SquadMember
+}
+
+// RequestScoped reports whether events of this kind carry a meaningful Seq,
+// i.e. belong to one request's lifecycle rather than to a squad or client.
+func (k Kind) RequestScoped() bool {
+	switch k {
+	case KindRequestAdmitted, KindRequestDone, KindKernelFault, KindKernelRetry, KindRequestAbort:
+		return true
+	}
+	return false
 }
 
 // Subscriber receives published events. Publish runs synchronously inside
@@ -160,8 +193,19 @@ func (f SubscriberFunc) Publish(ev Event) { f(ev) }
 // Bus fans decision events out to any number of subscribers, generalizing
 // the old single-tracer pattern. A nil *Bus is valid and drops everything,
 // so emitters need no nil checks beyond calling through the pointer.
+//
+// The bus self-accounts: it always counts delivered events, and with
+// SelfAccount(true) it additionally wall-clocks the subscriber fan-out —
+// extending the §6.9 overhead attribution to the tracing layer itself. The
+// accounting is out-of-band (no virtual time is charged), so attaching
+// subscribers never perturbs the simulation: digests are bit-identical with
+// tracing on or off.
 type Bus struct {
 	subs []Subscriber
+
+	account  bool
+	emitted  int64
+	wallNano int64
 }
 
 // NewBus returns an empty bus.
@@ -181,12 +225,47 @@ func (b *Bus) Enabled() bool { return b != nil && len(b.subs) > 0 }
 // Emit publishes the event to all subscribers in attachment order. Safe on a
 // nil bus.
 func (b *Bus) Emit(ev Event) {
-	if b == nil {
+	if b == nil || len(b.subs) == 0 {
+		return
+	}
+	b.emitted++
+	if b.account {
+		start := time.Now()
+		for _, s := range b.subs {
+			s.Publish(ev)
+		}
+		b.wallNano += time.Since(start).Nanoseconds()
 		return
 	}
 	for _, s := range b.subs {
 		s.Publish(ev)
 	}
+}
+
+// SelfAccount toggles wall-clock measurement of the subscriber fan-out.
+// Event counting is always on; the timer costs two monotonic clock reads per
+// event, so it is opt-in. Safe on a nil bus (no-op).
+func (b *Bus) SelfAccount(on bool) {
+	if b != nil {
+		b.account = on
+	}
+}
+
+// BusCost is the bus's self-measured publication cost.
+type BusCost struct {
+	// Events counts events delivered to at least one subscriber.
+	Events int64
+	// WallNS is real (not virtual) time spent inside subscriber fan-out,
+	// accumulated only while SelfAccount is on.
+	WallNS int64
+}
+
+// Cost returns the accumulated self-accounting. Safe on a nil bus.
+func (b *Bus) Cost() BusCost {
+	if b == nil {
+		return BusCost{}
+	}
+	return BusCost{Events: b.emitted, WallNS: b.wallNano}
 }
 
 // Observable is implemented by schedulers that can emit decision events;

@@ -134,3 +134,89 @@ func TestRegistrySnapshotDeterministic(t *testing.T) {
 		t.Fatal("snapshot JSON is not deterministic")
 	}
 }
+
+func TestBusSelfAccounting(t *testing.T) {
+	bus := NewBus()
+	var n int
+	bus.Subscribe(SubscriberFunc(func(Event) { n++ }))
+	bus.Emit(Event{Kind: KindSquadFormed})
+	if c := bus.Cost(); c.Events != 1 || c.WallNS != 0 {
+		t.Fatalf("cost without SelfAccount = %+v, want {1 0}", c)
+	}
+	bus.SelfAccount(true)
+	bus.Emit(Event{Kind: KindSquadDone})
+	bus.Emit(Event{Kind: KindRequestDone})
+	c := bus.Cost()
+	if c.Events != 3 {
+		t.Fatalf("events = %d, want 3", c.Events)
+	}
+	if c.WallNS < 0 {
+		t.Fatalf("wall ns negative: %d", c.WallNS)
+	}
+	if n != 3 {
+		t.Fatalf("subscriber saw %d events, want 3", n)
+	}
+	var nilBus *Bus
+	nilBus.SelfAccount(true) // must not panic
+	if got := nilBus.Cost(); got != (BusCost{}) {
+		t.Fatalf("nil bus cost = %+v", got)
+	}
+}
+
+func TestBoundedCollectorDrops(t *testing.T) {
+	c := NewBoundedCollector(2)
+	c.Device = "gpu0"
+	for i := 0; i < 5; i++ {
+		c.Publish(Event{Kind: KindSquadFormed, Squad: int64(i)})
+	}
+	if len(c.Events) != 2 {
+		t.Fatalf("kept %d events, want 2", len(c.Events))
+	}
+	if c.Dropped() != 3 {
+		t.Fatalf("dropped = %d, want 3", c.Dropped())
+	}
+	if c.Events[0].Device != "gpu0" {
+		t.Fatalf("device not stamped: %+v", c.Events[0])
+	}
+}
+
+func TestRequestScoped(t *testing.T) {
+	scoped := []Kind{KindRequestAdmitted, KindRequestDone, KindKernelFault, KindKernelRetry, KindRequestAbort}
+	for _, k := range scoped {
+		if !k.RequestScoped() {
+			t.Errorf("%v not request-scoped", k)
+		}
+	}
+	for _, k := range []Kind{KindSquadFormed, KindConfigChosen, KindContextSwitch, KindSquadDone, KindClientCrash} {
+		if k.RequestScoped() {
+			t.Errorf("%v wrongly request-scoped", k)
+		}
+	}
+}
+
+// TestUntracedSpanPathZeroAlloc is the alloc gate for the untraced fast
+// path: emitting on a nil or subscriber-less bus must not allocate — the
+// cost of having observability compiled in but switched off is zero.
+func TestUntracedSpanPathZeroAlloc(t *testing.T) {
+	var nilBus *Bus
+	empty := NewBus()
+	allocs := testing.AllocsPerRun(1000, func() {
+		nilBus.Emit(Event{Kind: KindRequestAdmitted, Client: "resnet50", Seq: 1})
+		empty.Emit(Event{Kind: KindRequestDone, Client: "resnet50", Seq: 1, Actual: sim.Millisecond})
+	})
+	if allocs != 0 {
+		t.Fatalf("untraced Emit allocates %v/op, want 0", allocs)
+	}
+}
+
+// BenchmarkUntracedSpanPath feeds the CI bench gate's 0 allocs/op assertion
+// (BENCH_sim.json); it measures Emit with no subscribers attached — the
+// always-on cost every kernel-launch site pays.
+func BenchmarkUntracedSpanPath(b *testing.B) {
+	bus := NewBus()
+	ev := Event{Kind: KindRequestAdmitted, Client: "resnet50", Seq: 1, At: sim.Microsecond}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		bus.Emit(ev)
+	}
+}

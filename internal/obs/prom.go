@@ -1,0 +1,169 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"bless/internal/metrics"
+)
+
+// Prometheus text exposition for Registry snapshots and SLO trackers — the
+// pull side of the observability layer. Stdlib-only by design (no client
+// library dependency): the format is plain text, and emitting it directly
+// keeps output byte-stable for golden tests.
+
+// promName sanitizes a registry metric name into a Prometheus metric name:
+// characters outside [a-zA-Z0-9_] become '_' (registry names use '/' as a
+// namespace separator), and everything is prefixed "bless_".
+func promName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name) + len("bless_"))
+	b.WriteString("bless_")
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '_':
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// promFloat renders a float the way Prometheus expects: shortest exact
+// decimal, integral values without an exponent.
+func promFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus renders a registry snapshot in the Prometheus text
+// exposition format (version 0.0.4): counters and gauges as single samples,
+// histograms as summaries (quantile-labeled samples plus _sum and _count).
+// Output is sorted by metric name, byte-stable for a given snapshot.
+func WritePrometheus(w io.Writer, s Snapshot) error {
+	names := make([]string, 0, len(s.Counters))
+	for name := range s.Counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		pn := promName(name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", pn, pn, s.Counters[name]); err != nil {
+			return err
+		}
+	}
+
+	names = names[:0]
+	for name := range s.Gauges {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		pn := promName(name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n", pn, pn, promFloat(s.Gauges[name])); err != nil {
+			return err
+		}
+	}
+
+	names = names[:0]
+	for name := range s.Histograms {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		h := s.Histograms[name]
+		pn := promName(name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s summary\n", pn); err != nil {
+			return err
+		}
+		for _, q := range [...]struct {
+			label string
+			v     int64
+		}{{"0.5", h.P50NS}, {"0.95", h.P95NS}, {"0.99", h.P99NS}} {
+			if _, err := fmt.Fprintf(w, "%s{quantile=%q} %d\n", pn, q.label, q.v); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum %d\n%s_count %d\n", pn, h.SumNS, pn, h.Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WritePrometheusSLO renders per-tenant SLO attainment in the Prometheus
+// text format, tenant-labeled. Emitted after the registry metrics on the
+// blessd /debug/bless/prom endpoint.
+func WritePrometheusSLO(w io.Writer, s SLOSnapshot) error {
+	if len(s.Tenants) == 0 {
+		return nil
+	}
+	series := [...]struct {
+		name, help string
+		val        func(t TenantSLO) string
+	}{
+		{"bless_slo_target_ns", "gauge", func(t TenantSLO) string { return strconv.FormatInt(t.TargetNS, 10) }},
+		{"bless_slo_attainment_pct", "gauge", func(t TenantSLO) string { return promFloat(t.AttainmentPct) }},
+		{"bless_slo_requests_completed_total", "counter", func(t TenantSLO) string { return strconv.FormatInt(t.Completed, 10) }},
+		{"bless_slo_requests_failed_total", "counter", func(t TenantSLO) string { return strconv.FormatInt(t.Failed, 10) }},
+		{"bless_slo_latency_p50_ns", "gauge", func(t TenantSLO) string { return strconv.FormatInt(t.P50NS, 10) }},
+		{"bless_slo_latency_p95_ns", "gauge", func(t TenantSLO) string { return strconv.FormatInt(t.P95NS, 10) }},
+		{"bless_slo_latency_p99_ns", "gauge", func(t TenantSLO) string { return strconv.FormatInt(t.P99NS, 10) }},
+	}
+	for _, sr := range series {
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", sr.name, sr.help); err != nil {
+			return err
+		}
+		for _, t := range s.Tenants {
+			if _, err := fmt.Fprintf(w, "%s{tenant=%q} %s\n", sr.name, t.Tenant, sr.val(t)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// MergeSnapshots folds per-device registry snapshots into one fleet-wide
+// view: counters sum, histograms merge losslessly (each snapshot carries its
+// digest's raw buckets, so the merged quantiles are exactly those of a
+// single digest fed the combined stream), and gauges take the unweighted
+// mean across the devices reporting them (a gauge is a level, not a flow —
+// the fleet view reports the average level).
+func MergeSnapshots(snaps ...Snapshot) Snapshot {
+	out := Snapshot{
+		Counters:   make(map[string]int64),
+		Gauges:     make(map[string]float64),
+		Histograms: make(map[string]HistogramSnapshot),
+	}
+	gaugeN := make(map[string]int)
+	digests := make(map[string]*metrics.Digest)
+	for _, s := range snaps {
+		for name, v := range s.Counters {
+			out.Counters[name] += v
+		}
+		for name, v := range s.Gauges {
+			out.Gauges[name] += v
+			gaugeN[name]++
+		}
+		for name, hs := range s.Histograms {
+			d := digests[name]
+			if d == nil {
+				d = &metrics.Digest{}
+				digests[name] = d
+			}
+			part := digestOfSnapshot(hs)
+			d.Merge(&part)
+		}
+	}
+	for name, n := range gaugeN {
+		out.Gauges[name] /= float64(n)
+	}
+	for name, d := range digests {
+		out.Histograms[name] = histogramSnapshotOf(d)
+	}
+	return out
+}

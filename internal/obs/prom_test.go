@@ -1,0 +1,124 @@
+package obs
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"bless/internal/sim"
+)
+
+// fixtureRegistry builds a small deterministic registry.
+func fixtureRegistry() *Registry {
+	reg := NewRegistry()
+	reg.Counter("requests/completed_total").Add(42)
+	reg.Counter("obs/events_dropped_total").Add(3)
+	reg.Gauge("cluster/devices").Set(4)
+	reg.Gauge("sched/utilization").Set(0.875)
+	h := reg.Histogram("latency/request_ns")
+	for i := 1; i <= 100; i++ {
+		h.Observe(sim.Time(i) * 10 * sim.Microsecond)
+	}
+	return reg
+}
+
+func TestPrometheusGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, fixtureRegistry().Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if err := WritePrometheusSLO(&buf, fixtureSLO().Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "prom.golden.txt")
+	if *updateGolden {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden (run with -update-golden to create): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("Prometheus exposition diverged from golden.\ngot:\n%s\nwant:\n%s", buf.Bytes(), want)
+	}
+}
+
+func TestPrometheusNamesSanitized(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, fixtureRegistry().Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range strings.Split(buf.String(), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		name := line[:strings.IndexAny(line, "{ ")]
+		if !strings.HasPrefix(name, "bless_") {
+			t.Errorf("metric %q lacks bless_ prefix", name)
+		}
+		if strings.ContainsAny(name, "/-.") {
+			t.Errorf("metric %q contains unsanitized characters", name)
+		}
+	}
+}
+
+// TestMergeSnapshotsLossless is the fleet-merge property test: per-device
+// registry snapshots merged with MergeSnapshots must yield exactly the
+// histogram quantiles of one registry fed the combined stream — across
+// three simulated devices with interleaved, device-skewed samples.
+func TestMergeSnapshotsLossless(t *testing.T) {
+	const devices = 3
+	whole := NewRegistry()
+	var parts []*Registry
+	for d := 0; d < devices; d++ {
+		parts = append(parts, NewRegistry())
+	}
+	for i := 0; i < 1000; i++ {
+		d := i % devices
+		// Device-skewed latencies so per-device distributions differ.
+		lat := sim.Time((i%211)+1) * sim.Time(d+1) * 13 * sim.Microsecond
+		whole.Histogram("latency/request_ns").Observe(lat)
+		parts[d].Histogram("latency/request_ns").Observe(lat)
+		whole.Counter("requests/completed_total").Inc()
+		parts[d].Counter("requests/completed_total").Inc()
+	}
+	snaps := make([]Snapshot, devices)
+	for d, p := range parts {
+		snaps[d] = p.Snapshot()
+	}
+	merged := MergeSnapshots(snaps...)
+	want := whole.Snapshot()
+
+	if merged.Counters["requests/completed_total"] != want.Counters["requests/completed_total"] {
+		t.Errorf("merged counter = %d, want %d",
+			merged.Counters["requests/completed_total"], want.Counters["requests/completed_total"])
+	}
+	mh, wh := merged.Histograms["latency/request_ns"], want.Histograms["latency/request_ns"]
+	if mh.Count != wh.Count || mh.SumNS != wh.SumNS || mh.MinNS != wh.MinNS || mh.MaxNS != wh.MaxNS {
+		t.Errorf("merged histogram envelope %+v, want %+v", mh, wh)
+	}
+	if mh.P50NS != wh.P50NS || mh.P95NS != wh.P95NS || mh.P99NS != wh.P99NS {
+		t.Errorf("merged quantiles p50/p95/p99 = %d/%d/%d, want %d/%d/%d",
+			mh.P50NS, mh.P95NS, mh.P99NS, wh.P50NS, wh.P95NS, wh.P99NS)
+	}
+	if len(mh.Bucket) != len(wh.Bucket) {
+		t.Fatalf("bucket lengths differ: %d vs %d", len(mh.Bucket), len(wh.Bucket))
+	}
+	for i := range mh.Bucket {
+		if mh.Bucket[i] != wh.Bucket[i] {
+			t.Errorf("bucket[%d] = %d, want %d", i, mh.Bucket[i], wh.Bucket[i])
+		}
+	}
+	// Gauges average across reporting devices.
+	g := MergeSnapshots(
+		Snapshot{Gauges: map[string]float64{"sched/utilization": 0.5}},
+		Snapshot{Gauges: map[string]float64{"sched/utilization": 1.0}},
+	)
+	if g.Gauges["sched/utilization"] != 0.75 {
+		t.Errorf("merged gauge = %v, want 0.75", g.Gauges["sched/utilization"])
+	}
+}

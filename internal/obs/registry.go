@@ -168,28 +168,49 @@ func (r *Registry) Snapshot() Snapshot {
 	}
 	for k, h := range hists {
 		d := h.Digest()
-		hs := HistogramSnapshot{
-			Count:  d.Count,
-			SumNS:  int64(d.Sum),
-			MinNS:  int64(d.Min),
-			MaxNS:  int64(d.Max),
-			MeanNS: int64(d.Mean()),
-			P50NS:  int64(d.Quantile(0.50)),
-			P95NS:  int64(d.Quantile(0.95)),
-			P99NS:  int64(d.Quantile(0.99)),
-		}
-		last := -1
-		for i, n := range d.Buckets {
-			if n != 0 {
-				last = i
-			}
-		}
-		if last >= 0 {
-			hs.Bucket = append([]int64(nil), d.Buckets[:last+1]...)
-		}
-		s.Histograms[k] = hs
+		s.Histograms[k] = histogramSnapshotOf(&d)
 	}
 	return s
+}
+
+// histogramSnapshotOf distills a digest into its snapshot form. The trimmed
+// raw buckets plus Count/Sum/Min/Max are everything the digest holds, so
+// digestOfSnapshot inverts this exactly — the basis of lossless fleet merges.
+func histogramSnapshotOf(d *metrics.Digest) HistogramSnapshot {
+	hs := HistogramSnapshot{
+		Count:  d.Count,
+		SumNS:  int64(d.Sum),
+		MinNS:  int64(d.Min),
+		MaxNS:  int64(d.Max),
+		MeanNS: int64(d.Mean()),
+		P50NS:  int64(d.Quantile(0.50)),
+		P95NS:  int64(d.Quantile(0.95)),
+		P99NS:  int64(d.Quantile(0.99)),
+	}
+	last := -1
+	for i, n := range d.Buckets {
+		if n != 0 {
+			last = i
+		}
+	}
+	if last >= 0 {
+		hs.Bucket = append([]int64(nil), d.Buckets[:last+1]...)
+	}
+	return hs
+}
+
+// digestOfSnapshot reconstructs the digest a HistogramSnapshot was taken
+// from. Exact: the snapshot carries the full bucket array (trimmed) and the
+// exact Count/Sum/Min/Max.
+func digestOfSnapshot(hs HistogramSnapshot) metrics.Digest {
+	d := metrics.Digest{
+		Count: hs.Count,
+		Sum:   sim.Time(hs.SumNS),
+		Min:   sim.Time(hs.MinNS),
+		Max:   sim.Time(hs.MaxNS),
+	}
+	copy(d.Buckets[:], hs.Bucket)
+	return d
 }
 
 // WriteJSON renders the snapshot as indented JSON. Map keys are emitted in

@@ -1,0 +1,196 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"math"
+	"sort"
+	"sync"
+
+	"bless/internal/metrics"
+	"bless/internal/sim"
+)
+
+// SLOTracker maintains per-tenant latency-SLO attainment online: every
+// completed request is compared against its tenant's target latency as it
+// retires, and the latency distribution streams into a metrics.Digest — no
+// post-hoc pass over stored result slices. Trackers merge losslessly (the
+// digest is a bucket sum), which is how per-device attainment aggregates
+// into the fleet-wide view.
+//
+// A tenant is an application name: duplicate deployments of one app (on one
+// device or across a pool) fold into one tenant, each request judged against
+// the target of its own deployment. All methods are safe for concurrent use.
+type SLOTracker struct {
+	mu      sync.Mutex
+	tenants map[string]*tenantSLO
+}
+
+type tenantSLO struct {
+	// target is the largest target registered for the tenant (deployments
+	// of one app can carry different quotas, hence different ISO targets;
+	// attainment is judged per observation against the observing
+	// deployment's own target, this field only labels the snapshot).
+	target sim.Time
+	// targeted counts observations that carried a positive target;
+	// attained those at or under it. Failed (aborted) requests count as
+	// targeted misses — an SLO the scheduler gave up on is not met.
+	targeted, attained int64
+	failed             int64
+	dig                metrics.Digest
+}
+
+// NewSLOTracker returns an empty tracker.
+func NewSLOTracker() *SLOTracker {
+	return &SLOTracker{tenants: make(map[string]*tenantSLO)}
+}
+
+func (t *SLOTracker) tenant(name string) *tenantSLO {
+	ts, ok := t.tenants[name]
+	if !ok {
+		ts = &tenantSLO{}
+		t.tenants[name] = ts
+	}
+	return ts
+}
+
+// SetTarget registers the tenant (so it appears in snapshots before any
+// traffic) and raises its labeled target to at least target.
+func (t *SLOTracker) SetTarget(name string, target sim.Time) {
+	t.mu.Lock()
+	ts := t.tenant(name)
+	if target > ts.target {
+		ts.target = target
+	}
+	t.mu.Unlock()
+}
+
+// Observe records one completed request: its latency joins the tenant's
+// streaming digest (failed requests excluded — an aborted latency is not a
+// service latency) and, when target is positive, the request counts toward
+// attainment (met iff it finished, unfailed, within target).
+func (t *SLOTracker) Observe(name string, target, latency sim.Time, failed bool) {
+	t.mu.Lock()
+	ts := t.tenant(name)
+	if target > ts.target {
+		ts.target = target
+	}
+	if failed {
+		ts.failed++
+	} else {
+		ts.dig.Observe(latency)
+	}
+	if target > 0 {
+		ts.targeted++
+		if !failed && latency <= target {
+			ts.attained++
+		}
+	}
+	t.mu.Unlock()
+}
+
+// Merge folds another tracker into t, tenant by tenant. Digests merge
+// exactly; counts sum; the labeled target is the maximum. The fleet
+// aggregation path: merge every device's tracker into a fresh one.
+func (t *SLOTracker) Merge(o *SLOTracker) {
+	if o == nil {
+		return
+	}
+	o.mu.Lock()
+	type part struct {
+		name string
+		ts   tenantSLO
+	}
+	parts := make([]part, 0, len(o.tenants))
+	for name, ts := range o.tenants {
+		parts = append(parts, part{name, *ts})
+	}
+	o.mu.Unlock()
+
+	t.mu.Lock()
+	for _, p := range parts {
+		ts := t.tenant(p.name)
+		if p.ts.target > ts.target {
+			ts.target = p.ts.target
+		}
+		ts.targeted += p.ts.targeted
+		ts.attained += p.ts.attained
+		ts.failed += p.ts.failed
+		ts.dig.Merge(&p.ts.dig)
+	}
+	t.mu.Unlock()
+}
+
+// MergeSLO merges any number of per-device trackers into one fleet tracker.
+func MergeSLO(trackers ...*SLOTracker) *SLOTracker {
+	out := NewSLOTracker()
+	for _, tr := range trackers {
+		out.Merge(tr)
+	}
+	return out
+}
+
+// TenantSLO is one tenant's point-in-time attainment view.
+type TenantSLO struct {
+	Tenant   string `json:"tenant"`
+	TargetNS int64  `json:"target_ns"`
+	// Completed counts successful completions (the digest population);
+	// Failed counts aborted requests.
+	Completed int64 `json:"completed"`
+	Failed    int64 `json:"failed"`
+	// Targeted counts completions judged against a target; Attained those
+	// that met it. AttainmentPct = 100*Attained/Targeted (100 when nothing
+	// was targeted — a vacuous SLO is a met SLO).
+	Targeted      int64   `json:"targeted"`
+	Attained      int64   `json:"attained"`
+	AttainmentPct float64 `json:"attainment_pct"`
+	MeanNS        int64   `json:"mean_ns"`
+	P50NS         int64   `json:"p50_ns"`
+	P95NS         int64   `json:"p95_ns"`
+	P99NS         int64   `json:"p99_ns"`
+	MaxNS         int64   `json:"max_ns"`
+}
+
+// SLOSnapshot is a JSON-serializable tracker distillation, tenants sorted
+// by name for deterministic output.
+type SLOSnapshot struct {
+	Tenants []TenantSLO `json:"tenants"`
+}
+
+// Snapshot captures the tracker's current per-tenant attainment.
+func (t *SLOTracker) Snapshot() SLOSnapshot {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := SLOSnapshot{Tenants: make([]TenantSLO, 0, len(t.tenants))}
+	for name, ts := range t.tenants {
+		e := TenantSLO{
+			Tenant:        name,
+			TargetNS:      int64(ts.target),
+			Completed:     ts.dig.Count,
+			Failed:        ts.failed,
+			Targeted:      ts.targeted,
+			Attained:      ts.attained,
+			AttainmentPct: 100,
+			MeanNS:        int64(ts.dig.Mean()),
+			P50NS:         int64(ts.dig.Quantile(0.50)),
+			P95NS:         int64(ts.dig.Quantile(0.95)),
+			P99NS:         int64(ts.dig.Quantile(0.99)),
+			MaxNS:         int64(ts.dig.Max),
+		}
+		if ts.targeted > 0 {
+			// Round to basis points so the JSON is byte-stable across
+			// float formatting quirks.
+			e.AttainmentPct = math.Round(10000*float64(ts.attained)/float64(ts.targeted)) / 100
+		}
+		out.Tenants = append(out.Tenants, e)
+	}
+	sort.Slice(out.Tenants, func(i, j int) bool { return out.Tenants[i].Tenant < out.Tenants[j].Tenant })
+	return out
+}
+
+// WriteJSON renders the snapshot as indented JSON, deterministically.
+func (s SLOSnapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}

@@ -1,0 +1,106 @@
+package obs
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"bless/internal/sim"
+)
+
+// fixtureSLO builds a deterministic two-tenant tracker: resnet50 with one
+// miss and one failure, vgg11 untargeted.
+func fixtureSLO() *SLOTracker {
+	tr := NewSLOTracker()
+	tr.SetTarget("resnet50", 2*sim.Millisecond)
+	tr.Observe("resnet50", 2*sim.Millisecond, 1*sim.Millisecond, false)
+	tr.Observe("resnet50", 2*sim.Millisecond, 1500*sim.Microsecond, false)
+	tr.Observe("resnet50", 2*sim.Millisecond, 3*sim.Millisecond, false)  // miss
+	tr.Observe("resnet50", 2*sim.Millisecond, 500*sim.Microsecond, true) // abort
+	tr.Observe("vgg11", 0, 4*sim.Millisecond, false)
+	tr.Observe("vgg11", 0, 5*sim.Millisecond, false)
+	return tr
+}
+
+func TestSLOJSONGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := fixtureSLO().Snapshot().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "slo.golden.json")
+	if *updateGolden {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden (run with -update-golden to create): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("SLO JSON diverged from golden.\ngot:\n%s\nwant:\n%s", buf.Bytes(), want)
+	}
+}
+
+func TestSLOAttainment(t *testing.T) {
+	s := fixtureSLO().Snapshot()
+	if len(s.Tenants) != 2 {
+		t.Fatalf("tenants = %d, want 2", len(s.Tenants))
+	}
+	rn := s.Tenants[0]
+	if rn.Tenant != "resnet50" {
+		t.Fatalf("tenant[0] = %q, want resnet50", rn.Tenant)
+	}
+	// 4 targeted observations, 2 attained (1ms, 1.5ms); the 3ms miss and
+	// the failed request both count against attainment.
+	if rn.Targeted != 4 || rn.Attained != 2 {
+		t.Errorf("targeted/attained = %d/%d, want 4/2", rn.Targeted, rn.Attained)
+	}
+	if rn.AttainmentPct != 50 {
+		t.Errorf("attainment = %v, want 50", rn.AttainmentPct)
+	}
+	if rn.Completed != 3 || rn.Failed != 1 {
+		t.Errorf("completed/failed = %d/%d, want 3/1", rn.Completed, rn.Failed)
+	}
+	// Untargeted tenant: vacuous SLO reads 100%.
+	vg := s.Tenants[1]
+	if vg.Targeted != 0 || vg.AttainmentPct != 100 {
+		t.Errorf("vgg11 targeted/attainment = %d/%v, want 0/100", vg.Targeted, vg.AttainmentPct)
+	}
+}
+
+func TestSLOMergeMatchesCombinedStream(t *testing.T) {
+	// Split one observation stream across three per-device trackers; the
+	// merged tracker must be indistinguishable from a single tracker that
+	// saw the whole stream.
+	type ob struct {
+		tenant          string
+		target, latency sim.Time
+		failed          bool
+	}
+	var stream []ob
+	for i := 0; i < 300; i++ {
+		lat := sim.Time(i%97+1) * 37 * sim.Microsecond
+		stream = append(stream, ob{"resnet50", 2 * sim.Millisecond, lat, i%41 == 0})
+		stream = append(stream, ob{"bert", 1 * sim.Millisecond, lat / 2, false})
+	}
+	whole := NewSLOTracker()
+	parts := []*SLOTracker{NewSLOTracker(), NewSLOTracker(), NewSLOTracker()}
+	for i, o := range stream {
+		whole.Observe(o.tenant, o.target, o.latency, o.failed)
+		parts[i%3].Observe(o.tenant, o.target, o.latency, o.failed)
+	}
+	merged := MergeSLO(parts...)
+
+	var wantBuf, gotBuf bytes.Buffer
+	if err := whole.Snapshot().WriteJSON(&wantBuf); err != nil {
+		t.Fatal(err)
+	}
+	if err := merged.Snapshot().WriteJSON(&gotBuf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(wantBuf.Bytes(), gotBuf.Bytes()) {
+		t.Errorf("merged snapshot diverged from combined-stream snapshot.\nmerged:\n%s\nwhole:\n%s", gotBuf.Bytes(), wantBuf.Bytes())
+	}
+}

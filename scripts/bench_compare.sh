@@ -17,6 +17,8 @@ trap 'rm -f "$out"' EXIT
 
 echo "== bench: simulator hot path =="
 go test -run '^$' -bench 'BenchmarkReschedule$|BenchmarkKernelHotPathUntraced$' -benchmem ./internal/sim/ | tee -a "$out"
+echo "== bench: untraced observability fast path (must stay zero-alloc) =="
+go test -run '^$' -bench 'BenchmarkUntracedSpanPath$' -benchmem ./internal/obs/ | tee -a "$out"
 echo "== bench: experiment batch (serial vs parallel executor) =="
 go test -run '^$' -bench 'BenchmarkExperimentBatch' -benchmem ./internal/harness/ | tee -a "$out"
 echo "== bench: end-to-end simulator throughput =="

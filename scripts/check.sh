@@ -45,6 +45,12 @@ else
     done
 fi
 
+echo "== observability goldens =="
+# Exported formats are byte-stable: Chrome trace, Prometheus exposition and
+# the per-tenant SLO JSON must match their committed goldens exactly
+# (refresh intentionally with: go test ./internal/obs/ -run Golden -update-golden).
+go test -run 'TestChromeTraceGolden|TestPrometheusGolden|TestSLOJSONGolden' -count=1 ./internal/obs/
+
 echo "== determinism =="
 # Same-seed runs must produce byte-identical event digests, and the
 # metamorphic relations (client permutation, quota scaling) must hold.
