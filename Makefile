@@ -35,7 +35,7 @@ bench:
 
 ## bench-smoke: run the smoke workload and gate against the committed baseline
 bench-smoke:
-	$(GO) run ./cmd/blessbench -smoke BENCH_smoke.json -baseline scripts/bench_baseline.json
+	$(GO) run ./cmd/blessbench -smoke=BENCH_smoke.json -baseline scripts/bench_baseline.json
 
 ## bench-compare: run the hot-path/executor benchmarks and gate against the
 ## committed envelope in BENCH_sim.json (RECORD=1 refreshes it)

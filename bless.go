@@ -37,6 +37,7 @@ package bless
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"bless/internal/baselines"
@@ -47,6 +48,25 @@ import (
 	"bless/internal/sharing"
 	"bless/internal/sim"
 )
+
+// profileCache memoizes offline profiles per (app, SM count) process-wide.
+// Profiling is deterministic and profiles are treated as immutable after
+// construction, so sessions can share them; re-profiling per session
+// dominated session-construction cost (and allocation count) otherwise.
+var profileCache sync.Map // "app/SMs" -> *profiler.Profile
+
+func profileFor(app *model.App, cfg sim.Config) (*profiler.Profile, error) {
+	key := fmt.Sprintf("%s/%d", app.Name, cfg.SMs)
+	if p, ok := profileCache.Load(key); ok {
+		return p.(*profiler.Profile), nil
+	}
+	p, err := profiler.ProfileApp(app, profiler.Options{Config: cfg})
+	if err != nil {
+		return nil, err
+	}
+	actual, _ := profileCache.LoadOrStore(key, p)
+	return actual.(*profiler.Profile), nil
+}
 
 // Models lists the built-in Table 1 applications: the five inference models
 // ("vgg11", "resnet50", "resnet101", "nasnet", "bert") and their "-train"
@@ -169,6 +189,7 @@ type Session struct {
 	clients []*sharing.Client
 	seqs    []int
 	results []RequestResult
+	arena   sharing.RequestArena
 	ran     bool
 }
 
@@ -194,7 +215,7 @@ func NewSession(cfg SessionConfig) (*Session, error) {
 		if err != nil {
 			return nil, fmt.Errorf("bless: %w", err)
 		}
-		prof, err := profiler.ProfileApp(app, profiler.Options{Config: simCfg})
+		prof, err := profileFor(app, simCfg)
 		if err != nil {
 			return nil, fmt.Errorf("bless: profiling %s: %w", cc.App, err)
 		}
@@ -268,7 +289,7 @@ func (s *Session) SubmitAt(client int, at time.Duration) error {
 		return fmt.Errorf("bless: session already ran")
 	}
 	c := s.clients[client]
-	r := &sharing.Request{Client: c, Seq: s.seqs[client], Arrival: sim.Time(at)}
+	r := s.arena.New(c, s.seqs[client], sim.Time(at))
 	s.seqs[client]++
 	s.eng.Schedule(sim.Time(at), func() { s.sched.Submit(r) })
 	return nil
@@ -298,7 +319,7 @@ func (s *Session) SubmitClosedLoop(client int, think time.Duration, count int, h
 		if horizon > 0 && at > sim.Time(horizon) {
 			return
 		}
-		nr := &sharing.Request{Client: c, Seq: s.seqs[client], Arrival: at}
+		nr := s.arena.New(c, s.seqs[client], at)
 		s.seqs[client]++
 		s.eng.Schedule(at, func() { s.sched.Submit(nr) })
 	}
@@ -341,7 +362,7 @@ func ISOLatency(app string, quota float64) (time.Duration, error) {
 	if err != nil {
 		return 0, err
 	}
-	prof, err := profiler.ProfileApp(a, profiler.Options{})
+	prof, err := profileFor(a, sim.DefaultConfig())
 	if err != nil {
 		return 0, err
 	}
@@ -366,7 +387,7 @@ func PlaceApps(apps []ClientConfig, gpuCount int) (PlacementResult, error) {
 		if err != nil {
 			return nil, fmt.Errorf("bless: %w", err)
 		}
-		prof, err := profiler.ProfileApp(m, profiler.Options{Config: cfg})
+		prof, err := profileFor(m, cfg)
 		if err != nil {
 			return nil, fmt.Errorf("bless: profiling %s: %w", a.App, err)
 		}
@@ -390,7 +411,7 @@ func SoloLatency(app string) (time.Duration, error) {
 	if err != nil {
 		return 0, err
 	}
-	prof, err := profiler.ProfileApp(a, profiler.Options{})
+	prof, err := profileFor(a, sim.DefaultConfig())
 	if err != nil {
 		return 0, err
 	}

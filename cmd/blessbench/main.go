@@ -20,6 +20,15 @@
 // vgg11 crashing mid-run and resnet101 admitted afterwards — twice, verifies
 // the two same-seed runs produce identical completion digests, and prints the
 // recovery accounting (retries, aborts, churn, per-client delivery).
+//
+// Fleet: -fleet runs the control-plane scenario — 200 tenants over a
+// simulated 32-GPU heterogeneous pool with load-aware routing, live
+// migration, rebalancing and autoscaling — serial, in parallel copies, and
+// with the migration trigger order permuted, and fails unless all fleet
+// invariants pass and every digest is bit-identical. -fleet -smoke is the
+// scaled-down CI gate (24 tenants, 4 devices). Note -smoke doubles as the
+// benchmark-smoke file flag: bare -smoke selects fleet-smoke mode alongside
+// -fleet, -smoke=FILE writes the benchmark summary.
 package main
 
 import (
@@ -41,9 +50,12 @@ func main() {
 	tracePath := flag.String("trace", "", "write Chrome trace JSON of an instrumented pair run to this file")
 	metricsPath := flag.String("metrics", "", "write a metrics snapshot JSON of an instrumented pair run to this file")
 	invariants := flag.Bool("invariants", false, "verify simulator invariants on every run; fail on violation")
-	smokePath := flag.String("smoke", "", "run the benchmark-smoke pair and write its JSON summary to this file")
-	baselinePath := flag.String("baseline", "", "with -smoke: committed summary to compare against (>10% mean-latency regression fails)")
+	var smoke optionalString
+	flag.Var(&smoke, "smoke", "-smoke=FILE runs the benchmark-smoke pair and writes its JSON summary; bare -smoke with -fleet selects the scaled-down fleet gate")
+	baselinePath := flag.String("baseline", "", "with -smoke=FILE: committed summary to compare against (>10% mean-latency regression fails)")
 	chaosFlag := flag.Bool("chaos", false, "run the chaos scenario (faults, stall, crash, join) twice and verify determinism")
+	fleetFlag := flag.Bool("fleet", false, "run the fleet control-plane scenario (200 tenants, 32-GPU pool) and verify invariants + digest identity; with -smoke: reduced scale")
+	seed := flag.Int64("seed", 7, "seed for the fleet control plane's deterministic decisions")
 	parallel := flag.Int("parallel", 0, "worker count for independent experiment runs (0 = GOMAXPROCS, 1 = serial); output is identical at any setting")
 	flag.Parse()
 
@@ -52,8 +64,22 @@ func main() {
 		harness.EnableInvariants(invariant.Options{FailOnViolation: true, Repro: repro})
 	}
 
-	if *smokePath != "" {
-		if err := runSmoke(*smokePath, *baselinePath, *parallel); err != nil {
+	if *fleetFlag {
+		if err := runFleet(smoke.set && smoke.val == "", *seed, *parallel); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if *exp == "" && !*list && *tracePath == "" && *metricsPath == "" && !*chaosFlag && smoke.val == "" {
+			return
+		}
+	}
+
+	if smoke.set && smoke.val == "" && !*fleetFlag {
+		fmt.Fprintln(os.Stderr, "bare -smoke needs -fleet; use -smoke=FILE for the benchmark-smoke summary")
+		os.Exit(2)
+	}
+	if smoke.val != "" {
+		if err := runSmoke(smoke.val, *baselinePath, *parallel); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -116,6 +142,26 @@ func main() {
 		}
 	}
 }
+
+// optionalString is a flag that may be given bare (-smoke) or with a value
+// (-smoke=FILE). Bare usage leaves val empty with set true.
+type optionalString struct {
+	set bool
+	val string
+}
+
+func (o *optionalString) String() string { return o.val }
+
+func (o *optionalString) Set(s string) error {
+	o.set = true
+	if s != "true" {
+		o.val = s
+	}
+	return nil
+}
+
+// IsBoolFlag lets the flag package accept bare -smoke.
+func (o *optionalString) IsBoolFlag() bool { return true }
 
 // runObserved executes the instrumented pair run behind -trace/-metrics and
 // writes the requested artifacts.

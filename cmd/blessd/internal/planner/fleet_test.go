@@ -1,0 +1,171 @@
+package planner
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// fleetPlanRequest is a small heterogeneous fleet with one scheduled live
+// migration and the rebalancer enabled.
+func fleetPlanRequest() FleetPlanRequest {
+	return FleetPlanRequest{
+		Seed: 7,
+		Devices: []FleetDevice{
+			{Name: "a100", SMs: 108, MemoryGB: 40},
+			{Name: "a30", SMs: 80, MemoryGB: 24},
+			{Name: "a10", SMs: 60, MemoryGB: 24},
+		},
+		Tenants: []FleetTenantPlan{
+			{Name: "t0", App: "vgg11", Quota: 0.3, ThinkMS: 2},
+			{Name: "t1", App: "resnet50", Quota: 0.3, ThinkMS: 2, SLOTargetMS: 120},
+			{Name: "t2", App: "resnet101", Quota: 0.3, ThinkMS: 2},
+			{Name: "t3", App: "bert", Quota: 0.3, ThinkMS: 2, SLOTargetMS: 200},
+		},
+		HorizonMS:  60,
+		Migrations: []FleetMigrationPlan{{AtMS: 20, Tenant: "t0", Target: 1}},
+		Rebalance:  true,
+	}
+}
+
+func TestFleetRoute(t *testing.T) {
+	p := New()
+	req := FleetRouteRequest{
+		Devices: []FleetDevice{{SMs: 108}, {SMs: 108}},
+		Tenants: []FleetTenantPlan{
+			{Name: "a", App: "vgg11", Quota: 0.4},
+			{Name: "b", App: "resnet50", Quota: 0.4},
+			{Name: "c", App: "resnet50", Quota: 0.9}, // nothing fits
+		},
+	}
+	var reply FleetRouteReply
+	if err := p.FleetRoute(req, &reply); err != nil {
+		t.Fatal(err)
+	}
+	if len(reply.Assignments) != 3 {
+		t.Fatalf("assignments = %d, want 3", len(reply.Assignments))
+	}
+	// Least-loaded spreads the first two across the pool.
+	if reply.Assignments[0].Device != 0 || reply.Assignments[1].Device != 1 {
+		t.Errorf("placement %v, want devices 0 and 1", reply.Assignments[:2])
+	}
+	rej := reply.Assignments[2]
+	if rej.Device != -1 || rej.Reason == "" {
+		t.Errorf("over-quota tenant not rejected: %+v", rej)
+	}
+	if len(reply.Devices) != 2 {
+		t.Fatalf("device loads = %d, want 2", len(reply.Devices))
+	}
+	if reply.Devices[0].QuotaSubscribed != 0.4 {
+		t.Errorf("device 0 subscription %g, want 0.4", reply.Devices[0].QuotaSubscribed)
+	}
+}
+
+func TestFleetPlan(t *testing.T) {
+	p := New()
+	var reply FleetPlanReply
+	if err := p.FleetPlan(fleetPlanRequest(), &reply); err != nil {
+		t.Fatal(err)
+	}
+	if len(reply.Violations) != 0 {
+		t.Fatalf("violations: %v", reply.Violations)
+	}
+	if reply.Stats.Completed == 0 {
+		t.Fatal("no requests completed")
+	}
+	if reply.Stats.MigrationsCompleted == 0 {
+		t.Error("scheduled migration never drained")
+	}
+	if reply.Digest == "" {
+		t.Error("no determinism digest")
+	}
+	for _, tn := range reply.Tenants {
+		if tn.Completed == 0 {
+			t.Errorf("tenant %s completed nothing", tn.Name)
+		}
+	}
+	// Same request, same digest.
+	var again FleetPlanReply
+	if err := p.FleetPlan(fleetPlanRequest(), &again); err != nil {
+		t.Fatal(err)
+	}
+	if again.Digest != reply.Digest {
+		t.Fatalf("digest not reproducible: %s vs %s", again.Digest, reply.Digest)
+	}
+}
+
+func TestFleetMigrateRequiresMigrations(t *testing.T) {
+	p := New()
+	req := fleetPlanRequest()
+	req.Migrations = nil
+	var reply FleetPlanReply
+	err := p.FleetMigrate(req, &reply)
+	if err == nil || !strings.Contains(err.Error(), "at least one migration") {
+		t.Fatalf("want migration-required error, got %v", err)
+	}
+	req = fleetPlanRequest()
+	if err := p.FleetMigrate(req, &reply); err != nil {
+		t.Fatal(err)
+	}
+	if reply.Stats.Migrations == 0 {
+		t.Error("no migration recorded")
+	}
+}
+
+func TestServeFleet(t *testing.T) {
+	p := New()
+	// 404 until a fleet plan ran.
+	rec := httptest.NewRecorder()
+	p.ServeFleet(rec, nil)
+	if rec.Code != 404 {
+		t.Fatalf("fleet endpoint before any plan: code %d, want 404", rec.Code)
+	}
+
+	var reply FleetPlanReply
+	if err := p.FleetPlan(fleetPlanRequest(), &reply); err != nil {
+		t.Fatal(err)
+	}
+	rec = httptest.NewRecorder()
+	p.ServeFleet(rec, nil)
+	if rec.Code != 200 {
+		t.Fatalf("fleet endpoint: code %d, want 200", rec.Code)
+	}
+	var body struct {
+		Devices []struct {
+			Device int     `json:"Device"`
+			SMs    int     `json:"SMs"`
+			Quota  float64 `json:"QuotaSubscribed"`
+		} `json:"devices"`
+		Tenants []struct {
+			Name   string `json:"Name"`
+			Device int    `json:"Device"`
+		} `json:"tenants"`
+		Digest string `json:"digest"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatalf("fleet endpoint JSON: %v", err)
+	}
+	if len(body.Devices) != 3 {
+		t.Errorf("devices = %d, want 3", len(body.Devices))
+	}
+	if len(body.Tenants) != 4 {
+		t.Errorf("tenants = %d, want 4", len(body.Tenants))
+	}
+	if body.Digest != reply.Digest {
+		t.Errorf("endpoint digest %s != reply digest %s", body.Digest, reply.Digest)
+	}
+}
+
+func TestFleetPlanCrashStaysClean(t *testing.T) {
+	p := New()
+	req := fleetPlanRequest()
+	req.DeviceCrashes = []FleetCrashPlan{{AtMS: 20, Device: 2}}
+	var reply FleetPlanReply
+	if err := p.FleetPlan(req, &reply); err != nil {
+		t.Fatalf("crash plan must stay invariant-clean: %v", err)
+	}
+	if reply.Stats.DeviceCrashes != 1 {
+		t.Errorf("device crashes = %d, want 1", reply.Stats.DeviceCrashes)
+	}
+}

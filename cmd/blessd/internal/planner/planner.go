@@ -100,6 +100,8 @@ type Planner struct {
 	lastInvariant *invariant.Report
 	// fleet is the merged registry view of every cluster plan served.
 	fleet obs.Snapshot
+	// lastFleet is the most recent fleet plan's state (/debug/bless/fleet).
+	lastFleet *fleetState
 }
 
 // New returns a Planner.

@@ -42,12 +42,23 @@
 //	                          per-tenant SLO series, Prometheus text format
 //	GET /debug/bless/slo      per-tenant SLO attainment JSON, aggregated
 //	                          across every plan served
+//	GET /debug/bless/fleet    most recent fleet plan's state: per-device
+//	                          load, tenant placements, control-plane
+//	                          counters, determinism digest
 //	GET /debug/pprof/         Go runtime profiles (net/http/pprof)
 //	GET /debug/vars           expvar JSON (memstats, cmdline)
 //
 // Multi-device plans (PlanRequest.GPUs > 1) run across a simulated GPU pool:
 // the §4.2.2 controller places the tenants, every device runs observed, and
 // the fleet-merged metrics and SLO attainment land on the endpoints above.
+//
+// The fleet control plane is exposed through three more RPCs:
+// Planner.FleetRoute answers the placement-only question (which device each
+// tenant would land on under a routing policy), Planner.FleetPlan simulates
+// a whole fleet scenario (heterogeneous pool, live migration, rebalancing,
+// autoscaling, device crashes) under the fleet invariant checker, and
+// Planner.FleetMigrate is the migration what-if variant (see
+// FleetRouteRequest/FleetPlanRequest).
 package main
 
 import (
@@ -84,6 +95,7 @@ func main() {
 		mux.HandleFunc("/debug/bless/invariants", p.ServeInvariants)
 		mux.HandleFunc("/debug/bless/prom", p.ServeProm)
 		mux.HandleFunc("/debug/bless/slo", p.ServeSLO)
+		mux.HandleFunc("/debug/bless/fleet", p.ServeFleet)
 		// Standard Go introspection, kept off the default mux so the RPC
 		// surface stays clean: runtime profiles and expvar.
 		mux.HandleFunc("/debug/pprof/", pprof.Index)

@@ -28,6 +28,15 @@ type ClientEvent struct {
 	At     sim.Time
 }
 
+// DeviceEvent schedules one device-level fault: the device (by pool index)
+// crashes at the simulated instant At. Interpreted by the fleet runner —
+// every resident client crashes, the control plane re-places the displaced
+// tenants on surviving devices and re-submits their stranded requests.
+type DeviceEvent struct {
+	Device int
+	At     sim.Time
+}
+
 // Stall is a transient device stall: launches landing inside [At, At+Dur)
 // are deferred to the window's end, modeling a driver hiccup or ECC scrub
 // during which the device accepts no new work. Running kernels are not
@@ -74,6 +83,9 @@ type Plan struct {
 	// graceful (backlog drains first). Interpreted by the harness runner.
 	Crashes []ClientEvent
 	Leaves  []ClientEvent
+	// DeviceCrashes kill whole pool devices mid-run (multi-device fleet
+	// plans only; interpreted by the fleet runner, like client churn).
+	DeviceCrashes []DeviceEvent
 	// Forced are precisely-placed kernel faults (see ForcedFault).
 	Forced []ForcedFault
 }

@@ -111,24 +111,27 @@ func Determine(s *Squad, deviceSMs int, quotas []float64, opts DetermineOptions)
 		}
 	}
 
-	type candidate struct {
-		sms []int
-		est sim.Time
-	}
-	var bestAny, bestFeasible *candidate
+	// Candidate tracking reuses three fixed slices: a scratch split mutated
+	// per evaluation, and copy-on-improvement buffers for the two bests.
+	// The search visits O(n^k) compositions, so per-candidate allocation
+	// dominated the scheduler's hot path otherwise.
+	scratch := make([]int, k)
+	bestAnySMs := make([]int, k)
+	bestFeasibleSMs := make([]int, k)
+	var bestAnyEst, bestFeasibleEst sim.Time
+	haveAny, haveFeasible := false, false
 	evaluate := func(parts []int) sim.Time {
-		sms := make([]int, k)
 		for i, p := range parts {
-			sms[i] = deviceSMs * p / n
+			scratch[i] = deviceSMs * p / n
 		}
 		considered++
-		est := EstimateSpatial(s, sms)
+		est := EstimateSpatial(s, scratch)
 		feasible := true
 		if opts.QuotaGuard {
 			for i := range s.Entries {
 				var stack sim.Time
 				for _, kk := range s.Entries[i].Kernels {
-					stack += s.Entries[i].Client.Profile.KernelDurAt(kk, sms[i])
+					stack += s.Entries[i].Client.Profile.KernelDurAt(kk, scratch[i])
 				}
 				if stack > budgets[i] {
 					feasible = false
@@ -136,11 +139,13 @@ func Determine(s *Squad, deviceSMs int, quotas []float64, opts DetermineOptions)
 				}
 			}
 		}
-		if bestAny == nil || est < bestAny.est {
-			bestAny = &candidate{sms: sms, est: est}
+		if !haveAny || est < bestAnyEst {
+			haveAny, bestAnyEst = true, est
+			copy(bestAnySMs, scratch)
 		}
-		if feasible && (bestFeasible == nil || est < bestFeasible.est) {
-			bestFeasible = &candidate{sms: sms, est: est}
+		if feasible && (!haveFeasible || est < bestFeasibleEst) {
+			haveFeasible, bestFeasibleEst = true, est
+			copy(bestFeasibleSMs, scratch)
 		}
 		return est
 	}
@@ -158,24 +163,24 @@ func Determine(s *Squad, deviceSMs int, quotas []float64, opts DetermineOptions)
 
 	// Prefer the fastest pace-feasible configuration; fall back to the
 	// unconstrained optimum when nothing is feasible.
-	spatial := bestFeasible
-	if spatial == nil && !nspFeasible {
-		spatial = bestAny
+	spatialSMs, spatialEst, haveSpatial := bestFeasibleSMs, bestFeasibleEst, haveFeasible
+	if !haveFeasible && !nspFeasible {
+		spatialSMs, spatialEst, haveSpatial = bestAnySMs, bestAnyEst, haveAny
 	}
 	switch {
-	case spatial != nil && nspFeasible == (bestFeasible != nil):
+	case haveSpatial && nspFeasible == haveFeasible:
 		// Both sides have equal feasibility standing: pick by estimate.
-		if spatial.est < nsp {
-			return ExecConfig{Spatial: true, SMs: spatial.sms, Estimate: spatial.est, Considered: considered}
+		if spatialEst < nsp {
+			return ExecConfig{Spatial: true, SMs: spatialSMs, Estimate: spatialEst, Considered: considered}
 		}
 		return ExecConfig{Spatial: false, Estimate: nsp, Considered: considered}
-	case spatial != nil && bestFeasible != nil:
+	case haveSpatial && haveFeasible:
 		// Only the spatial side is feasible.
-		return ExecConfig{Spatial: true, SMs: spatial.sms, Estimate: spatial.est, Considered: considered}
-	case spatial != nil && !nspFeasible:
+		return ExecConfig{Spatial: true, SMs: spatialSMs, Estimate: spatialEst, Considered: considered}
+	case haveSpatial && !nspFeasible:
 		// Nothing is feasible: unconstrained optimum.
-		if spatial.est < nsp {
-			return ExecConfig{Spatial: true, SMs: spatial.sms, Estimate: spatial.est, Considered: considered}
+		if spatialEst < nsp {
+			return ExecConfig{Spatial: true, SMs: spatialSMs, Estimate: spatialEst, Considered: considered}
 		}
 		return ExecConfig{Spatial: false, Estimate: nsp, Considered: considered}
 	default:

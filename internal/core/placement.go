@@ -68,6 +68,35 @@ func Place(apps []PlacementApp, gpus []PlacementGPU, opts PlacementOptions) (Pla
 		_ = i
 	}
 
+	// Aggregate capacity fast-fail: when the pool as a whole cannot hold
+	// the tenant set, no assignment can succeed, and the backtracking
+	// search below would prove that by exhausting an exponential tree one
+	// rejection at a time. Both bounds are conservative (quota slack
+	// matches the per-GPU check; context cost uses the cheapest device), so
+	// a feasible placement is never rejected here — this only converts
+	// silent exponential failure into an immediate, explicit error.
+	var quotaSum float64
+	var memNeed, memPool int64
+	minCtx := gpus[0].Config.ContextMemBytes
+	for _, g := range gpus {
+		memPool += g.Config.MemoryBytes
+		if g.Config.ContextMemBytes < minCtx {
+			minCtx = g.Config.ContextMemBytes
+		}
+	}
+	for _, a := range apps {
+		quotaSum += a.Quota
+		memNeed += a.Profile.MemoryBytes + int64(lim.ContextsPerClient)*minCtx
+	}
+	if quotaSum > float64(len(gpus))*1.0001 {
+		return nil, fmt.Errorf("core: aggregate quota %.3f over-commits the pool (%d GPUs hold at most %d.0)",
+			quotaSum, len(gpus), len(gpus))
+	}
+	if memNeed > memPool {
+		return nil, fmt.Errorf("core: aggregate memory footprint %d bytes exceeds pool capacity %d bytes",
+			memNeed, memPool)
+	}
+
 	// Largest memory footprint first. The index sorts run over buffers
 	// allocated once per call and a stable insertion sort — identical order
 	// to the sort.SliceStable formulation this replaces, without its

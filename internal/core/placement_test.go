@@ -171,10 +171,59 @@ func TestPlaceValidation(t *testing.T) {
 }
 
 func TestPlaceErrorNamesApp(t *testing.T) {
-	apps := placementApps(t, app("vgg11", 0.9), app("resnet50", 0.9))
-	one := []PlacementGPU{{ID: "only", Config: sim.DefaultConfig()}}
-	_, err := Place(apps, one, PlacementOptions{})
+	// 1.8 aggregate quota fits a 2-GPU pool, but no pair of 0.6s can share
+	// a device with a third: the search must fail naming an application
+	// (the aggregate fast-fail doesn't trigger — per-device packing does).
+	apps := placementApps(t, app("vgg11", 0.6), app("resnet50", 0.6), app("bert", 0.6))
+	two := []PlacementGPU{
+		{ID: "a", Config: sim.DefaultConfig()},
+		{ID: "b", Config: sim.DefaultConfig()},
+	}
+	// Shrink quota headroom so any two of them over-subscribe one device.
+	apps[0].Quota, apps[1].Quota, apps[2].Quota = 0.7, 0.7, 0.6
+	_, err := Place(apps, two, PlacementOptions{})
 	if err == nil || !strings.Contains(err.Error(), "placing") {
 		t.Errorf("error %v does not identify the failing application", err)
+	}
+}
+
+// TestPlaceRejectsAggregateOvercommit pins the aggregate fast-fail: a
+// tenant set whose total quota (or memory) exceeds the whole pool must be
+// rejected immediately with an explicit pool-level error, not silently
+// over-packed and not proven infeasible one backtrack at a time.
+func TestPlaceRejectsAggregateOvercommit(t *testing.T) {
+	// 2.4 total quota on a 2-GPU pool: over-committed in aggregate.
+	apps := placementApps(t,
+		app("vgg11", 0.8), app("resnet50", 0.8), app("bert", 0.8),
+	)
+	_, err := Place(apps, twoGPUs(), PlacementOptions{})
+	if err == nil {
+		t.Fatal("aggregate quota over-commit accepted")
+	}
+	if !strings.Contains(err.Error(), "aggregate quota") {
+		t.Errorf("want pool-level quota error, got: %v", err)
+	}
+
+	// Aggregate memory over-commit: three training apps on tiny devices.
+	apps = placementApps(t,
+		app("resnet101-train", 0.3), app("resnet50-train", 0.3),
+		app("vgg11-train", 0.3),
+	)
+	tiny := sim.DefaultConfig()
+	tiny.MemoryBytes = 4 << 30
+	gpus := []PlacementGPU{{ID: "a", Config: tiny}, {ID: "b", Config: tiny}}
+	_, err = Place(apps, gpus, PlacementOptions{})
+	if err == nil {
+		t.Fatal("aggregate memory over-commit accepted")
+	}
+	if !strings.Contains(err.Error(), "aggregate memory") {
+		t.Errorf("want pool-level memory error, got: %v", err)
+	}
+
+	// The pre-check must stay conservative: a feasible spread (0.6+0.6+0.4
+	// over two GPUs) still places.
+	apps = placementApps(t, app("vgg11", 0.6), app("resnet50", 0.6), app("bert", 0.4))
+	if _, err := Place(apps, twoGPUs(), PlacementOptions{}); err != nil {
+		t.Errorf("feasible deployment rejected by the aggregate pre-check: %v", err)
 	}
 }

@@ -161,6 +161,11 @@ type Runtime struct {
 	// signature (see determineCache); per-Runtime, so per-run.
 	detCache determineCache
 
+	// launchSquad scratch, reused across squads (single-threaded engine;
+	// nothing retains these past one launchSquad call).
+	planScratch []plannedLaunch
+	gateScratch []*launchGate
+
 	// stats
 	squadsExecuted   int64
 	spatialSquads    int64
@@ -474,17 +479,19 @@ func (rt *Runtime) launchSquad(squad *Squad, cfg ExecConfig) {
 
 	// Breadth-first launch order across entries starts cross-client
 	// concurrency as early as possible; the host serializes the 3us
-	// launches either way.
-	type plannedLaunch struct {
-		entry *SquadEntry
-		kIdx  int
-		q     *sim.Queue
-		smTag int // context identity for vacuum accounting (0=default)
-		after *launchGate
-	}
-	var plan []plannedLaunch
+	// launches either way. The plan and gate slices are per-Runtime scratch:
+	// nothing holds them past this call (closures capture value copies), and
+	// a squad launches per few kernels, so per-squad allocation adds up.
+	plan := rt.planScratch[:0]
+	defer func() { rt.planScratch = plan }()
 
-	gates := make([]*launchGate, len(squad.Entries))
+	if cap(rt.gateScratch) < len(squad.Entries) {
+		rt.gateScratch = make([]*launchGate, len(squad.Entries))
+	}
+	gates := rt.gateScratch[:len(squad.Entries)]
+	for i := range gates {
+		gates[i] = nil
+	}
 	for i := range squad.Entries {
 		e := &squad.Entries[i]
 		cs := rt.clients[e.Client.ID]
@@ -716,6 +723,16 @@ func gateFor(gates []*launchGate, s *Squad, e *SquadEntry) *launchGate {
 		}
 	}
 	return nil
+}
+
+// plannedLaunch is one kernel launch in a squad's breadth-first plan
+// (launchSquad); the Runtime reuses one plan slice across squads.
+type plannedLaunch struct {
+	entry *SquadEntry
+	kIdx  int
+	q     *sim.Queue
+	smTag int // context identity for vacuum accounting (0=default)
+	after *launchGate
 }
 
 // launchGate delays tail launches until all head kernels of an entry finish.

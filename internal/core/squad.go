@@ -293,8 +293,16 @@ func generateSquadInfo(actives []*activeRequest, clients []*sharing.Client, now 
 	}
 	info := genInfo{flushClient: -1, paceLimited: -1}
 
-	// Entries indexed by position in actives, materialized at the end.
-	picked := make([][]int, len(actives))
+	// Selection only ever advances each request's kernel frontier, so the
+	// picks per request form the contiguous range [startK[i], nextK) —
+	// recording the starting frontier is enough to materialize the entries
+	// from one exact-size buffer at the end.
+	startK := make([]int, len(actives))
+	for i, a := range actives {
+		if a != nil {
+			startK[i] = a.nextK
+		}
+	}
 	total := 0
 	rrCursor := 0
 
@@ -494,7 +502,6 @@ func generateSquadInfo(actives []*activeRequest, clients []*sharing.Client, now 
 		graphEnd := a.req.Client.App.GraphEnd(a.nextK)
 		for a.nextK < graphEnd {
 			inSquad[sel] += kernelDelta(sel)
-			picked[sel] = append(picked[sel], a.nextK)
 			a.nextK++
 			total++
 		}
@@ -524,14 +531,19 @@ func generateSquadInfo(actives []*activeRequest, clients []*sharing.Client, now 
 	}
 
 	s := &Squad{}
-	for i, ks := range picked {
-		if len(ks) == 0 {
+	flat := make([]int, 0, total)
+	for i, a := range actives {
+		if a == nil || a.nextK == startK[i] {
 			continue
+		}
+		first := len(flat)
+		for k := startK[i]; k < a.nextK; k++ {
+			flat = append(flat, k)
 		}
 		s.Entries = append(s.Entries, SquadEntry{
 			Client:  clients[i],
-			Request: actives[i].req,
-			Kernels: ks,
+			Request: a.req,
+			Kernels: flat[first:len(flat):len(flat)],
 		})
 	}
 	return s, info

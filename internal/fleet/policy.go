@@ -1,0 +1,224 @@
+package fleet
+
+import (
+	"fmt"
+
+	"bless/internal/profiler"
+	"bless/internal/sim"
+)
+
+// Policy names a routing policy: how the control plane picks a host among
+// the devices that pass the §4.2.2 placement check.
+type Policy string
+
+const (
+	// PolicyLeastLoaded routes to the device with the lowest subscribed
+	// quota per SM — normalizing by SM count so a half-subscribed 60-SM
+	// device is "fuller" than a half-subscribed 108-SM one.
+	PolicyLeastLoaded Policy = "least-loaded"
+	// PolicyQuotaHeadroom routes to the device with the most absolute quota
+	// headroom (1 - subscribed), packing tenants where the §6.2 guarantee
+	// has the most slack.
+	PolicyQuotaHeadroom Policy = "quota-headroom"
+	// PolicySLO routes to the device with the best observed SLO attainment,
+	// falling back to least-loaded while a device has no observations.
+	PolicySLO Policy = "slo-attainment"
+)
+
+// policyRank returns the scoring function for a policy; lower scores win,
+// device index breaks ties so ranking is total and deterministic.
+func policyRank(p Policy) (func(d *device) float64, error) {
+	switch p {
+	case PolicyLeastLoaded:
+		return func(d *device) float64 { return d.quota * 108.0 / float64(d.cfg.SMs) }, nil
+	case PolicyQuotaHeadroom:
+		return func(d *device) float64 { return -(1 - d.quota) }, nil
+	case PolicySLO:
+		return func(d *device) float64 {
+			n := d.sloOK + d.sloMiss
+			if n == 0 {
+				// No signal yet: fall back to normalized load, offset so
+				// observed devices with decent attainment still win.
+				return d.quota * 108.0 / float64(d.cfg.SMs)
+			}
+			return -(float64(d.sloOK) / float64(n))
+		}, nil
+	default:
+		return nil, fmt.Errorf("fleet: unknown policy %q (have %q, %q, %q)",
+			p, PolicyLeastLoaded, PolicyQuotaHeadroom, PolicySLO)
+	}
+}
+
+// fits is the §4.2.2 placement check against live state: quota headroom on
+// the device (draining residents still count — their provisioning only
+// releases when the backlog finishes) and the profiler's co-location
+// admission check (aggregate memory with per-client context reserves,
+// kernel-duration and starvation limits) over the residents plus the
+// candidate.
+func (f *Fleet) fits(t *tenant, dev *device) error {
+	if dev.dead {
+		return fmt.Errorf("device %s crashed", dev.spec.Name)
+	}
+	if dev.retired {
+		return fmt.Errorf("device %s is cordoned", dev.spec.Name)
+	}
+	if dev.quota+t.spec.Quota > 1+quotaTolerance {
+		return fmt.Errorf("device %s: quota %0.2f + %0.2f exceeds capacity", dev.spec.Name, dev.quota, t.spec.Quota)
+	}
+	_, prof, err := f.profile(t.spec.App, dev.cfg)
+	if err != nil {
+		return err
+	}
+	profiles := make([]*profiler.Profile, 0, len(dev.residents)+1)
+	for local := 0; local < dev.nextLocal; local++ {
+		if res, ok := dev.residents[local]; ok {
+			profiles = append(profiles, res.prof)
+		}
+	}
+	profiles = append(profiles, prof)
+	return profiler.CheckColocation(profiles, dev.cfg, profiler.DefaultAdmissionLimits())
+}
+
+const quotaTolerance = 1e-9
+
+// route picks the host for a tenant: among live devices passing fits, the
+// policy's best-ranked one. exclude skips a device index (-1 for none) —
+// the crash path uses it defensively.
+func (f *Fleet) route(t *tenant, exclude int) (*device, error) {
+	rank, err := policyRank(f.policy)
+	if err != nil {
+		return nil, err
+	}
+	var best *device
+	var bestScore float64
+	var lastErr error
+	for _, d := range f.devices {
+		if d.id == exclude {
+			continue
+		}
+		if err := f.fits(t, d); err != nil {
+			lastErr = err
+			continue
+		}
+		if s := rank(d); best == nil || s < bestScore {
+			best, bestScore = d, s
+		}
+	}
+	if best == nil {
+		if lastErr == nil {
+			lastErr = fmt.Errorf("no devices in pool")
+		}
+		return nil, fmt.Errorf("no device fits: %w", lastErr)
+	}
+	return best, nil
+}
+
+// DeviceLoad is one device's live load view — the registry the routing
+// policies and the rebalancer read, snapshotted.
+type DeviceLoad struct {
+	Device          int
+	Name            string
+	SMs             int
+	MemoryBytes     int64
+	Retired         bool
+	Dead            bool
+	Tenants         int // live (routable) residents
+	Draining        int // migration sources finishing their backlog
+	QuotaSubscribed float64
+	MemSubscribed   int64
+	Inflight        int
+	Completed       int64
+	Failed          int64
+	Attainment      float64 // SLO attainment observed on this device (1 when unobserved)
+	Utilization     float64 // average SM utilization up to now
+}
+
+// TenantPlacement is one tenant's placement view.
+type TenantPlacement struct {
+	Name       string
+	App        string
+	Quota      float64
+	Device     int   // current host (-1 if evicted)
+	Draining   []int // devices still finishing this tenant's pre-migration backlog
+	Pending    int   // outstanding requests
+	Migrations int
+	Evicted    bool
+}
+
+// Snapshot is the fleet state at one instant: what the rebalancer plans
+// from and what /debug/bless/fleet serves.
+type Snapshot struct {
+	At      sim.Time
+	Epoch   int64
+	Devices []DeviceLoad
+	Tenants []TenantPlacement // admission order
+}
+
+// Snapshot captures the current fleet state.
+func (f *Fleet) Snapshot() Snapshot {
+	s := Snapshot{At: f.eng.Now(), Epoch: f.epoch}
+	for _, d := range f.devices {
+		live, draining := 0, 0
+		for local := 0; local < d.nextLocal; local++ {
+			res, ok := d.residents[local]
+			if !ok {
+				continue
+			}
+			if res.draining {
+				draining++
+			} else {
+				live++
+			}
+		}
+		att := 1.0
+		if n := d.sloOK + d.sloMiss; n > 0 {
+			att = float64(d.sloOK) / float64(n)
+		}
+		s.Devices = append(s.Devices, DeviceLoad{
+			Device:          d.id,
+			Name:            d.spec.Name,
+			SMs:             d.cfg.SMs,
+			MemoryBytes:     d.cfg.MemoryBytes,
+			Retired:         d.retired,
+			Dead:            d.dead,
+			Tenants:         live,
+			Draining:        draining,
+			QuotaSubscribed: d.quota,
+			MemSubscribed:   d.mem,
+			Inflight:        d.inflight,
+			Completed:       d.completed,
+			Failed:          d.failed,
+			Attainment:      att,
+			Utilization:     d.gpu.Utilization(),
+		})
+	}
+	for _, name := range f.names {
+		t := f.tenants[name]
+		tp := TenantPlacement{
+			Name:       name,
+			App:        t.spec.App,
+			Quota:      t.spec.Quota,
+			Device:     -1,
+			Pending:    len(t.pending),
+			Migrations: t.migrations,
+			Evicted:    t.evicted,
+		}
+		if !t.evicted && t.host != nil {
+			tp.Device = t.host.dev.id
+		}
+		for _, res := range t.drains {
+			tp.Draining = append(tp.Draining, res.dev.id)
+		}
+		s.Tenants = append(s.Tenants, tp)
+	}
+	return s
+}
+
+// DeviceClass builds a device spec from the default A100 config with the SM
+// count and memory overridden — the pool heterogeneity helper.
+func DeviceClass(name string, sms int, memoryBytes int64) DeviceSpec {
+	cfg := sim.DefaultConfig()
+	cfg.SMs = sms
+	cfg.MemoryBytes = memoryBytes
+	return DeviceSpec{Name: name, Config: cfg}
+}

@@ -1,0 +1,216 @@
+package harness
+
+import (
+	"fmt"
+
+	"bless/internal/chaos"
+	"bless/internal/core"
+	"bless/internal/fleet"
+	"bless/internal/invariant"
+	"bless/internal/metrics"
+	"bless/internal/model"
+	"bless/internal/profiler"
+	"bless/internal/sharing"
+	"bless/internal/sim"
+)
+
+// Fleet scenarios: the harness front-end to the internal/fleet control
+// plane. A FleetScenario is declarative — pool, tenants, workload, planned
+// migrations, device crashes, autoscaling — and RunFleet drives it as one
+// deterministic virtual-time simulation, with the fleet invariant checker
+// attached and the timing-free completion digest computed for cross-mode
+// comparison (serial vs parallel workers, permuted migration order).
+
+// FleetTenant describes one tenant and its closed-loop workload.
+type FleetTenant struct {
+	// Name uniquely identifies the tenant; App is the catalog application.
+	Name string
+	App  string
+	// Quota is the provisioned GPU fraction on whichever device hosts it.
+	Quota float64
+	// SLOTarget, when non-zero, drives pacing and the SLO routing policy.
+	SLOTarget sim.Time
+	// Think is the closed-loop think time between a completion and the next
+	// submission.
+	Think sim.Time
+	// Requests bounds the tenant's submissions (0 = until the horizon).
+	Requests int
+}
+
+// FleetMigration schedules one explicit migration trigger.
+type FleetMigration struct {
+	At     sim.Time
+	Tenant string
+	Target int
+}
+
+// FleetScenario is a declarative fleet run.
+type FleetScenario struct {
+	// Seed keys the control plane's deterministic decisions.
+	Seed int64
+	// Devices is the initial heterogeneous pool.
+	Devices []fleet.DeviceSpec
+	// Tenants are admitted in order at t=0.
+	Tenants []FleetTenant
+	// Horizon bounds new work; the run then drains.
+	Horizon sim.Time
+	// Policy selects the routing policy (default least-loaded).
+	Policy fleet.Policy
+	// Runtime tunes every device's BLESS runtime.
+	Runtime core.Options
+	// Rebalance/Autoscale enable the control loop (see fleet package).
+	Rebalance *fleet.RebalanceConfig
+	Autoscale *fleet.AutoscaleConfig
+	// Migrations are explicit migration triggers.
+	Migrations []FleetMigration
+	// DeviceCrashes kill pool devices mid-run (chaos schedule).
+	DeviceCrashes []chaos.DeviceEvent
+	// Invariants attaches the fleet invariant checker.
+	Invariants bool
+	// Repro tags invariant violations with a reproduction command.
+	Repro string
+}
+
+// FleetTenantOutcome is one tenant's result.
+type FleetTenantOutcome struct {
+	Name       string
+	App        string
+	Quota      float64
+	Device     int // final host (-1 if evicted)
+	Completed  int
+	Failed     int
+	MeanLat    sim.Time
+	P99Lat     sim.Time
+	Migrations int
+	Evicted    bool
+}
+
+// FleetResult is a fleet run's outcome.
+type FleetResult struct {
+	Tenants []FleetTenantOutcome
+	Devices []fleet.DeviceLoad
+	Stats   fleet.Stats
+	// Invariants is the fleet checker's report (nil unless requested).
+	Invariants *invariant.FleetReport
+	// Digest is the timing-free completion digest — identical across
+	// execution modes for one scenario.
+	Digest uint64
+	// Elapsed is the final virtual time.
+	Elapsed sim.Time
+}
+
+// fleetProfile adapts the harness's process-wide profile cache for the
+// fleet control plane: profiles are keyed per (app, device SM class), so
+// heterogeneous pools profile each class exactly once per process.
+func fleetProfile(app string, cfg sim.Config) (*model.App, *profiler.Profile, error) {
+	a, err := model.Get(app)
+	if err != nil {
+		return nil, nil, err
+	}
+	p, err := ProfileFor(app, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	return a, p, nil
+}
+
+// RunFleet drives the scenario to completion and reports.
+func RunFleet(sc FleetScenario) (*FleetResult, error) {
+	if len(sc.Tenants) == 0 {
+		return nil, fmt.Errorf("harness: fleet scenario has no tenants")
+	}
+	horizon := sc.Horizon
+	if horizon <= 0 {
+		horizon = 100 * sim.Millisecond
+	}
+	eng := sim.NewEngine()
+	var checker *invariant.FleetChecker
+	if sc.Invariants {
+		checker = invariant.NewFleetChecker(invariant.FleetOptions{Repro: sc.Repro})
+	}
+
+	lats := make(map[string][]sim.Time, len(sc.Tenants))
+	specs := make(map[string]FleetTenant, len(sc.Tenants))
+	for _, t := range sc.Tenants {
+		specs[t.Name] = t
+	}
+
+	var f *fleet.Fleet
+	f, err := fleet.New(eng, fleet.Config{
+		Seed:      sc.Seed,
+		Devices:   sc.Devices,
+		Runtime:   sc.Runtime,
+		Policy:    sc.Policy,
+		Profile:   fleetProfile,
+		Checker:   checker,
+		Rebalance: sc.Rebalance,
+		Autoscale: sc.Autoscale,
+		OnComplete: func(name string, r *sharing.Request) {
+			spec := specs[name]
+			if !r.Failed {
+				lats[name] = append(lats[name], r.Latency())
+			}
+			if spec.Requests > 0 && r.Seq >= spec.Requests-1 {
+				return
+			}
+			at := r.Done + spec.Think
+			if at > horizon {
+				return
+			}
+			eng.Schedule(at, func() { f.Submit(name) })
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	for _, t := range sc.Tenants {
+		if err := f.Admit(fleet.TenantSpec{
+			Name: t.Name, App: t.App, Quota: t.Quota, SLOTarget: t.SLOTarget,
+		}); err != nil {
+			return nil, err
+		}
+	}
+	for _, t := range sc.Tenants {
+		name := t.Name
+		eng.Schedule(0, func() { f.Submit(name) })
+	}
+	for _, m := range sc.Migrations {
+		m := m
+		eng.Schedule(m.At, func() { f.Migrate(m.Tenant, m.Target) })
+	}
+	for _, e := range sc.DeviceCrashes {
+		e := e
+		eng.Schedule(e.At, func() { f.CrashDevice(e.Device) })
+	}
+	f.Start(horizon)
+
+	eng.RunUntil(horizon)
+	eng.Run() // drain in-flight work past the horizon
+
+	res := &FleetResult{
+		Devices: f.Snapshot().Devices,
+		Stats:   f.Stats(),
+		Digest:  f.CompletionDigest(),
+		Elapsed: eng.Now(),
+	}
+	for _, tr := range f.Results() {
+		sum := metrics.Summarize(lats[tr.Name])
+		res.Tenants = append(res.Tenants, FleetTenantOutcome{
+			Name:       tr.Name,
+			App:        tr.App,
+			Quota:      tr.Quota,
+			Device:     tr.Device,
+			Completed:  tr.Completed,
+			Failed:     tr.Failed,
+			MeanLat:    sum.Mean,
+			P99Lat:     sum.P99,
+			Migrations: tr.Migrations,
+			Evicted:    tr.Evicted,
+		})
+	}
+	if checker != nil {
+		res.Invariants = checker.Report(eng.Now())
+	}
+	return res, nil
+}

@@ -227,8 +227,9 @@ func Run(cfg RunConfig) (*Result, error) {
 	// (aborted) requests count separately — their latency is not a service
 	// latency — but still respin a closed loop.
 	seqs := make([]int, len(clients))
+	arena := &sharing.RequestArena{}
 	submit := func(id int, at sim.Time) {
-		submitAt(env, sched, clients[id], &seqs[id], at, &results[id], chs, checker)
+		submitAt(env, sched, arena, clients[id], &seqs[id], at, &results[id], chs, checker)
 	}
 	env.OnComplete = func(r *sharing.Request) {
 		id := r.Client.ID
@@ -326,8 +327,8 @@ func Run(cfg RunConfig) (*Result, error) {
 // submitAt schedules one request submission. The accounting happens inside
 // the scheduled closure, gated on the client still being present: requests of
 // crashed or departed clients are dropped, not counted.
-func submitAt(env *sharing.Env, s sharing.Scheduler, c *sharing.Client, seq *int, at sim.Time, cr *ClientResult, chs *chaosRun, checker *invariant.Checker) {
-	r := &sharing.Request{Client: c, Seq: *seq, Arrival: at}
+func submitAt(env *sharing.Env, s sharing.Scheduler, arena *sharing.RequestArena, c *sharing.Client, seq *int, at sim.Time, cr *ClientResult, chs *chaosRun, checker *invariant.Checker) {
+	r := arena.New(c, *seq, at)
 	*seq++
 	env.Eng.Schedule(at, func() {
 		if !chs.alive[c.ID] {

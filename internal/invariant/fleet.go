@@ -1,0 +1,322 @@
+package invariant
+
+import (
+	"fmt"
+	"sort"
+
+	"bless/internal/sim"
+)
+
+// FleetChecker verifies the Fleet invariant class. The fleet control plane
+// drives it directly with control-plane events (devices added/crashed,
+// tenants placed/released, requests routed/re-routed/completed); the
+// checker cross-checks them against three properties:
+//
+//   - Delivery: every routed request of a surviving tenant completes
+//     exactly once, across migrations, crash re-routing and autoscaling.
+//     A duplicate completion or a completion that was never routed is an
+//     immediate violation; a request still outstanding at Report (for a
+//     non-evicted tenant) is a lost request.
+//   - Quota conservation: a tenant is provisioned on at most two devices at
+//     any instant (host plus a draining migration source) and, at Report,
+//     every surviving tenant on exactly one.
+//   - Capacity: no device's subscribed quota exceeds its SM capacity
+//     (fraction 1) within tolerance, at any event.
+//
+// Every event also folds into an FNV-1a digest (virtual times included), so
+// two runs of one scenario — serial vs parallel workers, permuted
+// same-instant migration triggers — must agree bit-for-bit.
+type FleetChecker struct {
+	opts FleetOptions
+
+	devices    map[int]*fcDevice
+	tenants    map[string]*fcTenant
+	violations []Violation
+
+	digest  uint64
+	events  int64
+	routed  int64
+	done    int64
+	rerouts int64
+}
+
+// FleetOptions configures a FleetChecker.
+type FleetOptions struct {
+	// Tolerance pads the capacity check (default 1e-6).
+	Tolerance float64
+	// Repro is attached to every violation ("blessbench -fleet -seed 7").
+	Repro string
+	// MaxViolations bounds recording (default 64; 0 = default).
+	MaxViolations int
+}
+
+type fcDevice struct {
+	sms        int
+	subscribed float64
+	dead       bool
+	retired    bool
+}
+
+type fcTenant struct {
+	quota       float64
+	residencies map[int]int // device -> residency count
+	outstanding map[int]bool
+	completed   map[int]bool
+	evicted     bool
+}
+
+// NewFleetChecker returns a checker ready to receive fleet events.
+func NewFleetChecker(opts FleetOptions) *FleetChecker {
+	if opts.Tolerance <= 0 {
+		opts.Tolerance = 1e-6
+	}
+	if opts.MaxViolations <= 0 {
+		opts.MaxViolations = 64
+	}
+	return &FleetChecker{
+		opts:    opts,
+		devices: make(map[int]*fcDevice),
+		tenants: make(map[string]*fcTenant),
+		digest:  1469598103934665603, // FNV-1a offset basis
+	}
+}
+
+func (c *FleetChecker) violate(at sim.Time, format string, args ...any) {
+	if len(c.violations) >= c.opts.MaxViolations {
+		return
+	}
+	c.violations = append(c.violations, Violation{
+		Class: Fleet, At: at,
+		Msg:   fmt.Sprintf(format, args...),
+		Repro: c.opts.Repro,
+	})
+}
+
+// mix folds one event into the determinism digest.
+func (c *FleetChecker) mix(vals ...uint64) {
+	const prime = 1099511628211
+	for _, v := range vals {
+		for i := 0; i < 8; i++ {
+			c.digest ^= (v >> (8 * i)) & 0xff
+			c.digest *= prime
+		}
+	}
+	c.events++
+}
+
+func mixStr(s string) uint64 {
+	var h uint64 = 1469598103934665603
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+func (c *FleetChecker) tenant(name string) *fcTenant {
+	t, ok := c.tenants[name]
+	if !ok {
+		t = &fcTenant{
+			residencies: make(map[int]int),
+			outstanding: make(map[int]bool),
+			completed:   make(map[int]bool),
+		}
+		c.tenants[name] = t
+	}
+	return t
+}
+
+// DeviceAdded records a pool member (initial or autoscaled).
+func (c *FleetChecker) DeviceAdded(at sim.Time, dev, sms int) {
+	c.devices[dev] = &fcDevice{sms: sms}
+	c.mix(1, uint64(at), uint64(dev), uint64(sms))
+}
+
+// DeviceRetired records an autoscaler cordon.
+func (c *FleetChecker) DeviceRetired(at sim.Time, dev int) {
+	if d, ok := c.devices[dev]; ok {
+		d.retired = true
+	}
+	c.mix(2, uint64(at), uint64(dev))
+}
+
+// DeviceCrashed records a device loss.
+func (c *FleetChecker) DeviceCrashed(at sim.Time, dev int) {
+	if d, ok := c.devices[dev]; ok {
+		d.dead = true
+	}
+	c.mix(3, uint64(at), uint64(dev))
+}
+
+// TenantAdmitted records a residency: initial placement, migration target,
+// or crash re-placement.
+func (c *FleetChecker) TenantAdmitted(at sim.Time, tenant string, dev int, quota float64) {
+	t := c.tenant(tenant)
+	t.quota = quota
+	t.residencies[dev]++
+	total := 0
+	for _, n := range t.residencies {
+		total += n
+	}
+	if total > 2 {
+		c.violate(at, "tenant %s provisioned on %d residencies (max 2: host + draining source)", tenant, total)
+	}
+	d, ok := c.devices[dev]
+	if !ok {
+		c.violate(at, "tenant %s admitted on unknown device %d", tenant, dev)
+	} else {
+		if d.dead {
+			c.violate(at, "tenant %s admitted on crashed device %d", tenant, dev)
+		}
+		d.subscribed += quota
+		if d.subscribed > 1+c.opts.Tolerance {
+			c.violate(at, "device %d subscribed quota %.6f exceeds SM capacity", dev, d.subscribed)
+		}
+	}
+	c.mix(4, uint64(at), mixStr(tenant), uint64(dev), uint64(quota*1e9))
+}
+
+// TenantReleased records a residency ending: drain complete or crash
+// teardown.
+func (c *FleetChecker) TenantReleased(at sim.Time, tenant string, dev int) {
+	t := c.tenant(tenant)
+	if t.residencies[dev] == 0 {
+		c.violate(at, "tenant %s released from device %d it was not provisioned on", tenant, dev)
+	} else {
+		t.residencies[dev]--
+		if t.residencies[dev] == 0 {
+			delete(t.residencies, dev)
+		}
+		if d, ok := c.devices[dev]; ok {
+			d.subscribed -= t.quota
+		}
+	}
+	c.mix(5, uint64(at), mixStr(tenant), uint64(dev))
+}
+
+// TenantEvicted records a tenant no surviving device could host; its listed
+// in-flight sequences died with the crashed device and are exempt from the
+// lost-request check, the same way a crashed client's are.
+func (c *FleetChecker) TenantEvicted(at sim.Time, tenant string, lost []int) {
+	t := c.tenant(tenant)
+	t.evicted = true
+	for _, seq := range lost {
+		delete(t.outstanding, seq)
+	}
+	c.mix(6, uint64(at), mixStr(tenant), uint64(len(lost)))
+}
+
+// RequestRouted records a request dispatched to a device.
+func (c *FleetChecker) RequestRouted(at sim.Time, tenant string, seq, dev int) {
+	t := c.tenant(tenant)
+	if t.outstanding[seq] {
+		c.violate(at, "tenant %s seq %d routed twice", tenant, seq)
+	}
+	if t.completed[seq] {
+		c.violate(at, "tenant %s seq %d routed after completing", tenant, seq)
+	}
+	t.outstanding[seq] = true
+	c.routed++
+	c.mix(7, uint64(at), mixStr(tenant), uint64(seq), uint64(dev))
+}
+
+// RequestRerouted records a crash re-submission: the sequence stays
+// outstanding, only its device changes.
+func (c *FleetChecker) RequestRerouted(at sim.Time, tenant string, seq, from, to int) {
+	t := c.tenant(tenant)
+	if !t.outstanding[seq] {
+		c.violate(at, "tenant %s seq %d re-routed while not outstanding", tenant, seq)
+	}
+	c.rerouts++
+	c.mix(8, uint64(at), mixStr(tenant), uint64(seq), uint64(from), uint64(to))
+}
+
+// RequestCompleted records a completion (success or failure — both are
+// exactly-once deliveries).
+func (c *FleetChecker) RequestCompleted(at sim.Time, tenant string, seq, dev int, failed bool) {
+	t := c.tenant(tenant)
+	if t.completed[seq] {
+		c.violate(at, "tenant %s seq %d completed twice (duplicate delivery)", tenant, seq)
+	}
+	if !t.outstanding[seq] {
+		c.violate(at, "tenant %s seq %d completed while not outstanding", tenant, seq)
+	}
+	delete(t.outstanding, seq)
+	t.completed[seq] = true
+	c.done++
+	fb := uint64(0)
+	if failed {
+		fb = 1
+	}
+	c.mix(9, uint64(at), mixStr(tenant), uint64(seq), uint64(dev), fb)
+}
+
+// FleetReport is the checker's verdict.
+type FleetReport struct {
+	// Violations are the recorded breaches (bounded by MaxViolations).
+	Violations []Violation
+	// Digest folds every fleet event; equal scenarios must agree.
+	Digest uint64
+	// Events, Routed, Completed, Rerouted count the folded activity.
+	Events    int64
+	Routed    int64
+	Completed int64
+	Rerouted  int64
+	// Lost counts requests still outstanding for surviving tenants at
+	// Report time — each is also a violation.
+	Lost int
+}
+
+// Ok reports a clean run.
+func (r *FleetReport) Ok() bool { return len(r.Violations) == 0 }
+
+// Err returns the first violation as an error, nil when clean.
+func (r *FleetReport) Err() error {
+	if len(r.Violations) == 0 {
+		return nil
+	}
+	return r.Violations[0]
+}
+
+// Report runs the end-of-run checks (lost requests, final placement
+// cardinality) and returns the verdict. Call once, after the simulation
+// drains.
+func (c *FleetChecker) Report(at sim.Time) *FleetReport {
+	names := make([]string, 0, len(c.tenants))
+	for name := range c.tenants {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	lost := 0
+	for _, name := range names {
+		t := c.tenants[name]
+		if t.evicted {
+			continue
+		}
+		if n := len(t.outstanding); n > 0 {
+			lost += n
+			seqs := make([]int, 0, n)
+			for seq := range t.outstanding {
+				seqs = append(seqs, seq)
+			}
+			sort.Ints(seqs)
+			c.violate(at, "tenant %s lost %d request(s) (first seq %d): routed but never completed", name, n, seqs[0])
+		}
+		total := 0
+		for _, cnt := range t.residencies {
+			total += cnt
+		}
+		if total != 1 {
+			c.violate(at, "tenant %s ends provisioned on %d devices (want exactly 1)", name, total)
+		}
+	}
+	return &FleetReport{
+		Violations: c.violations,
+		Digest:     c.digest,
+		Events:     c.events,
+		Routed:     c.routed,
+		Completed:  c.done,
+		Rerouted:   c.rerouts,
+		Lost:       lost,
+	}
+}

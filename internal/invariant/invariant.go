@@ -59,6 +59,14 @@ const (
 	// injected kernel fault is answered by exactly one retry or abort — no
 	// kernel is lost or double-counted across the retry path.
 	Delivery
+	// Fleet covers the multi-device control plane: no request is lost or
+	// duplicated across live migration, device crash re-routing, or
+	// autoscaling; every live tenant is provisioned on exactly one device
+	// at settle points (at most two mid-migration); and no device's
+	// subscribed quota exceeds its SM capacity. Checked by FleetChecker,
+	// which the fleet control plane drives directly — it is not part of
+	// the per-device tracer-driven enforcement sets.
+	Fleet
 )
 
 // String names the class for messages and exports.
@@ -76,6 +84,8 @@ func (c Class) String() string {
 		return "determinism"
 	case Delivery:
 		return "delivery"
+	case Fleet:
+		return "fleet"
 	default:
 		return fmt.Sprintf("class(%d)", int(c))
 	}

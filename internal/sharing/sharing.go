@@ -64,6 +64,28 @@ type Request struct {
 // Latency returns Done-Arrival; call only after completion.
 func (r *Request) Latency() sim.Time { return r.Done - r.Arrival }
 
+// RequestArena hands out Request objects carved from chunked backing arrays,
+// cutting per-submission heap traffic to one allocation per chunk. It never
+// recycles: schedulers compare in-flight requests by pointer identity, so
+// every handed-out object stays distinct for the arena's lifetime (one run).
+// Not safe for concurrent use — one arena per engine, like everything else.
+type RequestArena struct {
+	chunk []Request
+}
+
+const requestArenaChunk = 256
+
+// New returns a zeroed-then-initialized request from the arena.
+func (a *RequestArena) New(c *Client, seq int, at sim.Time) *Request {
+	if len(a.chunk) == 0 {
+		a.chunk = make([]Request, requestArenaChunk)
+	}
+	r := &a.chunk[0]
+	a.chunk = a.chunk[1:]
+	r.Client, r.Seq, r.Arrival = c, seq, at
+	return r
+}
+
 // Env is the execution environment the harness hands to a Scheduler: the
 // simulation engine, the device, the deployed clients, and the completion
 // hook. Schedulers must call Complete exactly once per submitted request.

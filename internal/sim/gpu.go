@@ -314,6 +314,40 @@ type GPU struct {
 	kgBuf      []float64
 	unsatBuf   []int
 	isoBuf     []float64 // per-context isolated-bandwidth demand, by ctx id
+
+	// launchFree pools deferred-enqueue records (Enqueue with a future
+	// launch time — every host-charged kernel launch). Each entry carries
+	// its own fire closure, built once, so steady-state deferred launches
+	// allocate nothing.
+	launchFree []*launchEvent
+}
+
+// launchEvent defers one Enqueue to its launch time; pooled on the GPU.
+type launchEvent struct {
+	q    *Queue
+	rec  launchRecord
+	fire func()
+}
+
+// deferEnqueue schedules rec to join q at time at, reusing a pooled
+// launchEvent (and its closure) when one is free.
+func (g *GPU) deferEnqueue(at Time, q *Queue, rec launchRecord) {
+	var le *launchEvent
+	if n := len(g.launchFree); n > 0 {
+		le = g.launchFree[n-1]
+		g.launchFree[n-1] = nil
+		g.launchFree = g.launchFree[:n-1]
+	} else {
+		le = &launchEvent{}
+		le.fire = func() {
+			q, rec := le.q, le.rec
+			le.q, le.rec = nil, launchRecord{}
+			g.launchFree = append(g.launchFree, le)
+			q.enqueueNow(rec)
+		}
+	}
+	le.q, le.rec = q, rec
+	g.eng.Schedule(at, le.fire)
 }
 
 // NewGPU creates a device with the given configuration, scheduled on eng.
@@ -592,9 +626,7 @@ func (q *Queue) Enqueue(at Time, k *Kernel, onDone func(at Time)) {
 		q.enqueueNow(launchRecord{k: k, onDone: onDone})
 		return
 	}
-	g.eng.Schedule(at, func() {
-		q.enqueueNow(launchRecord{k: k, onDone: onDone})
-	})
+	g.deferEnqueue(at, q, launchRecord{k: k, onDone: onDone})
 }
 
 // enqueueNow appends the record and brings the device up to date. When the

@@ -23,6 +23,8 @@ echo "== bench: experiment batch (serial vs parallel executor) =="
 go test -run '^$' -bench 'BenchmarkExperimentBatch' -benchmem ./internal/harness/ | tee -a "$out"
 echo "== bench: end-to-end simulator throughput =="
 go test -run '^$' -bench 'BenchmarkSimulatorThroughput$' -benchmem . | tee -a "$out"
+echo "== bench: fleet control plane (smoke scenario) =="
+go test -run '^$' -bench 'BenchmarkFleetSmoke$' -benchmem ./internal/harness/ | tee -a "$out"
 
 mode=""
 if [ -n "${RECORD:-}" ]; then

@@ -51,6 +51,13 @@ echo "== observability goldens =="
 # (refresh intentionally with: go test ./internal/obs/ -run Golden -update-golden).
 go test -run 'TestChromeTraceGolden|TestPrometheusGolden|TestSLOJSONGolden' -count=1 ./internal/obs/
 
+echo "== fleet control plane =="
+# The fleet smoke gate: 24 tenants over a 4-device heterogeneous pool with
+# live migration, rebalancing and autoscaling; fails unless every fleet
+# invariant passes and the digest is bit-identical across serial, parallel
+# and migration-order-permuted runs.
+go run ./cmd/blessbench -fleet -smoke
+
 echo "== determinism =="
 # Same-seed runs must produce byte-identical event digests, and the
 # metamorphic relations (client permutation, quota scaling) must hold.
