@@ -29,6 +29,12 @@
 // scaled-down CI gate (24 tenants, 4 devices). Note -smoke doubles as the
 // benchmark-smoke file flag: bare -smoke selects fleet-smoke mode alongside
 // -fleet, -smoke=FILE writes the benchmark summary.
+//
+// Sharding: -fleet -shards N runs the shard-determinism gate instead — the
+// same scenario (plus a device crash timed mid-migration) on one engine
+// shard, on N shards, and on N shards with the device→shard mapping
+// reversed; any completion- or checker-digest drift fails the run and
+// writes a repro string to -repro-out (the CI artifact).
 package main
 
 import (
@@ -57,6 +63,8 @@ func main() {
 	fleetFlag := flag.Bool("fleet", false, "run the fleet control-plane scenario (200 tenants, 32-GPU pool) and verify invariants + digest identity; with -smoke: reduced scale")
 	seed := flag.Int64("seed", 7, "seed for the fleet control plane's deterministic decisions")
 	parallel := flag.Int("parallel", 0, "worker count for independent experiment runs (0 = GOMAXPROCS, 1 = serial); output is identical at any setting")
+	shards := flag.Int("shards", 0, "with -fleet: engine-shard count for the sharded run; compares its digests against the 1-shard reference and fails on any drift (0 = legacy three-way check)")
+	reproOut := flag.String("repro-out", "fleet-shard-repro.txt", "with -fleet -shards: file the repro string is written to when digests mismatch (the CI artifact)")
 	flag.Parse()
 
 	if *invariants {
@@ -65,7 +73,7 @@ func main() {
 	}
 
 	if *fleetFlag {
-		if err := runFleet(smoke.set && smoke.val == "", *seed, *parallel); err != nil {
+		if err := runFleet(smoke.set && smoke.val == "", *seed, *parallel, *shards, *reproOut); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

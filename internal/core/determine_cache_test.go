@@ -7,7 +7,9 @@ import (
 // TestDetermineCacheEquivalence checks the memoized path returns exactly what
 // a fresh search returns — decision, grants, estimate AND the Considered
 // count (which feeds overhead accounting and decision traces) — on both the
-// miss and the hit, and that a hit's SMs slice is not aliased to the cache.
+// miss and the hit. The returned SMs slice is shared with the cache and
+// read-only by contract (the copy-per-call this replaced was a top hot-path
+// allocation site), so repeated hits must keep returning the same values.
 func TestDetermineCacheEquivalence(t *testing.T) {
 	clients := testClients(t, []float64{0.5, 0.5}, "vgg11", "resnet50")
 	opts := DetermineOptions{Partitions: 18}
@@ -30,10 +32,6 @@ func TestDetermineCacheEquivalence(t *testing.T) {
 				if got.SMs[i] != want.SMs[i] {
 					t.Fatalf("round %d: SMs %v != %v", round, got.SMs, want.SMs)
 				}
-			}
-			// Mutating the returned grant must not poison future hits.
-			if got.SMs != nil {
-				got.SMs[0] = -1
 			}
 		}
 	}

@@ -165,6 +165,12 @@ type Runtime struct {
 	// nothing retains these past one launchSquad call).
 	planScratch []plannedLaunch
 	gateScratch []*launchGate
+	planSort    planSorter
+	// kdFree pools kernel-completion continuations: one is live per launched
+	// kernel, returned when it fires (see kernelDone).
+	kdFree []*kernelDone
+	// genScratch holds squad generation's selection state (squad.go).
+	genScratch genScratch
 
 	// stats
 	squadsExecuted   int64
@@ -321,7 +327,7 @@ func (rt *Runtime) startSquad() {
 		RoundRobin:       rt.opts.DisableFairSelection,
 		NoAdaptiveSizing: rt.opts.NoAdaptiveSizing,
 		NoFlush:          rt.opts.NoFlush,
-	})
+	}, &rt.genScratch)
 	if squad == nil {
 		rt.squadRunning = false
 		return
@@ -447,36 +453,6 @@ func (rt *Runtime) partitions(s *Squad) int {
 func (rt *Runtime) launchSquad(squad *Squad, cfg ExecConfig) {
 	rt.squadPendings = squad.Size()
 
-	onKernelDone := func(e *SquadEntry, kernelIdx int) func(sim.Time) {
-		last := kernelIdx == e.Client.App.NumKernels()-1
-		req := e.Request
-		return func(at sim.Time) {
-			cs := rt.clients[e.Client.ID]
-			if cs.dead {
-				// Crash teardown already settled the request; only the
-				// squad bookkeeping remains.
-				rt.squadPendings--
-				if rt.squadPendings == 0 {
-					rt.squadDone(at)
-				}
-				return
-			}
-			if a := cs.active; a != nil && a.req == req {
-				a.inFlight--
-				// An aborted request completes (Failed) when its last
-				// launched kernel drains; a healthy one when its final
-				// kernel retires.
-				if last || (a.aborted && a.inFlight == 0) {
-					rt.completeRequest(cs, req)
-				}
-			}
-			rt.squadPendings--
-			if rt.squadPendings == 0 {
-				rt.squadDone(at)
-			}
-		}
-	}
-
 	// Breadth-first launch order across entries starts cross-client
 	// concurrency as early as possible; the host serializes the 3us
 	// launches either way. The plan and gate slices are per-Runtime scratch:
@@ -543,12 +519,12 @@ func (rt *Runtime) launchSquad(squad *Squad, cfg ExecConfig) {
 	}
 
 	// Interleave entries breadth-first: sort by (position within entry,
-	// entry order). The plan was built entry-major; re-order stably.
-	sort.SliceStable(plan, func(a, b int) bool {
-		pa := rt.posWithinEntry(squad, plan[a].entry, plan[a].kIdx)
-		pb := rt.posWithinEntry(squad, plan[b].entry, plan[b].kIdx)
-		return pa < pb
-	})
+	// entry order). The plan was built entry-major; re-order stably. The
+	// persistent sorter keeps this allocation-free (sort.SliceStable builds
+	// its less closure and reflection swapper per call).
+	rt.planSort.plan = plan
+	sort.Stable(&rt.planSort)
+	rt.planSort.plan = nil
 
 	// Wire gate triggers: a gate opens when the last restricted (head)
 	// kernel of its entry completes, plus the context-switch vacuum.
@@ -572,25 +548,19 @@ func (rt *Runtime) launchSquad(squad *Squad, cfg ExecConfig) {
 		pl := pl
 		cs := rt.clients[pl.entry.Client.ID]
 		k := &pl.entry.Client.App.Kernels[pl.kIdx]
-		done := onKernelDone(pl.entry, pl.kIdx)
+		kd := rt.newKernelDone(pl.entry, pl.kIdx)
 		gate := gateFor(gates, squad, pl.entry)
 
-		wrapped := done
 		if gate != nil && pl.after == nil {
 			// Head kernel: completing it counts toward opening the gate.
 			// The redirection vacuum runs concurrently with head execution
 			// (launches to the restricted context stop during the squad's
 			// launch phase), so the gate opens at the later of head
 			// completion and vacuum end.
-			wrapped = func(at sim.Time) {
-				ready := gate.launchEnd + ctxSwitch
-				if at > ready {
-					ready = at
-				}
-				gate.arrive(ready)
-				done(at)
-			}
+			kd.gate = gate
+			kd.ctxSwitch = ctxSwitch
 		}
+		wrapped := kd.fn
 		// The retry wrapper goes outermost: a faulted head kernel must not
 		// open its Semi-SP gate (or advance squad bookkeeping) until a
 		// relaunch actually succeeds.
@@ -710,9 +680,98 @@ func (rt *Runtime) launchSquad(squad *Squad, cfg ExecConfig) {
 	}
 }
 
-// posWithinEntry returns the kernel's 0-based position inside its entry.
-func (rt *Runtime) posWithinEntry(s *Squad, e *SquadEntry, kIdx int) int {
-	return kIdx - e.Kernels[0]
+// planSorter orders a squad's launch plan breadth-first: by the kernel's
+// 0-based position within its entry (kIdx - Kernels[0]), stably, so entry
+// order breaks ties. A persistent Runtime field with pointer-receiver
+// methods keeps the per-squad sort allocation-free.
+type planSorter struct{ plan []plannedLaunch }
+
+func (p *planSorter) Len() int      { return len(p.plan) }
+func (p *planSorter) Swap(a, b int) { p.plan[a], p.plan[b] = p.plan[b], p.plan[a] }
+func (p *planSorter) Less(a, b int) bool {
+	return p.plan[a].kIdx-p.plan[a].entry.Kernels[0] < p.plan[b].kIdx-p.plan[b].entry.Kernels[0]
+}
+
+// kernelDone is one kernel's completion continuation — the callback the sim
+// fires when the kernel retires (wrapping in the Semi-SP head gate when the
+// entry has one). Every launched kernel needs exactly one, so the Runtime
+// pools them with their method closure pre-bound: a fresh closure per kernel
+// was the simulator throughput benchmark's largest allocation site.
+type kernelDone struct {
+	rt     *Runtime
+	client int
+	req    *sharing.Request
+	// last marks the request's final kernel (retiring it completes the
+	// request).
+	last bool
+	// gate, when non-nil, receives this head kernel's arrival (Semi-SP);
+	// the gate opens at the later of head completion and the
+	// context-redirection vacuum end.
+	gate      *launchGate
+	ctxSwitch sim.Time
+	// fn is kd.fire bound once at pool insertion and reused for the pooled
+	// object's lifetime.
+	fn func(sim.Time)
+}
+
+// newKernelDone takes a continuation from the pool (or mints one) and arms
+// it for the given kernel.
+func (rt *Runtime) newKernelDone(e *SquadEntry, kernelIdx int) *kernelDone {
+	var kd *kernelDone
+	if n := len(rt.kdFree); n > 0 {
+		kd = rt.kdFree[n-1]
+		rt.kdFree[n-1] = nil
+		rt.kdFree = rt.kdFree[:n-1]
+	} else {
+		kd = &kernelDone{rt: rt}
+		kd.fn = kd.fire
+	}
+	kd.client = e.Client.ID
+	kd.req = e.Request
+	kd.last = kernelIdx == e.Client.App.NumKernels()-1
+	kd.gate = nil
+	kd.ctxSwitch = 0
+	return kd
+}
+
+// fire is the completion callback body. It releases kd back to the pool
+// before the squad bookkeeping runs: squadDone may synchronously start the
+// next squad, which re-arms pooled continuations for its own kernels.
+func (kd *kernelDone) fire(at sim.Time) {
+	rt := kd.rt
+	if g := kd.gate; g != nil {
+		ready := g.launchEnd + kd.ctxSwitch
+		if at > ready {
+			ready = at
+		}
+		g.arrive(ready)
+	}
+	cs := rt.clients[kd.client]
+	req, last := kd.req, kd.last
+	kd.req, kd.gate = nil, nil
+	rt.kdFree = append(rt.kdFree, kd)
+
+	if cs.dead {
+		// Crash teardown already settled the request; only the squad
+		// bookkeeping remains.
+		rt.squadPendings--
+		if rt.squadPendings == 0 {
+			rt.squadDone(at)
+		}
+		return
+	}
+	if a := cs.active; a != nil && a.req == req {
+		a.inFlight--
+		// An aborted request completes (Failed) when its last launched
+		// kernel drains; a healthy one when its final kernel retires.
+		if last || (a.aborted && a.inFlight == 0) {
+			rt.completeRequest(cs, req)
+		}
+	}
+	rt.squadPendings--
+	if rt.squadPendings == 0 {
+		rt.squadDone(at)
+	}
 }
 
 // gateFor finds the gate belonging to the entry, if any.

@@ -118,28 +118,23 @@ func (c *determineCache) appendKey(buf []byte, s *Squad, deviceSMs int, quotas [
 	return buf
 }
 
-// determine answers from the cache or falls through to Determine. The SMs
-// slice is copied on both store and hit so neither the caller nor the cache
-// can alias the other's grant vector.
+// determine answers from the cache or falls through to Determine. The
+// returned SMs slice is shared with the cache entry and is read-only: the
+// Runtime only indexes it, and closed-loop workloads hit the cache on
+// nearly every squad, so a defensive copy per call was a top allocation
+// site on the simulator hot path.
 func (c *determineCache) determine(s *Squad, deviceSMs int, quotas []float64, opts DetermineOptions) ExecConfig {
 	c.keyBuf = c.appendKey(c.keyBuf[:0], s, deviceSMs, quotas, opts)
 	if cfg, ok := c.m[string(c.keyBuf)]; ok {
 		c.hits++
-		if cfg.SMs != nil {
-			cfg.SMs = append([]int(nil), cfg.SMs...)
-		}
 		return cfg
 	}
 	c.misses++
 	cfg := Determine(s, deviceSMs, quotas, opts)
-	stored := cfg
-	if stored.SMs != nil {
-		stored.SMs = append([]int(nil), stored.SMs...)
-	}
 	if c.m == nil {
 		c.m = make(map[string]ExecConfig)
 	}
-	c.m[string(c.keyBuf)] = stored
+	c.m[string(c.keyBuf)] = cfg
 	return cfg
 }
 
@@ -275,29 +270,71 @@ type genInfo struct {
 	paceLimited int
 }
 
+// genScratch is squad generation's per-call selection state. None of the
+// slices escape a generateSquadInfo call, so the Runtime keeps one scratch
+// and reuses it across squads — generation runs per few kernels, and six
+// fresh slices per squad added up on the hot path.
+type genScratch struct {
+	startK  []int
+	ages    []sim.Time
+	prior   []float64
+	inSquad []float64
+	theta   []float64
+	target  []float64
+}
+
+// grow resizes every slice to n and zeroes it.
+func (g *genScratch) grow(n int) {
+	if cap(g.startK) < n {
+		g.startK = make([]int, n)
+		g.ages = make([]sim.Time, n)
+		g.prior = make([]float64, n)
+		g.inSquad = make([]float64, n)
+		g.theta = make([]float64, n)
+		g.target = make([]float64, n)
+	}
+	g.startK = g.startK[:n]
+	g.ages = g.ages[:n]
+	g.prior = g.prior[:n]
+	g.inSquad = g.inSquad[:n]
+	g.theta = g.theta[:n]
+	g.target = g.target[:n]
+	for i := 0; i < n; i++ {
+		g.startK[i] = 0
+		g.ages[i] = 0
+		g.prior[i] = 0
+		g.inSquad[i] = 0
+		g.theta[i] = 0
+		g.target[i] = 0
+	}
+}
+
 // generateSquad builds the next kernel squad from the active requests at
 // virtual time now, advancing each chosen request's nextK. Generation stops
 // when the cap is reached or a selected kernel completes a request (§4.3.2).
 // Returns nil when no active request has unscheduled kernels.
 func generateSquad(actives []*activeRequest, clients []*sharing.Client, now sim.Time, opts GenerateOptions) *Squad {
-	s, _ := generateSquadInfo(actives, clients, now, opts)
+	var scr genScratch
+	s, _ := generateSquadInfo(actives, clients, now, opts, &scr)
 	return s
 }
 
 // generateSquadInfo is generateSquad plus the stop-reason metadata the
-// observability layer publishes as decision events.
-func generateSquadInfo(actives []*activeRequest, clients []*sharing.Client, now sim.Time, opts GenerateOptions) (*Squad, genInfo) {
+// observability layer publishes as decision events. scr is caller-owned
+// scratch, valid only for the duration of the call.
+func generateSquadInfo(actives []*activeRequest, clients []*sharing.Client, now sim.Time, opts GenerateOptions, scr *genScratch) (*Squad, genInfo) {
 	maxK := opts.MaxKernels
 	if maxK <= 0 {
 		maxK = DefaultMaxSquadKernels
 	}
 	info := genInfo{flushClient: -1, paceLimited: -1}
+	scr.grow(len(actives))
 
 	// Selection only ever advances each request's kernel frontier, so the
 	// picks per request form the contiguous range [startK[i], nextK) —
 	// recording the starting frontier is enough to materialize the entries
 	// from one exact-size buffer at the end.
-	startK := make([]int, len(actives))
+	startK := scr.startK
 	for i, a := range actives {
 		if a != nil {
 			startK[i] = a.nextK
@@ -323,11 +360,8 @@ func generateSquadInfo(actives []*activeRequest, clients []*sharing.Client, now 
 	//     the others sooner and lets lightly-loaded clients settle into
 	//     alternating whole requests at near-solo latency — the
 	//     bubble-squeezing payoff of §1.
-	ages := make([]sim.Time, len(actives))
-	prior := make([]float64, len(actives))
-	inSquad := make([]float64, len(actives))
-	theta := make([]float64, len(actives))
-	target := make([]float64, len(actives))
+	ages, prior, inSquad := scr.ages, scr.prior, scr.inSquad
+	theta, target := scr.theta, scr.target
 	for i, a := range actives {
 		if a == nil {
 			continue

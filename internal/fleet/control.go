@@ -93,8 +93,7 @@ func (f *Fleet) Start(horizon sim.Time) {
 	}
 	iv := f.cfg.Rebalance.interval()
 	for at := iv; at <= horizon; at += iv {
-		at := at
-		f.eng.Schedule(at, func() { f.tick() })
+		f.ctrl.Schedule(at, func() { f.tick() })
 	}
 }
 
@@ -187,7 +186,7 @@ func (f *Fleet) autoscale(snap Snapshot) {
 		d.retired = true
 		f.stats.ScaleDowns++
 		if f.checker != nil {
-			f.checker.DeviceRetired(f.eng.Now(), victim)
+			f.checker.DeviceRetired(f.now(), victim)
 		}
 		// Move its tenants off through the canonical migration path.
 		var names []string

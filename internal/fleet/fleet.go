@@ -13,13 +13,21 @@
 // 108-SM one and the profiles used for placement are re-derived per device
 // class.
 //
-// All devices share one simulation engine, so a fleet run — migrations,
-// crashes, autoscaling and all — remains a single deterministic virtual-time
-// simulation. Control decisions that can arrive in any order within one
-// instant (migration triggers) are applied in a canonical order, so
-// permuting the trigger order cannot change the outcome, and rebalance plans
-// are pure functions of (seed, epoch, snapshot) — the discipline that keeps
-// serial and parallel runs bit-identical.
+// A fleet runs in one of two execution modes. In embedded mode (New) every
+// device shares the caller's engine and the caller drives submissions and
+// control events directly — the mode unit tests and admission-only probes
+// use. In sharded mode (NewSharded) each device is pinned to one of N
+// engine shards advanced in lock-step windows by Run, with every
+// cross-device interaction — routing flips, migration drains, crash
+// recovery, control ticks — applied at window barriers in a canonical
+// order. Cross-device rules are defined per device, never per shard, so the
+// device→shard mapping is pure execution strategy: a run at any shard count
+// (including one) is bit-identical to any other. Control decisions that can
+// arrive in any order within one instant (migration triggers) are applied
+// in a canonical order, so permuting the trigger order cannot change the
+// outcome, and rebalance plans are pure functions of (seed, epoch,
+// snapshot) — the discipline that keeps serial and parallel runs
+// bit-identical.
 package fleet
 
 import (
@@ -58,6 +66,13 @@ type TenantSpec struct {
 	// SLOTarget, when non-zero, is the latency target used for pacing and
 	// for the SLO-attainment routing policy.
 	SLOTarget sim.Time
+	// Think is the closed-loop think time between a completion and the
+	// tenant's next submission. Only sharded runs (Fleet.Run) drive the
+	// closed loop; embedded-mode callers submit explicitly.
+	Think sim.Time
+	// Requests bounds the tenant's submissions in a sharded run (0 = keep
+	// submitting until the horizon).
+	Requests int
 }
 
 // ProfileFunc resolves an application and its offline profile for a device
@@ -87,8 +102,19 @@ type Config struct {
 	// Autoscale enables the autoscaler (nil = disabled). Requires Rebalance
 	// (the control loop ticks on its interval).
 	Autoscale *AutoscaleConfig
-	// OnComplete observes every completed request with its owning tenant.
-	OnComplete func(tenant string, r *sharing.Request)
+	// Shards is the engine-shard count for NewSharded (0 or 1 = one shard;
+	// the coordinator/exchange path runs identically at every count).
+	Shards int
+	// ShardOf optionally overrides the device→shard mapping (default:
+	// device id modulo shard count). The mapping is execution strategy
+	// only; permuting it cannot change a run's digests.
+	ShardOf func(device int) int
+	// ExchangeLatency is the cross-device handoff latency ε applied to
+	// migration-drain completion notifications in sharded runs (default
+	// 100µs virtual). It models the routing-layer hop between a draining
+	// source device and the tenant's owner, and bounds every lock-step
+	// window so no shard can outrun a message addressed to it.
+	ExchangeLatency sim.Time
 }
 
 // Stats counts control-plane activity over the fleet's lifetime.
@@ -137,8 +163,13 @@ type tenant struct {
 	completed  int
 	failed     int
 	order      []int // completion order of seqs (the digest substrate)
+	lats       []sim.Time
 	latencySum sim.Time
 	migrations int
+
+	// timers are the pending closed-loop submit events (sharded runs).
+	// They live on the owner shard's engine and move with the host.
+	timers []*workTimer
 }
 
 // device is one pool member: a simulated GPU, its BLESS runtime, and the
@@ -157,6 +188,10 @@ type device struct {
 	retired  bool // cordoned by the autoscaler: no new placements
 	dead     bool // crashed
 
+	shard  *shardState // the engine shard this device is pinned to
+	outSeq uint64      // per-device exchange-record ordinal (canonical tie-break)
+	chkSeq uint64      // per-device checker-event ordinal (canonical tie-break)
+
 	nextLocal int
 	residents map[int]*residency // local ID -> residency (live and draining)
 	quota     float64            // subscribed quota, draining residents included
@@ -171,11 +206,24 @@ type device struct {
 // Fleet is a running control plane. Not safe for concurrent use; like the
 // engine it drives, a fleet is single-threaded within one simulation.
 type Fleet struct {
-	eng     *sim.Engine
+	eng     *sim.Engine // embedded-mode engine (nil in sharded mode)
+	ctrl    *sim.Engine // control-plane engine (== eng in embedded mode)
 	cfg     Config
 	policy  Policy
 	profile ProfileFunc
 	checker *invariant.FleetChecker
+
+	// Sharded execution (NewSharded). The coordinator state — exchange
+	// inbox, drain count, window bookkeeping — is only touched at barriers.
+	sharded bool
+	set     *sim.ShardSet
+	shards  []*shardState
+	eps     sim.Time // exchange latency ε, the windows' lookahead bound
+	horizon sim.Time
+	inbox   []drainRec // pending cross-shard deliveries, (deliver, dev, seq) order
+	chkBuf  []chkRec   // scratch for the per-window checker-event sort
+
+	drainCount int // live migration-drain residencies fleet-wide
 
 	devices []*device
 	tenants map[string]*tenant
@@ -188,15 +236,28 @@ type Fleet struct {
 	shortfallTicks int
 	churned        bool // crash since last tick: rebalance regardless
 
-	arena sharing.RequestArena // chunked request allocation (never recycled)
 	stats Stats
 }
 
-// New assembles the pool and its per-device runtimes on the given engine.
+// New assembles the pool and its per-device runtimes on the given engine —
+// embedded mode: the caller owns the engine and drives submissions and
+// control events directly.
 func New(eng *sim.Engine, cfg Config) (*Fleet, error) {
 	if eng == nil {
 		return nil, fmt.Errorf("fleet: nil engine")
 	}
+	f, err := newFleet(cfg)
+	if err != nil {
+		return nil, err
+	}
+	f.eng, f.ctrl = eng, eng
+	f.shards = []*shardState{{id: 0, eng: eng}}
+	return f, f.addInitialDevices()
+}
+
+// newFleet validates the config and builds the engine-less skeleton shared
+// by both constructors.
+func newFleet(cfg Config) (*Fleet, error) {
 	if len(cfg.Devices) == 0 {
 		return nil, fmt.Errorf("fleet: need at least one device")
 	}
@@ -204,7 +265,6 @@ func New(eng *sim.Engine, cfg Config) (*Fleet, error) {
 		return nil, fmt.Errorf("fleet: Autoscale requires Rebalance (the control loop ticks on its interval)")
 	}
 	f := &Fleet{
-		eng:     eng,
 		cfg:     cfg,
 		policy:  cfg.Policy,
 		profile: cfg.Profile,
@@ -230,12 +290,32 @@ func New(eng *sim.Engine, cfg Config) (*Fleet, error) {
 			return a, p, nil
 		}
 	}
-	for _, spec := range cfg.Devices {
+	return f, nil
+}
+
+func (f *Fleet) addInitialDevices() error {
+	for _, spec := range f.cfg.Devices {
 		if _, err := f.AddDevice(spec); err != nil {
-			return nil, err
+			return err
 		}
 	}
-	return f, nil
+	return nil
+}
+
+// now is the control-plane clock: the shared engine in embedded mode, the
+// control engine in sharded mode. Only valid outside shard windows.
+func (f *Fleet) now() sim.Time { return f.ctrl.Now() }
+
+// shardIndex maps a device to its engine shard.
+func (f *Fleet) shardIndex(dev int) int {
+	n := len(f.shards)
+	if n == 1 {
+		return 0
+	}
+	if f.cfg.ShardOf != nil {
+		return ((f.cfg.ShardOf(dev) % n) + n) % n
+	}
+	return dev % n
 }
 
 // AddDevice grows the pool by one device and returns its index. The device's
@@ -251,18 +331,20 @@ func (f *Fleet) AddDevice(spec DeviceSpec) (int, error) {
 	if spec.Name == "" {
 		spec.Name = fmt.Sprintf("gpu%d", len(f.devices))
 	}
+	sh := f.shards[f.shardIndex(len(f.devices))]
 	d := &device{
 		id:        len(f.devices),
 		spec:      spec,
 		cfg:       cfg,
-		gpu:       sim.NewGPU(f.eng, cfg),
+		gpu:       sim.NewGPU(sh.eng, cfg),
 		rt:        core.New(f.cfg.Runtime),
 		bus:       obs.NewBus(),
 		reg:       obs.NewRegistry(),
 		slo:       obs.NewSLOTracker(),
+		shard:     sh,
 		residents: make(map[int]*residency),
 	}
-	d.env = &sharing.Env{Eng: f.eng, GPU: d.gpu}
+	d.env = &sharing.Env{Eng: sh.eng, GPU: d.gpu}
 	// The obs signals are the device's load registry: request counters and
 	// the latency histogram stream in from the runtime's decision bus.
 	reg := d.reg
@@ -290,7 +372,7 @@ func (f *Fleet) AddDevice(spec DeviceSpec) (int, error) {
 	d.env.OnComplete = func(r *sharing.Request) { f.completed(dev, r) }
 	f.devices = append(f.devices, d)
 	if f.checker != nil {
-		f.checker.DeviceAdded(f.eng.Now(), d.id, cfg.SMs)
+		f.checker.DeviceAdded(f.now(), d.id, cfg.SMs)
 	}
 	return d.id, nil
 }
@@ -369,7 +451,7 @@ func (f *Fleet) place(t *tenant, dev *device) (*residency, error) {
 	dev.mem += res.mem
 	dev.slo.SetTarget(t.spec.Name, t.spec.SLOTarget)
 	if f.checker != nil {
-		f.checker.TenantAdmitted(f.eng.Now(), t.spec.Name, dev.id, res.quota)
+		f.checker.TenantAdmitted(f.now(), t.spec.Name, dev.id, res.quota)
 	}
 	return res, nil
 }
@@ -381,46 +463,50 @@ func (f *Fleet) Submit(name string) (*sharing.Request, error) {
 	if !ok {
 		return nil, fmt.Errorf("fleet: unknown tenant %q", name)
 	}
+	return f.submit(t)
+}
+
+// submit issues the tenant's next request on its owner shard. In a sharded
+// run it is only called from the owner shard (timers) or at barriers.
+func (f *Fleet) submit(t *tenant) (*sharing.Request, error) {
 	if t.evicted {
-		return nil, fmt.Errorf("fleet: tenant %q was evicted", name)
+		return nil, fmt.Errorf("fleet: tenant %q was evicted", t.spec.Name)
 	}
 	seq := t.nextSeq
 	t.nextSeq++
 	res := t.host
-	r := f.arena.New(res.client, seq, f.eng.Now())
+	sh := res.dev.shard
+	now := sh.eng.Now()
+	r := sh.arena.New(res.client, seq, now)
 	res.dev.rt.Submit(r)
 	t.pending[seq] = res
 	res.pending++
 	res.dev.inflight++
-	f.stats.Routed++
-	if f.checker != nil {
-		f.checker.RequestRouted(f.eng.Now(), name, seq, res.dev.id)
-	}
+	sh.routed++
+	f.noteRouted(sh, now, res.dev, t, seq)
 	return r, nil
 }
 
-// completed is every device's env.OnComplete: it settles the fleet-side
-// request accounting, feeds the SLO tracker, detects drained migration
-// sources, and drives the caller's observer.
+// completed is every device's env.OnComplete: it settles the device-local
+// request accounting and feeds the SLO tracker. Completions of live (owner)
+// residencies settle the tenant-side accounting in place; completions of
+// draining migration sources in a sharded run instead emit an exchange
+// record delivered to the owner ε later at a barrier — the tenant may be
+// owned by another shard, and the ε rule applies at every shard count so
+// the shard mapping stays execution-only.
 func (f *Fleet) completed(dev *device, r *sharing.Request) {
 	res, ok := dev.residents[r.Client.ID]
 	if !ok {
 		return // completion for an already-released residency: impossible by construction
 	}
 	t := res.t
-	delete(t.pending, r.Seq)
+	lat := r.Latency()
 	res.pending--
 	dev.inflight--
-	lat := r.Latency()
 	if r.Failed {
-		t.failed++
 		dev.failed++
-		f.stats.Failed++
 	} else {
-		t.completed++
 		dev.completed++
-		f.stats.Completed++
-		t.latencySum += lat
 	}
 	if t.spec.SLOTarget > 0 {
 		if !r.Failed && lat <= t.spec.SLOTarget {
@@ -430,46 +516,100 @@ func (f *Fleet) completed(dev *device, r *sharing.Request) {
 		}
 	}
 	dev.slo.Observe(t.spec.Name, t.spec.SLOTarget, lat, r.Failed)
-	t.order = append(t.order, r.Seq)
-	if f.checker != nil {
-		f.checker.RequestCompleted(f.eng.Now(), t.spec.Name, r.Seq, dev.id, r.Failed)
+	sh := dev.shard
+	if f.sharded && res.draining {
+		drained := res.pending == 0
+		if drained {
+			f.finishDrainLocal(res, r.Done)
+		}
+		sh.outbox = append(sh.outbox, drainRec{
+			deliver: r.Done + f.eps, at: r.Done,
+			dev: dev.id, seq: dev.outSeq,
+			res: res, rseq: r.Seq, failed: r.Failed, lat: lat,
+			drained: drained,
+		})
+		dev.outSeq++
+		return
 	}
+	delete(t.pending, r.Seq)
+	if r.Failed {
+		t.failed++
+		sh.failed++
+	} else {
+		t.completed++
+		sh.done++
+		t.latencySum += lat
+		t.lats = append(t.lats, lat)
+	}
+	t.order = append(t.order, r.Seq)
+	f.noteCompleted(sh, r.Done, dev, t, r.Seq, r.Failed)
 	if res.draining && res.pending == 0 {
 		f.finishDrain(res)
 	}
-	if f.cfg.OnComplete != nil {
-		f.cfg.OnComplete(t.spec.Name, r)
+	if f.sharded {
+		f.scheduleNext(t, r.Seq, r.Done, 0)
 	}
 }
 
 // finishDrain retires a migration-source residency whose backlog has
 // finished: the runtime has released the client (graceful-leave semantics),
-// so the fleet-side subscription drops with it.
+// so the fleet-side subscription drops with it. Embedded mode and barriers
+// only; window-time drain finishes go through finishDrainLocal.
 func (f *Fleet) finishDrain(res *residency) {
 	dev, t := res.dev, res.t
 	delete(dev.residents, res.local)
 	dev.quota -= res.quota
 	dev.mem -= res.mem
-	for i, d := range t.drains {
-		if d == res {
-			t.drains = append(t.drains[:i], t.drains[i+1:]...)
-			break
-		}
-	}
+	f.removeDrain(t, res)
 	f.stats.MigrationsCompleted++
 	if f.checker != nil {
-		f.checker.TenantReleased(f.eng.Now(), t.spec.Name, dev.id)
+		f.checker.TenantReleased(f.now(), t.spec.Name, dev.id)
 	}
 }
 
-// Stats returns the control-plane counters.
-func (f *Fleet) Stats() Stats { return f.stats }
+// removeDrain unlinks a drain residency from its tenant (no-op when the
+// residency is not in the drain list) and settles the fleet-wide count.
+func (f *Fleet) removeDrain(t *tenant, res *residency) {
+	for i, d := range t.drains {
+		if d == res {
+			t.drains = append(t.drains[:i], t.drains[i+1:]...)
+			f.drainCount--
+			return
+		}
+	}
+}
+
+// Stats returns the control-plane counters, shard-local tallies merged.
+func (f *Fleet) Stats() Stats {
+	s := f.stats
+	for _, sh := range f.shards {
+		s.Routed += sh.routed
+		s.Completed += sh.done
+		s.Failed += sh.failed
+		s.MigrationsCompleted += sh.drained
+	}
+	return s
+}
 
 // Devices returns the pool size, retired and crashed devices included.
 func (f *Fleet) Devices() int { return len(f.devices) }
 
-// Engine returns the shared simulation engine.
+// Engine returns the shared simulation engine in embedded mode; nil for a
+// sharded fleet (devices live on per-shard engines there).
 func (f *Fleet) Engine() *sim.Engine { return f.eng }
+
+// Elapsed reports the fleet's virtual time: the furthest device clock in a
+// sharded run, the shared engine's clock in embedded mode.
+func (f *Fleet) Elapsed() sim.Time {
+	if !f.sharded {
+		return f.eng.Now()
+	}
+	at := f.set.Now()
+	if c := f.ctrl.Now(); c > at {
+		at = c
+	}
+	return at
+}
 
 // TenantResult is one tenant's final outcome.
 type TenantResult struct {
@@ -480,6 +620,7 @@ type TenantResult struct {
 	Completed  int
 	Failed     int
 	MeanLat    sim.Time
+	Latencies  []sim.Time // successful-request latencies, completion order
 	Migrations int
 	Evicted    bool
 }
@@ -496,6 +637,7 @@ func (f *Fleet) Results() []TenantResult {
 			Device:     -1,
 			Completed:  t.completed,
 			Failed:     t.failed,
+			Latencies:  t.lats,
 			Migrations: t.migrations,
 			Evicted:    t.evicted,
 		}

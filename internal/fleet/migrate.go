@@ -65,7 +65,7 @@ func (f *Fleet) armMoves() {
 		return
 	}
 	f.movesArmed = true
-	f.eng.Schedule(f.eng.Now(), f.applyMoves)
+	f.ctrl.Schedule(f.ctrl.Now(), f.applyMoves)
 }
 
 // applyMoves applies every migration collected this instant in canonical
@@ -110,8 +110,10 @@ func (f *Fleet) applyMove(m move) {
 	// Routing flips before the source starts leaving: there is no instant
 	// at which the tenant has nowhere to send requests.
 	t.host = dst
+	f.retarget(t)
 	src.draining = true
 	t.drains = append(t.drains, src)
+	f.drainCount++
 	t.migrations++
 	f.stats.Migrations++
 	if err := src.dev.rt.RemoveClient(src.local, false); err != nil {
@@ -119,6 +121,7 @@ func (f *Fleet) applyMove(m move) {
 		// keep accounting consistent by treating the source as drained.
 		src.draining = false
 		t.drains = t.drains[:len(t.drains)-1]
+		f.drainCount--
 		f.finishDrain(src)
 		return
 	}
@@ -143,7 +146,13 @@ func (f *Fleet) CrashDevice(id int) error {
 	if d.dead {
 		return fmt.Errorf("fleet: device %s already crashed", d.spec.Name)
 	}
-	now := f.eng.Now()
+	now := f.now()
+	if f.sharded {
+		// Deliver the device's in-flight exchange records first: those
+		// completions happened before the crash, and resubmitting them from
+		// the teardown would duplicate a delivery.
+		f.flushDead(id, now)
+	}
 	d.dead = true
 	d.retired = true
 	f.stats.DeviceCrashes++
@@ -170,12 +179,7 @@ func (f *Fleet) CrashDevice(id int) error {
 		if res.draining {
 			// A migration source died mid-drain: the tenant still has a
 			// live host elsewhere; only the stranded backlog needs help.
-			for i, dr := range t.drains {
-				if dr == res {
-					t.drains = append(t.drains[:i], t.drains[i+1:]...)
-					break
-				}
-			}
+			f.removeDrain(t, res)
 			f.stats.MigrationsCompleted++
 		} else {
 			t.host = nil
@@ -202,6 +206,7 @@ func (f *Fleet) CrashDevice(id int) error {
 			continue
 		}
 		t.host = res
+		f.retarget(t)
 		t.migrations++
 	}
 	for _, name := range f.names {
@@ -230,9 +235,9 @@ func (f *Fleet) resubmit(t *tenant, dead *device) {
 	}
 	sort.Ints(seqs)
 	host := t.host
-	now := f.eng.Now()
+	now := f.now()
 	for _, seq := range seqs {
-		r := f.arena.New(host.client, seq, now)
+		r := host.dev.shard.arena.New(host.client, seq, now)
 		host.dev.rt.Submit(r)
 		t.pending[seq] = host
 		host.pending++
@@ -251,6 +256,7 @@ func (f *Fleet) resubmit(t *tenant, dead *device) {
 func (f *Fleet) evict(t *tenant, dead *device) {
 	t.evicted = true
 	t.host = nil
+	f.cancelTimers(t)
 	f.stats.Evicted++
 	var lost []int
 	for seq, res := range t.pending {
@@ -264,6 +270,6 @@ func (f *Fleet) evict(t *tenant, dead *device) {
 	}
 	f.stats.LostToEviction += len(lost)
 	if f.checker != nil {
-		f.checker.TenantEvicted(f.eng.Now(), t.spec.Name, lost)
+		f.checker.TenantEvicted(f.now(), t.spec.Name, lost)
 	}
 }

@@ -156,7 +156,7 @@ type Snapshot struct {
 
 // Snapshot captures the current fleet state.
 func (f *Fleet) Snapshot() Snapshot {
-	s := Snapshot{At: f.eng.Now(), Epoch: f.epoch}
+	s := Snapshot{At: f.now(), Epoch: f.epoch}
 	for _, d := range f.devices {
 		live, draining := 0, 0
 		for local := 0; local < d.nextLocal; local++ {

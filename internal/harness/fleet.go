@@ -10,7 +10,6 @@ import (
 	"bless/internal/metrics"
 	"bless/internal/model"
 	"bless/internal/profiler"
-	"bless/internal/sharing"
 	"bless/internal/sim"
 )
 
@@ -65,6 +64,14 @@ type FleetScenario struct {
 	Migrations []FleetMigration
 	// DeviceCrashes kill pool devices mid-run (chaos schedule).
 	DeviceCrashes []chaos.DeviceEvent
+	// Shards is the engine-shard count (0 or 1 = single shard). Every
+	// count runs the same coordinator/exchange path and produces
+	// bit-identical digests; N > 1 runs device windows across N goroutines.
+	Shards int
+	// ShardOf optionally overrides the device→shard mapping — execution
+	// strategy only, so permuting it cannot move a digest (the metamorphic
+	// suite asserts exactly that).
+	ShardOf func(device int) int
 	// Invariants attaches the fleet invariant checker.
 	Invariants bool
 	// Repro tags invariant violations with a reproduction command.
@@ -114,7 +121,11 @@ func fleetProfile(app string, cfg sim.Config) (*model.App, *profiler.Profile, er
 	return a, p, nil
 }
 
-// RunFleet drives the scenario to completion and reports.
+// RunFleet drives the scenario to completion and reports. Every run — any
+// sc.Shards, including the default single shard — goes through the fleet's
+// sharded coordinator, so the closed-loop workload, migration drains and
+// crash recovery follow the same exchange semantics at every shard count
+// and the digests are bit-identical across counts and shard mappings.
 func RunFleet(sc FleetScenario) (*FleetResult, error) {
 	if len(sc.Tenants) == 0 {
 		return nil, fmt.Errorf("harness: fleet scenario has no tenants")
@@ -123,20 +134,12 @@ func RunFleet(sc FleetScenario) (*FleetResult, error) {
 	if horizon <= 0 {
 		horizon = 100 * sim.Millisecond
 	}
-	eng := sim.NewEngine()
 	var checker *invariant.FleetChecker
 	if sc.Invariants {
 		checker = invariant.NewFleetChecker(invariant.FleetOptions{Repro: sc.Repro})
 	}
 
-	lats := make(map[string][]sim.Time, len(sc.Tenants))
-	specs := make(map[string]FleetTenant, len(sc.Tenants))
-	for _, t := range sc.Tenants {
-		specs[t.Name] = t
-	}
-
-	var f *fleet.Fleet
-	f, err := fleet.New(eng, fleet.Config{
+	f, err := fleet.NewSharded(fleet.Config{
 		Seed:      sc.Seed,
 		Devices:   sc.Devices,
 		Runtime:   sc.Runtime,
@@ -145,20 +148,8 @@ func RunFleet(sc FleetScenario) (*FleetResult, error) {
 		Checker:   checker,
 		Rebalance: sc.Rebalance,
 		Autoscale: sc.Autoscale,
-		OnComplete: func(name string, r *sharing.Request) {
-			spec := specs[name]
-			if !r.Failed {
-				lats[name] = append(lats[name], r.Latency())
-			}
-			if spec.Requests > 0 && r.Seq >= spec.Requests-1 {
-				return
-			}
-			at := r.Done + spec.Think
-			if at > horizon {
-				return
-			}
-			eng.Schedule(at, func() { f.Submit(name) })
-		},
+		Shards:    sc.Shards,
+		ShardOf:   sc.ShardOf,
 	})
 	if err != nil {
 		return nil, err
@@ -167,35 +158,29 @@ func RunFleet(sc FleetScenario) (*FleetResult, error) {
 	for _, t := range sc.Tenants {
 		if err := f.Admit(fleet.TenantSpec{
 			Name: t.Name, App: t.App, Quota: t.Quota, SLOTarget: t.SLOTarget,
+			Think: t.Think, Requests: t.Requests,
 		}); err != nil {
 			return nil, err
 		}
 	}
-	for _, t := range sc.Tenants {
-		name := t.Name
-		eng.Schedule(0, func() { f.Submit(name) })
-	}
 	for _, m := range sc.Migrations {
-		m := m
-		eng.Schedule(m.At, func() { f.Migrate(m.Tenant, m.Target) })
+		f.ScheduleMigration(m.At, m.Tenant, m.Target)
 	}
 	for _, e := range sc.DeviceCrashes {
-		e := e
-		eng.Schedule(e.At, func() { f.CrashDevice(e.Device) })
+		f.ScheduleCrash(e.At, e.Device)
 	}
-	f.Start(horizon)
-
-	eng.RunUntil(horizon)
-	eng.Run() // drain in-flight work past the horizon
+	if err := f.Run(horizon); err != nil {
+		return nil, err
+	}
 
 	res := &FleetResult{
 		Devices: f.Snapshot().Devices,
 		Stats:   f.Stats(),
 		Digest:  f.CompletionDigest(),
-		Elapsed: eng.Now(),
+		Elapsed: f.Elapsed(),
 	}
 	for _, tr := range f.Results() {
-		sum := metrics.Summarize(lats[tr.Name])
+		sum := metrics.Summarize(tr.Latencies)
 		res.Tenants = append(res.Tenants, FleetTenantOutcome{
 			Name:       tr.Name,
 			App:        tr.App,
@@ -210,7 +195,7 @@ func RunFleet(sc FleetScenario) (*FleetResult, error) {
 		})
 	}
 	if checker != nil {
-		res.Invariants = checker.Report(eng.Now())
+		res.Invariants = checker.Report(f.Elapsed())
 	}
 	return res, nil
 }

@@ -1,0 +1,205 @@
+package harness
+
+import (
+	"fmt"
+	"testing"
+
+	"bless/internal/sim"
+)
+
+// Shard-determinism suite: the device→shard mapping of a sharded fleet run
+// is pure execution strategy, so neither the shard count nor the assignment
+// of devices to shards may move the completion digest or the invariant
+// checker's event digest by a single bit — including under chaos fault
+// plans that crash a device mid-migration across a shard boundary.
+
+// shardCounts are the counts the CI shard-determinism matrix runs; 3 is the
+// deliberately-awkward one (devices per shard uneven).
+var shardCounts = []int{1, 2, 3, 4, 8}
+
+func runAtShards(t *testing.T, sc FleetScenario, shards int) *FleetResult {
+	t.Helper()
+	sc.Shards = shards
+	res, err := RunFleet(sc)
+	if err != nil {
+		t.Fatalf("shards=%d: %v", shards, err)
+	}
+	if err := res.Invariants.Err(); err != nil {
+		t.Fatalf("shards=%d: invariants: %v", shards, err)
+	}
+	return res
+}
+
+// TestFleetShardCountDeterminism is the tentpole property: one scenario run
+// at 1, 2, 3, 4 and 8 shards produces bit-identical completion and checker
+// digests — the parallel run IS the serial run.
+func TestFleetShardCountDeterminism(t *testing.T) {
+	sc := smokeFleetScenario(7)
+	ref := runAtShards(t, sc, 1)
+	for _, n := range shardCounts[1:] {
+		got := runAtShards(t, sc, n)
+		if got.Digest != ref.Digest {
+			t.Fatalf("shards=%d completion digest %016x != serial %016x", n, got.Digest, ref.Digest)
+		}
+		if got.Invariants.Digest != ref.Invariants.Digest {
+			t.Fatalf("shards=%d checker digest %016x != serial %016x", n, got.Invariants.Digest, ref.Invariants.Digest)
+		}
+		if got.Stats != ref.Stats {
+			t.Fatalf("shards=%d stats diverge:\n got %+v\nwant %+v", n, got.Stats, ref.Stats)
+		}
+	}
+}
+
+// TestFleetShardMappingMetamorphic permutes the device→shard assignment at
+// a fixed shard count: round-robin, reversed, hashed, everything-on-one and
+// odd/even splits must all agree with the serial digest.
+func TestFleetShardMappingMetamorphic(t *testing.T) {
+	sc := smokeFleetScenario(11)
+	ref := runAtShards(t, sc, 1)
+	mappings := map[string]func(dev int) int{
+		"reversed":  func(dev int) int { return 3 - dev%4 },
+		"hashed":    func(dev int) int { return int(uint64(dev)*0x9e3779b97f4a7c15>>59) % 4 },
+		"all-on-0":  func(dev int) int { return 0 },
+		"odd-even":  func(dev int) int { return dev % 2 },
+		"div-block": func(dev int) int { return dev / 2 },
+	}
+	for name, mapping := range mappings {
+		perm := sc
+		perm.Shards = 4
+		perm.ShardOf = mapping
+		got, err := RunFleet(perm)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if got.Digest != ref.Digest {
+			t.Fatalf("mapping %s moved the completion digest: %016x vs %016x", name, got.Digest, ref.Digest)
+		}
+		if got.Invariants.Digest != ref.Invariants.Digest {
+			t.Fatalf("mapping %s moved the checker digest: %016x vs %016x", name, got.Invariants.Digest, ref.Invariants.Digest)
+		}
+	}
+}
+
+// TestFleetShardChaosCrossShard is the chaos half of the suite: a device
+// crash at the migration instant — sources draining, targets freshly
+// admitted, exchange records in flight — with a shard mapping that forces
+// every migration and crash recovery across a shard boundary. Digest
+// identity and the fleet invariant class (exactly-once delivery, no lost
+// requests) must survive at every shard count.
+func TestFleetShardChaosCrossShard(t *testing.T) {
+	base := smokeFleetScenario(13)
+	sc := base.WithDeviceCrash(1, base.Migrations[0].At)
+	sc.Repro = "fleet shard chaos seed 13"
+	ref := runAtShards(t, sc, 1)
+	if ref.Stats.DeviceCrashes != 1 {
+		t.Fatalf("want 1 crash, got %d", ref.Stats.DeviceCrashes)
+	}
+	if ref.Stats.Resubmitted == 0 {
+		t.Fatal("crash stranded no requests? expected re-submissions")
+	}
+	for _, n := range shardCounts[1:] {
+		got := runAtShards(t, sc, n)
+		if got.Digest != ref.Digest {
+			t.Fatalf("shards=%d crash-run digest %016x != serial %016x", n, got.Digest, ref.Digest)
+		}
+		if got.Invariants.Digest != ref.Invariants.Digest {
+			t.Fatalf("shards=%d crash-run checker digest diverged", n)
+		}
+		if got.Invariants.Lost != 0 {
+			t.Fatalf("shards=%d lost %d requests across the crash", n, got.Invariants.Lost)
+		}
+	}
+	// One-device-per-shard pushes every drain, delivery and recovery across
+	// a shard boundary; a pathological mapping pinning the crashed device
+	// alone on the last shard must change nothing either.
+	for name, mapping := range map[string]func(dev int) int{
+		"per-device": func(dev int) int { return dev },
+		"crash-alone": func(dev int) int {
+			if dev == 1 {
+				return 7
+			}
+			return dev % 3
+		},
+	} {
+		perm := sc
+		perm.Shards = 8
+		perm.ShardOf = mapping
+		got, err := RunFleet(perm)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if got.Digest != ref.Digest || got.Invariants.Digest != ref.Invariants.Digest {
+			t.Fatalf("mapping %s moved a crash-run digest", name)
+		}
+	}
+}
+
+// TestFleetShardDeterminismWide runs the full matrix on a second seed with
+// rebalancing pressure high enough to trigger control-plane migrations —
+// the rebalancer's moves must also be shard-count-invariant.
+func TestFleetShardDeterminismWide(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wide matrix skipped in -short")
+	}
+	for _, seed := range []int64{3, 29} {
+		sc := FleetScenarioN(seed, 32, 6, 80*sim.Millisecond)
+		ref := runAtShards(t, sc, 1)
+		for _, n := range []int{2, 5, 8} {
+			got := runAtShards(t, sc, n)
+			if got.Digest != ref.Digest || got.Invariants.Digest != ref.Invariants.Digest {
+				t.Fatalf("seed %d shards=%d digests diverged", seed, n)
+			}
+		}
+	}
+}
+
+// fleetShardedScenario is the 32-GPU benchmark scenario: BenchmarkFleetSmoke
+// scale in device count, trimmed in horizon so one iteration stays tractable.
+func fleetShardedScenario(seed int64) FleetScenario {
+	return FleetScenarioN(seed, 96, 32, 80*sim.Millisecond)
+}
+
+// benchmarkFleetSharded is the gated parallel-speedup envelope: the same
+// 32-GPU scenario at a fixed shard count. Entries for 1/4/8 shards live in
+// BENCH_sim.json; on a multi-core runner ns/op must fall as shards rise
+// while the digest stays pinned to the 1-shard run's.
+func benchmarkFleetSharded(b *testing.B, shards int) {
+	b.ReportAllocs()
+	sc := fleetShardedScenario(7)
+	sc.Shards = shards
+	var digest uint64
+	for i := 0; i < b.N; i++ {
+		res, err := RunFleet(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := res.Invariants.Err(); err != nil {
+			b.Fatal(err)
+		}
+		if digest == 0 {
+			digest = res.Digest
+		} else if res.Digest != digest {
+			b.Fatalf("digest drifted across iterations: %016x vs %016x", res.Digest, digest)
+		}
+	}
+}
+
+func BenchmarkFleetSharded1(b *testing.B) { benchmarkFleetSharded(b, 1) }
+func BenchmarkFleetSharded4(b *testing.B) { benchmarkFleetSharded(b, 4) }
+func BenchmarkFleetSharded8(b *testing.B) { benchmarkFleetSharded(b, 8) }
+
+// TestFleetShardedBenchScenarioDigest pins that the benchmark scenario
+// itself is shard-count-invariant (the benchmark only checks within one
+// count; this crosses counts once, cheaply, under -short skip).
+func TestFleetShardedBenchScenarioDigest(t *testing.T) {
+	if testing.Short() {
+		t.Skip("32-GPU matrix skipped in -short")
+	}
+	sc := fleetShardedScenario(7)
+	ref := runAtShards(t, sc, 1)
+	got := runAtShards(t, sc, 8)
+	if got.Digest != ref.Digest || got.Invariants.Digest != ref.Invariants.Digest {
+		t.Fatalf("32-GPU scenario digests diverge at 8 shards: %016x vs %016x", got.Digest, ref.Digest)
+	}
+	t.Log(fmt.Sprintf("32-GPU digest %016x stable at 1 and 8 shards", ref.Digest))
+}

@@ -216,3 +216,36 @@ func (e *Engine) RunUntil(deadline Time) {
 		e.now = deadline
 	}
 }
+
+// RunBefore fires events with timestamps strictly earlier than deadline,
+// then sets the clock to exactly deadline and returns. Events at or past the
+// deadline stay queued and fire in a later window. This is the window
+// primitive of the sharded fleet simulation: every shard runs [now, deadline)
+// locally, and all clocks agree at the barrier.
+func (e *Engine) RunBefore(deadline Time) {
+	e.stopped = false
+	for !e.stopped {
+		for len(e.events) > 0 && e.events[0].canceled {
+			e.recycle(heap.Pop(&e.events).(*Event))
+		}
+		if len(e.events) == 0 || e.events[0].at >= deadline {
+			break
+		}
+		e.Step()
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+}
+
+// PeekTime reports the timestamp of the earliest live (non-canceled) pending
+// event. ok is false when no live event is queued.
+func (e *Engine) PeekTime() (at Time, ok bool) {
+	for len(e.events) > 0 && e.events[0].canceled {
+		e.recycle(heap.Pop(&e.events).(*Event))
+	}
+	if len(e.events) == 0 {
+		return 0, false
+	}
+	return e.events[0].at, true
+}

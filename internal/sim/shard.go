@@ -1,0 +1,134 @@
+package sim
+
+import "sync"
+
+// ShardSet is a group of engines advanced in lock-step windows: every shard
+// runs its local events for the same virtual-time window [W, B) on its own
+// goroutine, then all shards meet at a barrier with their clocks agreeing at
+// exactly B. Shards must not share mutable state inside a window; anything
+// that crosses shards belongs at the barrier, where the caller has exclusive
+// single-threaded access to every engine.
+//
+// A ShardSet adds no semantics of its own — it is pure execution strategy.
+// Callers that want a parallel run to be bit-identical to a one-shard run
+// must put every cross-shard interaction behind a barrier with a canonical
+// order (see internal/fleet for the exchange that does this).
+type ShardSet struct {
+	engines []*Engine
+
+	// Persistent workers: one goroutine per extra shard, fed a deadline per
+	// window. Shard 0 always runs on the caller's goroutine, so a one-shard
+	// set degenerates to plain serial execution with zero synchronization.
+	work []chan Time
+	wg   sync.WaitGroup
+}
+
+// NewShardSet returns n engines, all at time zero. n must be >= 1.
+func NewShardSet(n int) *ShardSet {
+	if n < 1 {
+		n = 1
+	}
+	s := &ShardSet{engines: make([]*Engine, n)}
+	for i := range s.engines {
+		s.engines[i] = NewEngine()
+	}
+	if n > 1 {
+		s.work = make([]chan Time, n-1)
+		for i := range s.work {
+			ch := make(chan Time)
+			s.work[i] = ch
+			eng := s.engines[i+1]
+			go func() {
+				for deadline := range ch {
+					if deadline == drainSentinel {
+						eng.Run()
+					} else {
+						eng.RunBefore(deadline)
+					}
+					s.wg.Done()
+				}
+			}()
+		}
+	}
+	return s
+}
+
+// drainSentinel makes a worker drain its engine completely (Run) instead of
+// running a bounded window. No real window uses a negative deadline.
+const drainSentinel = Time(-1)
+
+// Len reports the shard count.
+func (s *ShardSet) Len() int { return len(s.engines) }
+
+// Shard returns shard i's engine.
+func (s *ShardSet) Shard(i int) *Engine { return s.engines[i] }
+
+// RunBefore advances every shard through the window ending at deadline:
+// each engine fires its local events with timestamps strictly earlier than
+// deadline (in parallel across shards) and ends with its clock at exactly
+// deadline. Returns only after every shard has finished the window, so the
+// caller observes a full barrier.
+func (s *ShardSet) RunBefore(deadline Time) {
+	s.dispatch(deadline)
+}
+
+// Run drains every shard completely in parallel — the final window, used
+// once no cross-shard work can be generated anymore. Clocks end at each
+// shard's own last event time.
+func (s *ShardSet) Run() {
+	s.dispatch(drainSentinel)
+}
+
+func (s *ShardSet) dispatch(deadline Time) {
+	if len(s.engines) == 1 {
+		if deadline == drainSentinel {
+			s.engines[0].Run()
+		} else {
+			s.engines[0].RunBefore(deadline)
+		}
+		return
+	}
+	s.wg.Add(len(s.work))
+	for _, ch := range s.work {
+		ch <- deadline
+	}
+	if deadline == drainSentinel {
+		s.engines[0].Run()
+	} else {
+		s.engines[0].RunBefore(deadline)
+	}
+	s.wg.Wait()
+}
+
+// PeekTime reports the earliest live event time across all shards; ok is
+// false when every shard is drained. Only call at a barrier.
+func (s *ShardSet) PeekTime() (Time, bool) {
+	var min Time
+	found := false
+	for _, e := range s.engines {
+		if at, ok := e.PeekTime(); ok && (!found || at < min) {
+			min, found = at, true
+		}
+	}
+	return min, found
+}
+
+// Now reports the maximum clock across shards — the set's notion of elapsed
+// virtual time after a drain. At a barrier all clocks agree.
+func (s *ShardSet) Now() Time {
+	var max Time
+	for _, e := range s.engines {
+		if n := e.Now(); n > max {
+			max = n
+		}
+	}
+	return max
+}
+
+// Close stops the worker goroutines. The engines stay usable serially.
+func (s *ShardSet) Close() {
+	for _, ch := range s.work {
+		close(ch)
+	}
+	s.work = nil
+}

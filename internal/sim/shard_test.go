@@ -1,0 +1,165 @@
+package sim
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// TestRunBeforeWindowSemantics pins the window primitive: strictly-before
+// firing, clock landing exactly on the deadline, queued events surviving.
+func TestRunBeforeWindowSemantics(t *testing.T) {
+	e := NewEngine()
+	var fired []Time
+	for _, at := range []Time{5, 10, 15, 20} {
+		at := at
+		e.Schedule(at, func() { fired = append(fired, at) })
+	}
+	e.RunBefore(15)
+	if len(fired) != 2 || fired[0] != 5 || fired[1] != 10 {
+		t.Fatalf("RunBefore(15) fired %v, want [5 10]", fired)
+	}
+	if e.Now() != 15 {
+		t.Fatalf("clock at %v after RunBefore(15), want 15", e.Now())
+	}
+	// The event at exactly the deadline fires in the next window.
+	e.RunBefore(16)
+	if len(fired) != 3 || fired[2] != 15 {
+		t.Fatalf("second window fired %v, want the deadline event", fired)
+	}
+	e.Run()
+	if len(fired) != 4 {
+		t.Fatalf("drain fired %v", fired)
+	}
+}
+
+// TestRunBeforeSchedulesWithinWindow: events scheduled by callbacks inside
+// the window still fire if they land before the deadline.
+func TestRunBeforeSchedulesWithinWindow(t *testing.T) {
+	e := NewEngine()
+	n := 0
+	e.Schedule(1, func() {
+		n++
+		e.Schedule(2, func() { n++ })
+		e.Schedule(9, func() { n++ }) // at deadline: next window
+	})
+	e.RunBefore(9)
+	if n != 2 {
+		t.Fatalf("fired %d events in window, want 2", n)
+	}
+	if at, ok := e.PeekTime(); !ok || at != 9 {
+		t.Fatalf("PeekTime = %v,%v, want 9,true", at, ok)
+	}
+}
+
+// TestPeekTimeSkipsCanceled: canceled heads are discarded, not reported.
+func TestPeekTimeSkipsCanceled(t *testing.T) {
+	e := NewEngine()
+	ev := e.Schedule(3, func() {})
+	e.Schedule(7, func() {})
+	ev.Cancel()
+	if at, ok := e.PeekTime(); !ok || at != 7 {
+		t.Fatalf("PeekTime = %v,%v, want 7,true", at, ok)
+	}
+	e.Run()
+	if _, ok := e.PeekTime(); ok {
+		t.Fatal("PeekTime reports events on a drained engine")
+	}
+}
+
+// TestShardSetLockStep: shards advance through identical windows and agree
+// on the clock at every barrier; per-shard event streams are undisturbed.
+func TestShardSetLockStep(t *testing.T) {
+	s := NewShardSet(4)
+	defer s.Close()
+	var counts [4]int64
+	for i := 0; i < s.Len(); i++ {
+		i := i
+		eng := s.Shard(i)
+		var tick func()
+		next := Time(i + 1)
+		tick = func() {
+			atomic.AddInt64(&counts[i], 1)
+			next += Time(i + 1)
+			if next <= 100 {
+				eng.Schedule(next, tick)
+			}
+		}
+		eng.Schedule(next, tick)
+	}
+	for w := Time(10); w <= 110; w += 10 {
+		s.RunBefore(w)
+		for i := 0; i < s.Len(); i++ {
+			if got := s.Shard(i).Now(); got != w {
+				t.Fatalf("shard %d clock %v at barrier %v", i, got, w)
+			}
+		}
+	}
+	for i, want := range []int64{100, 50, 33, 25} {
+		if counts[i] != want {
+			t.Fatalf("shard %d fired %d events, want %d", i, counts[i], want)
+		}
+	}
+}
+
+// TestShardSetMatchesSerial: the same workload split over 1 and 3 shards
+// produces identical per-stream firing orders — the execution-strategy-only
+// guarantee the fleet's digest identity builds on.
+func TestShardSetMatchesSerial(t *testing.T) {
+	run := func(shards int) [3][]Time {
+		s := NewShardSet(shards)
+		defer s.Close()
+		var got [3][]Time
+		for d := 0; d < 3; d++ {
+			d := d
+			eng := s.Shard(d % shards)
+			step := Time(3 + d)
+			var at Time
+			var tick func()
+			tick = func() {
+				got[d] = append(got[d], eng.Now())
+				at += step
+				if at < 60 {
+					eng.Schedule(at, tick)
+				}
+			}
+			at = step
+			eng.Schedule(at, tick)
+		}
+		for w := Time(20); w <= 80; w += 20 {
+			s.RunBefore(w)
+		}
+		s.Run()
+		return got
+	}
+	a, b := run(1), run(3)
+	for d := 0; d < 3; d++ {
+		if len(a[d]) != len(b[d]) {
+			t.Fatalf("stream %d length differs: %d vs %d", d, len(a[d]), len(b[d]))
+		}
+		for i := range a[d] {
+			if a[d][i] != b[d][i] {
+				t.Fatalf("stream %d diverges at %d: %v vs %v", d, i, a[d][i], b[d][i])
+			}
+		}
+	}
+}
+
+// TestShardSetDrain: Run drains all shards in parallel.
+func TestShardSetDrain(t *testing.T) {
+	s := NewShardSet(2)
+	defer s.Close()
+	var n int64
+	for i := 0; i < s.Len(); i++ {
+		eng := s.Shard(i)
+		for at := Time(1); at <= 5; at++ {
+			eng.Schedule(at, func() { atomic.AddInt64(&n, 1) })
+		}
+	}
+	s.Run()
+	if n != 10 {
+		t.Fatalf("drained %d events, want 10", n)
+	}
+	if _, ok := s.PeekTime(); ok {
+		t.Fatal("events left after Run")
+	}
+}

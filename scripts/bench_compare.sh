@@ -13,18 +13,35 @@ set -eu
 cd "$(dirname "$0")/.."
 
 out=$(mktemp)
-trap 'rm -f "$out"' EXIT
+step=$(mktemp)
+trap 'rm -f "$out" "$step"' EXIT
+
+# bench <pattern> <package>: run one benchmark invocation, echo its output
+# and append it to the comparison transcript. POSIX sh has no pipefail, so a
+# plain `go test | tee` would mask a benchmark failure behind tee's exit 0 —
+# capture to a file first and propagate go test's status explicitly.
+bench() {
+    if ! go test -run '^$' -bench "$1" -benchmem "$2" >"$step" 2>&1; then
+        cat "$step" >&2
+        echo "bench_compare.sh: benchmark $1 in $2 failed" >&2
+        exit 1
+    fi
+    cat "$step"
+    cat "$step" >>"$out"
+}
 
 echo "== bench: simulator hot path =="
-go test -run '^$' -bench 'BenchmarkReschedule$|BenchmarkKernelHotPathUntraced$' -benchmem ./internal/sim/ | tee -a "$out"
+bench 'BenchmarkReschedule$|BenchmarkKernelHotPathUntraced$' ./internal/sim/
 echo "== bench: untraced observability fast path (must stay zero-alloc) =="
-go test -run '^$' -bench 'BenchmarkUntracedSpanPath$' -benchmem ./internal/obs/ | tee -a "$out"
+bench 'BenchmarkUntracedSpanPath$' ./internal/obs/
 echo "== bench: experiment batch (serial vs parallel executor) =="
-go test -run '^$' -bench 'BenchmarkExperimentBatch' -benchmem ./internal/harness/ | tee -a "$out"
+bench 'BenchmarkExperimentBatch' ./internal/harness/
 echo "== bench: end-to-end simulator throughput =="
-go test -run '^$' -bench 'BenchmarkSimulatorThroughput$' -benchmem . | tee -a "$out"
+bench 'BenchmarkSimulatorThroughput$' .
 echo "== bench: fleet control plane (smoke scenario) =="
-go test -run '^$' -bench 'BenchmarkFleetSmoke$' -benchmem ./internal/harness/ | tee -a "$out"
+bench 'BenchmarkFleetSmoke$' ./internal/harness/
+echo "== bench: sharded fleet engine (32-GPU scenario at 1/4/8 shards) =="
+bench 'BenchmarkFleetSharded(1|4|8)$' ./internal/harness/
 
 mode=""
 if [ -n "${RECORD:-}" ]; then

@@ -11,6 +11,24 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
+# Preflight: fail fast with a real message instead of dying mid-gate on the
+# first `go` invocation. `command -v` covers a missing toolchain; the version
+# probe covers a toolchain that exists but cannot run (e.g. the go.mod
+# toolchain directive needs a download and the module cache / GOTOOLCHAIN
+# area is cold or read-only).
+if ! command -v go >/dev/null 2>&1; then
+    echo "check.sh: 'go' not found on PATH — install the Go toolchain (go.mod pins the version)" >&2
+    exit 1
+fi
+if ! go version >/dev/null 2>&1; then
+    echo "check.sh: 'go version' failed — the toolchain pinned by go.mod may need a download and the cache is cold; run 'go version' by hand to see why" >&2
+    exit 1
+fi
+if ! command -v gofmt >/dev/null 2>&1; then
+    echo "check.sh: 'gofmt' not found on PATH — it ships with the Go toolchain" >&2
+    exit 1
+fi
+
 SHORT="${SHORT:-}"
 short_flag=""
 if [ -n "$SHORT" ]; then
@@ -57,6 +75,13 @@ echo "== fleet control plane =="
 # invariant passes and the digest is bit-identical across serial, parallel
 # and migration-order-permuted runs.
 go run ./cmd/blessbench -fleet -smoke
+
+echo "== fleet shard determinism =="
+# The sharded engine gate: the smoke fleet scenario (with a device crash
+# timed mid-migration) run on 1 shard, on 4 engine shards, and with the
+# device→shard mapping reversed must produce bit-identical completion and
+# checker digests. CI runs the full-scale matrix at 1/2/4/8 shards.
+go run ./cmd/blessbench -fleet -smoke -shards 4
 
 echo "== determinism =="
 # Same-seed runs must produce byte-identical event digests, and the
