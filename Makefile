@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check test test-race test-sim-nondeterminism bench bench-smoke bench-compare fmt
+.PHONY: check test test-race test-sim-nondeterminism test-sim-import-export test-sim-after-import bench bench-smoke bench-compare fmt
 
 ## check: formatting, vet, build, race tests, invariant + determinism stages
 check:
@@ -28,6 +28,23 @@ test-sim-nondeterminism:
 	INVARIANT_SEEDS=$(or $(INVARIANT_SEEDS),8) $(GO) test -race -count=1 \
 		-run 'TestDeterminismDigest|TestMetamorphicInvariantVerdicts|TestRandomDeploymentsInvariants|TestDigestCorpus' \
 		./internal/harness/
+
+## test-sim-import-export: the export-side snapshot gate — the wire format
+## (round trip, golden header/digest, forward-incompatibility and corruption
+## rejection) plus the export matrix: snapshots cut at every barrier point
+## must be bit-identical across exporting shard counts.
+test-sim-import-export:
+	$(GO) test -race -count=1 ./internal/snapshot/
+	$(GO) test -race -count=1 \
+		-run 'TestImportExport|TestSnapshotMidFaultRetry|TestSnapshotCrashRecovery|TestSnapshotQuiescent|TestSnapshotRejectsUnserializable|TestVerifyImport' \
+		./internal/harness/
+
+## test-sim-after-import: the restore-side gate — import, replay to the
+## barrier, byte-identity proof, continue; completion digest, checker digest
+## and stats must match the uninterrupted run across the multi-seed ×
+## barrier-point × shard-count matrix (including cross-count export/import).
+test-sim-after-import:
+	$(GO) test -race -count=1 -run 'TestSimulationAfterImport' ./internal/harness/
 
 ## bench: the repository-root micro/macro benchmarks
 bench:

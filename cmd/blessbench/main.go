@@ -35,6 +35,16 @@
 // shard, on N shards, and on N shards with the device→shard mapping
 // reversed; any completion- or checker-digest drift fails the run and
 // writes a repro string to -repro-out (the CI artifact).
+//
+// Snapshot/restore: -fleet -snapshot FILE cuts the fleet scenario at a
+// virtual-time barrier (-snapshot-at, in virtual milliseconds; default half
+// the horizon) and writes the canonical digest-sealed snapshot to FILE.
+// -snapshot-import FILE restores one in a fresh process: the embedded
+// scenario is replayed to the barrier, the replayed state proven
+// byte-identical to the snapshot's state section, and the run continued to
+// completion — failing unless completion digest, checker digest and stats
+// match an uninterrupted run. -shards applies to the replay side too, so an
+// export cut at one shard count restores at any other.
 package main
 
 import (
@@ -65,11 +75,33 @@ func main() {
 	parallel := flag.Int("parallel", 0, "worker count for independent experiment runs (0 = GOMAXPROCS, 1 = serial); output is identical at any setting")
 	shards := flag.Int("shards", 0, "with -fleet: engine-shard count for the sharded run; compares its digests against the 1-shard reference and fails on any drift (0 = legacy three-way check)")
 	reproOut := flag.String("repro-out", "fleet-shard-repro.txt", "with -fleet -shards: file the repro string is written to when digests mismatch (the CI artifact)")
+	snapPath := flag.String("snapshot", "", "with -fleet: cut the scenario at a virtual-time barrier and write the canonical snapshot to this file")
+	snapAt := flag.Float64("snapshot-at", 0, "with -fleet -snapshot: barrier instant in virtual milliseconds (0 = half the horizon)")
+	snapImport := flag.String("snapshot-import", "", "restore a snapshot file in this process: replay to the barrier, prove byte-identity, continue, and verify digests against the uninterrupted run (-shards overrides the replay shard count)")
 	flag.Parse()
 
 	if *invariants {
 		repro := "go run ./cmd/blessbench " + strings.Join(os.Args[1:], " ")
 		harness.EnableInvariants(invariant.Options{FailOnViolation: true, Repro: repro})
+	}
+
+	if *snapImport != "" {
+		if err := runSnapshotImport(*snapImport, *shards); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *snapPath != "" {
+		if !*fleetFlag {
+			fmt.Fprintln(os.Stderr, "-snapshot needs -fleet (it cuts the fleet scenario)")
+			os.Exit(2)
+		}
+		if err := runSnapshotExport(*snapPath, smoke.set && smoke.val == "", *seed, *shards, *snapAt); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	if *fleetFlag {

@@ -246,14 +246,30 @@ func fleetProfile(app string, cfg sim.Config) (*model.App, *profiler.Profile, er
 // invariant class is enforced: any violation fails the plan. The resulting
 // fleet state lands on /debug/bless/fleet.
 func (p *Planner) FleetPlan(req FleetPlanRequest, reply *FleetPlanReply) error {
-	specs, err := fleetDevices(req.Devices)
+	sc, err := fleetScenarioOf(req, "Planner.FleetPlan")
 	if err != nil {
 		p.reg.Counter("plan_errors_total").Inc()
 		return err
 	}
-	if len(req.Tenants) == 0 {
+	res, err := harness.RunFleet(sc)
+	if err != nil {
 		p.reg.Counter("plan_errors_total").Inc()
-		return fmt.Errorf("planner: fleet plan has no tenants")
+		return err
+	}
+	p.reg.Counter("plans/fleet").Inc()
+	return p.finishFleetPlan(res, reply)
+}
+
+// fleetScenarioOf converts a fleet plan request to the declarative harness
+// scenario — shared by FleetPlan, FleetMigrate and the Snapshot RPC. The
+// fleet invariant checker is always attached.
+func fleetScenarioOf(req FleetPlanRequest, repro string) (harness.FleetScenario, error) {
+	specs, err := fleetDevices(req.Devices)
+	if err != nil {
+		return harness.FleetScenario{}, err
+	}
+	if len(req.Tenants) == 0 {
+		return harness.FleetScenario{}, fmt.Errorf("planner: fleet plan has no tenants")
 	}
 	horizon := ms(req.HorizonMS)
 	if horizon <= 0 {
@@ -265,7 +281,7 @@ func (p *Planner) FleetPlan(req FleetPlanRequest, reply *FleetPlanReply) error {
 		Horizon:    horizon,
 		Policy:     fleetPolicy(req.Policy),
 		Invariants: true,
-		Repro:      "Planner.FleetPlan",
+		Repro:      repro,
 	}
 	for i, t := range req.Tenants {
 		name := t.Name
@@ -301,14 +317,17 @@ func (p *Planner) FleetPlan(req FleetPlanRequest, reply *FleetPlanReply) error {
 			Max:      maxDev,
 		}
 	}
+	return sc, nil
+}
 
-	res, err := harness.RunFleet(sc)
-	if err != nil {
-		p.reg.Counter("plan_errors_total").Inc()
-		return err
-	}
-	for _, v := range res.Invariants.Violations {
-		reply.Violations = append(reply.Violations, v.Error())
+// finishFleetPlan fills the reply from a finished fleet run, publishes the
+// state on /debug/bless/fleet, and fails on any invariant violation — the
+// shared tail of FleetPlan and Restore.
+func (p *Planner) finishFleetPlan(res *harness.FleetResult, reply *FleetPlanReply) error {
+	if res.Invariants != nil {
+		for _, v := range res.Invariants.Violations {
+			reply.Violations = append(reply.Violations, v.Error())
+		}
 	}
 	reply.Stats = res.Stats
 	reply.Devices = res.Devices
@@ -329,17 +348,20 @@ func (p *Planner) FleetPlan(req FleetPlanRequest, reply *FleetPlanReply) error {
 		})
 	}
 
+	var events int64
+	if res.Invariants != nil {
+		events = res.Invariants.Events
+	}
 	p.mu.Lock()
 	p.lastFleet = &fleetState{
 		Devices: res.Devices,
 		Tenants: reply.Tenants,
 		Stats:   res.Stats,
 		Digest:  reply.Digest,
-		Events:  res.Invariants.Events,
+		Events:  events,
 	}
 	p.mu.Unlock()
 	p.reg.Counter("plans_total").Inc()
-	p.reg.Counter("plans/fleet").Inc()
 	if len(reply.Violations) > 0 {
 		p.reg.Counter("plan_errors_total").Inc()
 		return fmt.Errorf("planner: fleet invariants violated: %s", reply.Violations[0])

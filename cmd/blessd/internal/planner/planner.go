@@ -102,6 +102,9 @@ type Planner struct {
 	fleet obs.Snapshot
 	// lastFleet is the most recent fleet plan's state (/debug/bless/fleet).
 	lastFleet *fleetState
+	// lastSnapshot is the most recent Planner.Snapshot's canonical bytes
+	// (/debug/bless/snapshot).
+	lastSnapshot []byte
 }
 
 // New returns a Planner.

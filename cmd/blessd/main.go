@@ -45,6 +45,9 @@
 //	GET /debug/bless/fleet    most recent fleet plan's state: per-device
 //	                          load, tenant placements, control-plane
 //	                          counters, determinism digest
+//	GET /debug/bless/snapshot most recent Planner.Snapshot's raw canonical
+//	                          bytes (download, restart, feed back through
+//	                          Planner.Restore)
 //	GET /debug/pprof/         Go runtime profiles (net/http/pprof)
 //	GET /debug/vars           expvar JSON (memstats, cmdline)
 //
@@ -59,6 +62,13 @@
 // autoscaling, device crashes) under the fleet invariant checker, and
 // Planner.FleetMigrate is the migration what-if variant (see
 // FleetRouteRequest/FleetPlanRequest).
+//
+// Fleet runs snapshot and restore across process boundaries:
+// Planner.Snapshot cuts a scenario at a virtual-time barrier and returns its
+// canonical, digest-sealed encoding; Planner.Restore replays the embedded
+// scenario to the barrier, proves the replayed state byte-identical to the
+// snapshot, and continues the run to completion — digests match the
+// uninterrupted run bit for bit (see SnapshotRequest/RestoreRequest).
 package main
 
 import (
@@ -96,6 +106,7 @@ func main() {
 		mux.HandleFunc("/debug/bless/prom", p.ServeProm)
 		mux.HandleFunc("/debug/bless/slo", p.ServeSLO)
 		mux.HandleFunc("/debug/bless/fleet", p.ServeFleet)
+		mux.HandleFunc("/debug/bless/snapshot", p.ServeSnapshot)
 		// Standard Go introspection, kept off the default mux so the RPC
 		// surface stays clean: runtime profiles and expvar.
 		mux.HandleFunc("/debug/pprof/", pprof.Index)

@@ -1,0 +1,40 @@
+package core
+
+import "bless/internal/snapshot"
+
+// ExportState captures the runtime's serializable logical state in canonical
+// client-ID order: per-client quotas, backlogs and in-service progress, the
+// squad counters, and the fault/retry counters. Pending engine events
+// (kernel completions, retries, deadline timers) are closures and are not
+// captured here — the fleet export records their firing instants and the
+// import proof reconstructs them by replay.
+func (rt *Runtime) ExportState() snapshot.RuntimeState {
+	st := snapshot.RuntimeState{
+		SquadsExecuted:   rt.squadsExecuted,
+		SpatialSquads:    rt.spatialSquads,
+		KernelsScheduled: rt.kernelsScheduled,
+		ConfigsEvaluated: rt.configsEvaluated,
+		SquadRunning:     rt.squadRunning,
+		Faults:           snapshot.FaultCounts(rt.faults),
+	}
+	st.Clients = make([]snapshot.ClientState, 0, len(rt.clients))
+	for _, cs := range rt.clients {
+		c := snapshot.ClientState{
+			ID:          cs.c.ID,
+			Provisioned: cs.prov,
+			Effective:   cs.c.Quota,
+			Queued:      len(cs.queue),
+			ActiveSeq:   -1,
+			Leaving:     cs.leaving,
+			Dead:        cs.dead,
+			Released:    cs.released,
+		}
+		if cs.active != nil {
+			c.ActiveSeq = cs.active.req.Seq
+			c.ActiveNextK = cs.active.nextK
+			c.ActiveInFlight = cs.active.inFlight
+		}
+		st.Clients = append(st.Clients, c)
+	}
+	return st
+}

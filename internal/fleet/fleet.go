@@ -88,6 +88,12 @@ type Config struct {
 	Devices []DeviceSpec
 	// Runtime tunes every device's BLESS runtime.
 	Runtime core.Options
+	// InjectorFor, when set, builds a per-device fault injector attached to
+	// that device's runtime (overriding Runtime.Injector). Injectors are
+	// per-device so each is touched only by its device's shard — sharing one
+	// stateful injector across devices would make fault decisions depend on
+	// the shard mapping.
+	InjectorFor func(device int) core.FaultInjector
 	// Policy selects the routing policy (default PolicyLeastLoaded).
 	Policy Policy
 	// Profile resolves per-device-class profiles (default: profile from
@@ -220,6 +226,8 @@ type Fleet struct {
 	shards  []*shardState
 	eps     sim.Time // exchange latency ε, the windows' lookahead bound
 	horizon sim.Time
+	began   bool       // Begin ran: timers armed, control ticks scheduled
+	window  sim.Time   // start of the current lock-step window (last barrier)
 	inbox   []drainRec // pending cross-shard deliveries, (deliver, dev, seq) order
 	chkBuf  []chkRec   // scratch for the per-window checker-event sort
 
@@ -332,12 +340,16 @@ func (f *Fleet) AddDevice(spec DeviceSpec) (int, error) {
 		spec.Name = fmt.Sprintf("gpu%d", len(f.devices))
 	}
 	sh := f.shards[f.shardIndex(len(f.devices))]
+	opts := f.cfg.Runtime
+	if f.cfg.InjectorFor != nil {
+		opts.Injector = f.cfg.InjectorFor(len(f.devices))
+	}
 	d := &device{
 		id:        len(f.devices),
 		spec:      spec,
 		cfg:       cfg,
 		gpu:       sim.NewGPU(sh.eng, cfg),
-		rt:        core.New(f.cfg.Runtime),
+		rt:        core.New(opts),
 		bus:       obs.NewBus(),
 		reg:       obs.NewRegistry(),
 		slo:       obs.NewSLOTracker(),

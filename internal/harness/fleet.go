@@ -72,10 +72,46 @@ type FleetScenario struct {
 	// strategy only, so permuting it cannot move a digest (the metamorphic
 	// suite asserts exactly that).
 	ShardOf func(device int) int
+	// ExchangeLatency overrides the cross-device handoff latency ε (0 =
+	// fleet.DefaultExchangeLatency).
+	ExchangeLatency sim.Time
+	// Faults, when set, attaches a seeded per-device kernel/context fault
+	// injector to every device runtime. Unlike a raw Runtime.Injector it is
+	// declarative, so scenarios carrying it snapshot and replay exactly —
+	// including barriers cut mid-fault-retry with backoff timers pending.
+	Faults *FleetFaultPlan
 	// Invariants attaches the fleet invariant checker.
 	Invariants bool
 	// Repro tags invariant violations with a reproduction command.
 	Repro string
+}
+
+// FleetFaultPlan is a declarative fleet-wide fault spec: each device gets
+// its own chaos.Injector compiled from these rates under a device-derived
+// seed, so fault decisions are pure in (seed, device, client, seq, kernel,
+// attempt) and independent of the shard mapping.
+type FleetFaultPlan struct {
+	// Seed keys every hashed fault decision (device-mixed per injector).
+	Seed int64
+	// KernelFaultRate / MaxFaultsPerKernel / CtxFaultRate mirror chaos.Plan.
+	KernelFaultRate    float64
+	MaxFaultsPerKernel int
+	CtxFaultRate       float64
+}
+
+// injectorFor builds the per-device injector factory for the plan.
+func (p *FleetFaultPlan) injectorFor() func(device int) core.FaultInjector {
+	plan := *p
+	return func(device int) core.FaultInjector {
+		return chaos.NewInjector(chaos.Plan{
+			// splitmix-style device mix keeps per-device decision streams
+			// decorrelated while staying pure in (Seed, device).
+			Seed:               plan.Seed ^ int64(uint64(device+1)*0x9E3779B97F4A7C15),
+			KernelFaultRate:    plan.KernelFaultRate,
+			MaxFaultsPerKernel: plan.MaxFaultsPerKernel,
+			CtxFaultRate:       plan.CtxFaultRate,
+		})
+	}
 }
 
 // FleetTenantOutcome is one tenant's result.
@@ -127,8 +163,23 @@ func fleetProfile(app string, cfg sim.Config) (*model.App, *profiler.Profile, er
 // crash recovery follow the same exchange semantics at every shard count
 // and the digests are bit-identical across counts and shard mappings.
 func RunFleet(sc FleetScenario) (*FleetResult, error) {
+	f, checker, horizon, err := buildFleet(sc)
+	if err != nil {
+		return nil, err
+	}
+	if err := f.Run(horizon); err != nil {
+		return nil, err
+	}
+	return fleetReport(f, checker), nil
+}
+
+// buildFleet assembles the scenario's fleet without running it: pool built,
+// tenants admitted at t=0, migration and crash triggers armed. RunFleet
+// drives the result to completion; the snapshot export/import paths drive it
+// barrier by barrier.
+func buildFleet(sc FleetScenario) (*fleet.Fleet, *invariant.FleetChecker, sim.Time, error) {
 	if len(sc.Tenants) == 0 {
-		return nil, fmt.Errorf("harness: fleet scenario has no tenants")
+		return nil, nil, 0, fmt.Errorf("harness: fleet scenario has no tenants")
 	}
 	horizon := sc.Horizon
 	if horizon <= 0 {
@@ -139,20 +190,26 @@ func RunFleet(sc FleetScenario) (*FleetResult, error) {
 		checker = invariant.NewFleetChecker(invariant.FleetOptions{Repro: sc.Repro})
 	}
 
+	var injectorFor func(device int) core.FaultInjector
+	if sc.Faults != nil {
+		injectorFor = sc.Faults.injectorFor()
+	}
 	f, err := fleet.NewSharded(fleet.Config{
-		Seed:      sc.Seed,
-		Devices:   sc.Devices,
-		Runtime:   sc.Runtime,
-		Policy:    sc.Policy,
-		Profile:   fleetProfile,
-		Checker:   checker,
-		Rebalance: sc.Rebalance,
-		Autoscale: sc.Autoscale,
-		Shards:    sc.Shards,
-		ShardOf:   sc.ShardOf,
+		Seed:            sc.Seed,
+		Devices:         sc.Devices,
+		Runtime:         sc.Runtime,
+		InjectorFor:     injectorFor,
+		Policy:          sc.Policy,
+		Profile:         fleetProfile,
+		Checker:         checker,
+		Rebalance:       sc.Rebalance,
+		Autoscale:       sc.Autoscale,
+		Shards:          sc.Shards,
+		ShardOf:         sc.ShardOf,
+		ExchangeLatency: sc.ExchangeLatency,
 	})
 	if err != nil {
-		return nil, err
+		return nil, nil, 0, err
 	}
 
 	for _, t := range sc.Tenants {
@@ -160,7 +217,7 @@ func RunFleet(sc FleetScenario) (*FleetResult, error) {
 			Name: t.Name, App: t.App, Quota: t.Quota, SLOTarget: t.SLOTarget,
 			Think: t.Think, Requests: t.Requests,
 		}); err != nil {
-			return nil, err
+			return nil, nil, 0, err
 		}
 	}
 	for _, m := range sc.Migrations {
@@ -169,10 +226,11 @@ func RunFleet(sc FleetScenario) (*FleetResult, error) {
 	for _, e := range sc.DeviceCrashes {
 		f.ScheduleCrash(e.At, e.Device)
 	}
-	if err := f.Run(horizon); err != nil {
-		return nil, err
-	}
+	return f, checker, horizon, nil
+}
 
+// fleetReport assembles the result of a finished fleet run.
+func fleetReport(f *fleet.Fleet, checker *invariant.FleetChecker) *FleetResult {
 	res := &FleetResult{
 		Devices: f.Snapshot().Devices,
 		Stats:   f.Stats(),
@@ -197,5 +255,5 @@ func RunFleet(sc FleetScenario) (*FleetResult, error) {
 	if checker != nil {
 		res.Invariants = checker.Report(f.Elapsed())
 	}
-	return res, nil
+	return res
 }

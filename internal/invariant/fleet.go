@@ -251,6 +251,33 @@ func (c *FleetChecker) RequestCompleted(at sim.Time, tenant string, seq, dev int
 	c.mix(9, uint64(at), mixStr(tenant), uint64(seq), uint64(dev), fb)
 }
 
+// FleetCheckpoint is the checker's running state mid-run: the event digest
+// and its feed counters, without the end-of-run checks. Two runs of one
+// scenario that agree on a Checkpoint at a barrier have fed identical event
+// streams up to it — the substrate of the snapshot/restore proof.
+type FleetCheckpoint struct {
+	Digest    uint64
+	Events    int64
+	Routed    int64
+	Completed int64
+	Rerouted  int64
+	// Violations counts breaches recorded so far.
+	Violations int
+}
+
+// Checkpoint returns the checker's current running state. Unlike Report it
+// runs no end-of-run checks and may be called at any barrier.
+func (c *FleetChecker) Checkpoint() FleetCheckpoint {
+	return FleetCheckpoint{
+		Digest:     c.digest,
+		Events:     c.events,
+		Routed:     c.routed,
+		Completed:  c.done,
+		Rerouted:   c.rerouts,
+		Violations: len(c.violations),
+	}
+}
+
 // FleetReport is the checker's verdict.
 type FleetReport struct {
 	// Violations are the recorded breaches (bounded by MaxViolations).

@@ -18,6 +18,7 @@ package sim
 import (
 	"container/heap"
 	"fmt"
+	"sort"
 )
 
 // Time is a virtual-time instant, in nanoseconds since simulation start.
@@ -236,6 +237,24 @@ func (e *Engine) RunBefore(deadline Time) {
 	if e.now < deadline {
 		e.now = deadline
 	}
+}
+
+// PendingTimes appends the timestamps of every live (non-canceled) pending
+// event to buf, in ascending order, and returns the extended slice. It is the
+// engine's canonical queue view for snapshotting: callbacks are closures and
+// cannot be serialized, but their firing instants can — two runs whose
+// engines agree on PendingTimes at a barrier hold the same schedule. The
+// heap is not disturbed; canceled events are skipped, not collected.
+func (e *Engine) PendingTimes(buf []Time) []Time {
+	start := len(buf)
+	for _, ev := range e.events {
+		if ev != nil && !ev.canceled {
+			buf = append(buf, ev.at)
+		}
+	}
+	tail := buf[start:]
+	sort.Slice(tail, func(i, j int) bool { return tail[i] < tail[j] })
+	return buf
 }
 
 // PeekTime reports the timestamp of the earliest live (non-canceled) pending

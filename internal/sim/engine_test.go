@@ -222,3 +222,34 @@ func TestEventAt(t *testing.T) {
 	var nilEv *Event
 	nilEv.Cancel() // must not panic
 }
+
+func TestEnginePendingTimes(t *testing.T) {
+	e := NewEngine()
+	if got := e.PendingTimes(nil); len(got) != 0 {
+		t.Fatalf("empty engine reported pending times %v", got)
+	}
+	e.Schedule(30, func() {})
+	ev := e.Schedule(10, func() {})
+	e.Schedule(20, func() {})
+	e.Schedule(20, func() {})
+	ev.Cancel()
+	got := e.PendingTimes(nil)
+	want := []Time{20, 20, 30}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+	// Appends after a prefix without touching it, and the heap still runs.
+	buf := e.PendingTimes([]Time{5})
+	if buf[0] != 5 || len(buf) != 4 {
+		t.Fatalf("prefix not preserved: %v", buf)
+	}
+	e.Run()
+	if n := len(e.PendingTimes(nil)); n != 0 {
+		t.Fatalf("%d pending times after drain", n)
+	}
+}

@@ -83,6 +83,19 @@ echo "== fleet shard determinism =="
 # checker digests. CI runs the full-scale matrix at 1/2/4/8 shards.
 go run ./cmd/blessbench -fleet -smoke -shards 4
 
+echo "== snapshot replay =="
+# The snapshot/restore gate, across a real process boundary: export the smoke
+# fleet scenario at the mid-horizon barrier, then restore it in a separate
+# process — the import replays the embedded scenario to the barrier, proves
+# the replayed state byte-identical to the snapshot's state section,
+# continues to completion, and fails unless completion digest, checker digest
+# and stats match an uninterrupted run (here at a different shard count).
+snap_file=$(mktemp)
+trap 'rm -f "$snap_file"' EXIT
+go run ./cmd/blessbench -fleet -smoke -snapshot "$snap_file"
+go run ./cmd/blessbench -snapshot-import "$snap_file" -shards 2
+rm -f "$snap_file"
+
 echo "== determinism =="
 # Same-seed runs must produce byte-identical event digests, and the
 # metamorphic relations (client permutation, quota scaling) must hold.
