@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check test test-race test-sim-nondeterminism test-sim-import-export test-sim-after-import bench bench-smoke bench-compare fmt
+.PHONY: check test test-race test-sim-nondeterminism test-sim-import-export test-sim-after-import bench bench-smoke bench-compare bench-serve service-load fmt
 
 ## check: formatting, vet, build, race tests, invariant + determinism stages
 check:
@@ -58,6 +58,18 @@ bench-smoke:
 ## committed envelope in BENCH_sim.json (RECORD=1 refreshes it)
 bench-compare:
 	./scripts/bench_compare.sh
+
+## bench-serve: the serving fast-path benchmark — one Serve decision through
+## the sharded intake pipeline; the steady state must stay zero-alloc
+## (exact gate in BENCH_sim.json via bench-compare)
+bench-serve:
+	$(GO) test -run '^$$' -bench 'BenchmarkServeSteadyState$$' -benchmem ./cmd/blessd/internal/planner/
+
+## service-load: boot blessd and run both blessload gates over real TCP —
+## the serial-vs-concurrent digest check and the closed-loop ramp with
+## shed-rate / §6.9-overhead / throughput enforcement
+service-load:
+	./scripts/service_load.sh
 
 fmt:
 	gofmt -w .

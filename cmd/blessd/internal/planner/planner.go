@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"net/http"
 	"sync"
+	"sync/atomic"
 
 	"bless/internal/core"
 	"bless/internal/harness"
@@ -94,6 +95,10 @@ type Planner struct {
 	// single-device plans observe completions directly, cluster plans fold
 	// in their fleet-merged trackers.
 	slo *obs.SLOTracker
+
+	// serve is the open sustained-load deployment (nil when closed); the
+	// Serve fast path reads it lock-free, open/close serialize on mu.
+	serve atomic.Pointer[serveState]
 
 	mu            sync.Mutex
 	lastTrace     []byte

@@ -48,6 +48,11 @@
 //	GET /debug/bless/snapshot most recent Planner.Snapshot's raw canonical
 //	                          bytes (download, restart, feed back through
 //	                          Planner.Restore)
+//	GET /debug/bless/serve    open serving deployment's live stats (offered/
+//	                          admitted/shed, wait percentiles, per-decision
+//	                          overhead vs the §6.9 budget, per-tenant digests;
+//	                          with ServeOpen{Trace:true}, the recent
+//	                          decision-event ring)
 //	GET /debug/pprof/         Go runtime profiles (net/http/pprof)
 //	GET /debug/vars           expvar JSON (memstats, cmdline)
 //
@@ -69,6 +74,21 @@
 // scenario to the barrier, proves the replayed state byte-identical to the
 // snapshot, and continues the run to completion — digests match the
 // uninterrupted run bit for bit (see SnapshotRequest/RestoreRequest).
+//
+// Beyond per-plan what-ifs, blessd also runs a sustained-load serving path:
+// Planner.ServeOpen opens a deployment (placement admission over the pool,
+// one deterministic admission lane per tenant), Planner.Serve decides one
+// request per call at line rate through sharded, batching intake workers
+// (admit, or shed with a retry-after when the tenant's virtual queueing
+// delay exceeds its bound), and Planner.ServeStats / Planner.ServeClose
+// report the accounting: throughput, wait percentiles, shed counts,
+// measured per-decision overhead against the §6.9 budget, and the
+// determinism digest that is bit-identical between serial and concurrent
+// intake (wire types in internal/serveapi). cmd/blessload is the matching
+// closed-loop generator:
+//
+//	blessd -listen :7600 &
+//	blessload -addr localhost:7600 -rate 4000 -steps 4 -verify
 package main
 
 import (
@@ -107,6 +127,7 @@ func main() {
 		mux.HandleFunc("/debug/bless/slo", p.ServeSLO)
 		mux.HandleFunc("/debug/bless/fleet", p.ServeFleet)
 		mux.HandleFunc("/debug/bless/snapshot", p.ServeSnapshot)
+		mux.HandleFunc("/debug/bless/serve", p.ServeServe)
 		// Standard Go introspection, kept off the default mux so the RPC
 		// surface stays clean: runtime profiles and expvar.
 		mux.HandleFunc("/debug/pprof/", pprof.Index)

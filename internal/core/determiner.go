@@ -95,19 +95,23 @@ func Determine(s *Squad, deviceSMs int, quotas []float64, opts DetermineOptions)
 	// take at its client's provisioned quota. A configuration is
 	// pace-feasible when no entry's estimated stack exceeds its budget
 	// (small slack absorbs partition rounding), so accepting it can never
-	// push a client behind the isolated-quota timeline.
-	budgets := make([]sim.Time, k)
+	// push a client behind the isolated-quota timeline. Only computed when
+	// the guard is on — the default path never reads them.
+	var budgets []sim.Time
 	var minBudget sim.Time = 1 << 62
-	for i := range s.Entries {
-		e := &s.Entries[i]
-		qsms := e.Client.QuotaSMs(deviceSMs)
-		var b sim.Time
-		for _, kk := range e.Kernels {
-			b += e.Client.Profile.KernelDurAt(kk, qsms)
-		}
-		budgets[i] = b + b/50
-		if budgets[i] < minBudget {
-			minBudget = budgets[i]
+	if opts.QuotaGuard {
+		budgets = make([]sim.Time, k)
+		for i := range s.Entries {
+			e := &s.Entries[i]
+			qsms := e.Client.QuotaSMs(deviceSMs)
+			var b sim.Time
+			for _, kk := range e.Kernels {
+				b += e.Client.Profile.KernelDurAt(kk, qsms)
+			}
+			budgets[i] = b + b/50
+			if budgets[i] < minBudget {
+				minBudget = budgets[i]
+			}
 		}
 	}
 
@@ -270,6 +274,11 @@ func hillClimb(n, k int, quotas []float64, evaluate func(parts []int) sim.Time) 
 	best := append([]int(nil), parts...)
 	bestEst := evaluate(parts)
 
+	// One candidate buffer serves the whole search: evaluate copies the
+	// split out before estimating, so the buffer can be rewritten per
+	// neighbor. A fresh slice per candidate was the fleet run's largest
+	// allocation site.
+	cand := make([]int, k)
 	for iter := 0; iter < 4*n; iter++ {
 		improved := false
 		for from := 0; from < k && !improved; from++ {
@@ -280,11 +289,12 @@ func hillClimb(n, k int, quotas []float64, evaluate func(parts []int) sim.Time) 
 				if to == from {
 					continue
 				}
-				cand := append([]int(nil), best...)
+				copy(cand, best)
 				cand[from]--
 				cand[to]++
 				if est := evaluate(cand); est < bestEst {
-					best, bestEst = cand, est
+					best, cand = cand, best
+					bestEst = est
 					improved = true
 				}
 			}

@@ -169,8 +169,28 @@ type Runtime struct {
 	// kdFree pools kernel-completion continuations: one is live per launched
 	// kernel, returned when it fires (see kernelDone).
 	kdFree []*kernelDone
+	// tlFree pools Semi-SP tail-launch continuations the same way: one is
+	// live per gated tail kernel, returned when its gate opens and the
+	// launch issues (see tailLaunch). A fresh closure per tail kernel was a
+	// top remaining allocation site on the steady-state path.
+	tlFree []*tailLaunch
+	// gateFree pools launch gates; gates used by a squad are recycled at the
+	// next launchSquad (the previous squad has fully drained by then), with
+	// their waiter slices kept for capacity reuse.
+	gateFree []*launchGate
+	gateUsed []*launchGate
 	// genScratch holds squad generation's selection state (squad.go).
 	genScratch genScratch
+	// startSquad scratch: the per-round active/client/quota views handed to
+	// squad generation and the determiner, rebuilt every round but never
+	// retained past it.
+	activesScratch []*activeRequest
+	clientsScratch []*sharing.Client
+	quotasScratch  []float64
+	// kickFn is the scheduling-round closure, bound once: kick runs per
+	// request arrival and completion, so a fresh closure per kick shows up
+	// at sustained load.
+	kickFn func()
 
 	// stats
 	squadsExecuted   int64
@@ -280,12 +300,15 @@ func (rt *Runtime) kick() {
 		return
 	}
 	rt.kickPending = true
-	rt.env.Eng.Schedule(rt.env.Eng.Now(), func() {
-		rt.kickPending = false
-		if !rt.squadRunning {
-			rt.startSquad()
+	if rt.kickFn == nil {
+		rt.kickFn = func() {
+			rt.kickPending = false
+			if !rt.squadRunning {
+				rt.startSquad()
+			}
 		}
-	})
+	}
+	rt.env.Eng.Schedule(rt.env.Eng.Now(), rt.kickFn)
 }
 
 // newActive initializes progress tracking for a request entering service.
@@ -311,9 +334,14 @@ func (rt *Runtime) newActive(r *sharing.Request) *activeRequest {
 // cycle re-arms itself from the squad-completion callback.
 func (rt *Runtime) startSquad() {
 	rt.enforceDeadlines()
-	actives := make([]*activeRequest, len(rt.clients))
-	clients := make([]*sharing.Client, len(rt.clients))
+	if cap(rt.activesScratch) < len(rt.clients) {
+		rt.activesScratch = make([]*activeRequest, len(rt.clients))
+		rt.clientsScratch = make([]*sharing.Client, len(rt.clients))
+	}
+	actives := rt.activesScratch[:len(rt.clients)]
+	clients := rt.clientsScratch[:len(rt.clients)]
 	for i, cs := range rt.clients {
+		actives[i], clients[i] = nil, nil
 		if !cs.live() {
 			continue // departed: generation sees a nil slot
 		}
@@ -363,7 +391,10 @@ func (rt *Runtime) startSquad() {
 		}
 	}
 
-	quotas := make([]float64, len(squad.Entries))
+	if cap(rt.quotasScratch) < len(squad.Entries) {
+		rt.quotasScratch = make([]float64, len(squad.Entries))
+	}
+	quotas := rt.quotasScratch[:len(squad.Entries)]
 	for i := range squad.Entries {
 		quotas[i] = squad.Entries[i].Client.Quota
 	}
@@ -453,6 +484,18 @@ func (rt *Runtime) partitions(s *Squad) int {
 func (rt *Runtime) launchSquad(squad *Squad, cfg ExecConfig) {
 	rt.squadPendings = squad.Size()
 
+	// Recycle the previous squad's gates: by this launch the prior squad
+	// has fully drained (launchSquad only runs from a completed cycle), so
+	// every pooled gate has opened and emptied its waiters. Waiter slices
+	// are kept for capacity reuse.
+	for i, g := range rt.gateUsed {
+		g.expect, g.arrived, g.launchEnd, g.openAt, g.open = 0, 0, 0, 0, false
+		g.waiters = g.waiters[:0]
+		rt.gateFree = append(rt.gateFree, g)
+		rt.gateUsed[i] = nil
+	}
+	rt.gateUsed = rt.gateUsed[:0]
+
 	// Breadth-first launch order across entries starts cross-client
 	// concurrency as early as possible; the host serializes the 3us
 	// launches either way. The plan and gate slices are per-Runtime scratch:
@@ -510,7 +553,7 @@ func (rt *Runtime) launchSquad(squad *Squad, cfg ExecConfig) {
 			plan = append(plan, plannedLaunch{entry: e, kIdx: k, q: slot.q, smTag: cfg.SMs[i]})
 		}
 		if len(tail) > 0 {
-			gate := &launchGate{}
+			gate := rt.newGate()
 			gates[i] = gate
 			for _, k := range tail {
 				plan = append(plan, plannedLaunch{entry: e, kIdx: k, q: cs.defaultQ, after: gate})
@@ -567,43 +610,10 @@ func (rt *Runtime) launchSquad(squad *Squad, cfg ExecConfig) {
 		wrapped = rt.withRetry(cs, pl.q, k, pl.entry.Request.Seq, pl.kIdx, wrapped)
 
 		if pl.after != nil {
-			// Tail kernel: defer the launch until the gate opens. The gate
-			// open time already includes the context-redirection vacuum.
-			pl.after.then(func(openAt sim.Time) {
-				if cs.dead {
-					// The client crashed between planning and gate open:
-					// the kernel never launches, settle its bookkeeping.
-					rt.skipKernel(openAt)
-					return
-				}
-				if a := cs.active; a != nil && a.req == pl.entry.Request && a.aborted {
-					// The request was aborted while its head ran: skip the
-					// tail outright instead of burning device time on it.
-					a.inFlight--
-					if a.inFlight == 0 {
-						rt.completeRequest(cs, a.req)
-					}
-					rt.skipKernel(openAt)
-					return
-				}
-				if cs.lastCtxSMs != 0 {
-					// First tail launch redirects this client back to its
-					// unrestricted context: one switch per gate trip.
-					cs.lastCtxSMs = 0
-					cs.ovh.Switches++
-					cs.ovh.SwitchTime += ctxSwitch
-					if rt.bus.Enabled() {
-						rt.bus.Emit(obs.Event{
-							At: openAt, Kind: obs.KindContextSwitch, Squad: rt.curSquad,
-							Client: cs.c.App.Name, Reason: "unrestrict",
-						})
-					}
-				}
-				rt.host.LaunchAt(pl.q, k, rt.stallFloor(openAt), wrapped)
-				cs.lastLaunchAt = rt.host.Now()
-				cs.ovh.Launches++
-				cs.ovh.LaunchTime += kLaunch
-			})
+			// Tail kernel: defer the launch until the gate opens (the open
+			// time already includes the context-redirection vacuum), through
+			// a pooled continuation — see tailLaunch.
+			pl.after.then(rt.newTailLaunch(cs, pl.q, k, pl.entry.Request, wrapped, ctxSwitch, kLaunch).fn)
 			continue
 		}
 
@@ -774,6 +784,101 @@ func (kd *kernelDone) fire(at sim.Time) {
 	}
 }
 
+// tailLaunch is one Semi-SP tail kernel's gate continuation: the launch
+// issued when its entry's head gate opens. Pooled like kernelDone — one is
+// live per gated tail kernel, returned to the pool when its gate fires it —
+// because a fresh closure per tail kernel was a top remaining allocation
+// site on the steady-state path.
+type tailLaunch struct {
+	rt        *Runtime
+	cs        *clientState
+	q         *sim.Queue
+	k         *sim.Kernel
+	req       *sharing.Request
+	wrapped   func(sim.Time)
+	ctxSwitch sim.Time
+	kLaunch   sim.Time
+	// fn is tl.fire bound once at pool insertion and reused for the pooled
+	// object's lifetime.
+	fn func(sim.Time)
+}
+
+// newTailLaunch takes a continuation from the pool (or mints one) and arms it
+// for the given tail kernel.
+func (rt *Runtime) newTailLaunch(cs *clientState, q *sim.Queue, k *sim.Kernel, req *sharing.Request, wrapped func(sim.Time), ctxSwitch, kLaunch sim.Time) *tailLaunch {
+	var tl *tailLaunch
+	if n := len(rt.tlFree); n > 0 {
+		tl = rt.tlFree[n-1]
+		rt.tlFree[n-1] = nil
+		rt.tlFree = rt.tlFree[:n-1]
+	} else {
+		tl = &tailLaunch{rt: rt}
+		tl.fn = tl.fire
+	}
+	tl.cs, tl.q, tl.k, tl.req, tl.wrapped = cs, q, k, req, wrapped
+	tl.ctxSwitch, tl.kLaunch = ctxSwitch, kLaunch
+	return tl
+}
+
+// fire runs when the gate opens. It releases tl back to the pool before any
+// bookkeeping: skipKernel may synchronously finish the squad and start the
+// next round, which re-arms pooled continuations for its own kernels.
+func (tl *tailLaunch) fire(openAt sim.Time) {
+	rt, cs, q, k, req, wrapped := tl.rt, tl.cs, tl.q, tl.k, tl.req, tl.wrapped
+	ctxSwitch, kLaunch := tl.ctxSwitch, tl.kLaunch
+	tl.cs, tl.q, tl.k, tl.req, tl.wrapped = nil, nil, nil, nil, nil
+	rt.tlFree = append(rt.tlFree, tl)
+
+	if cs.dead {
+		// The client crashed between planning and gate open: the kernel
+		// never launches, settle its bookkeeping.
+		rt.skipKernel(openAt)
+		return
+	}
+	if a := cs.active; a != nil && a.req == req && a.aborted {
+		// The request was aborted while its head ran: skip the tail
+		// outright instead of burning device time on it.
+		a.inFlight--
+		if a.inFlight == 0 {
+			rt.completeRequest(cs, a.req)
+		}
+		rt.skipKernel(openAt)
+		return
+	}
+	if cs.lastCtxSMs != 0 {
+		// First tail launch redirects this client back to its unrestricted
+		// context: one switch per gate trip.
+		cs.lastCtxSMs = 0
+		cs.ovh.Switches++
+		cs.ovh.SwitchTime += ctxSwitch
+		if rt.bus.Enabled() {
+			rt.bus.Emit(obs.Event{
+				At: openAt, Kind: obs.KindContextSwitch, Squad: rt.curSquad,
+				Client: cs.c.App.Name, Reason: "unrestrict",
+			})
+		}
+	}
+	rt.host.LaunchAt(q, k, rt.stallFloor(openAt), wrapped)
+	cs.lastLaunchAt = rt.host.Now()
+	cs.ovh.Launches++
+	cs.ovh.LaunchTime += kLaunch
+}
+
+// newGate takes a launch gate from the pool (or mints one) and tracks it for
+// recycling at the next launchSquad.
+func (rt *Runtime) newGate() *launchGate {
+	var g *launchGate
+	if n := len(rt.gateFree); n > 0 {
+		g = rt.gateFree[n-1]
+		rt.gateFree[n-1] = nil
+		rt.gateFree = rt.gateFree[:n-1]
+	} else {
+		g = &launchGate{}
+	}
+	rt.gateUsed = append(rt.gateUsed, g)
+	return g
+}
+
 // gateFor finds the gate belonging to the entry, if any.
 func gateFor(gates []*launchGate, s *Squad, e *SquadEntry) *launchGate {
 	for i := range s.Entries {
@@ -811,10 +916,23 @@ func (g *launchGate) arrive(readyAt sim.Time) {
 	}
 	if g.arrived >= g.expect && !g.open {
 		g.open = true
-		for _, w := range g.waiters {
+		// Detach the waiter list before firing: the LAST waiter can
+		// synchronously finish the squad (skip path) and start the next
+		// round, which recycles this pooled gate and re-arms it with new
+		// waiters — iterating the live field would then run the next
+		// squad's continuations with this squad's open time. Only the final
+		// waiter can recurse (each unfired waiter holds a pending kernel),
+		// so the detached list is never appended to mid-loop.
+		ws := g.waiters
+		g.waiters = nil
+		for _, w := range ws {
 			w(g.openAt)
 		}
-		g.waiters = nil
+		if g.waiters == nil {
+			// Not recycled during the loop (or recycled but not re-armed):
+			// hand the backing array back for capacity reuse.
+			g.waiters = ws[:0]
+		}
 	}
 }
 

